@@ -1,0 +1,112 @@
+package eas
+
+import (
+	"fmt"
+
+	"github.com/hetsched/eas/internal/concord"
+	"github.com/hetsched/eas/internal/device"
+)
+
+// AccessPattern describes how a kernel's memory operation walks memory;
+// it determines the derived cache-miss expectation.
+type AccessPattern = concord.AccessPattern
+
+// Access patterns for KernelBuilder memory operations.
+const (
+	// Sequential accesses stream through memory (prefetcher-friendly).
+	Sequential = concord.Sequential
+	// Strided accesses defeat some prefetching.
+	Strided = concord.Strided
+	// Random accesses (hash tables, graph edges) mostly miss cache.
+	Random = concord.Random
+)
+
+// KernelBuilder constructs a Kernel from a description of its
+// per-iteration operations, deriving the cost profile automatically —
+// the role the Concord compiler plays in the paper, where a C++
+// parallel_for lambda is compiled for both devices and its operation
+// mix is known to the runtime.
+//
+//	k, err := eas.NewKernelBuilder("saxpy").
+//		Load(2, eas.Sequential).
+//		FMA(1).
+//		Store(1, eas.Sequential).
+//		Build(func(i int) { y[i] = a*x[i] + y[i] })
+type KernelBuilder struct {
+	b *concord.Builder
+}
+
+// NewKernelBuilder starts a kernel description.
+func NewKernelBuilder(name string) *KernelBuilder {
+	return &KernelBuilder{b: concord.NewBuilder(name)}
+}
+
+// FMA records n fused multiply-adds per iteration (2 FLOPs each).
+func (kb *KernelBuilder) FMA(n float64) *KernelBuilder { kb.b.FMA(n); return kb }
+
+// FLOP records n plain floating-point operations per iteration.
+func (kb *KernelBuilder) FLOP(n float64) *KernelBuilder { kb.b.FLOP(n); return kb }
+
+// Load records n loads per iteration with the given access pattern.
+func (kb *KernelBuilder) Load(n float64, p AccessPattern) *KernelBuilder {
+	kb.b.Load(n, p)
+	return kb
+}
+
+// Store records n stores per iteration with the given access pattern.
+func (kb *KernelBuilder) Store(n float64, p AccessPattern) *KernelBuilder {
+	kb.b.Store(n, p)
+	return kb
+}
+
+// Int records n integer/address operations per iteration.
+func (kb *KernelBuilder) Int(n float64) *KernelBuilder { kb.b.Int(n); return kb }
+
+// Branch records n data-dependent branches per iteration, each taken
+// with probability p — the source of GPU SIMD divergence.
+func (kb *KernelBuilder) Branch(n, p float64) *KernelBuilder { kb.b.Branch(n, p); return kb }
+
+// WorkingSet declares the kernel's total live data footprint in bytes;
+// BuildFor then derives the cache-miss expectation from how the
+// footprint fits a platform's last-level cache.
+func (kb *KernelBuilder) WorkingSet(bytes int64) *KernelBuilder {
+	kb.b.WorkingSet(bytes)
+	return kb
+}
+
+// Build finalizes the kernel with an optional functional body, using
+// the access patterns' raw miss probabilities.
+func (kb *KernelBuilder) Build(body func(i int)) (Kernel, error) {
+	cost, err := kb.b.Cost()
+	if err != nil {
+		return Kernel{}, err
+	}
+	return kernelFromCost(kb.b.Name(), cost, body), nil
+}
+
+// BuildFor finalizes the kernel for a specific platform: the declared
+// working set is weighed against the platform's last-level cache, so
+// the same kernel description can be memory-bound on the tablet's 2 MB
+// LLC and cache-friendly on the desktop's 8 MB.
+func (kb *KernelBuilder) BuildFor(p *Platform, body func(i int)) (Kernel, error) {
+	if p == nil {
+		return Kernel{}, fmt.Errorf("eas: BuildFor needs a platform")
+	}
+	cost, err := kb.b.CostFor(p.inner.Spec().LLCBytes)
+	if err != nil {
+		return Kernel{}, err
+	}
+	return kernelFromCost(kb.b.Name(), cost, body), nil
+}
+
+func kernelFromCost(name string, cost device.CostProfile, body func(i int)) Kernel {
+	return Kernel{
+		Name:                name,
+		FLOPsPerItem:        cost.FLOPs,
+		MemOpsPerItem:       cost.MemOps,
+		L3MissRatio:         cost.L3MissRatio,
+		Divergence:          cost.Divergence,
+		InstructionsPerItem: cost.Instructions,
+		Body:                body,
+	}
+}

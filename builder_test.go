@@ -1,0 +1,93 @@
+package eas
+
+import "testing"
+
+func TestKernelBuilderEndToEnd(t *testing.T) {
+	x := make([]float64, 500000)
+	y := make([]float64, 500000)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 1
+	}
+	k, err := NewKernelBuilder("saxpy").
+		Load(2, Sequential).
+		FMA(1).
+		Store(1, Sequential).
+		Int(3).
+		Build(func(i int) { y[i] = 0.5*x[i] + y[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.FLOPsPerItem != 2 || k.MemOpsPerItem != 3 {
+		t.Errorf("derived cost wrong: %+v", k)
+	}
+	rt := newRuntime(t, EDP)
+	rep, err := rt.ParallelFor(k, len(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Duration <= 0 {
+		t.Error("no simulated time")
+	}
+	if y[100] != 0.5*100+1 {
+		t.Errorf("y[100] = %v, want 51", y[100])
+	}
+}
+
+func TestKernelBuilderDivergentKernelAvoidsGPU(t *testing.T) {
+	// A heavily divergent kernel should classify CPU-biased: the
+	// runtime keeps most work off the GPU even under EDP.
+	k, err := NewKernelBuilder("branchy").
+		Load(4, Random).
+		Int(400).
+		FLOP(200).
+		Branch(40, 0.5).
+		Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Divergence < 0.8 {
+		t.Fatalf("divergence = %v, want ≈1", k.Divergence)
+	}
+	rt := newRuntime(t, EDP)
+	rep, err := rt.ParallelFor(k, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alpha > 0.5 {
+		t.Errorf("divergent kernel got α=%v, want CPU-leaning", rep.Alpha)
+	}
+}
+
+func TestKernelBuilderErrorPropagates(t *testing.T) {
+	if _, err := NewKernelBuilder("bad").Branch(1, 2).Build(nil); err == nil {
+		t.Error("invalid branch probability accepted")
+	}
+	if _, err := NewKernelBuilder("empty").Build(nil); err == nil {
+		t.Error("empty kernel accepted")
+	}
+}
+
+func TestKernelBuilderBuildFor(t *testing.T) {
+	builderFor := func() *KernelBuilder {
+		return NewKernelBuilder("stencil").
+			Load(10, Random).
+			FLOP(20).
+			WorkingSet(4 << 20)
+	}
+	desk, err := builderFor().BuildFor(DesktopPlatform(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := builderFor().BuildFor(TabletPlatform(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 MB fits the desktop's 8 MB LLC far better than the tablet's 2 MB.
+	if desk.L3MissRatio >= tab.L3MissRatio {
+		t.Errorf("desktop miss ratio %v should be below tablet %v", desk.L3MissRatio, tab.L3MissRatio)
+	}
+	if _, err := builderFor().BuildFor(nil, nil); err == nil {
+		t.Error("nil platform accepted")
+	}
+}

@@ -1,0 +1,175 @@
+// Command easbench regenerates the paper's evaluation tables and
+// figures on the simulated platforms.
+//
+// Usage:
+//
+//	easbench [-fig 9|10|11|12|all] [-table1] [-seed N] [-oracle-step S]
+//
+// With no flags it reproduces everything: Table 1 and Figures 9-12.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/hetsched/eas/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 9, 10, 11, 12, or all")
+	table1 := flag.Bool("table1", false, "regenerate Table 1")
+	seed := flag.Int64("seed", 0, "workload schedule seed (0 = default)")
+	oracleStep := flag.Float64("oracle-step", 0, "oracle sweep granularity (0 = 0.1)")
+	svgDir := flag.String("svg", "", "also write each figure as an SVG into this directory")
+	jsonDir := flag.String("json", "", "also write each figure's raw data as JSON into this directory")
+	sweep := flag.Int("sweep", 0, "run a robustness sweep over this many seeds instead of single figures")
+	ablations := flag.Bool("ablations", false, "run the ablation studies (poly order, alpha step, curves, profiling, thresholds)")
+	contention := flag.String("contention", "", "run the GPU-contention study for this workload abbreviation")
+	dynOracle := flag.Bool("dyn-oracle", false, "run the dynamic per-invocation oracle study")
+	flag.Parse()
+
+	if *dynOracle {
+		rows, err := report.DynOracleStudy([]string{"BFS", "CC", "SP", "FD", "BS", "SM"}, "edp", *seed)
+		if err != nil {
+			fail(err)
+		}
+		report.RenderDynOracle(os.Stdout, "edp", rows)
+		return
+	}
+
+	if *contention != "" {
+		results, err := report.GPUContentionStudy(*contention, "edp", []float64{0, 0.25, 0.5, 0.75, 1}, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("GPU contention study: %s on the desktop (EDP)\n", *contention)
+		fmt.Printf("%10s %10s %12s %12s %12s\n", "busy frac", "fallbacks", "time", "energy (J)", "EDP")
+		for _, r := range results {
+			fmt.Printf("%10.2f %10d %12v %12.2f %12.5g\n",
+				r.BusyFraction, r.Fallbacks, r.Duration.Round(1e6), r.EnergyJ, r.MetricValue)
+		}
+		return
+	}
+
+	if *sweep > 0 {
+		seeds := make([]int64, *sweep)
+		for i := range seeds {
+			seeds[i] = int64(i + 1)
+		}
+		for _, exp := range []struct{ p, m string }{{"desktop", "edp"}, {"desktop", "energy"}} {
+			stats, err := report.SeedSweep(exp.p, exp.m, seeds, report.Options{})
+			if err != nil {
+				fail(err)
+			}
+			report.RenderSweep(os.Stdout, exp.p, exp.m, len(seeds), stats)
+			fmt.Println()
+		}
+		return
+	}
+	if *ablations {
+		runAblations()
+		return
+	}
+
+	figures := map[string]struct{ platform, metric string }{
+		"9":  {"desktop", "edp"},
+		"10": {"desktop", "energy"},
+		"11": {"tablet", "edp"},
+		"12": {"tablet", "energy"},
+	}
+	if *fig != "" && *fig != "all" {
+		if _, ok := figures[*fig]; !ok {
+			fail(fmt.Errorf("unknown figure %q (want 9, 10, 11, 12, or all)", *fig))
+		}
+	}
+	all := (*fig == "" && !*table1) || *fig == "all"
+	opts := report.Options{Seed: *seed, OracleStep: *oracleStep}
+
+	if *table1 || all {
+		rows, err := report.Table1(*seed)
+		if err != nil {
+			fail(err)
+		}
+		report.RenderTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	for _, id := range []string{"9", "10", "11", "12"} {
+		if !all && *fig != id {
+			continue
+		}
+		exp := figures[id]
+		f, err := report.Evaluate(exp.platform, exp.metric, opts)
+		if err != nil {
+			fail(err)
+		}
+		if err := f.Render(os.Stdout); err != nil {
+			fail(err)
+		}
+		if *svgDir != "" {
+			doc, err := f.SVG()
+			if err != nil {
+				fail(err)
+			}
+			path, err := report.WriteSVG(*svgDir, "fig"+id, doc)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", path)
+		}
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "fig"+id+".json")
+			data, err := json.MarshalIndent(f, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", path)
+		}
+		fmt.Println()
+	}
+}
+
+func runAblations() {
+	studies := []struct {
+		title string
+		run   func() ([]report.AblationRow, error)
+	}{
+		{"polynomial order", func() ([]report.AblationRow, error) {
+			return report.AblationPolyDegree([]int{2, 4, 6, 8}, 0)
+		}},
+		{"alpha search step", func() ([]report.AblationRow, error) {
+			return report.AblationAlphaStep([]float64{0.1, 0.05, 0.01}, 0)
+		}},
+		{"category curves", func() ([]report.AblationRow, error) {
+			return report.AblationSingleCurve(0)
+		}},
+		{"profiling strategy", func() ([]report.AblationRow, error) {
+			return report.AblationProfileStrategy(0)
+		}},
+		{"classification thresholds", func() ([]report.AblationRow, error) {
+			return report.AblationThresholds(0)
+		}},
+		{"CC re-profiling (energy)", func() ([]report.AblationRow, error) {
+			return report.CCReprofileStudy("energy", 0)
+		}},
+	}
+	for _, s := range studies {
+		rows, err := s.run()
+		if err != nil {
+			fail(err)
+		}
+		report.RenderAblation(os.Stdout, s.title, rows)
+		fmt.Println()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "easbench:", err)
+	os.Exit(1)
+}

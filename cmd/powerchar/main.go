@@ -1,0 +1,104 @@
+// Command powerchar runs the one-time platform power characterization
+// (paper §2, Figures 5-6): it sweeps the eight micro-benchmarks across
+// GPU offload ratios, fits the sixth-order polynomials, prints each
+// curve (equation, fit quality, ASCII chart), and optionally saves the
+// model for the runtime to load.
+//
+// Usage:
+//
+//	powerchar [-platform desktop|tablet] [-step 0.05] [-o model.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/report"
+	"github.com/hetsched/eas/internal/trace"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+func main() {
+	platformName := flag.String("platform", "desktop", "platform preset: desktop or tablet")
+	platformFile := flag.String("platform-file", "", "load a custom platform spec JSON instead of a preset")
+	dumpSpec := flag.String("dump-spec", "", "write the selected platform's spec JSON to this path and exit (a starting point for custom platforms)")
+	step := flag.Float64("step", 0.05, "alpha sweep granularity")
+	degree := flag.Int("degree", 6, "fitted polynomial degree")
+	out := flag.String("o", "", "write the model JSON to this path")
+	svgDir := flag.String("svg", "", "directory to write the curves as an SVG chart into")
+	flag.Parse()
+
+	var spec platform.Spec
+	if *platformFile != "" {
+		var err error
+		spec, err = platform.LoadSpec(*platformFile)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		var ok bool
+		spec, ok = platform.Presets(*platformName)
+		if !ok {
+			fail(fmt.Errorf("unknown platform %q", *platformName))
+		}
+	}
+	if *dumpSpec != "" {
+		if err := spec.Save(*dumpSpec); err != nil {
+			fail(err)
+		}
+		fmt.Printf("spec for %s written to %s\n", spec.Name, *dumpSpec)
+		return
+	}
+	fmt.Printf("characterizing %s (figures %s of the paper)…\n\n",
+		spec.Name, map[string]string{"desktop": "5", "tablet": "6"}[spec.Name])
+
+	model, err := powerchar.Characterize(spec, powerchar.Options{AlphaStep: *step, PolyDegree: *degree})
+	if err != nil {
+		fail(err)
+	}
+
+	for _, key := range report.SortedCurveKeys(model) {
+		cat, err := wclass.ParseKey(key)
+		if err != nil {
+			fail(err)
+		}
+		curve, _ := model.Curve(cat)
+		fmt.Printf("%s  (R² = %.4f)\n", key, curve.R2)
+		fmt.Printf("  y = %s\n", curve.Poly().String())
+		s := trace.NewSeries("P(α) "+key, "W")
+		for _, pt := range curve.Samples {
+			// Map α∈[0,1] onto a nominal time axis so the trace
+			// renderer can draw the sweep.
+			s.Append(time.Duration(pt.Alpha*1e9), pt.Watts)
+		}
+		fmt.Print(s.RenderASCII(8, 60))
+		fmt.Println()
+	}
+
+	if *out != "" {
+		if err := model.Save(*out); err != nil {
+			fail(err)
+		}
+		fmt.Printf("model saved to %s\n", *out)
+	}
+	if *svgDir != "" {
+		doc, err := report.CharacterizationSVG(model)
+		if err != nil {
+			fail(err)
+		}
+		path, err := report.WriteSVG(*svgDir, "characterization-"+spec.Name, doc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "powerchar:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Command powertrace regenerates the paper's power-behaviour figures:
+//
+//	-fig 1: Connected Components energy & runtime vs GPU offload %
+//	        (the motivating chart — minimum energy and best performance
+//	        land at different splits)
+//	-fig 2: package power over time, memory-bound 90%-GPU/10%-CPU run,
+//	        on the tablet and the desktop (opposite platform behaviour)
+//	-fig 3: desktop power over time for long-running compute-bound and
+//	        memory-bound micro-benchmarks
+//	-fig 4: ten short GPU bursts dipping desktop package power from
+//	        ~60 W to ~40 W (the PCU reaction transient)
+//
+// Traces render as ASCII charts; -csv DIR also writes raw series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/hetsched/eas/internal/report"
+	"github.com/hetsched/eas/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, dvfs, or all")
+	csvDir := flag.String("csv", "", "directory to write CSV series into")
+	svgDir := flag.String("svg", "", "directory to write SVG charts into")
+	flag.Parse()
+
+	want := func(id string) bool { return *fig == "all" || *fig == id }
+
+	if want("1") {
+		pts, err := report.Fig1Sweep(0.1, 0)
+		if err != nil {
+			fail(err)
+		}
+		report.RenderFig1(os.Stdout, pts)
+		if *svgDir != "" {
+			doc, err := report.Fig1SVG(pts)
+			if err != nil {
+				fail(err)
+			}
+			writeSVG(*svgDir, "fig1", doc)
+		}
+		fmt.Println()
+	}
+	if want("2") {
+		tablet, desktop, err := report.Fig2Traces()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Figure 2: memory-bound workload, 90-10% GPU-CPU distribution")
+		show("fig2-tablet", tablet.PackagePower, *csvDir)
+		show("fig2-desktop", desktop.PackagePower, *csvDir)
+		if *svgDir != "" {
+			doc, err := report.TraceSVG("Figure 2: memory-bound, 90-10% GPU-CPU",
+				map[string]*trace.Set{"tablet": tablet, "desktop": desktop})
+			if err != nil {
+				fail(err)
+			}
+			writeSVG(*svgDir, "fig2", doc)
+		}
+	}
+	if want("3") {
+		compute, memory, err := report.Fig3Traces()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Figure 3: long-running micro-benchmarks on the desktop")
+		show("fig3-compute", compute.PackagePower, *csvDir)
+		show("fig3-memory", memory.PackagePower, *csvDir)
+		if *svgDir != "" {
+			doc, err := report.TraceSVG("Figure 3: compute- vs memory-bound (desktop)",
+				map[string]*trace.Set{"compute": compute, "memory": memory})
+			if err != nil {
+				fail(err)
+			}
+			writeSVG(*svgDir, "fig3", doc)
+		}
+	}
+	if want("4") {
+		tr, err := report.Fig4Trace()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Figure 4: memory-bound benchmark executed 10 times, 5% on GPU")
+		show("fig4", tr.PackagePower, *csvDir)
+		if *svgDir != "" {
+			doc, err := report.TraceSVG("Figure 4: ten short GPU bursts (desktop)",
+				map[string]*trace.Set{"package": tr})
+			if err != nil {
+				fail(err)
+			}
+			writeSVG(*svgDir, "fig4", doc)
+		}
+	}
+	if want("dvfs") {
+		tr, err := report.DVFSTrace()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("DVFS trace: the PCU's frequency decisions (desktop, memory-bound bursts)")
+		show("dvfs-cpufreq", tr.CPUFreq, *csvDir)
+		show("dvfs-gpufreq", tr.GPUFreq, *csvDir)
+		if *svgDir != "" {
+			doc, err := report.DVFSSVG("PCU DVFS decisions (desktop)", tr)
+			if err != nil {
+				fail(err)
+			}
+			writeSVG(*svgDir, "dvfs", doc)
+		}
+	}
+}
+
+func writeSVG(dir, name, doc string) {
+	path, err := report.WriteSVG(dir, name, doc)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func show(name string, s *trace.Series, csvDir string) {
+	fmt.Printf("[%s]\n", name)
+	fmt.Print(s.Downsample(s.Len()/400+1).RenderASCII(10, 72))
+	fmt.Println()
+	if csvDir != "" {
+		path := filepath.Join(csvDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := s.WriteCSV(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "powertrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,284 @@
+// Package eas is an energy-aware scheduling runtime for integrated
+// CPU-GPU processors, reproducing Barik et al., "A Black-Box Approach
+// to Energy-Aware Scheduling on Integrated CPU-GPU Systems" (CGO 2016).
+//
+// The runtime partitions the iterations of a data-parallel loop between
+// the CPU cores and the integrated GPU so as to minimize a user-chosen
+// energy metric (total energy, energy-delay product, ED², or any custom
+// function of package power and execution time), treating the
+// processor's power management as a black box:
+//
+//   - Characterize probes a platform once with eight micro-benchmarks
+//     and fits per-workload-class power curves P(α) over the GPU
+//     offload ratio α;
+//   - Runtime.ParallelFor profiles each new kernel online (measuring
+//     device throughputs and hardware counters while real work
+//     proceeds), classifies the workload, and solves for the α that
+//     minimizes the metric before executing the remaining iterations
+//     with CPU work-stealing plus a GPU command queue.
+//
+// Because Go has no serviceable GPU bindings, the platforms themselves
+// are deterministic simulations calibrated to the paper's two machines
+// (a Haswell-class desktop and a Bay Trail-class tablet); kernel bodies
+// still execute real Go code, so results are verifiable. See DESIGN.md
+// for the substitution details and EXPERIMENTS.md for the measured
+// reproduction of every table and figure.
+//
+// # Quick start
+//
+//	p := eas.DesktopPlatform()
+//	model, _ := eas.Characterize(p)
+//	rt, _ := eas.NewRuntime(p, eas.Config{Metric: eas.EDP, Model: model})
+//	out := make([]float64, 1<<20)
+//	rep, _ := rt.ParallelFor(eas.Kernel{
+//		Name:         "scale",
+//		FLOPsPerItem: 2,
+//		MemOpsPerItem: 2, L3MissRatio: 0.1, InstructionsPerItem: 8,
+//		Body: func(i int) { out[i] = 2 * float64(i) },
+//	}, len(out))
+//	fmt.Printf("ran at α=%.2f using %.1f J\n", rep.Alpha, rep.EnergyJ)
+package eas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hetsched/eas/internal/cl"
+	"github.com/hetsched/eas/internal/core"
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/msr"
+	"github.com/hetsched/eas/internal/ws"
+)
+
+// Kernel describes one data-parallel loop: its average per-item cost
+// (which drives the simulated timing and energy) and an optional
+// functional body (which really executes).
+type Kernel struct {
+	// Name identifies the kernel; the runtime remembers the offload
+	// ratio per name across invocations (the paper's global table G).
+	Name string
+	// FLOPsPerItem is the floating-point work per iteration.
+	FLOPsPerItem float64
+	// MemOpsPerItem is the load/store count per iteration.
+	MemOpsPerItem float64
+	// L3MissRatio is the fraction of memory operations that reach DRAM.
+	L3MissRatio float64
+	// Divergence in [0,1] captures input-dependent control flow.
+	Divergence float64
+	// InstructionsPerItem is the total instructions per iteration.
+	InstructionsPerItem float64
+	// Body, when non-nil, is executed for every iteration index
+	// (concurrently; it must be safe for concurrent invocation on
+	// distinct indices).
+	Body func(i int)
+}
+
+func (k Kernel) toEngine() engine.Kernel {
+	return engine.Kernel{
+		Name: k.Name,
+		Cost: device.CostProfile{
+			FLOPs:        k.FLOPsPerItem,
+			MemOps:       k.MemOpsPerItem,
+			L3MissRatio:  k.L3MissRatio,
+			Divergence:   k.Divergence,
+			Instructions: k.InstructionsPerItem,
+		},
+	}
+}
+
+// Config tunes a Runtime.
+type Config struct {
+	// Metric is the objective to minimize; the zero value selects EDP.
+	Metric Metric
+	// Model is a precomputed power characterization. When nil, the
+	// runtime characterizes the platform at construction (the paper's
+	// one-time-per-processor step).
+	Model *PowerModel
+	// AlphaStep is the offload-ratio search granularity (default 0.1).
+	AlphaStep float64
+	// ReprofileEvery re-profiles a known kernel every k-th invocation
+	// (for workloads whose behaviour drifts); 0 profiles only once.
+	ReprofileEvery int
+	// Workers sets the CPU worker count for functional execution;
+	// 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// Report describes one ParallelFor execution.
+type Report struct {
+	// Alpha is the GPU offload ratio applied after profiling.
+	Alpha float64
+	// Profiled is true when this invocation ran online profiling.
+	Profiled bool
+	// ProfileSteps counts the profiling repetitions.
+	ProfileSteps int
+	// Category is the workload class key ("mem-cpuS-gpuL") used to
+	// pick the power curve; empty when the invocation was not profiled.
+	Category string
+	// GPUBusyFallback is true when the GPU was owned by another
+	// application and the loop ran CPU-only.
+	GPUBusyFallback bool
+	// Duration and EnergyJ are the simulated execution totals.
+	Duration time.Duration
+	EnergyJ  float64
+	// CPUEnergyJ, GPUEnergyJ and DRAMEnergyJ split the package energy
+	// by RAPL domain (cores / integrated GPU / memory); the remainder
+	// is the idle/uncore floor.
+	CPUEnergyJ, GPUEnergyJ, DRAMEnergyJ float64
+	// MetricValue is the configured metric evaluated on this run.
+	MetricValue float64
+	// CPUItems and GPUItems are the iterations each device executed.
+	CPUItems, GPUItems float64
+}
+
+// Runtime is the energy-aware scheduling runtime bound to one platform.
+// A Runtime is not safe for concurrent use; create one per goroutine or
+// serialize calls.
+type Runtime struct {
+	platform *Platform
+	eng      *engine.Engine
+	sched    *core.Scheduler
+	metric   Metric
+	pool     *ws.Pool
+	ctx      *cl.Context
+	queue    *cl.CommandQueue
+}
+
+// NewRuntime builds a runtime on the platform. If cfg.Model is nil the
+// platform is characterized first (slow path; prefer passing a saved
+// model, as a real deployment would).
+func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
+	if p == nil {
+		return nil, errors.New("eas: nil platform")
+	}
+	metric := cfg.Metric
+	if !metric.valid() {
+		metric = EDP
+	}
+	model := cfg.Model
+	if model == nil {
+		var err error
+		model, err = Characterize(p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if model.inner.Platform != p.Name() {
+		return nil, fmt.Errorf("eas: power model was characterized on %q, platform is %q",
+			model.inner.Platform, p.Name())
+	}
+	eng := engine.New(p.inner)
+	sched, err := core.New(eng, model.inner, metric.inner, core.Options{
+		AlphaStep:        cfg.AlphaStep,
+		ReprofileEvery:   cfg.ReprofileEvery,
+		GrowProfileChunk: true,
+		ConvergeTol:      0.08,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx := cl.NewContext(p.inner)
+	return &Runtime{
+		platform: p,
+		eng:      eng,
+		sched:    sched,
+		metric:   metric,
+		pool:     ws.NewPool(cfg.Workers),
+		ctx:      ctx,
+		queue:    cl.NewCommandQueue(ctx),
+	}, nil
+}
+
+// Platform returns the runtime's platform.
+func (r *Runtime) Platform() *Platform { return r.platform }
+
+// Metric returns the objective the runtime minimizes.
+func (r *Runtime) Metric() Metric { return r.metric }
+
+// Alpha returns the remembered offload ratio for a kernel name, with
+// ok=false for kernels the runtime has not yet scheduled.
+func (r *Runtime) Alpha(kernelName string) (alpha float64, ok bool) {
+	return r.sched.Alpha(kernelName)
+}
+
+// ParallelFor executes n iterations of kernel k with energy-aware
+// CPU-GPU partitioning. Timing and energy come from the platform
+// simulation; if k.Body is non-nil, every iteration is also executed
+// functionally — the GPU's share through the OpenCL-style queue, the
+// CPU's share on the work-stealing pool — so the loop's results are
+// real.
+func (r *Runtime) ParallelFor(k Kernel, n int) (*Report, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("eas: non-positive iteration count %d", n)
+	}
+	ek := k.toEngine()
+	pp0 := msr.NewMeter(r.platform.inner.MSRPP0)
+	pp1 := msr.NewMeter(r.platform.inner.MSRPP1)
+	dram := msr.NewMeter(r.platform.inner.MSRDRAM)
+	rep, err := r.sched.ParallelFor(ek, n)
+	if err != nil {
+		return nil, err
+	}
+	out := &Report{
+		CPUEnergyJ:      pp0.Joules(),
+		GPUEnergyJ:      pp1.Joules(),
+		DRAMEnergyJ:     dram.Joules(),
+		Alpha:           rep.Alpha,
+		Profiled:        rep.Profiled,
+		ProfileSteps:    rep.ProfileSteps,
+		GPUBusyFallback: rep.GPUBusyFallback,
+		Duration:        rep.Duration,
+		EnergyJ:         rep.EnergyJ,
+		MetricValue:     r.metric.inner.EvalEnergy(rep.EnergyJ, rep.Duration.Seconds()),
+		CPUItems:        rep.CPUItems,
+		GPUItems:        rep.GPUItems,
+	}
+	if rep.Profiled {
+		out.Category = rep.Category.Key()
+	}
+	if k.Body != nil {
+		if err := r.execute(k, n, rep.Alpha); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// execute runs the loop body for real, split at the chosen ratio.
+func (r *Runtime) execute(k Kernel, n int, alpha float64) error {
+	gpuItems := int(alpha * float64(n))
+	if gpuItems > n {
+		gpuItems = n
+	}
+	var ev *cl.Event
+	if gpuItems > 0 {
+		var err error
+		ev, err = r.queue.EnqueueNDRange(cl.Kernel{Name: k.Name, Body: k.Body}, 0, gpuItems)
+		if err != nil {
+			return fmt.Errorf("eas: GPU dispatch: %w", err)
+		}
+	}
+	if cpuItems := n - gpuItems; cpuItems > 0 {
+		r.pool.ParallelFor(cpuItems, 0, func(i int) { k.Body(gpuItems + i) })
+	}
+	if ev != nil {
+		ev.Wait()
+	}
+	return nil
+}
+
+// CreateBuffer reserves shared CPU-GPU memory for application data,
+// enforcing the platform's driver limit (250 MB on the tablet). Callers
+// should release buffers when done.
+func (r *Runtime) CreateBuffer(name string, bytes int64) (*cl.Buffer, error) {
+	return r.ctx.CreateBuffer(name, bytes)
+}
+
+// Close drains the GPU queue and releases the runtime's shared-memory
+// context. The runtime must not be used afterwards.
+func (r *Runtime) Close() {
+	r.queue.Finish()
+	r.ctx.Release()
+}

@@ -1,0 +1,91 @@
+package eas_test
+
+import (
+	"fmt"
+	"log"
+
+	eas "github.com/hetsched/eas"
+)
+
+// The canonical flow: characterize once, build a runtime, run a loop.
+func Example() {
+	p := eas.DesktopPlatform()
+	model, err := eas.Characterize(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := eas.NewRuntime(p, eas.Config{Metric: eas.EDP, Model: model})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := make([]float64, 1<<19)
+	rep, err := rt.ParallelFor(eas.Kernel{
+		Name:                "scale",
+		FLOPsPerItem:        2,
+		MemOpsPerItem:       2,
+		L3MissRatio:         0.1,
+		InstructionsPerItem: 8,
+		Body:                func(i int) { out[i] = 2 * float64(i) },
+	}, len(out))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all iterations executed:", rep.CPUItems+rep.GPUItems == float64(len(out)))
+	fmt.Println("result verified:", out[1000] == 2000)
+	// Output:
+	// all iterations executed: true
+	// result verified: true
+}
+
+// Metrics are any function of package power and execution time; the
+// standard ones are predefined.
+func ExampleMetric() {
+	fmt.Println(eas.Energy.Name(), eas.Energy.Eval(50, 2)) // P·T
+	fmt.Println(eas.EDP.Name(), eas.EDP.Eval(50, 2))       // P·T²
+	thermal := eas.NewMetric("thermal", func(p, t float64) float64 { return p * p * t })
+	fmt.Println(thermal.Name(), thermal.Eval(50, 2))
+	// Output:
+	// energy 100
+	// edp 200
+	// thermal 5000
+}
+
+// KernelBuilder derives a cost profile from an operation-mix
+// description — the role the paper's Concord compiler plays.
+func ExampleKernelBuilder() {
+	k, err := eas.NewKernelBuilder("saxpy").
+		Load(2, eas.Sequential).
+		FMA(1).
+		Store(1, eas.Sequential).
+		Build(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("flops:", k.FLOPsPerItem)
+	fmt.Println("memops:", k.MemOpsPerItem)
+	fmt.Println("divergence:", k.Divergence)
+	// Output:
+	// flops: 2
+	// memops: 3
+	// divergence: 0
+}
+
+// A power model is characterized once per processor and persists.
+func ExampleCharacterize() {
+	model, err := eas.Characterize(eas.DesktopPlatform())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("platform:", model.PlatformName())
+	fmt.Println("categories:", len(model.Categories()))
+	w, err := model.Power("comp-cpuL-gpuL", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CPU-alone compute power ≈45W:", w > 40 && w < 50)
+	// Output:
+	// platform: desktop
+	// categories: 8
+	// CPU-alone compute power ≈45W: true
+}

@@ -1,0 +1,81 @@
+// Quickstart: characterize a platform once, then let the energy-aware
+// runtime partition a data-parallel loop between CPU and GPU.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	eas "github.com/hetsched/eas"
+)
+
+func main() {
+	// Pick the Haswell-class desktop platform and characterize its
+	// power behaviour (one-time, per processor; real deployments save
+	// the model with model.Save and reload it at startup).
+	p := eas.DesktopPlatform()
+	model, err := eas.Characterize(p)
+	if err != nil {
+		log.Fatalf("characterize: %v", err)
+	}
+	fmt.Println("power characterization complete; fitted curves:")
+	for _, key := range model.Categories() {
+		curve, err := model.CurveString(key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s P(α) = %s\n", key, curve)
+	}
+
+	// Build a runtime minimizing the energy-delay product.
+	rt, err := eas.NewRuntime(p, eas.Config{Metric: eas.EDP, Model: model})
+	if err != nil {
+		log.Fatalf("runtime: %v", err)
+	}
+
+	// A real data-parallel loop: distance transform over a point set.
+	// The cost profile describes the per-iteration work; the Body runs
+	// for every index, split across CPU and GPU at the ratio the
+	// scheduler picks.
+	const n = 1 << 20
+	dist := make([]float64, n)
+	kernel := eas.Kernel{
+		Name:                "distance",
+		FLOPsPerItem:        40,
+		MemOpsPerItem:       6,
+		L3MissRatio:         0.1,
+		InstructionsPerItem: 30,
+		Body: func(i int) {
+			x := float64(i%1024) - 512
+			y := float64(i/1024) - 512
+			dist[i] = math.Sqrt(x*x + y*y)
+		},
+	}
+
+	// First invocation: the runtime profiles online, classifies the
+	// workload, and picks the offload ratio α minimizing EDP.
+	rep, err := rt.ParallelFor(kernel, n)
+	if err != nil {
+		log.Fatalf("parallel_for: %v", err)
+	}
+	fmt.Printf("\nfirst run : α=%.2f  class=%s  profiled in %d steps\n",
+		rep.Alpha, rep.Category, rep.ProfileSteps)
+	fmt.Printf("            %v, %.2f J, EDP %.4g\n", rep.Duration, rep.EnergyJ, rep.MetricValue)
+
+	// Subsequent invocations reuse the learned ratio with no profiling.
+	rep2, err := rt.ParallelFor(kernel, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second run: α=%.2f  (table hit, profiled=%v)\n", rep2.Alpha, rep2.Profiled)
+
+	// The loop really executed: check a couple of results.
+	if dist[0] != math.Sqrt(512*512+512*512) {
+		log.Fatalf("unexpected dist[0] = %v", dist[0])
+	}
+	fmt.Printf("\nresults verified: dist[0]=%.2f dist[%d]=%.2f\n", dist[0], n-1, dist[n-1])
+	fmt.Printf("devices used: %.0f iterations on CPU, %.0f on GPU\n", rep.CPUItems, rep.GPUItems)
+}

@@ -1,0 +1,120 @@
+// Tablet battery planning: run an image/signal pipeline (Mandelbrot
+// rendering + seismic wave propagation) on the Bay Trail-class tablet
+// under the total-energy metric, respect the 250 MB CPU-GPU shared
+// buffer limit, and estimate battery impact.
+//
+// On this platform the GPU draws *more* power than the CPU (the paper's
+// key Bay Trail observation), so blindly offloading is not free — the
+// runtime balances the GPU's speed against its power appetite.
+//
+// Run with: go run ./examples/tabletbattery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	eas "github.com/hetsched/eas"
+	"github.com/hetsched/eas/internal/workloads"
+)
+
+// batteryWh is a typical 8-inch tablet battery.
+const batteryWh = 18.0
+
+func main() {
+	p := eas.TabletPlatform()
+	model, err := eas.Characterize(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := eas.NewRuntime(p, eas.Config{Metric: eas.Energy, Model: model})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reserve the frame buffers in the CPU-GPU shared region; the
+	// tablet driver caps it at 250 MB, so oversized requests fail.
+	const w, h = 1024, 768
+	frame, err := rt.CreateBuffer("framebuffer", int64(w*h*4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer frame.Release()
+	if _, err := rt.CreateBuffer("too-big", 260<<20); err != nil {
+		fmt.Printf("driver rejected oversized buffer as expected:\n  %v\n\n", err)
+	}
+
+	totalJ := 0.0
+	totalS := 0.0
+
+	// Stage 1: fractal render (irregular per-pixel iteration counts).
+	mb, err := workloads.NewFunctionalMandelbrot(w, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mbKernel := eas.Kernel{
+		Name:         "render",
+		FLOPsPerItem: 600, MemOpsPerItem: 30, L3MissRatio: 0.4,
+		InstructionsPerItem: 400, Divergence: 0.5,
+	}
+	ex := &executor{rt: rt, kernel: mbKernel}
+	if err := mb.Run(ex); err != nil {
+		log.Fatal(err)
+	}
+	if err := mb.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	alpha, _ := rt.Alpha("render")
+	fmt.Printf("render   : %4d×%d fractal, α=%.2f, %.3f J in %.0f ms\n",
+		w, h, alpha, ex.energyJ, ex.seconds*1000)
+	totalJ += ex.energyJ
+	totalS += ex.seconds
+
+	// Stage 2: seismic wave propagation (regular, memory-bound frames).
+	sm, err := workloads.NewFunctionalSeismic(512, 384, 60, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smKernel := eas.Kernel{
+		Name:         "wave",
+		FLOPsPerItem: 40, MemOpsPerItem: 12, L3MissRatio: 0.35,
+		InstructionsPerItem: 50,
+	}
+	ex2 := &executor{rt: rt, kernel: smKernel}
+	if err := sm.Run(ex2); err != nil {
+		log.Fatal(err)
+	}
+	if err := sm.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	alpha2, _ := rt.Alpha("wave")
+	fmt.Printf("wave     : 60 frames of 512×384, α=%.2f, %.3f J in %.0f ms\n",
+		alpha2, ex2.energyJ, ex2.seconds*1000)
+	totalJ += ex2.energyJ
+	totalS += ex2.seconds
+
+	// Battery math.
+	batteryJ := batteryWh * 3600
+	fmt.Printf("\npipeline total: %.3f J over %.1f s (avg %.2f W)\n", totalJ, totalS, totalJ/totalS)
+	fmt.Printf("one run costs %.5f%% of a %.0f Wh battery — ≈%.0f runs per charge\n",
+		100*totalJ/batteryJ, batteryWh, batteryJ/totalJ)
+}
+
+type executor struct {
+	rt      *eas.Runtime
+	kernel  eas.Kernel
+	energyJ float64
+	seconds float64
+}
+
+func (e *executor) ParallelFor(n int, body func(i int)) error {
+	k := e.kernel
+	k.Body = body
+	rep, err := e.rt.ParallelFor(k, n)
+	if err != nil {
+		return err
+	}
+	e.energyJ += rep.EnergyJ
+	e.seconds += rep.Duration.Seconds()
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/hetsched/eas
+
+go 1.22

@@ -1,0 +1,125 @@
+package eas_test
+
+// Whole-stack integration: every Table 1 workload's functional
+// implementation executed through the public energy-aware runtime —
+// profiling, classification, partitioning, real computation on the
+// work-stealing pool and the GPU queue — with results verified.
+
+import (
+	"testing"
+
+	eas "github.com/hetsched/eas"
+	"github.com/hetsched/eas/internal/workloads"
+)
+
+// rtExecutor adapts the public Runtime to the functional workloads'
+// Executor interface.
+type rtExecutor struct {
+	t       *testing.T
+	rt      *eas.Runtime
+	kernel  eas.Kernel
+	energyJ float64
+	reports int
+}
+
+func (e *rtExecutor) ParallelFor(n int, body func(i int)) error {
+	k := e.kernel
+	k.Body = body
+	rep, err := e.rt.ParallelFor(k, n)
+	if err != nil {
+		return err
+	}
+	if rep.Duration <= 0 || rep.EnergyJ <= 0 {
+		e.t.Errorf("%s: empty measurements %+v", k.Name, rep)
+	}
+	e.energyJ += rep.EnergyJ
+	e.reports++
+	return nil
+}
+
+func TestFullSuiteThroughPublicAPI(t *testing.T) {
+	p := eas.DesktopPlatform()
+	model, err := eas.Characterize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		kernel eas.Kernel
+		build  func() (workloads.Functional, error)
+	}{
+		{
+			eas.Kernel{Name: "BH", FLOPsPerItem: 1500, MemOpsPerItem: 400, L3MissRatio: 0.45, InstructionsPerItem: 3000, Divergence: 0.65},
+			func() (workloads.Functional, error) { return workloads.NewFunctionalBarnesHut(400, 1) },
+		},
+		{
+			eas.Kernel{Name: "BFS", MemOpsPerItem: 12, L3MissRatio: 0.5, InstructionsPerItem: 60, Divergence: 0.85},
+			func() (workloads.Functional, error) { return workloads.NewFunctionalBFS(100, 80, 2) },
+		},
+		{
+			eas.Kernel{Name: "CC", MemOpsPerItem: 14, L3MissRatio: 0.55, InstructionsPerItem: 70, Divergence: 0.8},
+			func() (workloads.Functional, error) { return workloads.NewFunctionalCC(50, 50, 3) },
+		},
+		{
+			eas.Kernel{Name: "FD", FLOPsPerItem: 800, MemOpsPerItem: 60, L3MissRatio: 0.1, InstructionsPerItem: 700, Divergence: 1},
+			func() (workloads.Functional, error) { return workloads.NewFunctionalFaceDetect(200, 160, 2, 4) },
+		},
+		{
+			eas.Kernel{Name: "MB", FLOPsPerItem: 600, MemOpsPerItem: 30, L3MissRatio: 0.4, InstructionsPerItem: 400, Divergence: 0.5},
+			func() (workloads.Functional, error) { return workloads.NewFunctionalMandelbrot(160, 120) },
+		},
+		{
+			eas.Kernel{Name: "SL", MemOpsPerItem: 25, L3MissRatio: 0.7, InstructionsPerItem: 250, Divergence: 0.9},
+			func() (workloads.Functional, error) { return workloads.NewFunctionalSkipList(15000, 5) },
+		},
+		{
+			eas.Kernel{Name: "SP", FLOPsPerItem: 8, MemOpsPerItem: 16, L3MissRatio: 0.5, InstructionsPerItem: 90, Divergence: 0.85},
+			func() (workloads.Functional, error) { return workloads.NewFunctionalSSSP(60, 50, 6) },
+		},
+		{
+			eas.Kernel{Name: "BS", FLOPsPerItem: 250, MemOpsPerItem: 8, L3MissRatio: 0.05, InstructionsPerItem: 60},
+			func() (workloads.Functional, error) { return workloads.NewFunctionalBlackscholes(40000, 7) },
+		},
+		{
+			eas.Kernel{Name: "MM", FLOPsPerItem: 2 * 64 * 256, MemOpsPerItem: 2 * 64 * 16, L3MissRatio: 0.1, InstructionsPerItem: 64 * 64},
+			func() (workloads.Functional, error) { return workloads.NewFunctionalMatMul(64, 8) },
+		},
+		{
+			eas.Kernel{Name: "NB", FLOPsPerItem: 25 * 128, MemOpsPerItem: 4 * 128, L3MissRatio: 0.05, InstructionsPerItem: 4 * 128},
+			func() (workloads.Functional, error) { return workloads.NewFunctionalNBody(128, 2, 9) },
+		},
+		{
+			eas.Kernel{Name: "RT", FLOPsPerItem: 10540, MemOpsPerItem: 128, L3MissRatio: 0.05, InstructionsPerItem: 2635, Divergence: 0.15},
+			func() (workloads.Functional, error) { return workloads.NewFunctionalRayTracer(48, 48, 12, 10) },
+		},
+		{
+			eas.Kernel{Name: "SM", FLOPsPerItem: 40, MemOpsPerItem: 12, L3MissRatio: 0.35, InstructionsPerItem: 50},
+			func() (workloads.Functional, error) { return workloads.NewFunctionalSeismic(48, 48, 20, 11) },
+		},
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.kernel.Name, func(t *testing.T) {
+			p.Reset()
+			rt, err := eas.NewRuntime(p, eas.Config{Metric: eas.EDP, Model: model})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex := &rtExecutor{t: t, rt: rt, kernel: c.kernel}
+			if err := w.Run(ex); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := w.Verify(); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if ex.reports == 0 || ex.energyJ <= 0 {
+				t.Errorf("no energy accounted across %d rounds", ex.reports)
+			}
+		})
+	}
+}

@@ -1,0 +1,227 @@
+// Package cl is a miniature OpenCL-style runtime for the simulated
+// integrated GPU: contexts with shared CPU-GPU buffer accounting,
+// in-order command queues, NDRange kernel dispatch, and events.
+//
+// Go has no serviceable OpenCL bindings, so this package substitutes
+// for the vendor driver the paper's runtime sits on. Two things matter
+// for the reproduction and both are modeled faithfully:
+//
+//   - the driver-level shared-region limit (the paper's 32-bit tablet
+//     restricts CPU-GPU shared buffers to 250 MB, forcing smaller
+//     inputs — Table 1, column 4), enforced at buffer allocation; and
+//   - the control flow of kernel dispatch: the GPU proxy thread
+//     enqueues an NDRange and blocks on its event, exactly the
+//     structure the scheduling runtime drives.
+//
+// Functional execution of kernel bodies runs on host goroutines; the
+// *timing* of GPU execution is simulated separately by internal/engine.
+package cl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/hetsched/eas/internal/platform"
+)
+
+// Common errors.
+var (
+	ErrReleased     = errors.New("cl: object already released")
+	ErrOutOfMemory  = errors.New("cl: shared-region allocation failed")
+	ErrInvalidValue = errors.New("cl: invalid argument")
+)
+
+// Context owns shared CPU-GPU memory accounting for one platform.
+// It is safe for concurrent use.
+type Context struct {
+	platform *platform.Platform
+
+	mu        sync.Mutex
+	allocated int64
+	buffers   map[*Buffer]struct{}
+	released  bool
+}
+
+// NewContext creates a context on the given platform.
+func NewContext(p *platform.Platform) *Context {
+	if p == nil {
+		panic("cl: nil platform")
+	}
+	return &Context{platform: p, buffers: map[*Buffer]struct{}{}}
+}
+
+// Platform returns the context's platform.
+func (c *Context) Platform() *platform.Platform { return c.platform }
+
+// AllocatedBytes returns the current shared-region footprint.
+func (c *Context) AllocatedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.allocated
+}
+
+// CreateBuffer reserves bytes in the CPU-GPU shared region. It fails
+// with ErrOutOfMemory (wrapped with detail) when the platform's
+// shared-region limit would be exceeded.
+func (c *Context) CreateBuffer(name string, bytes int64) (*Buffer, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("%w: buffer %q size %d", ErrInvalidValue, name, bytes)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.released {
+		return nil, ErrReleased
+	}
+	if err := c.platform.CheckSharedAllocation(c.allocated + bytes); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrOutOfMemory, err)
+	}
+	b := &Buffer{ctx: c, name: name, bytes: bytes}
+	c.allocated += bytes
+	c.buffers[b] = struct{}{}
+	return b, nil
+}
+
+// Release frees all buffers and invalidates the context.
+func (c *Context) Release() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.allocated = 0
+	c.buffers = map[*Buffer]struct{}{}
+	c.released = true
+}
+
+// Buffer is a shared-region allocation. The actual data lives in the
+// application's Go slices (the platforms are shared-memory, so there is
+// no copy); the buffer tracks the footprint against the driver limit.
+type Buffer struct {
+	ctx   *Context
+	name  string
+	bytes int64
+
+	mu       sync.Mutex
+	released bool
+}
+
+// Name returns the buffer's debug name.
+func (b *Buffer) Name() string { return b.name }
+
+// Size returns the buffer's size in bytes.
+func (b *Buffer) Size() int64 { return b.bytes }
+
+// Release returns the buffer's bytes to the shared region. Releasing
+// twice is an error.
+func (b *Buffer) Release() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.released {
+		return fmt.Errorf("%w: buffer %q", ErrReleased, b.name)
+	}
+	b.released = true
+	b.ctx.mu.Lock()
+	defer b.ctx.mu.Unlock()
+	if _, ok := b.ctx.buffers[b]; ok {
+		delete(b.ctx.buffers, b)
+		b.ctx.allocated -= b.bytes
+	}
+	return nil
+}
+
+// Kernel is a compiled GPU kernel: a name plus the functional body
+// executed per work item. Body may be nil for simulation-only runs
+// (timing without functional results).
+type Kernel struct {
+	Name string
+	Body func(gid int)
+}
+
+// EventStatus is the lifecycle state of an enqueued command.
+type EventStatus int32
+
+// Event lifecycle states, in execution order.
+const (
+	Queued EventStatus = iota
+	Running
+	Complete
+)
+
+// Event tracks an enqueued NDRange.
+type Event struct {
+	done   chan struct{}
+	status EventStatus
+	mu     sync.Mutex
+	items  int
+}
+
+// Wait blocks until the command completes.
+func (e *Event) Wait() { <-e.done }
+
+// Status returns the command's current state.
+func (e *Event) Status() EventStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.status
+}
+
+// Items returns the NDRange size the event covers.
+func (e *Event) Items() int { return e.items }
+
+func (e *Event) setStatus(s EventStatus) {
+	e.mu.Lock()
+	e.status = s
+	e.mu.Unlock()
+}
+
+// CommandQueue executes NDRanges in order, asynchronously with respect
+// to the enqueuing thread — the GPU proxy thread enqueues and then
+// waits on the returned event, as in the paper's runtime.
+type CommandQueue struct {
+	ctx *Context
+
+	mu   sync.Mutex
+	tail chan struct{} // completion of the most recently enqueued command
+}
+
+// NewCommandQueue creates an in-order queue on the context.
+func NewCommandQueue(ctx *Context) *CommandQueue {
+	if ctx == nil {
+		panic("cl: nil context")
+	}
+	closed := make(chan struct{})
+	close(closed)
+	return &CommandQueue{ctx: ctx, tail: closed}
+}
+
+// EnqueueNDRange schedules kernel k over global work items
+// [offset, offset+global). It returns immediately with an event.
+func (q *CommandQueue) EnqueueNDRange(k Kernel, offset, global int) (*Event, error) {
+	if global <= 0 || offset < 0 {
+		return nil, fmt.Errorf("%w: NDRange offset=%d global=%d", ErrInvalidValue, offset, global)
+	}
+	ev := &Event{done: make(chan struct{}), items: global}
+	q.mu.Lock()
+	prev := q.tail
+	q.tail = ev.done
+	q.mu.Unlock()
+
+	go func() {
+		<-prev // in-order execution
+		ev.setStatus(Running)
+		if k.Body != nil {
+			for gid := offset; gid < offset+global; gid++ {
+				k.Body(gid)
+			}
+		}
+		ev.setStatus(Complete)
+		close(ev.done)
+	}()
+	return ev, nil
+}
+
+// Finish blocks until every enqueued command has completed.
+func (q *CommandQueue) Finish() {
+	q.mu.Lock()
+	tail := q.tail
+	q.mu.Unlock()
+	<-tail
+}

@@ -1,0 +1,172 @@
+package cl
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/hetsched/eas/internal/platform"
+)
+
+func TestBufferAccounting(t *testing.T) {
+	ctx := NewContext(platform.Desktop())
+	b1, err := ctx.CreateBuffer("a", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ctx.CreateBuffer("b", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.AllocatedBytes(); got != 1500 {
+		t.Errorf("allocated = %d, want 1500", got)
+	}
+	if err := b1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.AllocatedBytes(); got != 500 {
+		t.Errorf("after release allocated = %d, want 500", got)
+	}
+	if err := b1.Release(); !errors.Is(err, ErrReleased) {
+		t.Errorf("double release err = %v, want ErrReleased", err)
+	}
+	if b2.Name() != "b" || b2.Size() != 500 {
+		t.Errorf("buffer metadata wrong: %q %d", b2.Name(), b2.Size())
+	}
+}
+
+func TestTabletSharedRegionLimit(t *testing.T) {
+	ctx := NewContext(platform.Tablet())
+	// 200 MB fits.
+	b, err := ctx.CreateBuffer("big", 200<<20)
+	if err != nil {
+		t.Fatalf("200MB should fit under the 250MB limit: %v", err)
+	}
+	// Another 100 MB exceeds the 250 MB driver limit.
+	if _, err := ctx.CreateBuffer("overflow", 100<<20); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("overflow err = %v, want ErrOutOfMemory", err)
+	}
+	// Releasing makes room again.
+	if err := b.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.CreateBuffer("retry", 100<<20); err != nil {
+		t.Errorf("allocation after release failed: %v", err)
+	}
+}
+
+func TestCreateBufferValidation(t *testing.T) {
+	ctx := NewContext(platform.Desktop())
+	if _, err := ctx.CreateBuffer("zero", 0); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("zero-size err = %v", err)
+	}
+	ctx.Release()
+	if _, err := ctx.CreateBuffer("late", 10); !errors.Is(err, ErrReleased) {
+		t.Errorf("released-context err = %v", err)
+	}
+}
+
+func TestNDRangeExecutesBody(t *testing.T) {
+	ctx := NewContext(platform.Desktop())
+	q := NewCommandQueue(ctx)
+	out := make([]int32, 100)
+	k := Kernel{Name: "square", Body: func(gid int) {
+		atomic.StoreInt32(&out[gid], int32(gid*gid))
+	}}
+	ev, err := q.EnqueueNDRange(k, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Wait()
+	if ev.Status() != Complete {
+		t.Errorf("status = %v, want Complete", ev.Status())
+	}
+	if ev.Items() != 100 {
+		t.Errorf("Items = %d, want 100", ev.Items())
+	}
+	for i, v := range out {
+		if v != int32(i*i) {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestNDRangeOffset(t *testing.T) {
+	ctx := NewContext(platform.Desktop())
+	q := NewCommandQueue(ctx)
+	var lo, hi atomic.Int64
+	lo.Store(1 << 30)
+	k := Kernel{Body: func(gid int) {
+		for {
+			cur := lo.Load()
+			if int64(gid) >= cur || lo.CompareAndSwap(cur, int64(gid)) {
+				break
+			}
+		}
+		for {
+			cur := hi.Load()
+			if int64(gid) <= cur || hi.CompareAndSwap(cur, int64(gid)) {
+				break
+			}
+		}
+	}}
+	ev, err := q.EnqueueNDRange(k, 50, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Wait()
+	if lo.Load() != 50 || hi.Load() != 74 {
+		t.Errorf("gid range = [%d,%d], want [50,74]", lo.Load(), hi.Load())
+	}
+}
+
+func TestInOrderExecution(t *testing.T) {
+	ctx := NewContext(platform.Desktop())
+	q := NewCommandQueue(ctx)
+	var order []int
+	var mu atomic.Int32
+	for i := 0; i < 5; i++ {
+		i := i
+		_, err := q.EnqueueNDRange(Kernel{Body: func(gid int) {
+			if gid == 0 {
+				for !mu.CompareAndSwap(0, 1) {
+				}
+				order = append(order, i)
+				mu.Store(0)
+			}
+		}}, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Finish()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order %v not in-order", order)
+		}
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	q := NewCommandQueue(NewContext(platform.Desktop()))
+	if _, err := q.EnqueueNDRange(Kernel{}, 0, 0); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("zero global err = %v", err)
+	}
+	if _, err := q.EnqueueNDRange(Kernel{}, -1, 10); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("negative offset err = %v", err)
+	}
+}
+
+func TestNilBodySimulationOnly(t *testing.T) {
+	q := NewCommandQueue(NewContext(platform.Desktop()))
+	ev, err := q.EnqueueNDRange(Kernel{Name: "sim-only"}, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Wait() // must complete without panicking
+}
+
+func TestFinishOnFreshQueue(t *testing.T) {
+	q := NewCommandQueue(NewContext(platform.Desktop()))
+	q.Finish() // must not block
+}

@@ -1,0 +1,78 @@
+package cl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Program is a compiled bundle of named kernels — the artifact the
+// Concord compiler hands the runtime in the paper's Figure 8 (its
+// OpenCL code generation step produces one program per translation
+// unit, with one kernel per parallel_for).
+type Program struct {
+	ctx *Context
+
+	mu      sync.Mutex
+	kernels map[string]Kernel
+	built   bool
+}
+
+// CreateProgram registers kernel bodies under their names, mirroring
+// clCreateProgramWithSource + clBuildProgram. Names must be unique and
+// non-empty.
+func CreateProgram(ctx *Context, kernels ...Kernel) (*Program, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("%w: nil context", ErrInvalidValue)
+	}
+	p := &Program{ctx: ctx, kernels: map[string]Kernel{}}
+	for _, k := range kernels {
+		if k.Name == "" {
+			return nil, fmt.Errorf("%w: kernel with empty name", ErrInvalidValue)
+		}
+		if _, dup := p.kernels[k.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate kernel %q", ErrInvalidValue, k.Name)
+		}
+		p.kernels[k.Name] = k
+	}
+	return p, nil
+}
+
+// Build finalizes the program. Building twice is an error, as in the
+// OpenCL single-build-per-program discipline we model.
+func (p *Program) Build() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.built {
+		return fmt.Errorf("%w: program already built", ErrInvalidValue)
+	}
+	p.built = true
+	return nil
+}
+
+// Kernel looks up a built kernel by name (clCreateKernel).
+func (p *Program) Kernel(name string) (Kernel, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.built {
+		return Kernel{}, fmt.Errorf("%w: program not built", ErrInvalidValue)
+	}
+	k, ok := p.kernels[name]
+	if !ok {
+		return Kernel{}, fmt.Errorf("%w: no kernel %q in program", ErrInvalidValue, name)
+	}
+	return k, nil
+}
+
+// KernelNames lists the program's kernels in sorted order
+// (clCreateKernelsInProgram).
+func (p *Program) KernelNames() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.kernels))
+	for name := range p.kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

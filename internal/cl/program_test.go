@@ -1,0 +1,65 @@
+package cl
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/hetsched/eas/internal/platform"
+)
+
+func TestProgramLifecycle(t *testing.T) {
+	ctx := NewContext(platform.Desktop())
+	var ran atomic.Int32
+	p, err := CreateProgram(ctx,
+		Kernel{Name: "scale", Body: func(gid int) { ran.Add(1) }},
+		Kernel{Name: "reduce", Body: func(gid int) {}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lookup before build fails.
+	if _, err := p.Kernel("scale"); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("pre-build lookup err = %v", err)
+	}
+	if err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Build(); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("double build err = %v", err)
+	}
+	names := p.KernelNames()
+	if len(names) != 2 || names[0] != "reduce" || names[1] != "scale" {
+		t.Errorf("KernelNames = %v", names)
+	}
+	k, err := p.Kernel("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The looked-up kernel dispatches through a queue as usual.
+	q := NewCommandQueue(ctx)
+	ev, err := q.EnqueueNDRange(k, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Wait()
+	if ran.Load() != 64 {
+		t.Errorf("kernel ran %d times, want 64", ran.Load())
+	}
+	if _, err := p.Kernel("missing"); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("missing kernel err = %v", err)
+	}
+}
+
+func TestCreateProgramValidation(t *testing.T) {
+	ctx := NewContext(platform.Desktop())
+	if _, err := CreateProgram(nil); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("nil context err = %v", err)
+	}
+	if _, err := CreateProgram(ctx, Kernel{Name: ""}); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("empty name err = %v", err)
+	}
+	if _, err := CreateProgram(ctx, Kernel{Name: "a"}, Kernel{Name: "a"}); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("duplicate err = %v", err)
+	}
+}

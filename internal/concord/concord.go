@@ -1,0 +1,266 @@
+// Package concord is a miniature kernel-construction front end in the
+// spirit of the Concord C++ framework the paper builds on (Barik et
+// al., CGO 2014). In the paper, Concord's compiler turns a C++
+// parallel_for lambda into both CPU code and an OpenCL kernel, and in
+// the process knows the kernel's operation mix. Here, the programmer
+// (or a code generator) describes the kernel's per-iteration operations
+// through a Builder; the package derives the cost profile the
+// energy-aware runtime needs — FLOPs, load/store counts, expected cache
+// behaviour, SIMD divergence, instruction count — and carries the
+// functional Go body alongside, keeping the two definitions in one
+// place.
+package concord
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hetsched/eas/internal/device"
+)
+
+// AccessPattern describes how a memory operation walks memory, which
+// determines its last-level-cache miss probability.
+type AccessPattern int
+
+// Access patterns, from friendliest to hostile.
+const (
+	// Sequential accesses stream through memory; hardware prefetchers
+	// hide almost all misses.
+	Sequential AccessPattern = iota
+	// Strided accesses defeat some prefetching.
+	Strided
+	// Random accesses (hash tables, graph edges) mostly miss.
+	Random
+)
+
+// missProb returns the expected L3 miss probability of a pattern.
+func (p AccessPattern) missProb() float64 {
+	switch p {
+	case Sequential:
+		return 0.05
+	case Strided:
+		return 0.3
+	case Random:
+		return 0.75
+	default:
+		return 0.5
+	}
+}
+
+// String implements fmt.Stringer.
+func (p AccessPattern) String() string {
+	switch p {
+	case Sequential:
+		return "sequential"
+	case Strided:
+		return "strided"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("AccessPattern(%d)", int(p))
+}
+
+// op is one operation class with a repeat count.
+type op struct {
+	kind    opKind
+	count   float64
+	pattern AccessPattern
+	prob    float64 // branch probability for branches
+}
+
+type opKind int
+
+const (
+	opFMA opKind = iota
+	opFLOP
+	opLoad
+	opStore
+	opInt
+	opBranch
+)
+
+// Builder accumulates a kernel's per-iteration operation mix. The zero
+// value is not usable; construct with NewBuilder. Builders are not safe
+// for concurrent use.
+type Builder struct {
+	name       string
+	ops        []op
+	workingSet int64
+	err        error
+}
+
+// NewBuilder starts a kernel description.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+func (b *Builder) add(o op) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if o.count < 0 {
+		b.err = fmt.Errorf("concord: kernel %q: negative operation count %v", b.name, o.count)
+		return b
+	}
+	b.ops = append(b.ops, o)
+	return b
+}
+
+// FMA records n fused multiply-adds per iteration (2 FLOPs each).
+func (b *Builder) FMA(n float64) *Builder { return b.add(op{kind: opFMA, count: n}) }
+
+// FLOP records n plain floating-point operations per iteration.
+func (b *Builder) FLOP(n float64) *Builder { return b.add(op{kind: opFLOP, count: n}) }
+
+// Load records n memory loads per iteration with the given pattern.
+func (b *Builder) Load(n float64, p AccessPattern) *Builder {
+	return b.add(op{kind: opLoad, count: n, pattern: p})
+}
+
+// Store records n memory stores per iteration with the given pattern.
+func (b *Builder) Store(n float64, p AccessPattern) *Builder {
+	return b.add(op{kind: opStore, count: n, pattern: p})
+}
+
+// Int records n integer/address operations per iteration.
+func (b *Builder) Int(n float64) *Builder { return b.add(op{kind: opInt, count: n}) }
+
+// Branch records n data-dependent branches per iteration, each taken
+// with probability p. Data-dependent branches are what serializes GPU
+// SIMD lanes: divergence is maximal at p = 0.5.
+func (b *Builder) Branch(n, p float64) *Builder {
+	if p < 0 || p > 1 {
+		b.err = fmt.Errorf("concord: kernel %q: branch probability %v outside [0,1]", b.name, p)
+		return b
+	}
+	return b.add(op{kind: opBranch, count: n, prob: p})
+}
+
+// WorkingSet declares the kernel's total live data footprint in bytes.
+// When set, CostFor scales the access patterns' miss probabilities by
+// how the footprint compares to a platform's last-level cache: a
+// cache-resident working set rarely misses regardless of pattern, while
+// one far larger than the LLC misses at the pattern's full rate. Zero
+// (the default) keeps the raw pattern probabilities.
+func (b *Builder) WorkingSet(bytes int64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if bytes < 0 {
+		b.err = fmt.Errorf("concord: kernel %q: negative working set %d", b.name, bytes)
+		return b
+	}
+	b.workingSet = bytes
+	return b
+}
+
+// CacheFitFactor returns the multiplier applied to pattern miss
+// probabilities for a working set of ws bytes against an LLC of llc
+// bytes: 0.1 when fully cache-resident (ws ≤ llc/4), 1.0 when the
+// working set dwarfs the cache (ws ≥ 8·llc), log-interpolated between.
+func CacheFitFactor(ws, llc int64) float64 {
+	if ws <= 0 || llc <= 0 {
+		return 1
+	}
+	ratio := float64(ws) / float64(llc)
+	const lo, hi = 0.25, 8.0
+	switch {
+	case ratio <= lo:
+		return 0.1
+	case ratio >= hi:
+		return 1
+	}
+	// Log-space interpolation between (lo, 0.1) and (hi, 1.0).
+	t := (logf(ratio) - logf(lo)) / (logf(hi) - logf(lo))
+	return 0.1 + 0.9*t
+}
+
+func logf(x float64) float64 {
+	// Natural log via math.Log; wrapped for clarity at call sites.
+	return math.Log(x)
+}
+
+// CostFor derives the cost profile for a specific platform: identical
+// to Cost but with miss probabilities scaled by the working set's fit
+// in the platform's last-level cache. The same kernel can therefore be
+// memory-bound on the tablet's 2 MB LLC and compute-bound on the
+// desktop's 8 MB — which is physical reality, and why the paper
+// classifies per platform at run time.
+func (b *Builder) CostFor(llcBytes int64) (device.CostProfile, error) {
+	c, err := b.Cost()
+	if err != nil {
+		return device.CostProfile{}, err
+	}
+	if b.workingSet > 0 {
+		c.L3MissRatio *= CacheFitFactor(b.workingSet, llcBytes)
+	}
+	return c, nil
+}
+
+// Cost derives the device cost profile from the recorded operations.
+func (b *Builder) Cost() (device.CostProfile, error) {
+	if b.err != nil {
+		return device.CostProfile{}, b.err
+	}
+	var c device.CostProfile
+	var trafficWeighted float64 // Σ count×missProb, to average the miss ratio
+	var divergenceAccum float64
+	for _, o := range b.ops {
+		switch o.kind {
+		case opFMA:
+			c.FLOPs += 2 * o.count
+			c.Instructions += o.count
+		case opFLOP:
+			c.FLOPs += o.count
+			c.Instructions += o.count
+		case opLoad, opStore:
+			c.MemOps += o.count
+			c.Instructions += o.count
+			trafficWeighted += o.count * o.pattern.missProb()
+		case opInt:
+			c.Instructions += o.count
+		case opBranch:
+			c.Instructions += o.count
+			// A branch taken with probability p splits a SIMD warp
+			// with entropy-like weight 4p(1-p): maximal at p=0.5.
+			divergenceAccum += o.count * 4 * o.prob * (1 - o.prob)
+		}
+	}
+	if c.MemOps > 0 {
+		c.L3MissRatio = trafficWeighted / c.MemOps
+	}
+	if c.Instructions > 0 {
+		// Saturating divergence: a handful of divergent branches per
+		// hundred instructions already serializes the warp.
+		d := divergenceAccum / (1 + divergenceAccum/1.2)
+		if d > 1 {
+			d = 1
+		}
+		c.Divergence = d
+	}
+	if err := c.Validate(); err != nil {
+		return device.CostProfile{}, fmt.Errorf("concord: kernel %q derives invalid cost: %w", b.name, err)
+	}
+	return c, nil
+}
+
+// Name returns the kernel name.
+func (b *Builder) Name() string { return b.name }
+
+// Kernel finalizes the description into a name, cost profile and
+// functional body (body may be nil for simulation-only kernels).
+func (b *Builder) Kernel(body func(i int)) (Kernel, error) {
+	cost, err := b.Cost()
+	if err != nil {
+		return Kernel{}, err
+	}
+	return Kernel{Name: b.name, Cost: cost, Body: body}, nil
+}
+
+// Kernel is a finalized Concord kernel: the derived cost model plus the
+// functional body.
+type Kernel struct {
+	Name string
+	Cost device.CostProfile
+	Body func(i int)
+}

@@ -1,0 +1,210 @@
+package concord
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+func TestSaxpyCost(t *testing.T) {
+	// y[i] = a*x[i] + y[i]: two sequential loads, one FMA, one store.
+	b := NewBuilder("saxpy").Load(2, Sequential).FMA(1).Store(1, Sequential).Int(2)
+	cost, err := b.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.FLOPs != 2 {
+		t.Errorf("FLOPs = %v, want 2", cost.FLOPs)
+	}
+	if cost.MemOps != 3 {
+		t.Errorf("MemOps = %v, want 3", cost.MemOps)
+	}
+	if cost.Instructions != 6 {
+		t.Errorf("Instructions = %v, want 6", cost.Instructions)
+	}
+	if math.Abs(cost.L3MissRatio-0.05) > 1e-9 {
+		t.Errorf("miss ratio = %v, want 0.05 (all sequential)", cost.L3MissRatio)
+	}
+	if cost.Divergence != 0 {
+		t.Errorf("divergence = %v, want 0 (no branches)", cost.Divergence)
+	}
+}
+
+func TestGraphKernelIsMemoryBound(t *testing.T) {
+	// A BFS-ish kernel: random neighbor loads, divergent visit check.
+	b := NewBuilder("bfs").
+		Load(8, Random).
+		Store(2, Random).
+		Int(30).
+		Branch(6, 0.5)
+	cost, err := b.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.MemoryIntensity() <= wclass.MemoryBoundThreshold {
+		t.Errorf("graph kernel intensity %v should classify memory-bound", cost.MemoryIntensity())
+	}
+	if cost.Divergence < 0.5 {
+		t.Errorf("divergent kernel got divergence %v, want ≥0.5", cost.Divergence)
+	}
+}
+
+func TestMixedAccessPatternsAverage(t *testing.T) {
+	b := NewBuilder("mixed").Load(1, Sequential).Load(1, Random).FLOP(1)
+	cost, err := b.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.05 + 0.75) / 2
+	if math.Abs(cost.L3MissRatio-want) > 1e-9 {
+		t.Errorf("mixed miss ratio = %v, want %v", cost.L3MissRatio, want)
+	}
+}
+
+func TestBranchDivergencePeaksAtHalf(t *testing.T) {
+	div := func(p float64) float64 {
+		b := NewBuilder("b").Int(10).Branch(4, p)
+		cost, err := b.Cost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cost.Divergence
+	}
+	if div(0) != 0 || div(1) != 0 {
+		t.Error("always/never-taken branches should not diverge")
+	}
+	if div(0.5) <= div(0.1) {
+		t.Errorf("divergence at p=0.5 (%v) should exceed p=0.1 (%v)", div(0.5), div(0.1))
+	}
+}
+
+func TestDivergenceSaturates(t *testing.T) {
+	b := NewBuilder("wild").Int(10).Branch(1000, 0.5)
+	cost, err := b.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Divergence > 1 {
+		t.Errorf("divergence %v exceeds 1", cost.Divergence)
+	}
+	if cost.Divergence < 0.9 {
+		t.Errorf("heavily branchy kernel divergence %v, want ≈1", cost.Divergence)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("neg").FMA(-1).Cost(); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := NewBuilder("badp").Branch(1, 1.5).Cost(); err == nil {
+		t.Error("bad branch probability accepted")
+	}
+	// Error sticks: later valid calls don't clear it.
+	b := NewBuilder("sticky").FMA(-1).FMA(5)
+	if _, err := b.Cost(); err == nil {
+		t.Error("builder error should stick")
+	}
+	// Empty kernel has no work.
+	if _, err := NewBuilder("empty").Cost(); err == nil {
+		t.Error("empty kernel accepted")
+	}
+	if _, err := NewBuilder("empty").Kernel(nil); err == nil {
+		t.Error("Kernel should propagate cost errors")
+	}
+}
+
+func TestKernelCarriesBody(t *testing.T) {
+	ran := false
+	k, err := NewBuilder("k").FLOP(1).Kernel(func(i int) { ran = i == 7 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "k" {
+		t.Errorf("name = %q", k.Name)
+	}
+	k.Body(7)
+	if !ran {
+		t.Error("body not attached")
+	}
+}
+
+func TestAccessPatternStrings(t *testing.T) {
+	if Sequential.String() != "sequential" || Random.String() != "random" || Strided.String() != "strided" {
+		t.Error("pattern names wrong")
+	}
+	if !strings.Contains(AccessPattern(9).String(), "9") {
+		t.Error("unknown pattern should show its value")
+	}
+}
+
+// Property: derived profiles are always valid and monotone — adding
+// operations never decreases any cost component.
+func TestCostMonotoneProperty(t *testing.T) {
+	f := func(fma, load, branch uint8) bool {
+		b1 := NewBuilder("p").FMA(float64(fma)).Load(float64(load), Random).Branch(float64(branch), 0.5).Int(1)
+		c1, err := b1.Cost()
+		if err != nil {
+			return false
+		}
+		b2 := NewBuilder("p").FMA(float64(fma)+1).Load(float64(load)+1, Random).Branch(float64(branch), 0.5).Int(1)
+		c2, err := b2.Cost()
+		if err != nil {
+			return false
+		}
+		return c2.FLOPs >= c1.FLOPs && c2.MemOps >= c1.MemOps && c2.Instructions >= c1.Instructions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetCacheFit(t *testing.T) {
+	const llc = 8 << 20
+	if got := CacheFitFactor(1<<20, llc); got != 0.1 {
+		t.Errorf("cache-resident factor = %v, want 0.1", got)
+	}
+	if got := CacheFitFactor(llc*16, llc); got != 1 {
+		t.Errorf("huge working set factor = %v, want 1", got)
+	}
+	mid := CacheFitFactor(llc, llc)
+	if mid <= 0.1 || mid >= 1 {
+		t.Errorf("mid factor = %v, want interior", mid)
+	}
+	// Monotone in working-set size.
+	if CacheFitFactor(llc*2, llc) <= mid {
+		t.Error("factor should grow with working set")
+	}
+	if got := CacheFitFactor(0, llc); got != 1 {
+		t.Errorf("unset working set factor = %v, want 1 (no scaling)", got)
+	}
+}
+
+func TestCostForPlatformLLC(t *testing.T) {
+	// 4 MB working set: cache-friendly on an 8 MB desktop LLC, hostile
+	// on a 2 MB tablet LLC — the same kernel classifies differently.
+	b := NewBuilder("stencil").Load(10, Random).FLOP(5).WorkingSet(4 << 20)
+	desk, err := b.CostFor(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := b.CostFor(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desk.L3MissRatio >= tab.L3MissRatio {
+		t.Errorf("desktop miss ratio %v should be below tablet %v", desk.L3MissRatio, tab.L3MissRatio)
+	}
+	// Without a working set, CostFor matches Cost.
+	b2 := NewBuilder("plain").Load(10, Random).FLOP(5)
+	c1, _ := b2.Cost()
+	c2, _ := b2.CostFor(8 << 20)
+	if c1.L3MissRatio != c2.L3MissRatio {
+		t.Error("CostFor should not scale without a working set")
+	}
+	if _, err := NewBuilder("neg").FLOP(1).WorkingSet(-1).CostFor(1); err == nil {
+		t.Error("negative working set accepted")
+	}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/profile"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// Options tune the EAS scheduler. Zero values select the paper's
+// settings.
+type Options struct {
+	// AlphaStep is the α grid granularity (paper: 0.1).
+	AlphaStep float64
+	// ProfileShare is the fraction of the first invocation's
+	// iterations consumed by repeated profiling steps (paper: 0.5 —
+	// "repeat profiling for half of the iterations").
+	ProfileShare float64
+	// ReprofileEvery re-runs profiling on every k-th subsequent
+	// invocation of a known kernel, for workloads whose behaviour
+	// drifts over time. 0 disables re-profiling (Fig. 7's default).
+	ReprofileEvery int
+	// GrowProfileChunk doubles the GPU profiling chunk between
+	// repeated steps ([12]'s size-based strategy); when false every
+	// step uses GPU_PROFILE_SIZE.
+	GrowProfileChunk bool
+	// ConvergeTol stops repeated profiling early once two consecutive
+	// steps agree on both throughputs within the given relative
+	// tolerance (but never before the second step). This keeps the
+	// hybrid-power profiling exposure small for long kernels whose
+	// behaviour is stable. Zero disables early stopping (the paper's
+	// literal repeat-until-half rule); negative also disables.
+	ConvergeTol float64
+	// MaxProfileSteps caps the repeated profiling loop; 0 is unlimited
+	// (bounded by ProfileShare). 1 gives the naive single-probe
+	// strategy of Kaleem et al. [12], which the paper's size-based
+	// strategy improves on.
+	MaxProfileSteps int
+	// ShortLongThreshold overrides the 100 ms short/long classification
+	// cut (0 keeps the paper's value). The paper notes the threshold
+	// should ideally derive from the PCU's sampling frequency and
+	// leaves tuning to future work; see report.AblationThresholds.
+	ShortLongThreshold time.Duration
+	// MemoryBoundThreshold overrides the 0.33 miss-per-load/store cut
+	// (0 keeps the paper's value).
+	MemoryBoundThreshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.AlphaStep <= 0 {
+		o.AlphaStep = 0.1
+	}
+	if o.ProfileShare <= 0 || o.ProfileShare > 1 {
+		o.ProfileShare = 0.5
+	}
+	if o.ShortLongThreshold <= 0 {
+		o.ShortLongThreshold = wclass.ShortLongThreshold
+	}
+	if o.MemoryBoundThreshold <= 0 {
+		o.MemoryBoundThreshold = wclass.MemoryBoundThreshold
+	}
+	return o
+}
+
+// record is one entry of the global table G: the per-kernel state the
+// runtime remembers across invocations. Only profiled executions feed
+// the accumulated α — the small-N CPU-alone fallback must not drag a
+// kernel's ratio toward zero, or ramped workloads (BFS frontiers that
+// start tiny) would never use the GPU at all.
+type record struct {
+	alpha       float64 // sample-weighted accumulated offload ratio
+	weight      float64 // total items behind alpha
+	category    wclass.Category
+	invocations int
+	profiled    bool
+}
+
+// Report describes one ParallelFor invocation as executed by EAS.
+type Report struct {
+	// Alpha is the GPU offload ratio used for the post-profiling
+	// remainder of the invocation.
+	Alpha float64
+	// Profiled is true when this invocation ran online profiling.
+	Profiled bool
+	// ProfileSteps counts the repeated profiling steps.
+	ProfileSteps int
+	// Category is the workload class used to pick the power curve
+	// (meaningful only when Profiled).
+	Category wclass.Category
+	// GPUBusyFallback is true when the invocation ran CPU-only because
+	// another application owned the GPU.
+	GPUBusyFallback bool
+	// Duration and EnergyJ are the invocation's simulated totals.
+	Duration time.Duration
+	EnergyJ  float64
+	// CPUItems and GPUItems are the items each device processed.
+	CPUItems, GPUItems float64
+	// PredictedPower and PredictedTime are the model's estimates at
+	// the chosen α for the remainder (diagnostics; zero if unprofiled).
+	PredictedPower, PredictedTime float64
+}
+
+// MetricValue evaluates a metric over the invocation's measurements.
+func (r Report) MetricValue(m metrics.Metric) float64 {
+	return m.EvalEnergy(r.EnergyJ, r.Duration.Seconds())
+}
+
+// Scheduler is the energy-aware scheduling runtime. It drives one
+// engine/platform; it is not safe for concurrent use.
+type Scheduler struct {
+	eng    *engine.Engine
+	model  *powerchar.Model
+	metric metrics.Metric
+	opts   Options
+	table  map[string]*record // the paper's global table G
+}
+
+// New builds an EAS scheduler over an engine, a platform power
+// characterization, and the energy metric to optimize.
+func New(eng *engine.Engine, model *powerchar.Model, metric metrics.Metric, opts Options) (*Scheduler, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("core: nil engine")
+	}
+	if model == nil || !model.Complete() {
+		return nil, fmt.Errorf("core: power characterization model missing or incomplete")
+	}
+	if !metric.Valid() {
+		return nil, fmt.Errorf("core: invalid metric")
+	}
+	return &Scheduler{
+		eng:    eng,
+		model:  model,
+		metric: metric,
+		opts:   opts.withDefaults(),
+		table:  map[string]*record{},
+	}, nil
+}
+
+// Metric returns the objective the scheduler optimizes.
+func (s *Scheduler) Metric() metrics.Metric { return s.metric }
+
+// Alpha returns the accumulated offload ratio remembered for a kernel,
+// with ok=false for never-seen kernels.
+func (s *Scheduler) Alpha(kernelName string) (float64, bool) {
+	rec, ok := s.table[kernelName]
+	if !ok {
+		return 0, false
+	}
+	return rec.alpha, true
+}
+
+// ParallelFor executes n parallel iterations of kernel k with
+// energy-aware CPU-GPU partitioning — the EAS algorithm of Fig. 7.
+func (s *Scheduler) ParallelFor(k engine.Kernel, n int) (Report, error) {
+	if n <= 0 {
+		return Report{}, fmt.Errorf("core: non-positive iteration count %d for kernel %q", n, k.Name)
+	}
+
+	// GPU owned by another application (the A26 check): CPU-only run,
+	// nothing recorded.
+	if s.eng.Platform().GPUBusy() {
+		res, err := s.eng.Run(engine.Phase{Kernel: k, PoolItems: float64(n)})
+		if err != nil {
+			return Report{}, err
+		}
+		return reportFromResult(res, Report{GPUBusyFallback: true}), nil
+	}
+
+	profileSize := float64(s.eng.Platform().GPUProfileSize())
+	rec, ok := s.table[k.Name]
+	known := ok && rec.profiled
+
+	// Too little parallelism to fill the GPU: multi-core CPU alone
+	// (Fig. 7 steps 6-10). The run is not recorded: a tiny frontier
+	// says nothing about how larger invocations should split.
+	if float64(n) < profileSize {
+		res, err := s.eng.Run(engine.Phase{Kernel: k, PoolItems: float64(n)})
+		if err != nil {
+			return Report{}, err
+		}
+		return reportFromResult(res, Report{}), nil
+	}
+
+	rep := Report{}
+	nrem := float64(n)
+	var alpha float64
+	needProfile := !known ||
+		(s.opts.ReprofileEvery > 0 && rec.invocations%s.opts.ReprofileEvery == 0)
+
+	if known && !needProfile {
+		// Fig. 7 steps 2-4: reuse the accumulated α.
+		alpha = rec.alpha
+		rep.Category = rec.category
+	} else {
+		// Fig. 7 steps 11-22: repeated online profiling over the first
+		// half of the iterations.
+		var acc, prev profile.Observation
+		chunk := profileSize
+		stopAt := float64(n) * (1 - s.opts.ProfileShare)
+		for nrem > stopAt && nrem > 0 {
+			gpuChunk := chunk
+			if gpuChunk > nrem {
+				gpuChunk = nrem
+			}
+			obs, remaining, err := profile.Step(s.eng, k, gpuChunk, nrem-gpuChunk)
+			if err != nil {
+				return Report{}, err
+			}
+			rep.ProfileSteps++
+			if rep.ProfileSteps == 1 {
+				acc = obs
+			} else {
+				acc = profile.Merge(acc, obs)
+			}
+			rep.Duration += obs.Duration
+			rep.EnergyJ += obs.EnergyJ
+			rep.CPUItems += obs.CPUItems
+			rep.GPUItems += obs.GPUItems
+			nrem = remaining
+			if s.opts.MaxProfileSteps > 0 && rep.ProfileSteps >= s.opts.MaxProfileSteps {
+				break
+			}
+			if s.opts.ConvergeTol > 0 && rep.ProfileSteps >= 2 &&
+				within(obs.RC, prev.RC, s.opts.ConvergeTol) &&
+				within(obs.RG, prev.RG, s.opts.ConvergeTol) {
+				break
+			}
+			prev = obs
+			if s.opts.GrowProfileChunk {
+				chunk *= 2
+			}
+		}
+		rep.Profiled = true
+		rep.Category = acc.ClassifyWith(nrem, s.opts.ShortLongThreshold, s.opts.MemoryBoundThreshold)
+		curve, ok := s.model.Curve(rep.Category)
+		if !ok {
+			return Report{}, fmt.Errorf("core: characterization has no curve for %s", rep.Category)
+		}
+		tm := TimeModel{RC: acc.RC, RG: acc.RG}
+		if !tm.Valid() {
+			return Report{}, fmt.Errorf("core: profiling produced no usable throughputs for kernel %q", k.Name)
+		}
+		// Search over at least half an invocation's work: profiling may
+		// have consumed nearly everything (small N), and the α chosen
+		// here is what the table replays on *future* invocations, so it
+		// must reflect a representative workload size, not a remnant.
+		searchN := nrem
+		if searchN < float64(n)/2 {
+			searchN = float64(n) / 2
+			rep.Category = acc.ClassifyWith(searchN, s.opts.ShortLongThreshold, s.opts.MemoryBoundThreshold)
+			curve, ok = s.model.Curve(rep.Category)
+			if !ok {
+				return Report{}, fmt.Errorf("core: characterization has no curve for %s", rep.Category)
+			}
+		}
+		alpha, _ = BestAlpha(curve, tm, searchN, s.metric, s.opts.AlphaStep)
+		rep.PredictedTime = tm.Time(alpha, searchN)
+		rep.PredictedPower = curve.Power(alpha)
+	}
+	rep.Alpha = alpha
+
+	// Fig. 7 steps 23-25: execute the remainder with the chosen split.
+	if nrem > 0 {
+		res, err := s.eng.Run(engine.Phase{
+			Kernel:    k,
+			GPUItems:  alpha * nrem,
+			PoolItems: (1 - alpha) * nrem,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		rep = reportFromResult(res, rep)
+	}
+
+	// Fig. 7 step 26: sample-weighted α accumulation across
+	// invocations.
+	s.accumulate(k.Name, alpha, float64(n), rep.Category)
+	return rep, nil
+}
+
+func (s *Scheduler) accumulate(name string, alpha, items float64, cat wclass.Category) {
+	rec, ok := s.table[name]
+	if !ok {
+		s.table[name] = &record{alpha: alpha, weight: items, category: cat, invocations: 1, profiled: true}
+		return
+	}
+	total := rec.weight + items
+	if total > 0 {
+		rec.alpha = (rec.alpha*rec.weight + alpha*items) / total
+	}
+	rec.weight = total
+	rec.category = cat
+	rec.invocations++
+	rec.profiled = true
+}
+
+// within reports whether a and b agree within relative tolerance tol.
+func within(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return m > 0 && diff/m <= tol
+}
+
+func reportFromResult(res engine.Result, rep Report) Report {
+	rep.Duration += res.Duration
+	rep.EnergyJ += res.EnergyJ
+	rep.CPUItems += res.CPUItems
+	rep.GPUItems += res.GPUItems
+	return rep
+}

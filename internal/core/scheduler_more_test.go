@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+func TestMultipleKernelsLearnIndependentAlphas(t *testing.T) {
+	// An application with two kernels of opposite character: the
+	// global table G must keep separate ratios per kernel (the paper's
+	// f → α mapping is keyed by function pointer).
+	s := newEAS(t, metrics.Energy, Options{GrowProfileChunk: true, ConvergeTol: 0.08})
+	gpuFriendly := engine.Kernel{
+		Name: "dense",
+		Cost: device.CostProfile{FLOPs: 20000, MemOps: 20, L3MissRatio: 0.02, Instructions: 3000},
+	}
+	cpuFriendly := engine.Kernel{
+		Name: "cascade",
+		Cost: device.CostProfile{FLOPs: 800, MemOps: 60, L3MissRatio: 0.1, Instructions: 700, Divergence: 1},
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.ParallelFor(gpuFriendly, 8e6); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ParallelFor(cpuFriendly, 8e6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aDense, ok1 := s.Alpha("dense")
+	aCascade, ok2 := s.Alpha("cascade")
+	if !ok1 || !ok2 {
+		t.Fatal("both kernels should be in the table")
+	}
+	if aDense < 0.7 {
+		t.Errorf("dense kernel α = %v, want GPU-heavy", aDense)
+	}
+	if aCascade > 0.4 {
+		t.Errorf("divergent cascade α = %v, want CPU-leaning", aCascade)
+	}
+}
+
+func TestThresholdOptionsChangeClassification(t *testing.T) {
+	// With an absurdly large short/long threshold, everything
+	// classifies short; with a tiny one, everything long. The chosen
+	// curve (and hence Category in the report) must follow.
+	kernel := memKernel()
+	shortOpts := Options{GrowProfileChunk: true, ShortLongThreshold: time.Hour}
+	s1 := newEAS(t, metrics.EDP, shortOpts)
+	rep1, err := s1.ParallelFor(kernel, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep1.Category.CPUShort || !rep1.Category.GPUShort {
+		t.Errorf("hour-long threshold should classify short/short, got %s", rep1.Category)
+	}
+
+	longOpts := Options{GrowProfileChunk: true, ShortLongThreshold: time.Nanosecond}
+	s2 := newEAS(t, metrics.EDP, longOpts)
+	rep2, err := s2.ParallelFor(kernel, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Category.CPUShort || rep2.Category.GPUShort {
+		t.Errorf("nanosecond threshold should classify long/long, got %s", rep2.Category)
+	}
+
+	// Memory threshold: raising it above the kernel's intensity flips
+	// the memory classification.
+	compOpts := Options{GrowProfileChunk: true, MemoryBoundThreshold: 0.99}
+	s3 := newEAS(t, metrics.EDP, compOpts)
+	rep3, err := s3.ParallelFor(kernel, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Category.Memory {
+		t.Errorf("0.99 memory threshold should classify compute-bound, got %s", rep3.Category)
+	}
+}
+
+func TestProfilingEnergyCountsTowardInvocation(t *testing.T) {
+	// The profiling phases are real work: their time and energy must
+	// appear in the invocation totals (no free lunch).
+	s := newEAS(t, metrics.EDP, Options{GrowProfileChunk: true})
+	rep, err := s.ParallelFor(memKernel(), 3e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Profiled || rep.ProfileSteps == 0 {
+		t.Fatal("expected profiling")
+	}
+	// Cross-check against the platform's total energy: the scheduler's
+	// accounting must match the PCU integral (within MSR quantization).
+	total := s.eng.Platform().PCU.TotalEnergy()
+	if diff := total - rep.EnergyJ; diff < 0 || diff > 0.01*total+0.001 {
+		t.Errorf("report energy %v vs platform total %v", rep.EnergyJ, total)
+	}
+}
+
+func TestConvergenceStopShortensProfiling(t *testing.T) {
+	// A stable kernel should need fewer profiling steps with the
+	// convergence cutoff than with the literal half-of-N rule.
+	k := compKernel()
+	sFull := newEAS(t, metrics.EDP, Options{GrowProfileChunk: true, ConvergeTol: -1})
+	repFull, err := sFull.ParallelFor(k, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sConv := newEAS(t, metrics.EDP, Options{GrowProfileChunk: true, ConvergeTol: 0.08})
+	repConv, err := sConv.ParallelFor(k, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repConv.ProfileSteps >= repFull.ProfileSteps {
+		t.Errorf("convergence stop took %d steps, full profiling %d — expected fewer",
+			repConv.ProfileSteps, repFull.ProfileSteps)
+	}
+	if repConv.ProfileSteps < 2 {
+		t.Errorf("convergence stop must run at least 2 steps, got %d", repConv.ProfileSteps)
+	}
+}
+
+// Property: the sample-weighted α accumulation always stays within the
+// range of the α values fed into it.
+func TestAccumulationBoundedProperty(t *testing.T) {
+	s := newEAS(t, metrics.EDP, Options{})
+	alphas := []float64{0.2, 0.9, 0.5, 0.7, 0.1}
+	lo, hi := 1.0, 0.0
+	for i, a := range alphas {
+		s.accumulate("k", a, float64((i+1)*1000), wclass.Category{})
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+		got, ok := s.Alpha("k")
+		if !ok {
+			t.Fatal("kernel missing from table")
+		}
+		if got < lo-1e-9 || got > hi+1e-9 {
+			t.Fatalf("accumulated α %v outside [%v, %v] after %d updates", got, lo, hi, i+1)
+		}
+	}
+}

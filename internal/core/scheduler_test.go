@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+)
+
+var (
+	charOnce  sync.Once
+	deskModel *powerchar.Model
+	charErr   error
+)
+
+func desktopModel(t *testing.T) *powerchar.Model {
+	t.Helper()
+	charOnce.Do(func() {
+		deskModel, charErr = powerchar.Characterize(platform.DesktopSpec(), powerchar.Options{})
+	})
+	if charErr != nil {
+		t.Fatalf("characterization: %v", charErr)
+	}
+	return deskModel
+}
+
+func newEAS(t *testing.T, metric metrics.Metric, opts Options) *Scheduler {
+	t.Helper()
+	s, err := New(engine.New(platform.Desktop()), desktopModel(t), metric, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func memKernel() engine.Kernel {
+	return engine.Kernel{
+		Name: "membench",
+		Cost: device.CostProfile{FLOPs: 10, MemOps: 100, L3MissRatio: 0.6, Instructions: 500},
+	}
+}
+
+func compKernel() engine.Kernel {
+	return engine.Kernel{
+		Name: "compbench",
+		Cost: device.CostProfile{FLOPs: 20000, MemOps: 20, L3MissRatio: 0.02, Instructions: 3000},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := engine.New(platform.Desktop())
+	model := desktopModel(t)
+	if _, err := New(nil, model, metrics.EDP, Options{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(eng, nil, metrics.EDP, Options{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := New(eng, &powerchar.Model{Curves: map[string]powerchar.Curve{}}, metrics.EDP, Options{}); err == nil {
+		t.Error("incomplete model accepted")
+	}
+	if _, err := New(eng, model, metrics.Metric{}, Options{}); err == nil {
+		t.Error("invalid metric accepted")
+	}
+}
+
+func TestSmallNRunsCPUAlone(t *testing.T) {
+	s := newEAS(t, metrics.EDP, Options{})
+	rep, err := s.ParallelFor(compKernel(), 100) // below GPU_PROFILE_SIZE (2240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GPUItems != 0 {
+		t.Errorf("small N should not touch the GPU: %v items", rep.GPUItems)
+	}
+	if rep.Alpha != 0 || rep.Profiled {
+		t.Errorf("small N: alpha=%v profiled=%v", rep.Alpha, rep.Profiled)
+	}
+	// A tiny invocation must not poison the table: a later large
+	// invocation still profiles.
+	rep2, err := s.ParallelFor(compKernel(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Profiled {
+		t.Error("large invocation after small one should still profile")
+	}
+}
+
+func TestGPUBusyFallback(t *testing.T) {
+	s := newEAS(t, metrics.EDP, Options{})
+	s.eng.Platform().SetGPUBusy(true)
+	rep, err := s.ParallelFor(compKernel(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.GPUBusyFallback || rep.GPUItems != 0 {
+		t.Errorf("busy GPU should force CPU-only: %+v", rep)
+	}
+	if _, ok := s.Alpha("compbench"); ok {
+		t.Error("busy-GPU fallback should not poison the kernel table")
+	}
+}
+
+func TestFirstInvocationProfiles(t *testing.T) {
+	s := newEAS(t, metrics.EDP, Options{GrowProfileChunk: true})
+	const n = 2e6
+	rep, err := s.ParallelFor(memKernel(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Profiled || rep.ProfileSteps < 1 {
+		t.Errorf("first invocation should profile: %+v", rep)
+	}
+	if !rep.Category.Memory {
+		t.Errorf("memory kernel misclassified: %s", rep.Category)
+	}
+	total := rep.CPUItems + rep.GPUItems
+	if math.Abs(total-n) > 1 {
+		t.Errorf("work conservation: processed %v of %v", total, n)
+	}
+	if rep.Duration <= 0 || rep.EnergyJ <= 0 {
+		t.Errorf("missing measurements: %+v", rep)
+	}
+}
+
+func TestMemoryBoundEDPUsesBothDevices(t *testing.T) {
+	// On the desktop, memory-bound work has similar device speeds, so
+	// the EDP optimum splits across both devices.
+	s := newEAS(t, metrics.EDP, Options{GrowProfileChunk: true})
+	rep, err := s.ParallelFor(memKernel(), 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alpha <= 0.05 || rep.Alpha >= 0.95 {
+		t.Errorf("memory-bound EDP alpha = %v, want interior split", rep.Alpha)
+	}
+	if rep.CPUItems == 0 || rep.GPUItems == 0 {
+		t.Errorf("both devices should work: cpu=%v gpu=%v", rep.CPUItems, rep.GPUItems)
+	}
+}
+
+func TestComputeBoundEnergyPrefersGPU(t *testing.T) {
+	// Compute-bound on the desktop: the GPU is both faster and far
+	// more power-efficient, so the energy optimum is GPU-heavy.
+	s := newEAS(t, metrics.Energy, Options{GrowProfileChunk: true})
+	rep, err := s.ParallelFor(compKernel(), 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alpha < 0.7 {
+		t.Errorf("compute-bound energy alpha = %v, want ≥0.7", rep.Alpha)
+	}
+	if rep.Category.Memory {
+		t.Errorf("compute kernel misclassified: %s", rep.Category)
+	}
+}
+
+func TestSecondInvocationReusesAlpha(t *testing.T) {
+	s := newEAS(t, metrics.EDP, Options{GrowProfileChunk: true})
+	k := memKernel()
+	rep1, err := s.ParallelFor(k, 2e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := s.ParallelFor(k, 2e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Profiled {
+		t.Error("second invocation should reuse the table entry")
+	}
+	if math.Abs(rep2.Alpha-rep1.Alpha) > 0.3 {
+		t.Errorf("reused alpha %v far from first %v", rep2.Alpha, rep1.Alpha)
+	}
+}
+
+func TestSampleWeightedAccumulation(t *testing.T) {
+	s := newEAS(t, metrics.EDP, Options{GrowProfileChunk: true})
+	k := memKernel()
+	if _, err := s.ParallelFor(k, 2e6); err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := s.Alpha(k.Name)
+	if _, err := s.ParallelFor(k, 2e6); err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := s.Alpha(k.Name)
+	// Re-running with the same α keeps the accumulated value stable.
+	if math.Abs(a1-a2) > 1e-6 {
+		t.Errorf("accumulated alpha drifted with identical reuse: %v -> %v", a1, a2)
+	}
+}
+
+func TestReprofileEvery(t *testing.T) {
+	s := newEAS(t, metrics.EDP, Options{ReprofileEvery: 1, GrowProfileChunk: true})
+	k := memKernel()
+	for i := 0; i < 3; i++ {
+		rep, err := s.ParallelFor(k, 2e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Profiled {
+			t.Errorf("invocation %d: ReprofileEvery=1 should profile every time", i)
+		}
+	}
+}
+
+func TestParallelForValidation(t *testing.T) {
+	s := newEAS(t, metrics.EDP, Options{})
+	if _, err := s.ParallelFor(compKernel(), 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := s.ParallelFor(engine.Kernel{Name: "nocost"}, 10000); err == nil {
+		t.Error("invalid kernel cost accepted")
+	}
+}
+
+func TestProfileShareRespected(t *testing.T) {
+	// With ProfileShare = 0.5 at least half the work must remain for
+	// the final split execution.
+	s := newEAS(t, metrics.EDP, Options{ProfileShare: 0.5, GrowProfileChunk: true})
+	const n = 4e6
+	rep, err := s.ParallelFor(memKernel(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiledItems := 0.0
+	_ = profiledItems
+	if rep.ProfileSteps < 2 {
+		t.Errorf("size-based profiling should take multiple steps, got %d", rep.ProfileSteps)
+	}
+}
+
+func TestMetricAccessor(t *testing.T) {
+	s := newEAS(t, metrics.ED2P, Options{})
+	if s.Metric().Name() != "ed2p" {
+		t.Errorf("Metric = %v", s.Metric())
+	}
+}

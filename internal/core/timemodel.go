@@ -1,0 +1,113 @@
+// Package core implements the paper's primary contribution: the
+// energy-aware scheduler (EAS) that partitions data-parallel work
+// between the CPU and GPU of an integrated processor to minimize a
+// user-chosen energy metric, combining the platform's offline power
+// characterization with lightweight online profiling (Fig. 7 of the
+// paper).
+package core
+
+import (
+	"math"
+
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/vmath"
+)
+
+// TimeModel is the analytic execution-time model of §3.2 (equations
+// 1-4), parameterized by the combined-mode device throughputs measured
+// during online profiling.
+type TimeModel struct {
+	// RC and RG are CPU and GPU throughputs in items/second while both
+	// devices execute (combined mode).
+	RC, RG float64
+}
+
+// Valid reports whether at least one device has measurable throughput.
+func (m TimeModel) Valid() bool { return m.RC > 0 || m.RG > 0 }
+
+// AlphaPerf returns the performance-optimal offload ratio of eq. (2):
+// α = R_G / (R_C + R_G), at which both devices finish simultaneously.
+func (m TimeModel) AlphaPerf() float64 {
+	if !m.Valid() {
+		return 0
+	}
+	return m.RG / (m.RC + m.RG)
+}
+
+// CombinedTime returns T_CG(α) of eq. (1): the time both devices spend
+// executing together when n items are split with ratio alpha.
+func (m TimeModel) CombinedTime(alpha, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	cpuSide := safeDiv((1-alpha)*n, m.RC)
+	gpuSide := safeDiv(alpha*n, m.RG)
+	return math.Min(cpuSide, gpuSide)
+}
+
+// Time returns T(α) of eq. (4): total time to process n items at
+// offload ratio alpha — the combined phase plus the single-device tail.
+// Offloading to a device with zero measured throughput yields +Inf.
+func (m TimeModel) Time(alpha, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	alpha = vmath.Clamp(alpha, 0, 1)
+	if alpha > 0 && m.RG <= 0 {
+		return math.Inf(1)
+	}
+	if alpha < 1 && m.RC <= 0 {
+		return math.Inf(1)
+	}
+	tcg := m.CombinedTime(alpha, n)
+	rem := n - tcg*(m.RC+m.RG)
+	if rem <= 0 {
+		return tcg
+	}
+	// Eq. (4): tail on the GPU for α ≥ αPERF, on the CPU otherwise —
+	// falling back to whichever device actually has throughput when
+	// one side is unmeasured.
+	if alpha >= m.AlphaPerf() && m.RG > 0 {
+		return tcg + rem/m.RG
+	}
+	if m.RC > 0 {
+		return tcg + rem/m.RC
+	}
+	return tcg + safeDiv(rem, m.RG)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b <= 0 {
+		if a <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// Objective builds the target function OBJ(α) = metric(P(α), T(α)) for
+// the α search, from a fitted power curve and the time model.
+func Objective(curve powerchar.Curve, tm TimeModel, n float64, metric metrics.Metric) func(alpha float64) float64 {
+	return func(alpha float64) float64 {
+		t := tm.Time(alpha, n)
+		if math.IsInf(t, 1) {
+			return math.Inf(1)
+		}
+		return metric.Eval(curve.Power(alpha), t)
+	}
+}
+
+// BestAlpha performs the grid search of Fig. 7 step 20: evaluate the
+// objective at α = 0, step, 2·step … 1 and return the minimizer. The
+// paper uses step = 0.1; finer steps are exposed for the ablation
+// study. The search cost is what the paper reports as the 1-2 µs
+// per-decision overhead.
+func BestAlpha(curve powerchar.Curve, tm TimeModel, n float64, metric metrics.Metric, step float64) (alpha, objective float64) {
+	if step <= 0 || step > 1 {
+		step = 0.1
+	}
+	steps := int(math.Round(1 / step))
+	return vmath.GridMin(Objective(curve, tm, n, metric), 0, 1, steps)
+}

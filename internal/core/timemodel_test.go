@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/vmath"
+)
+
+func almost(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	return d <= tol || d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func flatCurve(watts float64) powerchar.Curve {
+	return powerchar.Curve{Coeffs: []float64{watts}}
+}
+
+func TestAlphaPerf(t *testing.T) {
+	m := TimeModel{RC: 100, RG: 300}
+	if got := m.AlphaPerf(); !almost(got, 0.75, 1e-12) {
+		t.Errorf("AlphaPerf = %v, want 0.75", got)
+	}
+	if got := (TimeModel{}).AlphaPerf(); got != 0 {
+		t.Errorf("degenerate AlphaPerf = %v, want 0", got)
+	}
+}
+
+func TestTimeEndpoints(t *testing.T) {
+	m := TimeModel{RC: 100, RG: 300}
+	const n = 1200
+	if got := m.Time(0, n); !almost(got, 12, 1e-12) {
+		t.Errorf("T(0) = %v, want n/RC = 12", got)
+	}
+	if got := m.Time(1, n); !almost(got, 4, 1e-12) {
+		t.Errorf("T(1) = %v, want n/RG = 4", got)
+	}
+	// At αPERF both devices finish together: T = n/(RC+RG) = 3.
+	if got := m.Time(m.AlphaPerf(), n); !almost(got, 3, 1e-12) {
+		t.Errorf("T(αPERF) = %v, want 3", got)
+	}
+	if m.Time(0.5, 0) != 0 {
+		t.Error("zero items should take zero time")
+	}
+}
+
+func TestTimePiecewiseStructure(t *testing.T) {
+	m := TimeModel{RC: 100, RG: 300}
+	const n = 1200
+	// Example at α = 0.5: GPU takes 600/300 = 2s (finishes first),
+	// combined processes 2·400 = 800 items, tail = 400 on CPU at 100/s
+	// → T = 2 + 4 = 6.
+	if got := m.Time(0.5, n); !almost(got, 6, 1e-12) {
+		t.Errorf("T(0.5) = %v, want 6", got)
+	}
+	// α = 0.9 (past αPERF): CPU side takes 120/100 = 1.2s, combined
+	// does 480, tail 720 on GPU at 300 → T = 1.2 + 2.4 = 3.6.
+	if got := m.Time(0.9, n); !almost(got, 3.6, 1e-12) {
+		t.Errorf("T(0.9) = %v, want 3.6", got)
+	}
+}
+
+func TestTimeDegenerateDevices(t *testing.T) {
+	gpuOnly := TimeModel{RG: 100}
+	if !math.IsInf(gpuOnly.Time(0.5, 100), 1) {
+		t.Error("offloading to the CPU with RC=0 should be +Inf")
+	}
+	if got := gpuOnly.Time(1, 100); !almost(got, 1, 1e-12) {
+		t.Errorf("GPU-only T(1) = %v, want 1", got)
+	}
+	cpuOnly := TimeModel{RC: 100}
+	if !math.IsInf(cpuOnly.Time(0.5, 100), 1) {
+		t.Error("offloading to the GPU with RG=0 should be +Inf")
+	}
+	if got := cpuOnly.Time(0, 100); !almost(got, 1, 1e-12) {
+		t.Errorf("CPU-only T(0) = %v, want 1", got)
+	}
+}
+
+func TestCombinedTime(t *testing.T) {
+	m := TimeModel{RC: 100, RG: 300}
+	// α=0.25: CPU side 900/100 = 9, GPU side 300/300 = 1 → min = 1.
+	if got := m.CombinedTime(0.25, 1200); !almost(got, 1, 1e-12) {
+		t.Errorf("CombinedTime = %v, want 1", got)
+	}
+	if m.CombinedTime(0, 1200) != 0 {
+		t.Error("α=0 has no combined phase")
+	}
+}
+
+// Property: T(α) is minimized at αPERF and never beats perfect
+// parallelism n/(RC+RG).
+func TestTimeLowerBoundProperty(t *testing.T) {
+	f := func(rc, rg uint16, a uint8) bool {
+		m := TimeModel{RC: float64(rc%1000) + 1, RG: float64(rg%1000) + 1}
+		alpha := float64(a) / 255
+		const n = 1e6
+		ideal := n / (m.RC + m.RG)
+		tAlpha := m.Time(alpha, n)
+		tPerf := m.Time(m.AlphaPerf(), n)
+		return tAlpha >= ideal-1e-9 && tPerf <= tAlpha+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestAlphaFlatPowerIsPerf(t *testing.T) {
+	// With power independent of α, every P·Tᵏ metric reduces to
+	// minimizing time, so the best α is αPERF (to grid resolution).
+	m := TimeModel{RC: 100, RG: 300}
+	for _, metric := range []metrics.Metric{metrics.Energy, metrics.EDP, metrics.ED2P} {
+		alpha, _ := BestAlpha(flatCurve(50), m, 1e6, metric, 0.05)
+		if math.Abs(alpha-m.AlphaPerf()) > 0.05+1e-9 {
+			t.Errorf("%s: BestAlpha = %v, want ≈αPERF %v", metric, alpha, m.AlphaPerf())
+		}
+	}
+}
+
+func TestBestAlphaTradesPowerForTime(t *testing.T) {
+	// Power rising steeply toward the GPU end pushes the energy
+	// optimum below αPERF.
+	m := TimeModel{RC: 100, RG: 120}
+	rising := powerchar.Curve{Coeffs: []float64{10, 90}} // 10 + 90α watts
+	aEnergy, _ := BestAlpha(rising, m, 1e6, metrics.Energy, 0.01)
+	if aEnergy >= m.AlphaPerf() {
+		t.Errorf("energy optimum %v should fall below αPERF %v under rising power", aEnergy, m.AlphaPerf())
+	}
+	// EDP weighs time more heavily, so its optimum sits between the
+	// energy optimum and αPERF.
+	aEDP, _ := BestAlpha(rising, m, 1e6, metrics.EDP, 0.01)
+	if aEDP < aEnergy-1e-9 || aEDP > m.AlphaPerf()+1e-9 {
+		t.Errorf("EDP optimum %v should lie between energy %v and αPERF %v", aEDP, aEnergy, m.AlphaPerf())
+	}
+}
+
+func TestBestAlphaGridMatchesPaperStep(t *testing.T) {
+	// Default step (0.1) evaluates exactly 11 grid points, so the
+	// result is always a multiple of 0.1.
+	m := TimeModel{RC: 123, RG: 456}
+	alpha, _ := BestAlpha(flatCurve(42), m, 1e5, metrics.EDP, 0)
+	scaled := alpha * 10
+	if math.Abs(scaled-math.Round(scaled)) > 1e-9 {
+		t.Errorf("default-step BestAlpha = %v, not on the 0.1 grid", alpha)
+	}
+}
+
+func TestObjectiveInfForImpossibleAlpha(t *testing.T) {
+	m := TimeModel{RC: 100} // no GPU
+	obj := Objective(flatCurve(10), m, 1000, metrics.EDP)
+	if !math.IsInf(obj(0.5), 1) {
+		t.Error("objective should be +Inf when the GPU cannot run")
+	}
+	if math.IsInf(obj(0), 1) {
+		t.Error("α=0 should be feasible")
+	}
+	// And BestAlpha must pick the feasible endpoint.
+	alpha, _ := BestAlpha(flatCurve(10), m, 1000, metrics.EDP, 0.1)
+	if alpha != 0 {
+		t.Errorf("BestAlpha = %v, want 0 for CPU-only model", alpha)
+	}
+}
+
+func TestObjectiveUsesCurveShape(t *testing.T) {
+	m := TimeModel{RC: 100, RG: 100}
+	// A valley-shaped power curve should pull the optimum toward the
+	// valley even at equal device speeds.
+	valley := vmath.NewPoly(60, -100, 100) // min at α=0.5
+	curve := powerchar.Curve{Coeffs: valley.Coeffs}
+	alpha, _ := BestAlpha(curve, m, 1e6, metrics.Energy, 0.05)
+	if math.Abs(alpha-0.5) > 0.051 {
+		t.Errorf("valley optimum = %v, want ≈0.5", alpha)
+	}
+}
+
+// Property: T(α) is continuous — adjacent grid points never jump by
+// more than the work redistribution can explain.
+func TestTimeContinuityProperty(t *testing.T) {
+	f := func(rcRaw, rgRaw uint16) bool {
+		m := TimeModel{RC: float64(rcRaw%5000) + 1, RG: float64(rgRaw%5000) + 1}
+		const n = 1e6
+		prev := m.Time(0, n)
+		for i := 1; i <= 1000; i++ {
+			alpha := float64(i) / 1000
+			cur := m.Time(alpha, n)
+			// Moving 0.1% of the work can change the time by at most
+			// that work's single-device execution time.
+			maxJump := 0.001 * n / math.Min(m.RC, m.RG)
+			if math.Abs(cur-prev) > maxJump+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

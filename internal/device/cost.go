@@ -1,0 +1,84 @@
+// Package device models the compute devices of an integrated CPU-GPU
+// processor: a multi-core CPU and an on-die GPU that share DRAM
+// bandwidth and (via the PCU) a package power budget.
+//
+// The model is deliberately simple — a three-term roofline (instruction
+// issue, floating-point, DRAM bandwidth) per device — because the
+// energy-aware scheduler under study treats the processor as a black
+// box: all it ever observes are throughputs, counters and package
+// energy. What matters is that the model reproduces the *relative*
+// CPU/GPU behaviours the paper reports (desktop GPU ≈2× CPU and far
+// more power-efficient; tablet GPU ≈ CPU speed but more power-hungry;
+// irregular workloads hurting GPU SIMD efficiency; memory contention
+// when both devices run).
+package device
+
+import "fmt"
+
+// CacheLineBytes is the DRAM transfer granularity used to convert
+// missed load/store operations into memory traffic.
+const CacheLineBytes = 64
+
+// CostProfile describes the average per-item cost of a data-parallel
+// kernel. One "item" is one iteration of the parallel_for loop.
+type CostProfile struct {
+	// FLOPs is the number of floating-point operations per item.
+	FLOPs float64
+	// MemOps is the number of load/store instructions per item.
+	MemOps float64
+	// L3MissRatio is the fraction of MemOps that miss the last-level
+	// cache and reach DRAM, in [0,1].
+	L3MissRatio float64
+	// Divergence in [0,1] captures input-dependent control flow:
+	// 0 = perfectly regular, 1 = fully divergent. It reduces GPU SIMD
+	// efficiency and mildly reduces CPU vectorization.
+	Divergence float64
+	// Instructions is the total instructions retired per item
+	// (including MemOps). Used for the simulated hardware counters and
+	// for scalar-issue-limited kernels.
+	Instructions float64
+}
+
+// Validate reports whether the profile is physically meaningful.
+func (c CostProfile) Validate() error {
+	switch {
+	case c.FLOPs < 0, c.MemOps < 0, c.Instructions < 0:
+		return fmt.Errorf("device: negative cost in profile %+v", c)
+	case c.L3MissRatio < 0 || c.L3MissRatio > 1:
+		return fmt.Errorf("device: L3MissRatio %v outside [0,1]", c.L3MissRatio)
+	case c.Divergence < 0 || c.Divergence > 1:
+		return fmt.Errorf("device: Divergence %v outside [0,1]", c.Divergence)
+	case c.FLOPs == 0 && c.Instructions == 0:
+		return fmt.Errorf("device: profile has no work (zero FLOPs and instructions)")
+	}
+	return nil
+}
+
+// TrafficBytes returns the average DRAM traffic per item in bytes.
+func (c CostProfile) TrafficBytes() float64 {
+	return c.MemOps * c.L3MissRatio * CacheLineBytes
+}
+
+// MissesPerItem returns the expected L3 misses per item.
+func (c CostProfile) MissesPerItem() float64 {
+	return c.MemOps * c.L3MissRatio
+}
+
+// MemoryIntensity is the ratio the online profiler computes from the
+// hardware counters: L3 misses over load/store instructions. The paper
+// classifies a workload as memory-bound when this exceeds 0.33.
+func (c CostProfile) MemoryIntensity() float64 {
+	if c.MemOps == 0 {
+		return 0
+	}
+	return c.MissesPerItem() / c.MemOps
+}
+
+// Scale returns a copy of the profile with all per-item work multiplied
+// by k. Useful for building micro-benchmark variants.
+func (c CostProfile) Scale(k float64) CostProfile {
+	c.FLOPs *= k
+	c.MemOps *= k
+	c.Instructions *= k
+	return c
+}

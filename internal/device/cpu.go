@@ -1,0 +1,90 @@
+package device
+
+import "fmt"
+
+// CPUParams describes the multi-core CPU of an integrated processor.
+type CPUParams struct {
+	// Cores is the number of physical cores available for kernel work.
+	Cores int
+	// IPC is the sustained scalar instructions per cycle per core
+	// (hyper-threading is folded into this figure).
+	IPC float64
+	// FLOPsPerCycle is the sustained vector FLOPs per cycle per core
+	// for perfectly regular code.
+	FLOPsPerCycle float64
+	// BaseHz and TurboHz bound the PCU's DVFS range.
+	BaseHz, TurboHz float64
+	// MinHz is the deep-throttle floor the PCU may impose during
+	// budget-rebalancing transients.
+	MinHz float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p CPUParams) Validate() error {
+	switch {
+	case p.Cores <= 0:
+		return fmt.Errorf("device: CPU needs at least one core, got %d", p.Cores)
+	case p.IPC <= 0 || p.FLOPsPerCycle <= 0:
+		return fmt.Errorf("device: CPU issue rates must be positive (IPC=%v, FLOPsPerCycle=%v)", p.IPC, p.FLOPsPerCycle)
+	case p.BaseHz <= 0 || p.TurboHz < p.BaseHz:
+		return fmt.Errorf("device: CPU frequency range invalid (base=%v, turbo=%v)", p.BaseHz, p.TurboHz)
+	case p.MinHz <= 0 || p.MinHz > p.BaseHz:
+		return fmt.Errorf("device: CPU MinHz %v outside (0, base]", p.MinHz)
+	}
+	return nil
+}
+
+// divergenceFactor is the mild scalar penalty irregular control flow
+// imposes on CPU vector units (branch mispredictions, gather/scatter).
+func cpuDivergenceFactor(d float64) float64 {
+	return 1 - 0.3*d
+}
+
+// ComputeThroughput returns the CPU's compute-side throughput in
+// items/second at frequency hz with the given number of active cores,
+// ignoring memory bandwidth (the engine applies bandwidth limits after
+// arbitration). Zero-cost profiles return +Inf-free large throughput by
+// treating the binding term as absent.
+func (p CPUParams) ComputeThroughput(hz float64, cost CostProfile, activeCores float64) float64 {
+	if activeCores <= 0 || hz <= 0 {
+		return 0
+	}
+	if activeCores > float64(p.Cores) {
+		activeCores = float64(p.Cores)
+	}
+	eff := cpuDivergenceFactor(cost.Divergence)
+	perCore := boundedRate(hz*p.IPC*eff, cost.Instructions)
+	if f := boundedRate(hz*p.FLOPsPerCycle*eff, cost.FLOPs); f < perCore {
+		perCore = f
+	}
+	return perCore * activeCores
+}
+
+// BandwidthDemand converts an unconstrained throughput (items/s) into
+// the DRAM bandwidth it would consume, in bytes/s.
+func BandwidthDemand(throughput float64, cost CostProfile) float64 {
+	return throughput * cost.TrafficBytes()
+}
+
+// BandwidthLimitedThroughput returns the throughput sustainable with an
+// allocation of alloc bytes/s of DRAM bandwidth. Profiles with no DRAM
+// traffic are unconstrained (returns +Inf as a sentinel via maxRate).
+func BandwidthLimitedThroughput(alloc float64, cost CostProfile) float64 {
+	t := cost.TrafficBytes()
+	if t == 0 {
+		return maxRate
+	}
+	return alloc / t
+}
+
+// maxRate is a large finite sentinel for "not a binding constraint".
+const maxRate = 1e30
+
+// boundedRate returns capacity/costPerItem, or maxRate when the cost
+// term is zero (the resource is not used and cannot bind).
+func boundedRate(capacity, costPerItem float64) float64 {
+	if costPerItem <= 0 {
+		return maxRate
+	}
+	return capacity / costPerItem
+}

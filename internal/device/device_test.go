@@ -1,0 +1,301 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func computeBound() CostProfile {
+	// FMA-heavy vectorized kernel: the instruction stream is vector
+	// instructions, so retired-instruction counts are far below FLOPs.
+	return CostProfile{FLOPs: 200, MemOps: 10, L3MissRatio: 0.02, Instructions: 30}
+}
+
+func memoryBound() CostProfile {
+	return CostProfile{FLOPs: 4, MemOps: 40, L3MissRatio: 0.6, Instructions: 60}
+}
+
+func testCPU() CPUParams {
+	return CPUParams{Cores: 4, IPC: 2.5, FLOPsPerCycle: 8, BaseHz: 3.4e9, TurboHz: 3.9e9, MinHz: 0.8e9}
+}
+
+func testGPU() GPUParams {
+	return GPUParams{
+		EUs: 20, ThreadsPerEU: 7, SIMDWidth: 16,
+		IssueRate: 0.5, FLOPsPerCyclePerLane: 1.2,
+		BaseHz: 0.35e9, TurboHz: 1.2e9,
+		LaunchOverhead: 20 * time.Microsecond,
+	}
+}
+
+func TestCostProfileValidate(t *testing.T) {
+	if err := computeBound().Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	bad := []CostProfile{
+		{FLOPs: -1, Instructions: 1},
+		{Instructions: 1, L3MissRatio: 1.5},
+		{Instructions: 1, Divergence: -0.1},
+		{}, // no work at all
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile %+v accepted", i, c)
+		}
+	}
+}
+
+func TestCostProfileDerived(t *testing.T) {
+	c := CostProfile{MemOps: 10, L3MissRatio: 0.5, Instructions: 100}
+	if got := c.TrafficBytes(); got != 10*0.5*64 {
+		t.Errorf("TrafficBytes = %v, want 320", got)
+	}
+	if got := c.MissesPerItem(); got != 5 {
+		t.Errorf("MissesPerItem = %v, want 5", got)
+	}
+	if got := c.MemoryIntensity(); got != 0.5 {
+		t.Errorf("MemoryIntensity = %v, want 0.5", got)
+	}
+	if got := (CostProfile{Instructions: 10}).MemoryIntensity(); got != 0 {
+		t.Errorf("no-memops intensity = %v, want 0", got)
+	}
+	s := c.Scale(2)
+	if s.MemOps != 20 || s.Instructions != 200 || s.L3MissRatio != 0.5 {
+		t.Errorf("Scale wrong: %+v", s)
+	}
+}
+
+func TestMemoryIntensityThresholdSeparation(t *testing.T) {
+	// The paper's 0.33 threshold must separate our canonical profiles.
+	if mi := memoryBound().MemoryIntensity(); mi <= 0.33 {
+		t.Errorf("memory-bound intensity %v should exceed 0.33", mi)
+	}
+	if mi := computeBound().MemoryIntensity(); mi >= 0.33 {
+		t.Errorf("compute-bound intensity %v should be below 0.33", mi)
+	}
+}
+
+func TestCPUValidate(t *testing.T) {
+	if err := testCPU().Validate(); err != nil {
+		t.Errorf("valid CPU rejected: %v", err)
+	}
+	bad := testCPU()
+	bad.Cores = 0
+	if bad.Validate() == nil {
+		t.Error("zero cores accepted")
+	}
+	bad = testCPU()
+	bad.TurboHz = 1e9 // below base
+	if bad.Validate() == nil {
+		t.Error("turbo < base accepted")
+	}
+	bad = testCPU()
+	bad.MinHz = 5e9
+	if bad.Validate() == nil {
+		t.Error("MinHz > base accepted")
+	}
+}
+
+func TestGPUValidate(t *testing.T) {
+	if err := testGPU().Validate(); err != nil {
+		t.Errorf("valid GPU rejected: %v", err)
+	}
+	bad := testGPU()
+	bad.SIMDWidth = 0
+	if bad.Validate() == nil {
+		t.Error("zero SIMD accepted")
+	}
+	bad = testGPU()
+	bad.LaunchOverhead = -time.Second
+	if bad.Validate() == nil {
+		t.Error("negative launch overhead accepted")
+	}
+}
+
+func TestCPUThroughputScalesWithFreqAndCores(t *testing.T) {
+	cpu := testCPU()
+	cost := computeBound()
+	base := cpu.ComputeThroughput(cpu.BaseHz, cost, 4)
+	if base <= 0 {
+		t.Fatal("zero throughput for valid work")
+	}
+	double := cpu.ComputeThroughput(2*cpu.BaseHz, cost, 4)
+	if !almost(double/base, 2, 1e-9) {
+		t.Errorf("freq doubling gave ratio %v, want 2", double/base)
+	}
+	half := cpu.ComputeThroughput(cpu.BaseHz, cost, 2)
+	if !almost(base/half, 2, 1e-9) {
+		t.Errorf("core halving gave ratio %v, want 2", base/half)
+	}
+	if got := cpu.ComputeThroughput(cpu.BaseHz, cost, 100); got != base {
+		t.Errorf("active cores should clamp at %d: got %v want %v", cpu.Cores, got, base)
+	}
+	if cpu.ComputeThroughput(0, cost, 4) != 0 || cpu.ComputeThroughput(cpu.BaseHz, cost, 0) != 0 {
+		t.Error("degenerate inputs should give zero throughput")
+	}
+}
+
+func TestCPUDivergencePenaltyMild(t *testing.T) {
+	cpu := testCPU()
+	reg := computeBound()
+	irr := reg
+	irr.Divergence = 1
+	r := cpu.ComputeThroughput(cpu.BaseHz, reg, 4)
+	i := cpu.ComputeThroughput(cpu.BaseHz, irr, 4)
+	ratio := r / i
+	if ratio < 1.2 || ratio > 2 {
+		t.Errorf("CPU divergence penalty ratio = %v, want mild (1.2..2)", ratio)
+	}
+}
+
+func TestGPUDivergencePenaltySevere(t *testing.T) {
+	gpu := testGPU()
+	reg := computeBound()
+	irr := reg
+	irr.Divergence = 1
+	n := float64(gpu.HardwareParallelism())
+	r := gpu.ComputeThroughput(gpu.TurboHz, reg, n)
+	i := gpu.ComputeThroughput(gpu.TurboHz, irr, n)
+	ratio := r / i
+	if ratio < 8 {
+		t.Errorf("GPU full-divergence penalty ratio = %v, want ≥8 (SIMD-16 serialization)", ratio)
+	}
+}
+
+func TestGPUOccupancy(t *testing.T) {
+	gpu := testGPU()
+	if gpu.HardwareParallelism() != 2240 {
+		t.Fatalf("HardwareParallelism = %d, want 2240 (paper's GPU_PROFILE_SIZE)", gpu.HardwareParallelism())
+	}
+	cost := computeBound()
+	full := gpu.ComputeThroughput(gpu.TurboHz, cost, 2240)
+	half := gpu.ComputeThroughput(gpu.TurboHz, cost, 1120)
+	if !almost(full/half, 2, 1e-9) {
+		t.Errorf("half occupancy should halve throughput: ratio %v", full/half)
+	}
+	more := gpu.ComputeThroughput(gpu.TurboHz, cost, 1e9)
+	if more != full {
+		t.Error("occupancy should saturate at hardware parallelism")
+	}
+	if gpu.ComputeThroughput(gpu.TurboHz, cost, 0) != 0 {
+		t.Error("no items should give zero throughput")
+	}
+}
+
+func TestDesktopGPUFasterThanCPUOnRegularCompute(t *testing.T) {
+	// Anchor: on the Haswell-class config the GPU should be roughly
+	// 1.5-3× the CPU on regular compute-bound work (paper Figs. 1-2).
+	cpu, gpu := testCPU(), testGPU()
+	cost := computeBound()
+	rc := cpu.ComputeThroughput(cpu.TurboHz, cost, 4)
+	rg := gpu.ComputeThroughput(gpu.TurboHz, cost, 1e9)
+	ratio := rg / rc
+	if ratio < 1.3 || ratio > 4.0 {
+		t.Errorf("GPU/CPU regular compute ratio = %v, want within [1.3, 4.0]", ratio)
+	}
+}
+
+func TestBandwidthHelpers(t *testing.T) {
+	cost := memoryBound() // traffic = 40*0.6*64 = 1536 B/item
+	if got := BandwidthDemand(1000, cost); got != 1536e3 {
+		t.Errorf("BandwidthDemand = %v, want 1.536e6", got)
+	}
+	if got := BandwidthLimitedThroughput(1536e3, cost); !almost(got, 1000, 1e-9) {
+		t.Errorf("BandwidthLimitedThroughput = %v, want 1000", got)
+	}
+	noTraffic := CostProfile{FLOPs: 10, Instructions: 10}
+	if got := BandwidthLimitedThroughput(1, noTraffic); got < 1e29 {
+		t.Errorf("traffic-free profile should be unconstrained, got %v", got)
+	}
+}
+
+func TestShareBandwidthProportional(t *testing.T) {
+	m := MemoryParams{BandwidthBytes: 100, CPUMaxShare: 1, GPUMaxShare: 1}
+	c, g := m.ShareBandwidth(90, 30)
+	if !almost(c+g, 100, 1e-9) {
+		t.Errorf("oversubscribed total = %v, want 100", c+g)
+	}
+	if !almost(c/g, 3, 1e-9) {
+		t.Errorf("allocation ratio = %v, want 3 (proportional)", c/g)
+	}
+	// Undersubscribed: full grants.
+	c, g = m.ShareBandwidth(30, 20)
+	if c != 30 || g != 20 {
+		t.Errorf("undersubscribed allocs = %v,%v", c, g)
+	}
+	// Per-device caps bind first.
+	m2 := MemoryParams{BandwidthBytes: 100, CPUMaxShare: 0.5, GPUMaxShare: 0.5}
+	c, g = m2.ShareBandwidth(90, 10)
+	if c != 50 || g != 10 {
+		t.Errorf("capped allocs = %v,%v, want 50,10", c, g)
+	}
+	// Negative demands are treated as zero.
+	c, g = m.ShareBandwidth(-5, 60)
+	if c != 0 || g != 60 {
+		t.Errorf("negative demand allocs = %v,%v", c, g)
+	}
+}
+
+func TestShareBandwidthProperty(t *testing.T) {
+	m := MemoryParams{BandwidthBytes: 1000, CPUMaxShare: 0.9, GPUMaxShare: 0.8}
+	f := func(cd, gd float64) bool {
+		cd = math.Abs(math.Mod(cd, 1e6))
+		gd = math.Abs(math.Mod(gd, 1e6))
+		c, g := m.ShareBandwidth(cd, gd)
+		if c < 0 || g < 0 {
+			return false
+		}
+		if c > cd+1e-9 || g > gd+1e-9 {
+			return false // never allocate more than demanded
+		}
+		return c+g <= m.BandwidthBytes+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryParamsValidate(t *testing.T) {
+	good := MemoryParams{BandwidthBytes: 25.6e9, CPUMaxShare: 0.9, GPUMaxShare: 0.9}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid memory rejected: %v", err)
+	}
+	for i, m := range []MemoryParams{
+		{BandwidthBytes: 0, CPUMaxShare: 0.5, GPUMaxShare: 0.5},
+		{BandwidthBytes: 1, CPUMaxShare: 0, GPUMaxShare: 0.5},
+		{BandwidthBytes: 1, CPUMaxShare: 0.5, GPUMaxShare: 1.5},
+	} {
+		if m.Validate() == nil {
+			t.Errorf("case %d: invalid memory accepted", i)
+		}
+	}
+}
+
+func TestMemStallShare(t *testing.T) {
+	if got := MemStallShare(100, maxRate); got != 0 {
+		t.Errorf("unconstrained stall share = %v, want 0", got)
+	}
+	if got := MemStallShare(0, 100); got != 0 {
+		t.Errorf("idle-device stall share = %v, want 0", got)
+	}
+	if got := MemStallShare(100, 100); got != 0 {
+		t.Errorf("fully granted stall share = %v, want 0", got)
+	}
+	if got := MemStallShare(100, 50); !almost(got, 0.5, 1e-9) {
+		t.Errorf("half-starved stall share = %v, want 0.5", got)
+	}
+	// Heavily memory-limited → near 1.
+	if got := MemStallShare(1000, 10); got < 0.9 {
+		t.Errorf("memory-limited stall share = %v, want >0.9", got)
+	}
+	if got := MemStallShare(1000, 0); got != 1 {
+		t.Errorf("zero-bandwidth stall share = %v, want 1", got)
+	}
+}
+
+func almost(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	return d <= tol || d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,89 @@
+package device
+
+import (
+	"fmt"
+	"time"
+)
+
+// GPUParams describes the integrated GPU.
+type GPUParams struct {
+	// EUs is the number of execution units.
+	EUs int
+	// ThreadsPerEU is the number of hardware threads per EU.
+	ThreadsPerEU int
+	// SIMDWidth is the per-thread SIMD lane count.
+	SIMDWidth int
+	// IssueRate is the instructions issued per EU per cycle (each
+	// instruction covers SIMDWidth lanes).
+	IssueRate float64
+	// FLOPsPerCyclePerLane is the FLOPs per SIMD lane per cycle
+	// (2 for FMA units).
+	FLOPsPerCyclePerLane float64
+	// BaseHz and TurboHz bound the PCU's DVFS range for the GPU.
+	BaseHz, TurboHz float64
+	// LaunchOverhead is the fixed driver/dispatch cost per kernel
+	// enqueue, paid in simulated time before the first item retires.
+	LaunchOverhead time.Duration
+}
+
+// Validate reports whether the parameters are usable.
+func (p GPUParams) Validate() error {
+	switch {
+	case p.EUs <= 0 || p.ThreadsPerEU <= 0 || p.SIMDWidth <= 0:
+		return fmt.Errorf("device: GPU shape invalid (%d EUs × %d threads × SIMD-%d)", p.EUs, p.ThreadsPerEU, p.SIMDWidth)
+	case p.IssueRate <= 0 || p.FLOPsPerCyclePerLane <= 0:
+		return fmt.Errorf("device: GPU issue rates must be positive")
+	case p.BaseHz <= 0 || p.TurboHz < p.BaseHz:
+		return fmt.Errorf("device: GPU frequency range invalid (base=%v, turbo=%v)", p.BaseHz, p.TurboHz)
+	case p.LaunchOverhead < 0:
+		return fmt.Errorf("device: negative launch overhead %v", p.LaunchOverhead)
+	}
+	return nil
+}
+
+// HardwareParallelism is the number of work items the GPU can have in
+// flight: EUs × threads/EU × SIMD lanes. The paper sets
+// GPU_PROFILE_SIZE to roughly this figure (2240 on the desktop's
+// HD 4600: 20 EUs × 7 threads × 16 lanes).
+func (p GPUParams) HardwareParallelism() int {
+	return p.EUs * p.ThreadsPerEU * p.SIMDWidth
+}
+
+// simdEfficiency is the fraction of SIMD lanes doing useful work under
+// divergence d: regular code uses all lanes, fully divergent code
+// degenerates toward serial lane execution.
+func (p GPUParams) simdEfficiency(d float64) float64 {
+	w := float64(p.SIMDWidth)
+	return (1 - d) + d/w
+}
+
+// occupancy returns the utilization factor when only `items` work items
+// are available to fill HardwareParallelism slots.
+func (p GPUParams) occupancy(items float64) float64 {
+	hw := float64(p.HardwareParallelism())
+	if items >= hw {
+		return 1
+	}
+	if items <= 0 {
+		return 0
+	}
+	return items / hw
+}
+
+// ComputeThroughput returns the GPU's compute-side throughput in
+// items/second at frequency hz when `itemsAvailable` items are queued,
+// ignoring DRAM bandwidth limits.
+func (p GPUParams) ComputeThroughput(hz float64, cost CostProfile, itemsAvailable float64) float64 {
+	if hz <= 0 || itemsAvailable <= 0 {
+		return 0
+	}
+	eff := p.simdEfficiency(cost.Divergence)
+	lanes := float64(p.EUs) * float64(p.SIMDWidth) * eff
+	instrRate := hz * lanes * p.IssueRate // scalar-equivalent instructions/s
+	flopRate := hz * lanes * p.FLOPsPerCyclePerLane
+	tp := boundedRate(instrRate, cost.Instructions)
+	if f := boundedRate(flopRate, cost.FLOPs); f < tp {
+		tp = f
+	}
+	return tp * p.occupancy(itemsAvailable)
+}

@@ -1,0 +1,144 @@
+package device
+
+import "fmt"
+
+// MemoryParams describes the DRAM subsystem both devices share.
+type MemoryParams struct {
+	// BandwidthBytes is the peak shared DRAM bandwidth in bytes/second.
+	BandwidthBytes float64
+	// CPUMaxShare and GPUMaxShare cap the fraction of peak bandwidth a
+	// single device can extract (memory controllers rarely let one
+	// agent saturate the bus).
+	CPUMaxShare, GPUMaxShare float64
+	// GPUPriority selects the integrated-GPU arbitration policy: under
+	// contention the GPU keeps its full allocation and the CPU absorbs
+	// the cut (display/GPU agents get ring priority on Intel parts).
+	// When false, oversubscription is scaled back proportionally.
+	GPUPriority bool
+}
+
+// Validate reports whether the parameters are usable.
+func (m MemoryParams) Validate() error {
+	switch {
+	case m.BandwidthBytes <= 0:
+		return fmt.Errorf("device: DRAM bandwidth must be positive, got %v", m.BandwidthBytes)
+	case m.CPUMaxShare <= 0 || m.CPUMaxShare > 1:
+		return fmt.Errorf("device: CPUMaxShare %v outside (0,1]", m.CPUMaxShare)
+	case m.GPUMaxShare <= 0 || m.GPUMaxShare > 1:
+		return fmt.Errorf("device: GPUMaxShare %v outside (0,1]", m.GPUMaxShare)
+	}
+	return nil
+}
+
+// ShareBandwidth arbitrates DRAM bandwidth between the CPU's and GPU's
+// unconstrained demands (bytes/s). Each device is first capped at its
+// per-device maximum share; if the capped demands still oversubscribe
+// the bus they are scaled back proportionally. The returned allocations
+// never exceed the demands nor sum above the peak bandwidth.
+//
+// This is where CPU-GPU memory contention — which the paper's online
+// profiling deliberately measures in the *combined* execution mode —
+// enters the simulation.
+func (m MemoryParams) ShareBandwidth(cpuDemand, gpuDemand float64) (cpuAlloc, gpuAlloc float64) {
+	return m.ShareBandwidthScaled(cpuDemand, gpuDemand, 1, 1)
+}
+
+// ShareBandwidthScaled is ShareBandwidth with per-device cap scale
+// factors in (0,1]. A device running at reduced clock sustains fewer
+// outstanding misses, so its extractable bandwidth shrinks — the engine
+// passes a frequency-derived scale, which is what makes the PCU's
+// deep-throttle transient actually reduce memory traffic (Fig. 4's
+// package-power dip).
+func (m MemoryParams) ShareBandwidthScaled(cpuDemand, gpuDemand, cpuCapScale, gpuCapScale float64) (cpuAlloc, gpuAlloc float64) {
+	if cpuDemand < 0 {
+		cpuDemand = 0
+	}
+	if gpuDemand < 0 {
+		gpuDemand = 0
+	}
+	cpuCapScale = clampScale(cpuCapScale)
+	gpuCapScale = clampScale(gpuCapScale)
+	cpuAlloc = minf(cpuDemand, m.CPUMaxShare*cpuCapScale*m.BandwidthBytes)
+	gpuAlloc = minf(gpuDemand, m.GPUMaxShare*gpuCapScale*m.BandwidthBytes)
+	total := cpuAlloc + gpuAlloc
+	if total > m.BandwidthBytes && total > 0 {
+		if m.GPUPriority {
+			// The GPU keeps its grant; the CPU takes the entire cut.
+			cpuAlloc = m.BandwidthBytes - gpuAlloc
+			if cpuAlloc < 0 {
+				cpuAlloc = 0
+			}
+		} else {
+			scale := m.BandwidthBytes / total
+			cpuAlloc *= scale
+			gpuAlloc *= scale
+		}
+	}
+	return cpuAlloc, gpuAlloc
+}
+
+func clampScale(s float64) float64 {
+	if s <= 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// FreqBandwidthScale converts a frequency ratio (current/max) into an
+// extractable-bandwidth scale: even a deeply throttled device keeps a
+// fraction of its memory-level parallelism.
+func FreqBandwidthScale(hz, maxHz float64) float64 {
+	if maxHz <= 0 || hz >= maxHz {
+		return 1
+	}
+	if hz <= 0 {
+		return 0.2
+	}
+	return 0.2 + 0.8*hz/maxHz
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Load summarizes one device's work during a simulation tick, as
+// consumed by the PCU power model.
+type Load struct {
+	// Active is the device's utilization this tick in [0,1] (for the
+	// CPU it is multiplied by active cores inside the power model).
+	Active float64
+	// ActiveCores is the number of busy CPU cores (CPU only).
+	ActiveCores float64
+	// Hz is the operating frequency this tick.
+	Hz float64
+	// MemBytesPerSec is the achieved DRAM traffic.
+	MemBytesPerSec float64
+	// MemShare in [0,1] is the fraction of the device's time spent
+	// stalled on memory — it blends the per-core power between the
+	// compute-bound and memory-bound operating points.
+	MemShare float64
+}
+
+// MemStallShare estimates the fraction of device time stalled on DRAM
+// given the compute-side throughput limit and the bandwidth-side limit
+// (both in items/s). A device whose bandwidth allocation covers its
+// compute-side demand is not stalled at all; one whose allocation is a
+// small fraction of demand spends almost all its time waiting.
+func MemStallShare(computeTP, bwTP float64) float64 {
+	if computeTP <= 0 {
+		return 0
+	}
+	if bwTP >= computeTP {
+		return 0
+	}
+	if bwTP <= 0 {
+		return 1
+	}
+	return 1 - bwTP/computeTP
+}

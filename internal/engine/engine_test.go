@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/trace"
+)
+
+// Canonical micro-benchmark-like profiles (heavyweight items, as in the
+// characterization micro-benchmarks).
+func computeCost() device.CostProfile {
+	return device.CostProfile{FLOPs: 20000, MemOps: 20, L3MissRatio: 0.02, Instructions: 3000}
+}
+
+func memoryCost() device.CostProfile {
+	return device.CostProfile{FLOPs: 10, MemOps: 100, L3MissRatio: 0.6, Instructions: 500}
+}
+
+func desktopEngine() *Engine { return New(platform.Desktop()) }
+
+func run(t *testing.T, e *Engine, ph Phase) Result {
+	t.Helper()
+	res, err := e.Run(ph)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestRunValidation(t *testing.T) {
+	e := desktopEngine()
+	if _, err := e.Run(Phase{Kernel: Kernel{Name: "bad"}, PoolItems: 10}); err == nil {
+		t.Error("invalid cost profile accepted")
+	}
+	if _, err := e.Run(Phase{Kernel: Kernel{Cost: computeCost()}, PoolItems: -1}); err == nil {
+		t.Error("negative pool accepted")
+	}
+	if _, err := e.Run(Phase{Kernel: Kernel{Cost: computeCost()}, StopWhenGPUDone: true, PoolItems: 10}); err == nil {
+		t.Error("profiling phase without GPU items accepted")
+	}
+}
+
+func TestEmptyPhaseIsNoOp(t *testing.T) {
+	e := desktopEngine()
+	res := run(t, e, Phase{Kernel: Kernel{Cost: computeCost()}})
+	if res.Duration != 0 || res.EnergyJ != 0 {
+		t.Errorf("empty phase produced %+v", res)
+	}
+}
+
+func TestCPUAloneComputeAnchors(t *testing.T) {
+	e := desktopEngine()
+	res := run(t, e, Phase{Kernel: Kernel{Name: "compute", Cost: computeCost()}, PoolItems: 3e6})
+	// Throughput anchor: 4 cores × 3.9 GHz × 8 FLOPs/cycle / 20000 ≈ 6.24e6 items/s.
+	tp := res.CPUThroughput()
+	if tp < 5.5e6 || tp > 7e6 {
+		t.Errorf("CPU-alone compute throughput = %v, want ≈6.24e6", tp)
+	}
+	// Power anchor (paper §2): ≈45 W package.
+	w := res.AvgPowerW()
+	if w < 41 || w > 49 {
+		t.Errorf("CPU-alone compute power = %v W, want ≈45", w)
+	}
+	if res.GPUItems != 0 || res.CPUItems < 3e6-1 {
+		t.Errorf("work accounting wrong: %+v", res)
+	}
+}
+
+func TestGPUAloneComputeAnchors(t *testing.T) {
+	e := desktopEngine()
+	res := run(t, e, Phase{Kernel: Kernel{Name: "compute", Cost: computeCost()}, GPUItems: 10e6})
+	// GPU ≈ 460 GFLOPs / 20000 ≈ 23e6 items/s.
+	tp := res.GPUThroughput()
+	if tp < 19e6 || tp > 26e6 {
+		t.Errorf("GPU-alone compute throughput = %v, want ≈23e6", tp)
+	}
+	// Power anchor: ≈30 W package (plus a watt or two of proxy-thread).
+	w := res.AvgPowerW()
+	if w < 27 || w > 35 {
+		t.Errorf("GPU-alone compute power = %v W, want ≈30-32", w)
+	}
+}
+
+func TestMemoryBoundCombinedAnchors(t *testing.T) {
+	e := desktopEngine()
+	// Long combined run: both devices memory-bound, α chosen to keep
+	// both busy for seconds so the steady state dominates.
+	tr := trace.NewSet()
+	res := run(t, e, Phase{
+		Kernel:    Kernel{Name: "memory", Cost: memoryCost()},
+		GPUItems:  15e6,
+		PoolItems: 17e6,
+		Trace:     tr,
+	})
+	// Steady-state combined package power ≈ 58-63 W (paper: ~63 W),
+	// measured after the reaction transient.
+	steady := tr.PackagePower.MeanBetween(200*time.Millisecond, res.Duration)
+	if steady < 53 || steady > 68 {
+		t.Errorf("memory-bound combined steady power = %v W, want ≈58-63", steady)
+	}
+	// Bandwidth sharing: neither device should reach its alone-run
+	// throughput while both are running.
+	if res.CPUThroughput() > 6e6 || res.GPUThroughput() > 6e6 {
+		t.Errorf("contended throughputs too high: cpu=%v gpu=%v", res.CPUThroughput(), res.GPUThroughput())
+	}
+}
+
+func TestShortGPUBurstDipsPackagePower(t *testing.T) {
+	// Reproduces the Fig. 4 mechanism: memory-bound work mostly on the
+	// CPU; a short GPU burst triggers the PCU reaction throttle and
+	// package power dips from ~58 W to below ~42 W.
+	e := desktopEngine()
+	tr := trace.NewSet()
+	// Warm up: CPU-alone memory-bound for a while.
+	res1 := run(t, e, Phase{Kernel: Kernel{Cost: memoryCost()}, PoolItems: 2e6, Trace: tr})
+	pre := tr.PackagePower.MeanBetween(0, res1.Duration)
+	if pre < 53 {
+		t.Fatalf("CPU-alone memory power = %v W, want ≳55", pre)
+	}
+	// Let the GPU go idle long enough to re-arm the hysteresis.
+	e.RunIdle(100*time.Millisecond, tr)
+	// Short GPU burst (5% of the work) alongside the CPU.
+	t0 := e.Platform().Clock.Now()
+	run(t, e, Phase{Kernel: Kernel{Cost: memoryCost()}, GPUItems: 150e3, PoolItems: 2e6, Trace: tr})
+	burstWindow := tr.PackagePower.MeanBetween(t0+time.Millisecond, t0+40*time.Millisecond)
+	if burstWindow > 45 {
+		t.Errorf("package power during short GPU burst = %v W, want <45 (Fig. 4 dip)", burstWindow)
+	}
+}
+
+func TestLongKernelsRecoverFromTransient(t *testing.T) {
+	// Fig. 3: long GPU executions settle back to steady combined power
+	// after the reaction window.
+	e := desktopEngine()
+	tr := trace.NewSet()
+	res := run(t, e, Phase{Kernel: Kernel{Cost: memoryCost()}, GPUItems: 20e6, PoolItems: 20e6, Trace: tr})
+	early := tr.PackagePower.MeanBetween(5*time.Millisecond, 100*time.Millisecond)
+	late := tr.PackagePower.MeanBetween(500*time.Millisecond, res.Duration)
+	if early >= late {
+		t.Errorf("transient window power %v should be below steady %v", early, late)
+	}
+	if late < 53 {
+		t.Errorf("steady combined power = %v, want ≳55", late)
+	}
+}
+
+func TestPerfAlphaBalancesCompletion(t *testing.T) {
+	// With α = R_G/(R_C+R_G) both devices should finish within a few
+	// percent of each other (eq. 2 of the paper).
+	e := desktopEngine()
+	cost := computeCost()
+	// Measure combined-mode throughputs with a profiling-style probe
+	// (stops when the GPU drains, so the measurement window is pure
+	// combined execution).
+	probe := run(t, e, Phase{Kernel: Kernel{Cost: cost}, GPUItems: 2e6, PoolItems: 20e6, StopWhenGPUDone: true})
+	rc, rg := probe.CPUThroughput(), probe.GPUThroughput()
+	alpha := rg / (rc + rg)
+	e.Platform().Reset()
+	n := 20e6
+	res := run(t, e, Phase{Kernel: Kernel{Cost: cost}, GPUItems: alpha * n, PoolItems: (1 - alpha) * n})
+	cpuT, gpuT := res.CPUBusy.Seconds(), res.GPUBusy.Seconds()
+	imbalance := math.Abs(cpuT-gpuT) / math.Max(cpuT, gpuT)
+	if imbalance > 0.1 {
+		t.Errorf("PERF split imbalance = %v (cpu %vs vs gpu %vs), want <10%%", imbalance, cpuT, gpuT)
+	}
+}
+
+func TestStopWhenGPUDoneLeavesPool(t *testing.T) {
+	e := desktopEngine()
+	res := run(t, e, Phase{
+		Kernel:          Kernel{Cost: computeCost()},
+		GPUItems:        2240,
+		PoolItems:       50e6,
+		StopWhenGPUDone: true,
+	})
+	if res.GPUItems < 2240-1 {
+		t.Errorf("GPU should finish its chunk: %v", res.GPUItems)
+	}
+	if res.PoolRemaining <= 0 {
+		t.Error("profiling stop should leave pool items")
+	}
+	if res.CPUItems <= 0 {
+		t.Error("CPU workers should have processed items during profiling")
+	}
+}
+
+func TestLaunchOverheadFloor(t *testing.T) {
+	e := desktopEngine()
+	res := run(t, e, Phase{Kernel: Kernel{Cost: computeCost()}, GPUItems: 16})
+	if res.Duration < e.Platform().Spec().GPU.LaunchOverhead {
+		t.Errorf("duration %v below launch overhead", res.Duration)
+	}
+}
+
+func TestSpeedFactorsApply(t *testing.T) {
+	e := desktopEngine()
+	base := run(t, e, Phase{Kernel: Kernel{Cost: computeCost()}, PoolItems: 2e6})
+	e.Platform().Reset()
+	slow := run(t, e, Phase{Kernel: Kernel{Cost: computeCost(), CPUSpeedFactor: 0.5}, PoolItems: 2e6})
+	ratio := base.CPUThroughput() / slow.CPUThroughput()
+	if math.Abs(ratio-2) > 0.1 {
+		t.Errorf("CPU speed factor 0.5 gave throughput ratio %v, want 2", ratio)
+	}
+}
+
+func TestCountersAccumulateOnlyCPUItems(t *testing.T) {
+	e := desktopEngine()
+	cost := memoryCost()
+	res := run(t, e, Phase{Kernel: Kernel{Cost: cost}, GPUItems: 1e6, PoolItems: 1e6})
+	wantInstr := res.CPUItems * cost.Instructions
+	if math.Abs(res.Counters.Instructions-wantInstr) > wantInstr*1e-6 {
+		t.Errorf("instructions = %v, want %v", res.Counters.Instructions, wantInstr)
+	}
+	gotMI := res.Counters.MemoryIntensity()
+	if math.Abs(gotMI-cost.MemoryIntensity()) > 1e-9 {
+		t.Errorf("counter memory intensity = %v, want %v", gotMI, cost.MemoryIntensity())
+	}
+}
+
+func TestEnergyEqualsPowerTimesTime(t *testing.T) {
+	e := desktopEngine()
+	tr := trace.NewSet()
+	res := run(t, e, Phase{Kernel: Kernel{Cost: computeCost()}, PoolItems: 5e6, Trace: tr})
+	fromTrace := tr.Energy()
+	if math.Abs(fromTrace-res.EnergyJ) > 0.05*res.EnergyJ {
+		t.Errorf("trace energy %v vs MSR energy %v disagree", fromTrace, res.EnergyJ)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() Result {
+		e := desktopEngine()
+		return run(t, e, Phase{Kernel: Kernel{Cost: memoryCost()}, GPUItems: 3e6, PoolItems: 3e6})
+	}
+	a, b := runOnce(), runOnce()
+	if a != b {
+		t.Errorf("identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestTabletBudgetBindsWhenCombined(t *testing.T) {
+	e := New(platform.Tablet())
+	tr := trace.NewSet()
+	// Stop the phase the moment the GPU drains so the measurement ends
+	// while still in combined mode (any single-device tail lets the
+	// budget controller recover before we can observe it).
+	res := run(t, e, Phase{Kernel: Kernel{Cost: computeCost()}, GPUItems: 8e6, PoolItems: 50e6, StopWhenGPUDone: true, Trace: tr})
+	steady := tr.PackagePower.MeanBetween(res.Duration/2, res.Duration)
+	tdp := e.Platform().Spec().Policy.TDPW
+	if steady > tdp*1.1 {
+		t.Errorf("tablet combined steady power %v W should be regulated near TDP %v", steady, tdp)
+	}
+	if steady < tdp*0.8 {
+		t.Errorf("tablet combined steady power %v W suspiciously far below TDP %v", steady, tdp)
+	}
+	if e.Platform().PCU.BudgetScale() >= 1 {
+		t.Error("tablet budget controller should have engaged in combined mode")
+	}
+}
+
+func TestTabletPowerAsymmetry(t *testing.T) {
+	// GPU-alone should draw more package power than CPU-alone on the
+	// tablet (the paper's key Bay Trail observation).
+	ec := New(platform.Tablet())
+	cres := run(t, ec, Phase{Kernel: Kernel{Cost: computeCost()}, PoolItems: 1e6})
+	eg := New(platform.Tablet())
+	gres := run(t, eg, Phase{Kernel: Kernel{Cost: computeCost()}, GPUItems: 1e6})
+	if gres.AvgPowerW() <= cres.AvgPowerW() {
+		t.Errorf("tablet GPU-alone power %v should exceed CPU-alone %v", gres.AvgPowerW(), cres.AvgPowerW())
+	}
+	// And their speeds should be comparable (within 2×).
+	ratio := gres.GPUThroughput() / cres.CPUThroughput()
+	if ratio < 0.5 || ratio > 2.2 {
+		t.Errorf("tablet GPU/CPU speed ratio = %v, want ≈1", ratio)
+	}
+}
+
+func TestPhaseTimeout(t *testing.T) {
+	e := desktopEngine()
+	// An absurd amount of work must abort with ErrPhaseTimeout rather
+	// than hanging.
+	_, err := e.Run(Phase{Kernel: Kernel{Cost: memoryCost()}, PoolItems: 1e18})
+	if !errors.Is(err, ErrPhaseTimeout) {
+		t.Errorf("err = %v, want ErrPhaseTimeout", err)
+	}
+}

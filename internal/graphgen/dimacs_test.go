@@ -1,0 +1,94 @@
+package graphgen
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	orig, err := RoadNetwork(20, 15, 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteDIMACS(&buf, "synthetic road network\nseed 42"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != orig.N || got.EdgeCount() != orig.EdgeCount() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", got.N, got.EdgeCount(), orig.N, orig.EdgeCount())
+	}
+	// Adjacency per vertex must match as a multiset; weights within the
+	// 1/1000 quantization.
+	for v := 0; v < orig.N; v++ {
+		a := orig.Neighbors(v)
+		b := got.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree changed: %d vs %d", v, len(a), len(b))
+		}
+		seen := map[int32]float32{}
+		for i, nb := range a {
+			seen[nb] = orig.NeighborWeights(v)[i]
+		}
+		for i, nb := range b {
+			w, ok := seen[nb]
+			if !ok {
+				t.Fatalf("vertex %d gained neighbor %d", v, nb)
+			}
+			if math.Abs(float64(got.NeighborWeights(v)[i]-w)) > 0.002 {
+				t.Fatalf("vertex %d->%d weight %v vs %v", v, nb, got.NeighborWeights(v)[i], w)
+			}
+		}
+	}
+}
+
+func TestReadDIMACSHandWritten(t *testing.T) {
+	const doc = `c tiny test graph
+p sp 3 4
+a 1 2 1000
+a 2 1 1000
+a 2 3 2500
+a 3 2 2500
+`
+	g, err := ReadDIMACS(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.EdgeCount() != 4 {
+		t.Fatalf("shape = %d/%d", g.N, g.EdgeCount())
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("middle vertex degree = %d, want 2", g.Degree(1))
+	}
+	if w := g.NeighborWeights(1); math.Abs(float64(w[0]-1)) > 1e-6 && math.Abs(float64(w[1]-1)) > 1e-6 {
+		t.Errorf("weights not rescaled: %v", w)
+	}
+	levels, _ := BFSLevels(g, 0)
+	if levels[2] != 2 {
+		t.Errorf("BFS on parsed graph: level[2] = %d, want 2", levels[2])
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no problem":       "a 1 2 3\n",
+		"bad problem":      "p tsp 3 4\n",
+		"bad counts":       "p sp x 4\n",
+		"zero vertices":    "p sp 0 0\n",
+		"short arc":        "p sp 2 1\na 1 2\n",
+		"arc out of range": "p sp 2 1\na 1 5 10\n",
+		"bad weight":       "p sp 2 1\na 1 2 -5\n",
+		"unknown record":   "p sp 2 0\nz nope\n",
+		"count mismatch":   "p sp 2 5\na 1 2 10\n",
+	}
+	for name, doc := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted %q", name, doc)
+		}
+	}
+}

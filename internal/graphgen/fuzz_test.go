@@ -1,0 +1,50 @@
+package graphgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadDIMACS checks the parser never panics and that every graph it
+// accepts is structurally sound (CSR invariants hold, BFS terminates).
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("p sp 3 2\na 1 2 10\na 2 3 20\n")
+	f.Add("c comment\np sp 1 0\n")
+	f.Add("p sp 2 1\na 2 1 5\n")
+	f.Add("garbage\n\n\n")
+	f.Add("p sp 1000000000 1\na 1 1 1\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		if len(doc) > 1<<16 {
+			t.Skip()
+		}
+		// Guard against absurd vertex counts allocating gigabytes.
+		if strings.Contains(doc, "00000000") {
+			t.Skip()
+		}
+		g, err := ReadDIMACS(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if g.N <= 0 || len(g.Offsets) != g.N+1 {
+			t.Fatalf("accepted malformed graph: N=%d offsets=%d", g.N, len(g.Offsets))
+		}
+		if int(g.Offsets[g.N]) != len(g.Edges) || len(g.Edges) != len(g.Weights) {
+			t.Fatal("CSR arrays inconsistent")
+		}
+		for v := 0; v < g.N; v++ {
+			if g.Offsets[v] > g.Offsets[v+1] {
+				t.Fatalf("offsets not monotone at %d", v)
+			}
+			for _, nb := range g.Neighbors(v) {
+				if nb < 0 || int(nb) >= g.N {
+					t.Fatalf("edge target %d outside graph", nb)
+				}
+			}
+		}
+		// BFS must terminate and stay in range.
+		levels, _ := BFSLevels(g, 0)
+		if len(levels) != g.N {
+			t.Fatal("BFS level array wrong size")
+		}
+	})
+}

@@ -1,0 +1,148 @@
+// Package graphgen synthesizes road-network-like graphs in CSR form.
+// The paper's graph workloads (BFS, Connected Components, Shortest
+// Path) run on the Western-USA road network; that input is proprietary
+// to the DIMACS distribution, so we substitute a generator with the
+// same structural signature: an almost-planar grid (roads) with low,
+// nearly uniform degree, plus sparse long-range shortcuts (highways)
+// that control the diameter. Road-network BFS has thousands of levels
+// with small frontiers — exactly the short-burst kernel behaviour that
+// stresses the energy-aware scheduler.
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is an undirected graph in compressed sparse row form.
+type Graph struct {
+	// N is the vertex count.
+	N int
+	// Offsets has N+1 entries; vertex v's neighbors are
+	// Edges[Offsets[v]:Offsets[v+1]].
+	Offsets []int32
+	// Edges are the adjacency targets.
+	Edges []int32
+	// Weights are positive edge lengths parallel to Edges.
+	Weights []float32
+}
+
+// Degree returns vertex v's neighbor count.
+func (g *Graph) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns vertex v's adjacency slice (shared storage; do not
+// modify).
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// NeighborWeights returns the edge weights parallel to Neighbors(v).
+func (g *Graph) NeighborWeights(v int) []float32 {
+	return g.Weights[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// EdgeCount returns the number of directed edge entries (twice the
+// undirected edge count).
+func (g *Graph) EdgeCount() int { return len(g.Edges) }
+
+// RoadNetwork generates a w×h grid graph with the given fraction of
+// extra shortcut edges (relative to vertex count) and deterministic
+// topology for a seed. Grid edges get weight ~1, shortcuts get longer
+// weights, mimicking road lengths.
+func RoadNetwork(w, h int, shortcutFrac float64, seed int64) (*Graph, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("graphgen: grid %dx%d too small", w, h)
+	}
+	if shortcutFrac < 0 || shortcutFrac > 1 {
+		return nil, fmt.Errorf("graphgen: shortcut fraction %v outside [0,1]", shortcutFrac)
+	}
+	n := w * h
+	rng := rand.New(rand.NewSource(seed))
+
+	type edge struct {
+		u, v int32
+		w    float32
+	}
+	var edges []edge
+	add := func(u, v int, weight float32) {
+		edges = append(edges, edge{int32(u), int32(v), weight})
+	}
+	// Grid roads: right and down neighbors, with a few removed to make
+	// the network irregular (dead ends, rivers).
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := y*w + x
+			if x+1 < w && rng.Float64() > 0.03 {
+				add(v, v+1, 0.8+0.4*rng.Float32())
+			}
+			if y+1 < h && rng.Float64() > 0.03 {
+				add(v, v+w, 0.8+0.4*rng.Float32())
+			}
+		}
+	}
+	// Highways: long-range shortcuts.
+	shortcuts := int(shortcutFrac * float64(n))
+	for i := 0; i < shortcuts; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			add(u, v, 3+5*rng.Float32())
+		}
+	}
+
+	// Build CSR (undirected: every edge in both directions).
+	deg := make([]int32, n+1)
+	for _, e := range edges {
+		deg[e.u+1]++
+		deg[e.v+1]++
+	}
+	offsets := make([]int32, n+1)
+	for i := 1; i <= n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	adj := make([]int32, offsets[n])
+	wts := make([]float32, offsets[n])
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		adj[cursor[e.u]] = e.v
+		wts[cursor[e.u]] = e.w
+		cursor[e.u]++
+		adj[cursor[e.v]] = e.u
+		wts[cursor[e.v]] = e.w
+		cursor[e.v]++
+	}
+	return &Graph{N: n, Offsets: offsets, Edges: adj, Weights: wts}, nil
+}
+
+// BFSLevels runs a level-synchronous BFS from src and returns the level
+// of every vertex (-1 for unreachable) plus the per-level frontier
+// sizes. This is both a functional workload component and the source of
+// realistic invocation schedules.
+func BFSLevels(g *Graph, src int) (levels []int32, frontiers []int) {
+	levels = make([]int32, g.N)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[src] = 0
+	frontier := []int32{int32(src)}
+	var next []int32
+	depth := int32(0)
+	for len(frontier) > 0 {
+		frontiers = append(frontiers, len(frontier))
+		next = next[:0]
+		for _, v := range frontier {
+			for _, nb := range g.Neighbors(int(v)) {
+				if levels[nb] < 0 {
+					levels[nb] = depth + 1
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier, next = next, frontier
+		depth++
+	}
+	return levels, frontiers
+}

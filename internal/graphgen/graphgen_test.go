@@ -1,0 +1,130 @@
+package graphgen
+
+import "testing"
+
+func TestRoadNetworkStructure(t *testing.T) {
+	g, err := RoadNetwork(50, 40, 0.001, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 2000 {
+		t.Fatalf("N = %d, want 2000", g.N)
+	}
+	if len(g.Offsets) != g.N+1 {
+		t.Fatalf("offsets length %d", len(g.Offsets))
+	}
+	if len(g.Edges) != len(g.Weights) {
+		t.Fatal("edges and weights must be parallel")
+	}
+	if int(g.Offsets[g.N]) != len(g.Edges) {
+		t.Fatal("CSR offsets inconsistent with edge array")
+	}
+	// Undirected: every edge appears in both directions.
+	type pair struct{ u, v int32 }
+	fwd := map[pair]int{}
+	for v := 0; v < g.N; v++ {
+		for _, nb := range g.Neighbors(v) {
+			fwd[pair{int32(v), nb}]++
+		}
+	}
+	for p, c := range fwd {
+		if fwd[pair{p.v, p.u}] != c {
+			t.Fatalf("edge %v asymmetric", p)
+		}
+	}
+	// Road networks have low average degree.
+	avgDeg := float64(len(g.Edges)) / float64(g.N)
+	if avgDeg < 2 || avgDeg > 6 {
+		t.Errorf("average degree %v, want road-network-like (2-6)", avgDeg)
+	}
+	for i, w := range g.Weights {
+		if w <= 0 {
+			t.Fatalf("edge %d has non-positive weight %v", i, w)
+		}
+	}
+}
+
+func TestRoadNetworkDeterminism(t *testing.T) {
+	a, _ := RoadNetwork(30, 30, 0.01, 7)
+	b, _ := RoadNetwork(30, 30, 0.01, 7)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatalf("same seed diverged at edge %d", i)
+		}
+	}
+	c, _ := RoadNetwork(30, 30, 0.01, 8)
+	same := len(a.Edges) == len(c.Edges)
+	if same {
+		diff := false
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRoadNetworkValidation(t *testing.T) {
+	if _, err := RoadNetwork(1, 10, 0, 1); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	if _, err := RoadNetwork(10, 10, -0.1, 1); err == nil {
+		t.Error("negative shortcut fraction accepted")
+	}
+	if _, err := RoadNetwork(10, 10, 1.5, 1); err == nil {
+		t.Error("shortcut fraction >1 accepted")
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	g, _ := RoadNetwork(40, 40, 0.002, 3)
+	levels, frontiers := BFSLevels(g, 0)
+	if levels[0] != 0 {
+		t.Fatal("source level must be 0")
+	}
+	if frontiers[0] != 1 {
+		t.Fatalf("first frontier = %d, want 1", frontiers[0])
+	}
+	// Level consistency: neighbors differ by at most one level when
+	// both reached.
+	for v := 0; v < g.N; v++ {
+		if levels[v] < 0 {
+			continue
+		}
+		for _, nb := range g.Neighbors(v) {
+			if levels[nb] < 0 {
+				t.Fatalf("vertex %d reached but neighbor %d not", v, nb)
+			}
+			d := levels[v] - levels[nb]
+			if d > 1 || d < -1 {
+				t.Fatalf("levels %d and %d differ by %d across an edge", v, nb, d)
+			}
+		}
+	}
+	// Frontier sizes sum to reached vertices.
+	total := 0
+	for _, f := range frontiers {
+		total += f
+	}
+	reached := 0
+	for _, l := range levels {
+		if l >= 0 {
+			reached++
+		}
+	}
+	if total != reached {
+		t.Errorf("frontiers sum %d != reached %d", total, reached)
+	}
+	// A grid-with-shortcuts road network should be mostly connected.
+	if reached < g.N*9/10 {
+		t.Errorf("only %d/%d vertices reached", reached, g.N)
+	}
+}

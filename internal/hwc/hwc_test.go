@@ -1,0 +1,72 @@
+package hwc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccountAndSnapshot(t *testing.T) {
+	var m Monitor
+	m.Account(100, 0.5, 60, 40)
+	c := m.Snapshot()
+	if c.L3Misses != 50 || c.Instructions != 6000 || c.MemOps != 4000 {
+		t.Errorf("counters = %+v", c)
+	}
+	m.Account(0, 1, 1, 1) // no-op
+	m.Account(-5, 1, 1, 1)
+	if m.Snapshot() != c {
+		t.Error("zero/negative items should not change counters")
+	}
+}
+
+func TestSubAndIntensity(t *testing.T) {
+	a := Counters{L3Misses: 100, Instructions: 1000, MemOps: 200}
+	b := Counters{L3Misses: 150, Instructions: 1600, MemOps: 300}
+	d := b.Sub(a)
+	if d.L3Misses != 50 || d.Instructions != 600 || d.MemOps != 100 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if got := d.MemoryIntensity(); got != 0.5 {
+		t.Errorf("MemoryIntensity = %v, want 0.5", got)
+	}
+	if (Counters{L3Misses: 5}).MemoryIntensity() != 0 {
+		t.Error("zero MemOps intensity should be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var m Monitor
+	m.Account(10, 1, 1, 1)
+	m.Reset()
+	if m.Snapshot() != (Counters{}) {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+// Property: Account is additive — accounting n items once equals
+// accounting them in two batches.
+func TestAccountAdditiveProperty(t *testing.T) {
+	f := func(n1, n2 uint16, miss, instr, mem uint8) bool {
+		var once, twice Monitor
+		a, b := float64(n1), float64(n2)
+		mi, in, me := float64(miss)/255, float64(instr), float64(mem)
+		once.Account(a+b, mi, in, me)
+		twice.Account(a, mi, in, me)
+		twice.Account(b, mi, in, me)
+		c1, c2 := once.Snapshot(), twice.Snapshot()
+		const tol = 1e-9
+		return abs(c1.L3Misses-c2.L3Misses) < tol &&
+			abs(c1.Instructions-c2.Instructions) < tol &&
+			abs(c1.MemOps-c2.MemOps) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

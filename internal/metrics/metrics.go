@@ -1,0 +1,79 @@
+// Package metrics defines the energy-related objective functions the
+// scheduler can optimize. The paper's framework accepts any metric
+// expressible as a function of average package power and execution
+// time; total energy (E = P·T), energy-delay product (EDP = P·T²) and
+// energy-delay-squared (ED² = P·T³) are the standard instances.
+package metrics
+
+import "fmt"
+
+// Metric is an energy-related objective. Lower values are better.
+type Metric struct {
+	name string
+	eval func(powerW, timeS float64) float64
+}
+
+// New builds a custom metric from a name and an evaluation function of
+// average package power (watts) and execution time (seconds).
+func New(name string, eval func(powerW, timeS float64) float64) Metric {
+	if name == "" || eval == nil {
+		panic("metrics: metric needs a name and an eval function")
+	}
+	return Metric{name: name, eval: eval}
+}
+
+// Name returns the metric's name.
+func (m Metric) Name() string { return m.name }
+
+// Eval computes the metric value for the given average power and time.
+func (m Metric) Eval(powerW, timeS float64) float64 {
+	return m.eval(powerW, timeS)
+}
+
+// EvalEnergy computes the metric value from measured energy (joules)
+// and time (seconds), the quantities the runtime actually measures.
+func (m Metric) EvalEnergy(energyJ, timeS float64) float64 {
+	if timeS <= 0 {
+		return 0
+	}
+	return m.eval(energyJ/timeS, timeS)
+}
+
+// String implements fmt.Stringer.
+func (m Metric) String() string { return m.name }
+
+// Valid reports whether the metric is usable (constructed, not zero).
+func (m Metric) Valid() bool { return m.eval != nil }
+
+// Standard metrics.
+var (
+	// Energy is total energy use: E = P·T.
+	Energy = New("energy", func(p, t float64) float64 { return p * t })
+	// EDP is the energy-delay product: P·T².
+	EDP = New("edp", func(p, t float64) float64 { return p * t * t })
+	// ED2P is the energy-delay-squared product: P·T³.
+	ED2P = New("ed2p", func(p, t float64) float64 { return p * t * t * t })
+)
+
+// ByName resolves a standard metric by name.
+func ByName(name string) (Metric, error) {
+	switch name {
+	case "energy":
+		return Energy, nil
+	case "edp":
+		return EDP, nil
+	case "ed2p":
+		return ED2P, nil
+	}
+	return Metric{}, fmt.Errorf("metrics: unknown metric %q (want energy, edp, or ed2p)", name)
+}
+
+// Efficiency returns the paper's headline figure: the Oracle's metric
+// value over a strategy's, as a percentage (100% = matches Oracle;
+// lower metric values are better so efficiency ≤ 100% in expectation).
+func Efficiency(oracleValue, strategyValue float64) float64 {
+	if strategyValue <= 0 {
+		return 0
+	}
+	return 100 * oracleValue / strategyValue
+}

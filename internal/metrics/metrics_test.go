@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStandardMetrics(t *testing.T) {
+	const p, tm = 50.0, 2.0
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{Energy, 100},
+		{EDP, 200},
+		{ED2P, 400},
+	}
+	for _, c := range cases {
+		if got := c.m.Eval(p, tm); got != c.want {
+			t.Errorf("%s.Eval(50,2) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestEvalEnergy(t *testing.T) {
+	// 100 J over 2 s is 50 W; EDP = 50·4 = 200.
+	if got := EDP.EvalEnergy(100, 2); got != 200 {
+		t.Errorf("EvalEnergy = %v, want 200", got)
+	}
+	if got := EDP.EvalEnergy(100, 0); got != 0 {
+		t.Errorf("zero-time EvalEnergy = %v, want 0", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"energy", "edp", "ed2p"} {
+		m, err := ByName(name)
+		if err != nil || m.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := ByName("speed"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestCustomMetric(t *testing.T) {
+	// Battery-style: weight energy heavily, ignore time.
+	m := New("battery", func(p, t float64) float64 { return p * t * math.Sqrt(t) })
+	if !m.Valid() {
+		t.Error("constructed metric should be valid")
+	}
+	if got := m.Eval(10, 4); got != 80 {
+		t.Errorf("custom Eval = %v, want 80", got)
+	}
+	var zero Metric
+	if zero.Valid() {
+		t.Error("zero metric should be invalid")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for nil eval")
+		}
+	}()
+	New("bad", nil)
+}
+
+func TestEfficiency(t *testing.T) {
+	if got := Efficiency(96, 100); got != 96 {
+		t.Errorf("Efficiency = %v, want 96", got)
+	}
+	if got := Efficiency(100, 0); got != 0 {
+		t.Errorf("degenerate Efficiency = %v, want 0", got)
+	}
+}

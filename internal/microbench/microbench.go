@@ -1,0 +1,179 @@
+// Package microbench defines the eight power-characterization
+// micro-benchmarks of the paper's §2: the cross product of
+// {memory-bound, compute-bound} × {short, long CPU-alone execution} ×
+// {short, long GPU-alone execution}.
+//
+// The compute-bound kernel repeatedly performs floating-point
+// multiply-add operations; the memory-bound kernel randomly updates
+// array locations through precomputed indices (high L3 miss ratio).
+// CPU-biased variants (CPU short, GPU long) are fully divergent —
+// exactly the kind of irregular code that serializes GPU SIMD lanes —
+// while GPU-biased variants are regular. Iteration counts are sized per
+// platform by probing each device's alone-run throughput, so a "short"
+// benchmark genuinely completes under the 100 ms threshold on that
+// platform and a "long" one does not.
+package microbench
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// Benchmark is one sized micro-benchmark for a specific platform.
+type Benchmark struct {
+	// Category is the workload class this benchmark characterizes.
+	Category wclass.Category
+	// Kernel carries the per-item cost profile.
+	Kernel engine.Kernel
+	// N is the iteration count, sized so alone-runs land on the
+	// intended side of the short/long threshold on the target platform.
+	N int
+	// CPUAloneSeconds and GPUAloneSeconds are the probed alone-run
+	// time estimates used for sizing.
+	CPUAloneSeconds, GPUAloneSeconds float64
+}
+
+// Profiles: per-item costs for the four base kernels.
+
+// ComputeProfile is the regular FMA-loop kernel.
+func ComputeProfile() device.CostProfile {
+	return device.CostProfile{FLOPs: 20000, MemOps: 20, L3MissRatio: 0.02, Instructions: 3000}
+}
+
+// ComputeDivergentProfile is the FMA loop with fully input-dependent
+// control flow (CPU-biased: GPU SIMD lanes serialize).
+func ComputeDivergentProfile() device.CostProfile {
+	c := ComputeProfile()
+	c.Divergence = 1
+	return c
+}
+
+// MemoryProfile is the random-update kernel: most accesses miss L3.
+func MemoryProfile() device.CostProfile {
+	return device.CostProfile{FLOPs: 10, MemOps: 100, L3MissRatio: 0.6, Instructions: 500}
+}
+
+// MemoryDivergentProfile is the random-update kernel with divergent
+// control flow and an instruction-heavy body (CPU-biased).
+func MemoryDivergentProfile() device.CostProfile {
+	return device.CostProfile{FLOPs: 10, MemOps: 40, L3MissRatio: 0.5, Instructions: 3000, Divergence: 1}
+}
+
+// MemoryStreamProfile is a moderately memory-bound kernel with enough
+// floating-point work for the GPU's compute advantage to show
+// (GPU-biased while still classifying as memory-bound).
+func MemoryStreamProfile() device.CostProfile {
+	return device.CostProfile{FLOPs: 12000, MemOps: 24, L3MissRatio: 0.4, Instructions: 1800}
+}
+
+// probe measures alone-run throughputs for a profile on a fresh copy of
+// the platform.
+func probe(spec platform.Spec, cost device.CostProfile) (rc, rg float64, err error) {
+	// CPU alone.
+	p, err := platform.New(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	e := engine.New(p)
+	// Size the probes by raw compute bounds so they finish quickly.
+	guessCPU := spec.CPU.ComputeThroughput(spec.CPU.TurboHz, cost, float64(spec.CPU.Cores))
+	res, err := e.Run(engine.Phase{Kernel: engine.Kernel{Name: "probe-cpu", Cost: cost}, PoolItems: math.Max(1000, guessCPU*0.3)})
+	if err != nil {
+		return 0, 0, err
+	}
+	rc = res.CPUThroughput()
+
+	p, err = platform.New(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	e = engine.New(p)
+	guessGPU := spec.GPU.ComputeThroughput(spec.GPU.TurboHz, cost, 1e12)
+	res, err = e.Run(engine.Phase{Kernel: engine.Kernel{Name: "probe-gpu", Cost: cost}, GPUItems: math.Max(1000, guessGPU*0.3)})
+	if err != nil {
+		return 0, 0, err
+	}
+	rg = res.GPUThroughput()
+	if rc <= 0 || rg <= 0 {
+		return 0, 0, fmt.Errorf("microbench: degenerate probe throughputs rc=%v rg=%v", rc, rg)
+	}
+	return rc, rg, nil
+}
+
+// threshold in seconds.
+func thresholdS() float64 { return wclass.ShortLongThreshold.Seconds() }
+
+// Suite builds the eight sized micro-benchmarks for a platform spec.
+func Suite(spec platform.Spec) ([]Benchmark, error) {
+	type variant struct {
+		memory             bool
+		cpuShort, gpuShort bool
+		cost               device.CostProfile
+		name               string
+	}
+	variants := []variant{
+		{false, false, false, ComputeProfile(), "comp-LL"},
+		{false, true, true, ComputeProfile(), "comp-SS"},
+		{false, true, false, ComputeDivergentProfile(), "comp-SL"},
+		{false, false, true, ComputeProfile(), "comp-LS"},
+		{true, false, false, MemoryProfile(), "mem-LL"},
+		{true, true, true, MemoryProfile(), "mem-SS"},
+		{true, true, false, MemoryDivergentProfile(), "mem-SL"},
+		{true, false, true, MemoryStreamProfile(), "mem-LS"},
+	}
+
+	th := thresholdS()
+	var out []Benchmark
+	for _, v := range variants {
+		rc, rg, err := probe(spec, v.cost)
+		if err != nil {
+			return nil, fmt.Errorf("microbench %s: %w", v.name, err)
+		}
+		var n float64
+		switch {
+		case !v.cpuShort && !v.gpuShort:
+			// Both long: give the faster device ~4× the threshold.
+			n = 4 * th * math.Max(rc, rg)
+		case v.cpuShort && v.gpuShort:
+			// Both short: the slower device finishes in ~0.6× threshold.
+			n = 0.6 * th * math.Min(rc, rg)
+		case v.cpuShort && !v.gpuShort:
+			// CPU short, GPU long: needs rc > rg.
+			if rc <= rg {
+				return nil, fmt.Errorf("microbench %s: profile not CPU-biased on %s (rc=%v rg=%v)", v.name, spec.Name, rc, rg)
+			}
+			n = sizeBetween(rc, rg, th)
+		default:
+			// CPU long, GPU short: needs rg > rc.
+			if rg <= rc {
+				return nil, fmt.Errorf("microbench %s: profile not GPU-biased on %s (rc=%v rg=%v)", v.name, spec.Name, rc, rg)
+			}
+			n = sizeBetween(rg, rc, th)
+		}
+		if n < 1 {
+			n = 1
+		}
+		out = append(out, Benchmark{
+			Category:        wclass.Category{Memory: v.memory, CPUShort: v.cpuShort, GPUShort: v.gpuShort},
+			Kernel:          engine.Kernel{Name: v.name, Cost: v.cost},
+			N:               int(n),
+			CPUAloneSeconds: n / rc,
+			GPUAloneSeconds: n / rg,
+		})
+	}
+	return out, nil
+}
+
+// sizeBetween picks N so the fast device (throughput fast) finishes
+// below the threshold while the slow device exceeds it: N/fast < th and
+// N/slow > th. The geometric mean of the two bounds balances margin.
+func sizeBetween(fast, slow, th float64) float64 {
+	lo := th * slow // N must exceed this for the slow device to be long
+	hi := th * fast // N must stay below this for the fast device to be short
+	return math.Sqrt(lo * hi)
+}

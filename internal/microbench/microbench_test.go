@@ -1,0 +1,102 @@
+package microbench
+
+import (
+	"testing"
+
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+func TestSuiteCoversAllCategories(t *testing.T) {
+	for _, name := range []string{"desktop", "tablet"} {
+		spec, _ := platform.Presets(name)
+		suite, err := Suite(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(suite) != 8 {
+			t.Fatalf("%s: suite has %d benchmarks, want 8", name, len(suite))
+		}
+		seen := map[string]bool{}
+		for _, b := range suite {
+			if seen[b.Category.Key()] {
+				t.Errorf("%s: duplicate category %s", name, b.Category)
+			}
+			seen[b.Category.Key()] = true
+		}
+		for _, c := range wclass.All() {
+			if !seen[c.Key()] {
+				t.Errorf("%s: category %s missing", name, c)
+			}
+		}
+	}
+}
+
+func TestSuiteSizesRespectThreshold(t *testing.T) {
+	th := wclass.ShortLongThreshold.Seconds()
+	for _, name := range []string{"desktop", "tablet"} {
+		spec, _ := platform.Presets(name)
+		suite, err := Suite(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, b := range suite {
+			if b.N < 1 {
+				t.Errorf("%s/%s: N = %d", name, b.Category, b.N)
+			}
+			if b.Category.CPUShort && b.CPUAloneSeconds >= th {
+				t.Errorf("%s/%s: CPU-alone %vs not short", name, b.Category, b.CPUAloneSeconds)
+			}
+			if !b.Category.CPUShort && b.CPUAloneSeconds <= th {
+				t.Errorf("%s/%s: CPU-alone %vs not long", name, b.Category, b.CPUAloneSeconds)
+			}
+			if b.Category.GPUShort && b.GPUAloneSeconds >= th {
+				t.Errorf("%s/%s: GPU-alone %vs not short", name, b.Category, b.GPUAloneSeconds)
+			}
+			if !b.Category.GPUShort && b.GPUAloneSeconds <= th {
+				t.Errorf("%s/%s: GPU-alone %vs not long", name, b.Category, b.GPUAloneSeconds)
+			}
+		}
+	}
+}
+
+func TestProfilesClassifyCorrectly(t *testing.T) {
+	// Memory-bound profiles must exceed the 0.33 intensity threshold;
+	// compute-bound ones must stay below it.
+	memProfiles := map[string]float64{
+		"memory":     MemoryProfile().MemoryIntensity(),
+		"mem-div":    MemoryDivergentProfile().MemoryIntensity(),
+		"mem-stream": MemoryStreamProfile().MemoryIntensity(),
+	}
+	for name, mi := range memProfiles {
+		if mi <= wclass.MemoryBoundThreshold {
+			t.Errorf("%s intensity %v should exceed %v", name, mi, wclass.MemoryBoundThreshold)
+		}
+	}
+	compProfiles := map[string]float64{
+		"compute":  ComputeProfile().MemoryIntensity(),
+		"comp-div": ComputeDivergentProfile().MemoryIntensity(),
+	}
+	for name, mi := range compProfiles {
+		if mi >= wclass.MemoryBoundThreshold {
+			t.Errorf("%s intensity %v should be below %v", name, mi, wclass.MemoryBoundThreshold)
+		}
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	spec := platform.DesktopSpec()
+	a, err := Suite(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Suite(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].N != b[i].N || a[i].Category != b[i].Category {
+			t.Errorf("suite not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

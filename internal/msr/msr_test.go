@@ -1,0 +1,96 @@
+package msr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+type fakeSource struct{ j float64 }
+
+func (f *fakeSource) TotalEnergy() float64 { return f.j }
+
+func TestReadConvertsToUnits(t *testing.T) {
+	src := &fakeSource{j: 1.0} // 1 J = 65536 default units
+	m := New(src, DefaultUnitJoules)
+	if got := m.Read(); got != 65536 {
+		t.Errorf("Read = %d, want 65536", got)
+	}
+	if m.UnitJoules() != DefaultUnitJoules {
+		t.Errorf("UnitJoules = %v", m.UnitJoules())
+	}
+}
+
+func TestReadWrapsAt32Bits(t *testing.T) {
+	// 2^32 units + 5 units must read as 5.
+	unit := 0.001
+	src := &fakeSource{j: (math.Pow(2, 32) + 5) * unit}
+	m := New(src, unit)
+	if got := m.Read(); got != 5 {
+		t.Errorf("wrapped Read = %d, want 5", got)
+	}
+}
+
+func TestMeterMeasuresDeltas(t *testing.T) {
+	src := &fakeSource{}
+	m := New(src, DefaultUnitJoules)
+	meter := NewMeter(m)
+	src.j = 2.5
+	got := meter.Joules()
+	if math.Abs(got-2.5) > 1e-4 {
+		t.Errorf("first delta = %v, want 2.5", got)
+	}
+	src.j = 3.0
+	got = meter.Joules()
+	if math.Abs(got-0.5) > 1e-4 {
+		t.Errorf("second delta = %v, want 0.5", got)
+	}
+}
+
+func TestMeterHandlesWrap(t *testing.T) {
+	unit := 0.01
+	// Start just below the wrap point.
+	start := (math.Pow(2, 32) - 100) * unit
+	src := &fakeSource{j: start}
+	m := New(src, unit)
+	meter := NewMeter(m)
+	src.j = start + 250*unit // crosses the wrap
+	got := meter.Joules()
+	want := 250 * unit
+	if math.Abs(got-want) > unit {
+		t.Errorf("wrap delta = %v, want %v", got, want)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil source", func() { New(nil, 1) })
+	mustPanic("zero unit", func() { New(&fakeSource{}, 0) })
+}
+
+// Property: for any pair of increasing energies within one wrap, the
+// meter's reported delta matches the true delta to within one unit.
+func TestMeterDeltaProperty(t *testing.T) {
+	const unit = 0.001
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 1e6))
+		b = math.Abs(math.Mod(b, 1e6))
+		src := &fakeSource{j: a}
+		m := New(src, unit)
+		meter := NewMeter(m)
+		src.j = a + b
+		got := meter.Joules()
+		return math.Abs(got-b) <= 2*unit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

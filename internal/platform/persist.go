@@ -1,0 +1,38 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Save writes the spec as JSON, so users can characterize and evaluate
+// custom simulated processors without recompiling. Durations serialize
+// as nanoseconds (Go's encoding of time.Duration).
+func (s Spec) Save(path string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("platform: encoding spec %s: %w", s.Name, err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadSpec reads and validates a spec saved with Save (or hand-written;
+// start from `powerchar -dump-spec` output and edit).
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("platform: reading spec: %w", err)
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("platform: decoding spec %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("platform: spec %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,62 @@
+package platform
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSpecSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "desktop.json")
+	orig := DesktopSpec()
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name ||
+		got.CPU != orig.CPU ||
+		got.GPU != orig.GPU ||
+		got.Memory != orig.Memory ||
+		got.Policy != orig.Policy ||
+		got.Power != orig.Power ||
+		got.Tick != orig.Tick ||
+		got.SharedMemLimitBytes != orig.SharedMemLimitBytes {
+		t.Errorf("round trip changed the spec:\n got %+v\nwant %+v", got, orig)
+	}
+	// The loaded spec builds a working platform.
+	if _, err := New(got); err != nil {
+		t.Errorf("loaded spec unusable: %v", err)
+	}
+}
+
+func TestSaveRejectsInvalidSpec(t *testing.T) {
+	bad := DesktopSpec()
+	bad.Name = ""
+	if err := bad.Save(filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Error("invalid spec saved")
+	}
+}
+
+func TestLoadSpecErrors(t *testing.T) {
+	if _, err := LoadSpec(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	garbled := filepath.Join(t.TempDir(), "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(garbled); err == nil {
+		t.Error("garbled file accepted")
+	}
+	// Valid JSON, invalid spec.
+	invalid := filepath.Join(t.TempDir(), "invalid.json")
+	if err := os.WriteFile(invalid, []byte(`{"Name":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSpec(invalid); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

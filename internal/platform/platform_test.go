@@ -1,0 +1,209 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/msr"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, name := range []string{"desktop", "tablet"} {
+		spec, ok := Presets(name)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+	if _, ok := Presets("mainframe"); ok {
+		t.Error("unknown preset should not resolve")
+	}
+}
+
+func TestGPUProfileSizeMatchesPaper(t *testing.T) {
+	if got := Desktop().GPUProfileSize(); got != 2240 {
+		t.Errorf("desktop GPU_PROFILE_SIZE = %d, want 2240 (20 EU × 7 thr × 16)", got)
+	}
+	if got := Tablet().GPUProfileSize(); got != 448 {
+		t.Errorf("tablet GPU_PROFILE_SIZE = %d, want 448 (4 EU × 7 thr × 16)", got)
+	}
+}
+
+func TestSpecValidationErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"bad cpu", func(s *Spec) { s.CPU.Cores = 0 }},
+		{"bad gpu", func(s *Spec) { s.GPU.EUs = 0 }},
+		{"bad memory", func(s *Spec) { s.Memory.BandwidthBytes = 0 }},
+		{"bad policy", func(s *Spec) { s.Policy.TDPW = 0 }},
+		{"bad power", func(s *Spec) { s.Power.GPUComputeW = 0 }},
+		{"bad tick", func(s *Spec) { s.Tick = 0 }},
+		{"bad msr unit", func(s *Spec) { s.MSRUnitJoules = 0 }},
+		{"negative shm", func(s *Spec) { s.SharedMemLimitBytes = -1 }},
+		{"bad proxy", func(s *Spec) { s.ProxyCoreFraction = 1 }},
+	}
+	for _, c := range cases {
+		spec := DesktopSpec()
+		c.mutate(&spec)
+		if _, err := New(spec); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid spec")
+		}
+	}()
+	bad := DesktopSpec()
+	bad.Name = ""
+	MustNew(bad)
+}
+
+func TestSharedAllocationLimit(t *testing.T) {
+	tb := Tablet()
+	if err := tb.CheckSharedAllocation(200 << 20); err != nil {
+		t.Errorf("200MB on tablet should fit: %v", err)
+	}
+	err := tb.CheckSharedAllocation(300 << 20)
+	if err == nil {
+		t.Fatal("300MB on tablet should exceed the 250MB limit")
+	}
+	if !strings.Contains(err.Error(), "shared-region limit") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	dt := Desktop()
+	if err := dt.CheckSharedAllocation(8 << 30); err != nil {
+		t.Errorf("desktop has no limit: %v", err)
+	}
+	if err := dt.CheckSharedAllocation(-1); err == nil {
+		t.Error("negative allocation should error")
+	}
+}
+
+func TestGPUBusyFlag(t *testing.T) {
+	p := Desktop()
+	if p.GPUBusy() {
+		t.Error("fresh platform should not report a busy GPU")
+	}
+	p.SetGPUBusy(true)
+	if !p.GPUBusy() {
+		t.Error("SetGPUBusy(true) not observed")
+	}
+	p.Reset()
+	if p.GPUBusy() {
+		t.Error("Reset should clear the busy flag")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	p := Desktop()
+	p.Clock.Step()
+	p.HWC.Account(100, 1, 10, 5)
+	p.Reset()
+	if p.Clock.Now() != 0 {
+		t.Error("Reset should zero the clock")
+	}
+	if p.HWC.Snapshot().Instructions != 0 {
+		t.Error("Reset should zero the counters")
+	}
+	if p.PCU.TotalEnergy() != 0 {
+		t.Error("Reset should zero accumulated energy")
+	}
+}
+
+func TestPlatformAsymmetryAnchors(t *testing.T) {
+	// Desktop: GPU compute power well below 4-core CPU compute power.
+	d := DesktopSpec()
+	cpuW := float64(d.CPU.Cores) * d.Power.CPUCoreComputeW
+	if d.Power.GPUComputeW >= cpuW {
+		t.Errorf("desktop GPU (%vW) should be cheaper than CPU (%vW)", d.Power.GPUComputeW, cpuW)
+	}
+	// Tablet: GPU is the more power-hungry device (paper Fig. 6).
+	tb := TabletSpec()
+	cpuW = float64(tb.CPU.Cores) * tb.Power.CPUCoreComputeW
+	if tb.Power.GPUComputeW <= cpuW {
+		t.Errorf("tablet GPU (%vW) should be hungrier than CPU (%vW)", tb.Power.GPUComputeW, cpuW)
+	}
+}
+
+func TestPerDomainRAPLCounters(t *testing.T) {
+	// Run some simulated load through the engine-free path: drive the
+	// PCU directly and check the domain counters decompose the package
+	// counter.
+	p := Desktop()
+	cpuMeter := msr.NewMeter(p.MSRPP0)
+	gpuMeter := msr.NewMeter(p.MSRPP1)
+	dramMeter := msr.NewMeter(p.MSRDRAM)
+	pkgMeter := msr.NewMeter(p.MSR)
+	for i := 0; i < 500; i++ {
+		p.PCU.Observe(
+			device.Load{Active: 1, ActiveCores: 4, Hz: 3.4e9, MemShare: 0.5, MemBytesPerSec: 10e9},
+			device.Load{Active: 1, Hz: 1.2e9, MemShare: 0.3, MemBytesPerSec: 8e9},
+			time.Millisecond,
+		)
+	}
+	cpuJ, gpuJ, dramJ, pkgJ := cpuMeter.Joules(), gpuMeter.Joules(), dramMeter.Joules(), pkgMeter.Joules()
+	if cpuJ <= 0 || gpuJ <= 0 || dramJ <= 0 {
+		t.Fatalf("domain energies must be positive: %v %v %v", cpuJ, gpuJ, dramJ)
+	}
+	idleJ := p.Spec().Power.IdleW * 0.5
+	sum := cpuJ + gpuJ + dramJ + idleJ
+	if sum < pkgJ*0.99 || sum > pkgJ*1.01 {
+		t.Errorf("domains (%v) + idle (%v) should sum to package %v", cpuJ+gpuJ+dramJ, idleJ, pkgJ)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	p := Desktop()
+	// Mutate everything.
+	for i := 0; i < 100; i++ {
+		p.PCU.Observe(
+			device.Load{Active: 1, ActiveCores: 4, Hz: 3.9e9, MemShare: 0.7, MemBytesPerSec: 12e9},
+			device.Load{Active: 1, Hz: 1.2e9, MemBytesPerSec: 5e9},
+			time.Millisecond,
+		)
+		p.Clock.Step()
+	}
+	p.HWC.Account(1000, 0.5, 60, 40)
+	p.SetGPUBusy(true)
+	snap := p.Snapshot()
+	beforeEnergy := p.PCU.TotalEnergy()
+	beforeNow := p.Clock.Now()
+	beforeCounters := p.HWC.Snapshot()
+
+	// Diverge.
+	for i := 0; i < 500; i++ {
+		p.PCU.Observe(device.Load{Active: 1, ActiveCores: 2, Hz: 3.4e9}, device.Load{}, time.Millisecond)
+		p.Clock.Step()
+	}
+	p.HWC.Account(999, 1, 1, 1)
+	p.SetGPUBusy(false)
+	if p.PCU.TotalEnergy() == beforeEnergy {
+		t.Fatal("divergence did not change state")
+	}
+
+	// Restore must bring every observable back.
+	p.Restore(snap)
+	if p.PCU.TotalEnergy() != beforeEnergy {
+		t.Errorf("energy %v, want %v", p.PCU.TotalEnergy(), beforeEnergy)
+	}
+	if p.Clock.Now() != beforeNow {
+		t.Errorf("clock %v, want %v", p.Clock.Now(), beforeNow)
+	}
+	if p.HWC.Snapshot() != beforeCounters {
+		t.Errorf("counters %+v, want %+v", p.HWC.Snapshot(), beforeCounters)
+	}
+	if !p.GPUBusy() {
+		t.Error("gpu-busy flag not restored")
+	}
+}

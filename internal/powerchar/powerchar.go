@@ -1,0 +1,226 @@
+// Package powerchar implements the paper's one-time platform power
+// characterization (§2): each of the eight micro-benchmarks is executed
+// across a sweep of GPU offload ratios α ∈ [0,1]; average package power
+// is measured through the emulated MSR for every α; and a sixth-order
+// polynomial P(α) is fitted per workload category. The resulting model
+// is what the energy-aware scheduler combines with online profiling at
+// run time.
+package powerchar
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/microbench"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/vmath"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// Sample is one measured point of a characterization sweep.
+type Sample struct {
+	// Alpha is the GPU offload ratio.
+	Alpha float64 `json:"alpha"`
+	// Watts is the measured average package power.
+	Watts float64 `json:"watts"`
+	// Seconds is the measured execution time (kept for diagnostics).
+	Seconds float64 `json:"seconds"`
+}
+
+// Curve is one fitted power characterization function.
+type Curve struct {
+	// Category is the workload class the curve models.
+	Category wclass.Category `json:"category"`
+	// Coeffs are the fitted polynomial coefficients, ascending degree.
+	Coeffs []float64 `json:"coeffs"`
+	// Samples are the measured sweep points the fit came from.
+	Samples []Sample `json:"samples"`
+	// R2 is the fit's coefficient of determination.
+	R2 float64 `json:"r2"`
+}
+
+// Poly returns the fitted polynomial.
+func (c Curve) Poly() vmath.Poly { return vmath.Poly{Coeffs: c.Coeffs} }
+
+// Power evaluates the fitted curve at offload ratio alpha, clamped to
+// [0,1].
+func (c Curve) Power(alpha float64) float64 {
+	return c.Poly().Eval(vmath.Clamp(alpha, 0, 1))
+}
+
+// Model is a platform's complete power characterization: one curve per
+// workload category.
+type Model struct {
+	// Platform is the platform name the model was measured on.
+	Platform string `json:"platform"`
+	// AlphaStep is the sweep granularity used.
+	AlphaStep float64 `json:"alpha_step"`
+	// Curves maps category keys (wclass.Category.Key) to curves.
+	Curves map[string]Curve `json:"curves"`
+}
+
+// Curve returns the characterization curve for a category.
+func (m *Model) Curve(cat wclass.Category) (Curve, bool) {
+	c, ok := m.Curves[cat.Key()]
+	return c, ok
+}
+
+// Power predicts average package power for a workload of the given
+// category at offload ratio alpha. It returns an error for categories
+// the model lacks (a malformed or truncated model file).
+func (m *Model) Power(cat wclass.Category, alpha float64) (float64, error) {
+	c, ok := m.Curves[cat.Key()]
+	if !ok {
+		return 0, fmt.Errorf("powerchar: model for %s has no curve for category %s", m.Platform, cat)
+	}
+	return c.Power(alpha), nil
+}
+
+// Complete reports whether the model has all eight category curves.
+func (m *Model) Complete() bool {
+	for _, cat := range wclass.All() {
+		if _, ok := m.Curves[cat.Key()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Options configure a characterization run.
+type Options struct {
+	// AlphaStep is the sweep granularity; 0 selects 0.05 (21 points).
+	AlphaStep float64
+	// PolyDegree is the fitted polynomial degree; 0 selects the
+	// paper's sixth order.
+	PolyDegree int
+}
+
+func (o Options) withDefaults() Options {
+	if o.AlphaStep <= 0 {
+		o.AlphaStep = 0.05
+	}
+	if o.PolyDegree <= 0 {
+		o.PolyDegree = 6
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.AlphaStep > 0.5 {
+		return fmt.Errorf("powerchar: alpha step %v too coarse", o.AlphaStep)
+	}
+	points := int(1/o.AlphaStep) + 1
+	if points < o.PolyDegree+1 {
+		return fmt.Errorf("powerchar: %d sweep points cannot fit a degree-%d polynomial", points, o.PolyDegree)
+	}
+	return nil
+}
+
+// Characterize measures and fits the eight power characterization
+// functions for a platform. The sweep runs each sized micro-benchmark
+// on a freshly booted platform per α point, so measurements are
+// independent and deterministic.
+func Characterize(spec platform.Spec, opts Options) (*Model, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	suite, err := microbench.Suite(spec)
+	if err != nil {
+		return nil, err
+	}
+	model := &Model{Platform: spec.Name, AlphaStep: opts.AlphaStep, Curves: map[string]Curve{}}
+	for _, b := range suite {
+		curve, err := sweep(spec, b, opts)
+		if err != nil {
+			return nil, fmt.Errorf("powerchar: %s on %s: %w", b.Category, spec.Name, err)
+		}
+		model.Curves[b.Category.Key()] = curve
+	}
+	return model, nil
+}
+
+// MeasureAlpha runs one micro-benchmark at one offload ratio on a fresh
+// platform and reports the measured sample. Exposed for the trace tools
+// that regenerate the paper's power-over-time figures.
+func MeasureAlpha(spec platform.Spec, b microbench.Benchmark, alpha float64) (Sample, error) {
+	p, err := platform.New(spec)
+	if err != nil {
+		return Sample{}, err
+	}
+	e := engine.New(p)
+	alpha = vmath.Clamp(alpha, 0, 1)
+	n := float64(b.N)
+	res, err := e.Run(engine.Phase{
+		Kernel:    b.Kernel,
+		GPUItems:  alpha * n,
+		PoolItems: (1 - alpha) * n,
+	})
+	if err != nil {
+		return Sample{}, err
+	}
+	sec := res.Duration.Seconds()
+	if sec <= 0 {
+		return Sample{}, fmt.Errorf("powerchar: zero-duration measurement at alpha=%v", alpha)
+	}
+	return Sample{Alpha: alpha, Watts: res.EnergyJ / sec, Seconds: sec}, nil
+}
+
+func sweep(spec platform.Spec, b microbench.Benchmark, opts Options) (Curve, error) {
+	var samples []Sample
+	for alpha := 0.0; alpha <= 1.0+1e-9; alpha += opts.AlphaStep {
+		a := vmath.Clamp(alpha, 0, 1)
+		s, err := MeasureAlpha(spec, b, a)
+		if err != nil {
+			return Curve{}, err
+		}
+		samples = append(samples, s)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Alpha < samples[j].Alpha })
+
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = s.Alpha
+		ys[i] = s.Watts
+	}
+	poly, err := vmath.FitPoly(xs, ys, opts.PolyDegree)
+	if err != nil {
+		return Curve{}, err
+	}
+	return Curve{
+		Category: b.Category,
+		Coeffs:   poly.Coeffs,
+		Samples:  samples,
+		R2:       vmath.RSquared(poly, xs, ys),
+	}, nil
+}
+
+// Save writes the model as JSON — the "computed once per processor"
+// artifact the runtime loads at startup.
+func (m *Model) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("powerchar: encoding model: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a model saved with Save and verifies it is complete.
+func Load(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("powerchar: reading model: %w", err)
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("powerchar: decoding model %s: %w", path, err)
+	}
+	if !m.Complete() {
+		return nil, fmt.Errorf("powerchar: model %s is missing category curves", path)
+	}
+	return &m, nil
+}

@@ -1,0 +1,131 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/hwc"
+	"github.com/hetsched/eas/internal/platform"
+)
+
+func memKernel() engine.Kernel {
+	return engine.Kernel{
+		Name: "mem",
+		Cost: device.CostProfile{FLOPs: 10, MemOps: 100, L3MissRatio: 0.6, Instructions: 500},
+	}
+}
+
+func compKernel() engine.Kernel {
+	return engine.Kernel{
+		Name: "comp",
+		Cost: device.CostProfile{FLOPs: 20000, MemOps: 20, L3MissRatio: 0.02, Instructions: 3000},
+	}
+}
+
+func TestStepMeasuresBothDevices(t *testing.T) {
+	e := engine.New(platform.Desktop())
+	obs, remaining, err := Step(e, memKernel(), 2240, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.RC <= 0 || obs.RG <= 0 {
+		t.Errorf("throughputs RC=%v RG=%v should be positive", obs.RC, obs.RG)
+	}
+	if obs.GPUItems < 2239 {
+		t.Errorf("GPU should finish its chunk: %v", obs.GPUItems)
+	}
+	if remaining <= 0 || remaining >= 1e6 {
+		t.Errorf("remaining = %v, want partial pool drain", remaining)
+	}
+	if obs.EnergyJ <= 0 || obs.Duration <= 0 {
+		t.Errorf("step should consume time and energy: %+v", obs)
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	e := engine.New(platform.Desktop())
+	if _, _, err := Step(e, memKernel(), 0, 100); err == nil {
+		t.Error("zero GPU chunk accepted")
+	}
+	if _, _, err := Step(e, memKernel(), 100, -1); err == nil {
+		t.Error("negative pool accepted")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	e := engine.New(platform.Desktop())
+	obs, _, err := Step(e, memKernel(), 2240, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi := obs.MemoryIntensity(); mi <= 0.33 {
+		t.Errorf("memory kernel intensity = %v, want >0.33", mi)
+	}
+	// Plenty of remaining items at these throughputs → long/long.
+	cat := obs.Classify(50e6)
+	if !cat.Memory || cat.CPUShort || cat.GPUShort {
+		t.Errorf("50M remaining should classify mem-cpuL-gpuL, got %s", cat)
+	}
+	// Few remaining items → short/short.
+	cat = obs.Classify(1000)
+	if !cat.CPUShort || !cat.GPUShort {
+		t.Errorf("1k remaining should classify short, got %s", cat)
+	}
+
+	e2 := engine.New(platform.Desktop())
+	obs2, _, err := Step(e2, compKernel(), 2240, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs2.Classify(50e6).Memory {
+		t.Error("compute kernel classified memory-bound")
+	}
+}
+
+func TestClassifyUnmeasuredDeviceIsLong(t *testing.T) {
+	obs := Observation{RC: 1000, RG: 0}
+	cat := obs.Classify(10)
+	if cat.GPUShort {
+		t.Error("a device with zero measured throughput must classify long")
+	}
+	if !cat.CPUShort {
+		t.Error("10 items at 1000/s should be CPU-short")
+	}
+}
+
+func TestMergeWeightsByItems(t *testing.T) {
+	a := Observation{RC: 100, RG: 200, CPUItems: 1000, GPUItems: 1000,
+		Duration: time.Second, EnergyJ: 10,
+		Counters: hwc.Counters{L3Misses: 5, Instructions: 50, MemOps: 10}}
+	b := Observation{RC: 300, RG: 400, CPUItems: 3000, GPUItems: 1000,
+		Duration: 2 * time.Second, EnergyJ: 20,
+		Counters: hwc.Counters{L3Misses: 15, Instructions: 150, MemOps: 30}}
+	m := Merge(a, b)
+	if !almostEq(m.RC, 250) { // (100·1000 + 300·3000)/4000
+		t.Errorf("merged RC = %v, want 250", m.RC)
+	}
+	if !almostEq(m.RG, 300) { // (200+400)/2 with equal weights
+		t.Errorf("merged RG = %v, want 300", m.RG)
+	}
+	if m.CPUItems != 4000 || m.GPUItems != 2000 {
+		t.Errorf("merged items: %v, %v", m.CPUItems, m.GPUItems)
+	}
+	if m.Duration != 3*time.Second || m.EnergyJ != 30 {
+		t.Errorf("merged totals: %v %v", m.Duration, m.EnergyJ)
+	}
+	if m.Counters.L3Misses != 20 || m.Counters.Instructions != 200 || m.Counters.MemOps != 40 {
+		t.Errorf("merged counters: %+v", m.Counters)
+	}
+}
+
+func TestMergeZeroWeights(t *testing.T) {
+	m := Merge(Observation{}, Observation{})
+	if m.RC != 0 || m.RG != 0 {
+		t.Errorf("zero-weight merge: %+v", m)
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

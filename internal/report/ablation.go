@@ -1,0 +1,166 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hetsched/eas/internal/core"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	// Param describes the varied setting ("degree=6", "step=0.05").
+	Param string
+	// EASAvgEff is EAS's average efficiency vs Oracle under the
+	// configuration, in percent.
+	EASAvgEff float64
+}
+
+// RenderAblation writes an ablation table.
+func RenderAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "Ablation: %s (EAS avg efficiency vs Oracle, desktop/EDP)\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-24s %6.1f%%\n", r.Param, r.EASAvgEff)
+	}
+}
+
+// evalEASWith runs the desktop/EDP grid with the given model and EAS
+// options and returns EAS's average efficiency.
+func evalEASWith(model *powerchar.Model, eas core.Options, seed int64) (float64, error) {
+	fig, err := Evaluate("desktop", "edp", Options{Seed: seed, Model: model, EAS: eas})
+	if err != nil {
+		return 0, err
+	}
+	return fig.Average("EAS"), nil
+}
+
+// AblationPolyDegree measures how the fitted polynomial's order affects
+// EAS (the paper fixes sixth order; this quantifies that choice).
+func AblationPolyDegree(degrees []int, seed int64) ([]AblationRow, error) {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	spec := platform.DesktopSpec()
+	var rows []AblationRow
+	for _, d := range degrees {
+		model, err := powerchar.Characterize(spec, powerchar.Options{PolyDegree: d})
+		if err != nil {
+			return nil, fmt.Errorf("report: degree %d: %w", d, err)
+		}
+		eff, err := evalEASWith(model, core.Options{}, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Param: fmt.Sprintf("degree=%d", d), EASAvgEff: eff})
+	}
+	return rows, nil
+}
+
+// AblationAlphaStep measures the α search granularity's effect (the
+// paper uses 0.1 and mentions 0.05; finer grids cost microseconds and
+// may gain accuracy).
+func AblationAlphaStep(steps []float64, seed int64) ([]AblationRow, error) {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	spec := platform.DesktopSpec()
+	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, s := range steps {
+		opts := core.Options{AlphaStep: s, GrowProfileChunk: true, ConvergeTol: 0.08}
+		eff, err := evalEASWith(model, opts, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Param: fmt.Sprintf("step=%.2f", s), EASAvgEff: eff})
+	}
+	return rows, nil
+}
+
+// AblationSingleCurve compares the paper's eight per-category power
+// curves against a single averaged curve used for every workload —
+// testing whether the classification machinery actually earns its keep.
+func AblationSingleCurve(seed int64) ([]AblationRow, error) {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	spec := platform.DesktopSpec()
+	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	if err != nil {
+		return nil, err
+	}
+	eight, err := evalEASWith(model, core.Options{}, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Average the eight polynomials coefficient-wise into one curve.
+	flat := &powerchar.Model{Platform: model.Platform, AlphaStep: model.AlphaStep, Curves: map[string]powerchar.Curve{}}
+	var avg []float64
+	n := 0
+	for _, c := range model.Curves {
+		if avg == nil {
+			avg = make([]float64, len(c.Coeffs))
+		}
+		for i, v := range c.Coeffs {
+			avg[i] += v
+		}
+		n++
+	}
+	for i := range avg {
+		avg[i] /= float64(n)
+	}
+	for _, cat := range wclass.All() {
+		orig := model.Curves[cat.Key()]
+		flat.Curves[cat.Key()] = powerchar.Curve{Category: cat, Coeffs: avg, Samples: orig.Samples, R2: 0}
+	}
+	one, err := evalEASWith(flat, core.Options{}, seed)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		{Param: "eight category curves", EASAvgEff: eight},
+		{Param: "single averaged curve", EASAvgEff: one},
+	}, nil
+}
+
+// AblationProfileStrategy compares profiling variants: the paper's
+// size-based growth with convergence stop, growth without convergence
+// stop (literal repeat-until-half), and fixed-size chunks.
+func AblationProfileStrategy(seed int64) ([]AblationRow, error) {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	spec := platform.DesktopSpec()
+	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		// The profiling strategy family of Kaleem et al. [12], whose
+		// size-based variant the paper adopts, plus our convergence
+		// refinement.
+		{"naive (single probe)", core.Options{MaxProfileSteps: 1, ConvergeTol: -1}},
+		{"size-based + converge", core.Options{GrowProfileChunk: true, ConvergeTol: 0.08}},
+		{"size-based, half of N", core.Options{GrowProfileChunk: true, ConvergeTol: -1}},
+		{"fixed chunks, half of N", core.Options{GrowProfileChunk: false, ConvergeTol: -1}},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		fig, err := Evaluate("desktop", "edp", Options{Seed: seed, Model: model, EAS: v.opts})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Param: v.name, EASAvgEff: fig.Average("EAS")})
+	}
+	return rows, nil
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationPolyDegree(t *testing.T) {
+	rows, err := AblationPolyDegree([]int{2, 6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.EASAvgEff < 60 || r.EASAvgEff > 120 {
+			t.Errorf("%s: efficiency %v implausible", r.Param, r.EASAvgEff)
+		}
+	}
+	// A sixth-order fit should not be worse than a quadratic by much;
+	// the categories' step shapes need the higher order.
+	if rows[1].EASAvgEff < rows[0].EASAvgEff-5 {
+		t.Errorf("degree 6 (%v) should not trail degree 2 (%v) by >5 points",
+			rows[1].EASAvgEff, rows[0].EASAvgEff)
+	}
+}
+
+func TestAblationAlphaStep(t *testing.T) {
+	rows, err := AblationAlphaStep([]float64{0.1, 0.05}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.EASAvgEff < 80 {
+			t.Errorf("%s: efficiency %v too low", r.Param, r.EASAvgEff)
+		}
+	}
+	var b strings.Builder
+	RenderAblation(&b, "alpha step", rows)
+	if !strings.Contains(b.String(), "step=0.05") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationSingleCurve(t *testing.T) {
+	rows, err := AblationSingleCurve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Eight category curves must not lose to the flattened model.
+	if rows[0].EASAvgEff < rows[1].EASAvgEff-3 {
+		t.Errorf("eight curves (%v) should be at least as good as one (%v)",
+			rows[0].EASAvgEff, rows[1].EASAvgEff)
+	}
+}
+
+func TestAblationProfileStrategy(t *testing.T) {
+	rows, err := AblationProfileStrategy(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.EASAvgEff < 70 {
+			t.Errorf("%s: efficiency %v too low", r.Param, r.EASAvgEff)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/hetsched/eas/internal/core"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/sched"
+	"github.com/hetsched/eas/internal/workloads"
+)
+
+// ContentionResult summarizes an EAS run with a partially occupied GPU.
+type ContentionResult struct {
+	// BusyFraction is the fraction of invocations that found the GPU
+	// owned by another application.
+	BusyFraction float64
+	// Fallbacks counts the CPU-only fallback executions.
+	Fallbacks int
+	// Duration and EnergyJ are application totals.
+	Duration time.Duration
+	EnergyJ  float64
+	// MetricValue is the evaluation metric over the run.
+	MetricValue float64
+}
+
+// GPUContentionStudy runs a workload under EAS while another
+// application intermittently owns the GPU (the condition the paper's
+// runtime detects through GPU performance counter A26 and handles by
+// executing on the CPU alone). Each fraction in busyFractions marks
+// that share of invocations as GPU-busy, deterministically from the
+// seed.
+func GPUContentionStudy(abbrev, metricName string, busyFractions []float64, seed int64) ([]ContentionResult, error) {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	metric, err := metrics.ByName(metricName)
+	if err != nil {
+		return nil, err
+	}
+	w, ok := workloads.ByAbbrev(abbrev)
+	if !ok {
+		return nil, fmt.Errorf("report: unknown workload %q", abbrev)
+	}
+	spec := platform.DesktopSpec()
+	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	if err != nil {
+		return nil, err
+	}
+	invs, err := w.Schedule(spec.Name, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []ContentionResult
+	for _, frac := range busyFractions {
+		if frac < 0 || frac > 1 {
+			return nil, fmt.Errorf("report: busy fraction %v outside [0,1]", frac)
+		}
+		p, err := platform.New(spec)
+		if err != nil {
+			return nil, err
+		}
+		eng := engine.New(p)
+		s, err := core.New(eng, model, metric, core.Options{GrowProfileChunk: true, ConvergeTol: 0.08})
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		res := ContentionResult{BusyFraction: frac}
+		var total time.Duration
+		var energy float64
+		for _, inv := range invs {
+			p.SetGPUBusy(rng.Float64() < frac)
+			rep, err := s.ParallelFor(inv.Kernel, inv.N)
+			if err != nil {
+				return nil, err
+			}
+			if rep.GPUBusyFallback {
+				res.Fallbacks++
+			}
+			total += rep.Duration
+			energy += rep.EnergyJ
+			eng.RunIdle(sched.InterInvocationGap, nil)
+		}
+		res.Duration = total
+		res.EnergyJ = energy
+		res.MetricValue = metric.EvalEnergy(energy, total.Seconds())
+		out = append(out, res)
+	}
+	return out, nil
+}

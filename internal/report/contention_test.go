@@ -1,0 +1,49 @@
+package report
+
+import "testing"
+
+func TestGPUContentionStudy(t *testing.T) {
+	results, err := GPUContentionStudy("SM", "edp", []float64{0, 0.5, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	clean, half, full := results[0], results[1], results[2]
+	if clean.Fallbacks != 0 {
+		t.Errorf("no contention but %d fallbacks", clean.Fallbacks)
+	}
+	// SM has 100 invocations; at fraction 1 every one falls back.
+	if full.Fallbacks != 100 {
+		t.Errorf("full contention fallbacks = %d, want 100", full.Fallbacks)
+	}
+	if half.Fallbacks <= 0 || half.Fallbacks >= 100 {
+		t.Errorf("half contention fallbacks = %d, want interior", half.Fallbacks)
+	}
+	// Losing the GPU must cost: the metric degrades monotonically with
+	// contention for this GPU-friendly workload.
+	if !(clean.MetricValue < half.MetricValue && half.MetricValue < full.MetricValue) {
+		t.Errorf("metric should degrade with contention: %v, %v, %v",
+			clean.MetricValue, half.MetricValue, full.MetricValue)
+	}
+	// But the runtime must stay correct: all runs complete with
+	// positive measurements.
+	for _, r := range results {
+		if r.Duration <= 0 || r.EnergyJ <= 0 {
+			t.Errorf("busy=%v: missing measurements %+v", r.BusyFraction, r)
+		}
+	}
+}
+
+func TestGPUContentionStudyValidation(t *testing.T) {
+	if _, err := GPUContentionStudy("XX", "edp", []float64{0}, 0); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := GPUContentionStudy("SM", "edp", []float64{1.5}, 0); err == nil {
+		t.Error("bad fraction accepted")
+	}
+	if _, err := GPUContentionStudy("SM", "warp", []float64{0}, 0); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadDetail(t *testing.T) {
+	d, err := WorkloadDetail("NB", "desktop", "energy", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Sweep) != 11 {
+		t.Errorf("sweep points = %d, want 11", len(d.Sweep))
+	}
+	if len(d.Strategies) != 4 {
+		t.Errorf("strategies = %d, want 4 (plus Oracle separately)", len(d.Strategies))
+	}
+	if d.Oracle.Strategy != "Oracle" || d.Oracle.Value <= 0 {
+		t.Errorf("oracle row missing: %+v", d.Oracle)
+	}
+	// The Oracle value must equal the best sweep point (same grid).
+	best := d.Sweep[0].MetricValue
+	for _, p := range d.Sweep {
+		if p.MetricValue < best {
+			best = p.MetricValue
+		}
+	}
+	if d.Oracle.Value > best*1.0001 || d.Oracle.Value < best*0.9999 {
+		t.Errorf("oracle value %v != best sweep value %v", d.Oracle.Value, best)
+	}
+	// NB has 101 invocations; the listing is capped at 40.
+	if d.InvocationsTotal != 101 || len(d.Invocations) != 40 {
+		t.Errorf("invocations: %d listed of %d", len(d.Invocations), d.InvocationsTotal)
+	}
+	if !d.Invocations[0].Profiled || d.Invocations[1].Profiled {
+		t.Error("only the first invocation should profile")
+	}
+	// Breakdown components must sum to the total.
+	b := d.Breakdown
+	if sum := b.CPUJ + b.GPUJ + b.DRAMJ + b.IdleJ; sum < b.TotalJ*0.99 || sum > b.TotalJ*1.01 {
+		t.Errorf("breakdown components %v != total %v", sum, b.TotalJ)
+	}
+	if b.GPUJ <= 0 {
+		t.Error("oracle split for NB uses the GPU; its energy share should be positive")
+	}
+
+	var sb strings.Builder
+	d.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"fixed-α landscape", "EAS decisions", "energy breakdown", "Oracle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestWorkloadDetailValidation(t *testing.T) {
+	if _, err := WorkloadDetail("XX", "desktop", "edp", 0); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := WorkloadDetail("NB", "mainframe", "edp", 0); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := WorkloadDetail("NB", "desktop", "warp", 0); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestDetailSweepSVG(t *testing.T) {
+	d, err := WorkloadDetail("SM", "desktop", "edp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := d.SweepSVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, doc)
+	empty := &Detail{}
+	if _, err := empty.SweepSVG(); err == nil {
+		t.Error("empty detail accepted")
+	}
+}

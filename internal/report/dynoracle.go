@@ -1,0 +1,80 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hetsched/eas/internal/core"
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/sched"
+	"github.com/hetsched/eas/internal/workloads"
+)
+
+// DynOracleRow compares the static Oracle, the dynamic per-invocation
+// oracle, and EAS on one workload (efficiency columns relative to the
+// *static* Oracle, the paper's baseline; >100% means beating it).
+type DynOracleRow struct {
+	Workload  string
+	StaticVal float64
+	DynEffPct float64
+	EASEffPct float64
+	DynGPUPct float64 // dynamic oracle's GPU share of iterations
+}
+
+// DynOracleStudy quantifies how much headroom per-invocation adaptivity
+// leaves above the paper's fixed-α Oracle, and how much of that
+// headroom EAS captures. Run on the desktop with the given metric.
+func DynOracleStudy(abbrevs []string, metricName string, seed int64) ([]DynOracleRow, error) {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	metric, err := metrics.ByName(metricName)
+	if err != nil {
+		return nil, err
+	}
+	spec := platform.DesktopSpec()
+	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{GrowProfileChunk: true, ConvergeTol: 0.08}
+	var rows []DynOracleRow
+	for _, ab := range abbrevs {
+		w, ok := workloads.ByAbbrev(ab)
+		if !ok {
+			return nil, fmt.Errorf("report: unknown workload %q", ab)
+		}
+		static, err := sched.Oracle(0.1).Run(w, spec, nil, metric, seed)
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := sched.DynOracle(0.1).Run(w, spec, nil, metric, seed)
+		if err != nil {
+			return nil, err
+		}
+		eas, err := sched.EAS(opts).Run(w, spec, model, metric, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DynOracleRow{
+			Workload:  ab,
+			StaticVal: static.Value,
+			DynEffPct: metrics.Efficiency(static.Value, dyn.Value),
+			EASEffPct: metrics.Efficiency(static.Value, eas.Value),
+			DynGPUPct: dyn.GPUShare * 100,
+		})
+	}
+	return rows, nil
+}
+
+// RenderDynOracle writes the study as a table.
+func RenderDynOracle(w io.Writer, metricName string, rows []DynOracleRow) {
+	fmt.Fprintf(w, "Dynamic-oracle study (desktop, %s; 100%% = the paper's fixed-α Oracle)\n", metricName)
+	fmt.Fprintf(w, "%-6s %14s %12s %12s %10s\n", "bench", "static value", "DynOracle", "EAS", "dyn GPU%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %14.5g %11.1f%% %11.1f%% %9.0f%%\n",
+			r.Workload, r.StaticVal, r.DynEffPct, r.EASEffPct, r.DynGPUPct)
+	}
+}

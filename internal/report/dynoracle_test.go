@@ -1,0 +1,48 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDynOracleStudy(t *testing.T) {
+	// BFS has strongly varying invocation sizes (ramping frontiers),
+	// so per-invocation adaptivity should beat the fixed-α Oracle;
+	// SM's invocations are identical, so the dynamic oracle should be
+	// no better than (≈equal to) the static one.
+	rows, err := DynOracleStudy([]string{"BFS", "SM"}, "edp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	bfs, sm := rows[0], rows[1]
+	if bfs.DynEffPct < 100 {
+		t.Errorf("BFS dynamic oracle %v%% should be ≥ the static oracle", bfs.DynEffPct)
+	}
+	if sm.DynEffPct < 95 || sm.DynEffPct > 105 {
+		t.Errorf("SM dynamic oracle %v%% should roughly match the static one", sm.DynEffPct)
+	}
+	// The dynamic oracle bounds every strategy (within the greedy
+	// heuristic's slack): EAS must not beat it by more than a hair.
+	for _, r := range rows {
+		if r.EASEffPct > r.DynEffPct+3 {
+			t.Errorf("%s: EAS %v%% exceeds the dynamic oracle %v%%", r.Workload, r.EASEffPct, r.DynEffPct)
+		}
+	}
+	var b strings.Builder
+	RenderDynOracle(&b, "edp", rows)
+	if !strings.Contains(b.String(), "DynOracle") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestDynOracleValidation(t *testing.T) {
+	if _, err := DynOracleStudy([]string{"XX"}, "edp", 0); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := DynOracleStudy([]string{"SM"}, "warp", 0); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}

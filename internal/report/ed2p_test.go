@@ -1,0 +1,35 @@
+package report
+
+import "testing"
+
+// TestED2PEvaluation exercises the metric the paper defines but does
+// not evaluate: energy-delay-squared, for deployments where execution
+// time dominates. ED² weighs time even more heavily than EDP, so the
+// adaptive strategies should track the performance-optimal split and
+// EAS must remain the best scheduler.
+func TestED2PEvaluation(t *testing.T) {
+	fig, err := Evaluate("desktop", "ed2p", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eas, perf, gpu, cpu := fig.Average("EAS"), fig.Average("PERF"), fig.Average("GPU"), fig.Average("CPU")
+	if eas < 90 {
+		t.Errorf("ED² EAS average %v, want ≥90", eas)
+	}
+	if eas < perf-1 {
+		t.Errorf("EAS %v should be ≥ PERF %v under ED²", eas, perf)
+	}
+	if gpu >= eas || cpu >= gpu {
+		t.Errorf("ED² ordering broken: EAS %v > GPU %v > CPU %v expected", eas, gpu, cpu)
+	}
+	// Under ED², single-device execution is heavily punished relative
+	// to EDP: the GPU gap must widen.
+	figEDP, err := Evaluate("desktop", "edp", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu > figEDP.Average("GPU")+2 {
+		t.Errorf("GPU-alone should not improve moving EDP (%v) → ED² (%v)",
+			figEDP.Average("GPU"), gpu)
+	}
+}

@@ -1,0 +1,61 @@
+package report
+
+import "testing"
+
+func TestAblationThresholds(t *testing.T) {
+	rows, err := AblationThresholds(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// Find the paper's configuration rows.
+	var paper100, paper033 float64
+	for _, r := range rows {
+		if r.EASAvgEff < 60 || r.EASAvgEff > 120 {
+			t.Errorf("%s: implausible efficiency %v", r.Param, r.EASAvgEff)
+		}
+		switch r.Param {
+		case "short/long=100ms":
+			paper100 = r.EASAvgEff
+		case "mem-bound=0.33":
+			paper033 = r.EASAvgEff
+		}
+	}
+	if paper100 == 0 || paper033 == 0 {
+		t.Fatalf("paper-configuration rows missing: %+v", rows)
+	}
+	// The paper's empirical thresholds should be competitive: within a
+	// few points of the best setting in each sweep.
+	best := 0.0
+	for _, r := range rows {
+		if r.EASAvgEff > best {
+			best = r.EASAvgEff
+		}
+	}
+	if paper100 < best-5 || paper033 < best-5 {
+		t.Errorf("paper thresholds (%v, %v) trail best setting %v by >5 points",
+			paper100, paper033, best)
+	}
+}
+
+func TestCCReprofileStudy(t *testing.T) {
+	rows, err := CCReprofileStudy("energy", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	once := rows[0].EASAvgEff
+	finest := rows[len(rows)-1].EASAvgEff
+	// The paper's hypothesis: more frequent profiling should not hurt
+	// CC, whose behaviour drifts over the run; typically it helps.
+	if finest < once-4 {
+		t.Errorf("re-profiling (%v) should not substantially trail profile-once (%v)", finest, once)
+	}
+	if _, err := CCReprofileStudy("warp-speed", 0); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}

@@ -1,0 +1,270 @@
+// Package report runs the paper's evaluation grids and renders the
+// tables and figures of §5: per-workload efficiency relative to the
+// Oracle for each scheduling strategy (Figs. 9-12), the Table 1
+// workload statistics with measured classifications, and the Fig. 1
+// energy/performance sweep.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/hetsched/eas/internal/core"
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/sched"
+	"github.com/hetsched/eas/internal/vmath"
+	"github.com/hetsched/eas/internal/workloads"
+)
+
+// DefaultSeed keeps every experiment reproducible.
+const DefaultSeed = 20160312 // the paper's conference date
+
+// Cell is one workload × strategy measurement.
+type Cell struct {
+	sched.Result
+	// EfficiencyPct is Oracle/value × 100 (100 = matches Oracle).
+	EfficiencyPct float64
+}
+
+// EfficiencyFigure is one of Figs. 9-12: a platform × metric grid.
+type EfficiencyFigure struct {
+	// ID names the paper figure ("Figure 9").
+	ID string
+	// Platform and Metric identify the experiment.
+	Platform, Metric string
+	// Strategies lists strategy names in display order.
+	Strategies []string
+	// Workloads lists workload abbreviations in Table 1 order.
+	Workloads []string
+	// Cells maps workload → strategy → measurement.
+	Cells map[string]map[string]Cell
+	// Oracle maps workload → the Oracle run.
+	Oracle map[string]sched.Result
+}
+
+// Average returns the arithmetic-mean efficiency of a strategy across
+// workloads (the paper's headline averages).
+func (f *EfficiencyFigure) Average(strategy string) float64 {
+	var vals []float64
+	for _, w := range f.Workloads {
+		if c, ok := f.Cells[w][strategy]; ok {
+			vals = append(vals, c.EfficiencyPct)
+		}
+	}
+	return vmath.Mean(vals)
+}
+
+// Options configure an evaluation run.
+type Options struct {
+	// Seed for workload schedules; 0 selects DefaultSeed.
+	Seed int64
+	// OracleStep is the Oracle's sweep granularity; 0 selects 0.1.
+	OracleStep float64
+	// EAS options (zero = paper defaults).
+	EAS core.Options
+	// Model supplies a precomputed characterization; nil characterizes
+	// on the fly.
+	Model *powerchar.Model
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	if o.OracleStep <= 0 {
+		o.OracleStep = 0.1
+	}
+	if o.EAS == (core.Options{}) {
+		// Standard runtime configuration: size-based profiling with
+		// convergence stop. Callers passing any explicit EAS options
+		// get them verbatim (the ablations rely on this).
+		o.EAS = core.Options{GrowProfileChunk: true, ConvergeTol: 0.08}
+	}
+	return o
+}
+
+// figureID maps platform/metric to the paper's figure numbers.
+func figureID(platformName, metricName string) string {
+	switch platformName + "/" + metricName {
+	case "desktop/edp":
+		return "Figure 9"
+	case "desktop/energy":
+		return "Figure 10"
+	case "tablet/edp":
+		return "Figure 11"
+	case "tablet/energy":
+		return "Figure 12"
+	}
+	return fmt.Sprintf("%s/%s", platformName, metricName)
+}
+
+// Evaluate runs the full strategy grid for one platform preset and
+// metric.
+func Evaluate(platformName, metricName string, opts Options) (*EfficiencyFigure, error) {
+	spec, ok := platform.Presets(platformName)
+	if !ok {
+		return nil, fmt.Errorf("report: unknown platform %q", platformName)
+	}
+	return evaluateSpec(spec, metricName, opts)
+}
+
+// evaluateSpec is Evaluate for an explicit platform spec (used by the
+// SKU-variation study, which runs on perturbed units).
+func evaluateSpec(spec platform.Spec, metricName string, opts Options) (*EfficiencyFigure, error) {
+	opts = opts.withDefaults()
+	metric, err := metrics.ByName(metricName)
+	if err != nil {
+		return nil, err
+	}
+	model := opts.Model
+	if model == nil {
+		model, err = powerchar.Characterize(spec, powerchar.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	strategies := []sched.Strategy{
+		sched.CPUOnly(),
+		sched.GPUOnly(),
+		sched.Perf(opts.EAS),
+		sched.EAS(opts.EAS),
+	}
+	oracleStrat := sched.Oracle(opts.OracleStep)
+
+	fig := &EfficiencyFigure{
+		ID:       figureID(spec.Name, metricName),
+		Platform: spec.Name,
+		Metric:   metricName,
+		Cells:    map[string]map[string]Cell{},
+		Oracle:   map[string]sched.Result{},
+	}
+	for _, s := range strategies {
+		fig.Strategies = append(fig.Strategies, s.Name())
+	}
+
+	for _, w := range workloads.ForPlatform(spec.Name) {
+		fig.Workloads = append(fig.Workloads, w.Abbrev)
+		oracleRes, err := oracleStrat.Run(w, spec, model, metric, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("report: oracle on %s: %w", w.Abbrev, err)
+		}
+		fig.Oracle[w.Abbrev] = oracleRes
+		fig.Cells[w.Abbrev] = map[string]Cell{}
+		for _, s := range strategies {
+			res, err := s.Run(w, spec, model, metric, opts.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("report: %s on %s: %w", s.Name(), w.Abbrev, err)
+			}
+			fig.Cells[w.Abbrev][s.Name()] = Cell{
+				Result:        res,
+				EfficiencyPct: metrics.Efficiency(oracleRes.Value, res.Value),
+			}
+		}
+	}
+	return fig, nil
+}
+
+// Render writes the figure as a table: one row per workload, one
+// column per strategy (efficiency vs Oracle, %), plus the averages row
+// the paper quotes.
+func (f *EfficiencyFigure) Render(w io.Writer) error {
+	fmt.Fprintf(w, "%s: relative %s efficiency vs Oracle on the %s (Oracle = 100%%, higher is better)\n",
+		f.ID, strings.ToUpper(f.Metric), f.Platform)
+	fmt.Fprintf(w, "%-6s", "bench")
+	for _, s := range f.Strategies {
+		fmt.Fprintf(w, "%10s", s)
+	}
+	fmt.Fprintf(w, "%12s\n", "Oracle α")
+	for _, wl := range f.Workloads {
+		fmt.Fprintf(w, "%-6s", wl)
+		for _, s := range f.Strategies {
+			fmt.Fprintf(w, "%9.1f%%", f.Cells[wl][s].EfficiencyPct)
+		}
+		fmt.Fprintf(w, "%12.1f\n", f.Oracle[wl].OracleAlpha)
+	}
+	fmt.Fprintf(w, "%-6s", "avg")
+	for _, s := range f.Strategies {
+		fmt.Fprintf(w, "%9.1f%%", f.Average(s))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Fig1Point is one α of the Fig. 1 sweep.
+type Fig1Point struct {
+	Alpha   float64
+	EnergyJ float64
+	Seconds float64
+}
+
+// Fig1Sweep reproduces Figure 1: Connected Components on the desktop
+// across fixed GPU offload ratios, reporting energy and runtime.
+func Fig1Sweep(step float64, seed int64) ([]Fig1Point, error) {
+	if step <= 0 {
+		step = 0.1
+	}
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	spec := platform.DesktopSpec()
+	cc, ok := workloads.ByAbbrev("CC")
+	if !ok {
+		return nil, fmt.Errorf("report: CC workload missing")
+	}
+	metric := metrics.Energy
+	var pts []Fig1Point
+	for alpha := 0.0; alpha <= 1+1e-9; alpha += step {
+		a := vmath.Clamp(alpha, 0, 1)
+		res, err := sched.FixedAlpha(a).Run(cc, spec, nil, metric, seed)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Fig1Point{Alpha: a, EnergyJ: res.EnergyJ, Seconds: res.Duration.Seconds()})
+	}
+	return pts, nil
+}
+
+// BestFig1 returns the α minimizing energy and the α minimizing time
+// from a Fig. 1 sweep.
+func BestFig1(pts []Fig1Point) (bestEnergyAlpha, bestTimeAlpha float64) {
+	if len(pts) == 0 {
+		return 0, 0
+	}
+	be, bt := pts[0], pts[0]
+	for _, p := range pts[1:] {
+		if p.EnergyJ < be.EnergyJ {
+			be = p
+		}
+		if p.Seconds < bt.Seconds {
+			bt = p
+		}
+	}
+	return be.Alpha, bt.Alpha
+}
+
+// RenderFig1 writes the sweep as a table.
+func RenderFig1(w io.Writer, pts []Fig1Point) {
+	fmt.Fprintln(w, "Figure 1: Connected Components on the desktop, varying GPU offload %")
+	fmt.Fprintf(w, "%8s %14s %12s\n", "GPU %", "energy (J)", "time (s)")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%7.0f%% %14.1f %12.3f\n", p.Alpha*100, p.EnergyJ, p.Seconds)
+	}
+	be, bt := BestFig1(pts)
+	fmt.Fprintf(w, "min energy at %.0f%% GPU, best performance at %.0f%% GPU\n", be*100, bt*100)
+}
+
+// SortedCurveKeys returns a model's category keys in stable order
+// (helper for the characterization tools).
+func SortedCurveKeys(m *powerchar.Model) []string {
+	keys := make([]string, 0, len(m.Curves))
+	for k := range m.Curves {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

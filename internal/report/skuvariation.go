@@ -1,0 +1,92 @@
+package report
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+)
+
+// SKUVariationResult compares EAS run with a freshly characterized
+// model against EAS run with a model characterized on a *different*
+// unit of the "same" processor.
+type SKUVariationResult struct {
+	// Perturbation is the relative spread applied to the perturbed
+	// unit's power coefficients.
+	Perturbation float64
+	// FreshEff is EAS's average efficiency with a model characterized
+	// on the unit it runs on.
+	FreshEff float64
+	// StaleEff is EAS's average efficiency running on the perturbed
+	// unit with the *original* unit's model.
+	StaleEff float64
+}
+
+// perturbSpec returns a copy of the spec with power coefficients scaled
+// by deterministic factors in [1-p, 1+p] — a different die of the same
+// SKU, or a different SKU of the same family (the paper's motivating
+// variability: "power management policies … vary from one specific SKU
+// to another, and sometimes even from die to die").
+func perturbSpec(spec platform.Spec, p float64, seed int64) platform.Spec {
+	rng := rand.New(rand.NewSource(seed))
+	f := func() float64 { return 1 + p*(2*rng.Float64()-1) }
+	// The name stays the same: the stale model nominally applies.
+	spec.Power.IdleW *= f()
+	spec.Power.CPUCoreComputeW *= f()
+	spec.Power.CPUCoreStallW *= f()
+	spec.Power.GPUComputeW *= f()
+	spec.Power.GPUStallW *= f()
+	spec.Power.DRAMWPerGBs *= f()
+	return spec
+}
+
+// SKUVariationStudy measures how much EAS loses when its one-time power
+// characterization came from a different unit: the central practical
+// question for the paper's "characterize once per processor" claim.
+// Evaluated on desktop/EDP.
+func SKUVariationStudy(perturbations []float64, seed int64) ([]SKUVariationResult, error) {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	base := platform.DesktopSpec()
+	origModel, err := powerchar.Characterize(base, powerchar.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var out []SKUVariationResult
+	for _, p := range perturbations {
+		if p < 0 || p >= 1 {
+			return nil, fmt.Errorf("report: perturbation %v outside [0,1)", p)
+		}
+		perturbed := perturbSpec(base, p, seed)
+		// Fresh: characterize the perturbed unit itself.
+		freshModel, err := powerchar.Characterize(perturbed, powerchar.Options{})
+		if err != nil {
+			return nil, err
+		}
+		fresh, err := evaluateOn(perturbed, freshModel, seed)
+		if err != nil {
+			return nil, err
+		}
+		// Stale: run on the perturbed unit with the original model.
+		stale, err := evaluateOn(perturbed, origModel, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SKUVariationResult{Perturbation: p, FreshEff: fresh, StaleEff: stale})
+	}
+	return out, nil
+}
+
+// evaluateOn runs the EAS-vs-Oracle comparison on an explicit spec.
+func evaluateOn(spec platform.Spec, model *powerchar.Model, seed int64) (float64, error) {
+	// Reuse the Evaluate machinery by temporarily running the grid
+	// directly: Evaluate resolves specs by preset name, so for custom
+	// specs we inline the loop here.
+	fig, err := evaluateSpec(spec, "edp", Options{Seed: seed, Model: model})
+	if err != nil {
+		return 0, err
+	}
+	return fig.Average("EAS"), nil
+}

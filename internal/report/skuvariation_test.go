@@ -1,0 +1,36 @@
+package report
+
+import "testing"
+
+func TestSKUVariationStudy(t *testing.T) {
+	results, err := SKUVariationStudy([]float64{0, 0.15}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	zero := results[0]
+	// With no perturbation, fresh and stale models are identical.
+	if zero.FreshEff != zero.StaleEff {
+		t.Errorf("zero perturbation: fresh %v != stale %v", zero.FreshEff, zero.StaleEff)
+	}
+	p15 := results[1]
+	// The black-box claim under test: a model from a ±15% different
+	// unit should still leave EAS within a few points of a fresh
+	// characterization (the decision only depends on the curves'
+	// *shapes*, which survive coefficient scaling).
+	if p15.StaleEff < p15.FreshEff-8 {
+		t.Errorf("±15%% SKU drift: stale model %v trails fresh %v by >8 points",
+			p15.StaleEff, p15.FreshEff)
+	}
+	if p15.FreshEff < 85 || p15.StaleEff < 80 {
+		t.Errorf("implausibly low efficiencies: %+v", p15)
+	}
+}
+
+func TestSKUVariationValidation(t *testing.T) {
+	if _, err := SKUVariationStudy([]float64{1.5}, 0); err == nil {
+		t.Error("perturbation ≥1 accepted")
+	}
+}

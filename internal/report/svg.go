@@ -1,0 +1,127 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/svgchart"
+	"github.com/hetsched/eas/internal/trace"
+)
+
+// SVG renders the efficiency figure as a grouped bar chart with the
+// Oracle's 100% reference line — the layout of the paper's Figs. 9-12.
+func (f *EfficiencyFigure) SVG() (string, error) {
+	chart := &svgchart.BarChart{
+		Title:       fmt.Sprintf("%s: %s efficiency vs Oracle (%s)", f.ID, f.Metric, f.Platform),
+		YLabel:      "% of Oracle",
+		SeriesNames: f.Strategies,
+		RefLine:     100,
+	}
+	for _, wl := range f.Workloads {
+		grp := svgchart.BarGroup{Label: wl}
+		for _, s := range f.Strategies {
+			grp.Values = append(grp.Values, f.Cells[wl][s].EfficiencyPct)
+		}
+		chart.Groups = append(chart.Groups, grp)
+	}
+	return chart.Render()
+}
+
+// TraceSVG renders one or more package-power traces as a line chart
+// (the paper's Figs. 2-4 layout).
+func TraceSVG(title string, traces map[string]*trace.Set) (string, error) {
+	chart := &svgchart.LineChart{
+		Title:  title,
+		XLabel: "time (s)",
+		YLabel: "package power (W)",
+	}
+	for name, ts := range traces {
+		s := ts.PackagePower.Downsample(ts.PackagePower.Len()/600 + 1)
+		series := svgchart.Series{Name: name}
+		for _, p := range s.Samples {
+			series.X = append(series.X, p.T.Seconds())
+			series.Y = append(series.Y, p.V)
+		}
+		chart.Series = append(chart.Series, series)
+	}
+	return chart.Render()
+}
+
+// Fig1SVG renders the Fig. 1 sweep: energy and runtime vs GPU offload
+// percentage, each normalized to its α=0 value so both fit one axis
+// (the paper uses two axes).
+func Fig1SVG(pts []Fig1Point) (string, error) {
+	if len(pts) == 0 {
+		return "", fmt.Errorf("report: empty Fig. 1 sweep")
+	}
+	e0, t0 := pts[0].EnergyJ, pts[0].Seconds
+	energy := svgchart.Series{Name: "energy (rel.)"}
+	times := svgchart.Series{Name: "runtime (rel.)"}
+	for _, p := range pts {
+		energy.X = append(energy.X, p.Alpha*100)
+		energy.Y = append(energy.Y, p.EnergyJ/e0)
+		times.X = append(times.X, p.Alpha*100)
+		times.Y = append(times.Y, p.Seconds/t0)
+	}
+	chart := &svgchart.LineChart{
+		Title:  "Figure 1: Connected Components, energy & runtime vs GPU offload",
+		XLabel: "% of work on GPU",
+		YLabel: "relative to CPU-only",
+		Series: []svgchart.Series{energy, times},
+	}
+	return chart.Render()
+}
+
+// DVFSSVG renders the frequency series of a trace in GHz — the PCU's
+// DVFS decisions over time.
+func DVFSSVG(title string, ts *trace.Set) (string, error) {
+	chart := &svgchart.LineChart{
+		Title:  title,
+		XLabel: "time (s)",
+		YLabel: "frequency (GHz)",
+	}
+	for _, src := range []struct {
+		name string
+		s    *trace.Series
+	}{{"CPU", ts.CPUFreq}, {"GPU", ts.GPUFreq}} {
+		ds := src.s.Downsample(src.s.Len()/600 + 1)
+		series := svgchart.Series{Name: src.name}
+		for _, p := range ds.Samples {
+			series.X = append(series.X, p.T.Seconds())
+			series.Y = append(series.Y, p.V/1e9)
+		}
+		chart.Series = append(chart.Series, series)
+	}
+	return chart.Render()
+}
+
+// CharacterizationSVG renders a platform's eight fitted power curves
+// (the paper's Figs. 5-6 layout, one chart with all categories).
+func CharacterizationSVG(model *powerchar.Model) (string, error) {
+	chart := &svgchart.LineChart{
+		Title:  fmt.Sprintf("Power characterization: %s", model.Platform),
+		XLabel: "GPU offload ratio α",
+		YLabel: "package power (W)",
+	}
+	for _, key := range SortedCurveKeys(model) {
+		curve := model.Curves[key]
+		s := svgchart.Series{Name: key}
+		for a := 0.0; a <= 1.0001; a += 0.02 {
+			s.X = append(s.X, a)
+			s.Y = append(s.Y, curve.Power(a))
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	return chart.Render()
+}
+
+// WriteSVG writes an SVG document to dir/name.svg.
+func WriteSVG(dir, name, doc string) (string, error) {
+	path := filepath.Join(dir, name+".svg")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		return "", fmt.Errorf("report: writing %s: %w", path, err)
+	}
+	return path, nil
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"encoding/xml"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/trace"
+)
+
+func assertWellFormedSVG(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestEfficiencyFigureSVG(t *testing.T) {
+	f := allFigures(t)["Figure 9"]
+	doc, err := f.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, doc)
+	for _, want := range []string{"Figure 9", "EAS", "BFS"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("missing %q in figure SVG", want)
+		}
+	}
+}
+
+func TestTraceAndFig1SVG(t *testing.T) {
+	tr, err := Fig4Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := TraceSVG("fig4", map[string]*trace.Set{"package": tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, doc)
+
+	pts, err := Fig1Sweep(0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err = Fig1SVG(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, doc)
+	if _, err := Fig1SVG(nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestCharacterizationSVG(t *testing.T) {
+	model, err := powerchar.Characterize(platform.DesktopSpec(), powerchar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := CharacterizationSVG(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, doc)
+	if got := strings.Count(doc, "<path"); got != 8 {
+		t.Errorf("characterization SVG has %d curves, want 8", got)
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteSVG(dir, "test", "<svg xmlns=\"http://www.w3.org/2000/svg\"/>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "test.svg" {
+		t.Errorf("path = %s", path)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("file missing: %v", err)
+	}
+	if _, err := WriteSVG(filepath.Join(dir, "missing-subdir"), "x", "y"); err == nil {
+		t.Error("write into missing directory should error")
+	}
+}

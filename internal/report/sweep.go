@@ -1,0 +1,100 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/vmath"
+)
+
+// SweepStats summarizes one strategy across a seed sweep.
+type SweepStats struct {
+	Strategy string
+	// Mean and StdDev are over the per-seed average efficiencies (%).
+	Mean, StdDev float64
+	// Min and Max bound the per-seed averages.
+	Min, Max float64
+}
+
+// SeedSweep runs the full evaluation across several workload-schedule
+// seeds in parallel and reports the distribution of each strategy's
+// average efficiency. The paper evaluates one hardware run per
+// configuration; the simulator lets us quantify how sensitive the
+// results are to the workloads' run-to-run irregularity.
+func SeedSweep(platformName, metricName string, seeds []int64, opts Options) ([]SweepStats, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("report: seed sweep needs at least one seed")
+	}
+	// Characterize once: the model depends only on the platform, not
+	// on the seed, so all goroutines can share it.
+	opts = opts.withDefaults()
+	if opts.Model == nil {
+		spec, ok := platform.Presets(platformName)
+		if !ok {
+			return nil, fmt.Errorf("report: unknown platform %q", platformName)
+		}
+		model, err := powerchar.Characterize(spec, powerchar.Options{})
+		if err != nil {
+			return nil, err
+		}
+		opts.Model = model
+	}
+
+	type result struct {
+		fig *EfficiencyFigure
+		err error
+	}
+	results := make([]result, len(seeds))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			o := opts
+			o.Seed = seed
+			fig, err := Evaluate(platformName, metricName, o)
+			results[i] = result{fig: fig, err: err}
+		}(i, seed)
+	}
+	wg.Wait()
+
+	perStrategy := map[string][]float64{}
+	var order []string
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for _, s := range r.fig.Strategies {
+			if _, ok := perStrategy[s]; !ok {
+				order = append(order, s)
+			}
+			perStrategy[s] = append(perStrategy[s], r.fig.Average(s))
+		}
+	}
+	var out []SweepStats
+	for _, s := range order {
+		vals := perStrategy[s]
+		lo, hi := vmath.MinMax(vals)
+		out = append(out, SweepStats{
+			Strategy: s,
+			Mean:     vmath.Mean(vals),
+			StdDev:   vmath.StdDev(vals),
+			Min:      lo,
+			Max:      hi,
+		})
+	}
+	return out, nil
+}
+
+// RenderSweep writes the sweep statistics as a table.
+func RenderSweep(w io.Writer, platformName, metricName string, seeds int, stats []SweepStats) {
+	fmt.Fprintf(w, "Seed sweep: %s/%s over %d seeds (avg efficiency vs Oracle, %%)\n",
+		platformName, metricName, seeds)
+	fmt.Fprintf(w, "%-8s %8s %8s %8s %8s\n", "strategy", "mean", "stddev", "min", "max")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-8s %8.1f %8.2f %8.1f %8.1f\n", s.Strategy, s.Mean, s.StdDev, s.Min, s.Max)
+	}
+}

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeedSweepStability(t *testing.T) {
+	stats, err := SeedSweep("desktop", "edp", []int64{1, 2, 3, 4, 5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("stats for %d strategies, want 4", len(stats))
+	}
+	byName := map[string]SweepStats{}
+	for _, s := range stats {
+		byName[s.Strategy] = s
+		if s.Min > s.Mean || s.Mean > s.Max {
+			t.Errorf("%s: mean %v outside [%v, %v]", s.Strategy, s.Mean, s.Min, s.Max)
+		}
+		if s.StdDev < 0 {
+			t.Errorf("%s: negative stddev", s.Strategy)
+		}
+	}
+	// The headline conclusion must be seed-robust: EAS's *worst* seed
+	// still beats GPU-alone's *best* seed on desktop EDP.
+	if byName["EAS"].Min <= byName["GPU"].Max {
+		t.Errorf("EAS worst seed (%v) should beat GPU best seed (%v)",
+			byName["EAS"].Min, byName["GPU"].Max)
+	}
+	// And the run-to-run spread should be modest (irregularity noise,
+	// not chaos).
+	if byName["EAS"].StdDev > 5 {
+		t.Errorf("EAS efficiency stddev %v suspiciously high", byName["EAS"].StdDev)
+	}
+	var b strings.Builder
+	RenderSweep(&b, "desktop", "edp", 5, stats)
+	if !strings.Contains(b.String(), "stddev") || !strings.Contains(b.String(), "EAS") {
+		t.Error("sweep render incomplete")
+	}
+}
+
+func TestSeedSweepValidation(t *testing.T) {
+	if _, err := SeedSweep("desktop", "edp", nil, Options{}); err == nil {
+		t.Error("empty seed list accepted")
+	}
+	if _, err := SeedSweep("mainframe", "edp", []int64{1}, Options{}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/profile"
+	"github.com/hetsched/eas/internal/wclass"
+	"github.com/hetsched/eas/internal/workloads"
+)
+
+// Table1Row is one workload's entry of the paper's Table 1, paired with
+// the classification our runtime measures via online profiling on the
+// desktop platform.
+type Table1Row struct {
+	Abbrev, Name string
+	// InputDesktop and InputTablet describe the inputs ("N/A" when the
+	// workload does not run on the tablet).
+	InputDesktop, InputTablet string
+	// Invocations is the kernel invocation count.
+	Invocations int
+	// Irregular marks input-dependent control flow.
+	Irregular bool
+	// Paper is Table 1's classification; Measured is ours.
+	Paper, Measured wclass.Category
+}
+
+// Matches reports whether the measured classification agrees with the
+// paper's in all three dimensions.
+func (r Table1Row) Matches() bool { return r.Paper == r.Measured }
+
+// Table1 builds the Table 1 reproduction: for each workload it runs one
+// online profiling step on a fresh desktop platform (exactly what the
+// EAS runtime does on first kernel encounter) and classifies the
+// workload from the measured counters and throughputs.
+func Table1(seed int64) ([]Table1Row, error) {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	spec := platform.DesktopSpec()
+	var rows []Table1Row
+	for _, w := range workloads.All() {
+		invs, err := w.Schedule("desktop", seed)
+		if err != nil {
+			return nil, err
+		}
+		measured, err := classify(spec, invs)
+		if err != nil {
+			return nil, fmt.Errorf("report: classifying %s: %w", w.Abbrev, err)
+		}
+		tabletInput := "N/A"
+		if in, ok := w.Inputs["tablet"]; ok {
+			tabletInput = in
+		}
+		rows = append(rows, Table1Row{
+			Abbrev:       w.Abbrev,
+			Name:         w.Name,
+			InputDesktop: w.Inputs["desktop"],
+			InputTablet:  tabletInput,
+			Invocations:  len(invs),
+			Irregular:    w.Irregular,
+			Paper:        w.Paper,
+			Measured:     measured,
+		})
+	}
+	return rows, nil
+}
+
+// classify runs one profiling step on the first invocation large enough
+// to fill the GPU, then classifies for the invocation's remainder.
+func classify(spec platform.Spec, invs []workloads.Invocation) (wclass.Category, error) {
+	p, err := platform.New(spec)
+	if err != nil {
+		return wclass.Category{}, err
+	}
+	eng := engine.New(p)
+	chunk := float64(p.GPUProfileSize())
+	for _, inv := range invs {
+		if float64(inv.N) < chunk {
+			continue
+		}
+		obs, remaining, err := profile.Step(eng, inv.Kernel, chunk, float64(inv.N)-chunk)
+		if err != nil {
+			return wclass.Category{}, err
+		}
+		return obs.Classify(remaining), nil
+	}
+	return wclass.Category{}, fmt.Errorf("no invocation reaches GPU_PROFILE_SIZE")
+}
+
+// RenderTable1 writes the table in the paper's column layout, with the
+// measured classification beside the published one.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: compile-time and runtime statistics (paper classification vs measured)")
+	fmt.Fprintf(w, "%-5s %-22s %6s %5s  %-14s %-14s %s\n",
+		"abbr", "name", "invoc", "reg", "paper", "measured", "match")
+	for _, r := range rows {
+		reg := "R"
+		if r.Irregular {
+			reg = "IR"
+		}
+		match := "yes"
+		if !r.Matches() {
+			match = "NO"
+		}
+		fmt.Fprintf(w, "%-5s %-22s %6d %5s  %-14s %-14s %s\n",
+			r.Abbrev, r.Name, r.Invocations, reg, r.Paper.Key(), r.Measured.Key(), match)
+	}
+}

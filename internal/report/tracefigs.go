@@ -1,0 +1,138 @@
+package report
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/microbench"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/trace"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// findBench returns the sized micro-benchmark of one category.
+func findBench(spec platform.Spec, cat wclass.Category) (microbench.Benchmark, error) {
+	suite, err := microbench.Suite(spec)
+	if err != nil {
+		return microbench.Benchmark{}, err
+	}
+	for _, b := range suite {
+		if b.Category == cat {
+			return b, nil
+		}
+	}
+	return microbench.Benchmark{}, fmt.Errorf("report: no micro-benchmark for %s", cat)
+}
+
+// traceSplit runs one micro-benchmark at a given offload ratio on a
+// fresh platform, recording the power trace, with idle padding before
+// and after so the plot shows the workload envelope.
+func traceSplit(spec platform.Spec, b microbench.Benchmark, alpha float64, repeats int, gap time.Duration) (*trace.Set, error) {
+	p, err := platform.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	eng := engine.New(p)
+	tr := trace.NewSet()
+	eng.RunIdle(50*time.Millisecond, tr)
+	n := float64(b.N)
+	for i := 0; i < repeats; i++ {
+		_, err = eng.Run(engine.Phase{
+			Kernel:    b.Kernel,
+			GPUItems:  alpha * n,
+			PoolItems: (1 - alpha) * n,
+			Trace:     tr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if gap > 0 {
+			eng.RunIdle(gap, tr)
+		}
+	}
+	eng.RunIdle(50*time.Millisecond, tr)
+	return tr, nil
+}
+
+// Fig2Traces reproduces Figure 2: package power over time for a
+// memory-bound workload at a 90%-GPU / 10%-CPU split, on the tablet and
+// the desktop. On the tablet, power drops during the CPU-only phase; on
+// the desktop it rises (the CPU is the hungrier device there).
+func Fig2Traces() (tablet, desktop *trace.Set, err error) {
+	tSpec := platform.TabletSpec()
+	dSpec := platform.DesktopSpec()
+	tb, err := findBench(tSpec, wclass.Category{Memory: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := findBench(dSpec, wclass.Category{Memory: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	tablet, err = traceSplit(tSpec, tb, 0.9, 1, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	desktop, err = traceSplit(dSpec, db, 0.9, 1, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tablet, desktop, nil
+}
+
+// Fig3Traces reproduces Figure 3: desktop power over time for
+// long-running compute-bound (left) and memory-bound (right)
+// micro-benchmarks executing on CPU and GPU together.
+func Fig3Traces() (compute, memory *trace.Set, err error) {
+	spec := platform.DesktopSpec()
+	cb, err := findBench(spec, wclass.Category{})
+	if err != nil {
+		return nil, nil, err
+	}
+	mb, err := findBench(spec, wclass.Category{Memory: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	compute, err = traceSplit(spec, cb, 0.5, 1, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	memory, err = traceSplit(spec, mb, 0.5, 1, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return compute, memory, nil
+}
+
+// DVFSTrace records the PCU's frequency decisions in action: a
+// memory-bound workload with short GPU bursts on the desktop, so the
+// trace shows CPU turbo during CPU-only phases, the deep-throttle
+// transient at each kernel start, and the GPU clocking up while busy.
+// This exposes the black box the paper characterizes — useful for
+// understanding *why* the power curves bend, even though the scheduler
+// itself never sees frequencies.
+func DVFSTrace() (*trace.Set, error) {
+	spec := platform.DesktopSpec()
+	mb, err := findBench(spec, wclass.Category{Memory: true})
+	if err != nil {
+		return nil, err
+	}
+	return traceSplit(spec, mb, 0.15, 3, 150*time.Millisecond)
+}
+
+// Fig4Trace reproduces Figure 4: the memory-bound micro-benchmark
+// executed ten times with 5% of the work on the GPU. Each short GPU
+// burst re-triggers the PCU reaction transient and package power dips
+// from ~60 W to ~40 W while the GPU executes.
+func Fig4Trace() (*trace.Set, error) {
+	spec := platform.DesktopSpec()
+	mb, err := findBench(spec, wclass.Category{Memory: true})
+	if err != nil {
+		return nil, err
+	}
+	// Idle gaps between repetitions exceed the PCU's idle hysteresis,
+	// so every burst re-arms the throttle (as the paper's ten separate
+	// executions do).
+	return traceSplit(spec, mb, 0.05, 10, 120*time.Millisecond)
+}

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTable1Reproduction(t *testing.T) {
+	rows, err := Table1(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("Table 1 has %d rows, want 12", len(rows))
+	}
+	wantInvocations := map[string]int{
+		"BH": 1, "BFS": 1748, "CC": 2147, "FD": 132, "MB": 1, "SL": 1,
+		"SP": 2577, "BS": 2000, "MM": 1, "NB": 101, "RT": 1, "SM": 100,
+	}
+	matches := 0
+	for _, r := range rows {
+		if want := wantInvocations[r.Abbrev]; r.Invocations != want {
+			t.Errorf("%s: %d invocations, want %d", r.Abbrev, r.Invocations, want)
+		}
+		// Memory-boundedness must always be measured correctly — it is
+		// a property of the kernels we defined.
+		if r.Measured.Memory != r.Paper.Memory {
+			t.Errorf("%s: measured memory=%v, paper says %v", r.Abbrev, r.Measured.Memory, r.Paper.Memory)
+		}
+		if r.Matches() {
+			matches++
+		}
+	}
+	// Short/long is hardware-dependent (NB is the documented
+	// deviation); require at least 9 of 12 full matches.
+	if matches < 9 {
+		t.Errorf("only %d/12 classifications match Table 1", matches)
+	}
+	var b strings.Builder
+	RenderTable1(&b, rows)
+	if !strings.Contains(b.String(), "BFS") || !strings.Contains(b.String(), "match") {
+		t.Error("Table 1 render incomplete")
+	}
+}
+
+func TestFig4TraceShowsBurstDips(t *testing.T) {
+	tr, err := Fig4Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := tr.PackagePower
+	// The trace must reach the CPU-alone memory-bound plateau and dip
+	// well below it during the GPU bursts.
+	if hi := pkg.Max(); hi < 50 {
+		t.Errorf("plateau power %v, want ≥50 (paper: ~60W)", hi)
+	}
+	// Count distinct dips below 46 W separated by recoveries: one per
+	// burst, ten bursts.
+	dips := 0
+	inDip := false
+	for _, s := range pkg.Samples {
+		if s.V < 46 && s.V > 20 { // below plateau, above idle
+			if !inDip {
+				dips++
+				inDip = true
+			}
+		} else if s.V > 50 {
+			inDip = false
+		}
+	}
+	if dips < 8 {
+		t.Errorf("found %d power dips, want ~10 (one per GPU burst)", dips)
+	}
+}
+
+func TestFig3MemoryDrawsMoreThanCompute(t *testing.T) {
+	compute, memory, err := Fig3Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady combined power: memory-bound ≈63W > compute-bound ≈55W
+	// (paper §2).
+	cSteady := compute.PackagePower.Max()
+	mSteady := memory.PackagePower.Max()
+	if mSteady <= cSteady {
+		t.Errorf("memory-bound peak %v should exceed compute-bound %v", mSteady, cSteady)
+	}
+	if cSteady < 48 || cSteady > 62 {
+		t.Errorf("compute combined peak %v, want ≈55", cSteady)
+	}
+	if mSteady < 55 || mSteady > 70 {
+		t.Errorf("memory combined peak %v, want ≈63", mSteady)
+	}
+}
+
+func TestFig2PlatformAsymmetry(t *testing.T) {
+	tablet, desktop, err := Fig2Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tablet: the GPU phase draws more than the CPU-only tail → power
+	// during the first part of the run exceeds the tail.
+	tp := tablet.PackagePower
+	dur := tp.Samples[len(tp.Samples)-1].T
+	// Skip the idle padding (50ms each side).
+	head := tp.MeanBetween(60*time.Millisecond, dur/3)
+	// Desktop: the GPU finishes its 90% quickly relative to... on the
+	// desktop the GPU is much faster, so with a 90/10 split the GPU
+	// phase dominates; power while both run exceeds the GPU-alone tail.
+	if head <= tp.MeanBetween(0, 40*time.Millisecond)+0.2 {
+		t.Errorf("tablet active power %v should clearly exceed idle", head)
+	}
+	dp := desktop.PackagePower
+	if dp.Max() < 35 {
+		t.Errorf("desktop trace peak %v too low", dp.Max())
+	}
+}
+
+func TestDVFSTraceShowsPolicy(t *testing.T) {
+	tr, err := DVFSTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CPU must visit turbo (alone), base (combined), and the
+	// deep-throttle floor (reaction transient) over the run.
+	cpu := tr.CPUFreq
+	if cpu.Max() < 3.9e9-1 {
+		t.Errorf("CPU never reached turbo: max %v", cpu.Max())
+	}
+	if cpu.Min() > 0.8e9+1 {
+		t.Errorf("CPU never hit the throttle floor: min %v", cpu.Min())
+	}
+	// The GPU clocks up while busy and parks at base otherwise.
+	gpu := tr.GPUFreq
+	if gpu.Max() < 1.2e9-1 {
+		t.Errorf("GPU never turboed: max %v", gpu.Max())
+	}
+	if gpu.Min() > 0.35e9+1 {
+		t.Errorf("GPU never parked: min %v", gpu.Min())
+	}
+	// And the SVG renders.
+	doc, err := DVFSSVG("dvfs", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, doc)
+}

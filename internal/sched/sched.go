@@ -1,0 +1,290 @@
+// Package sched implements the five scheduling strategies the paper
+// evaluates (§5): CPU-alone, GPU-alone, PERF (best-performance
+// partitioning), the Oracle (exhaustive offline search over fixed
+// offload ratios), and EAS (the energy-aware scheduler). All strategies
+// run whole workloads — every kernel invocation of Table 1's schedules
+// — on a freshly booted simulated platform and report the total
+// execution time, package energy, and the value of the evaluation
+// metric.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hetsched/eas/internal/core"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/trace"
+	"github.com/hetsched/eas/internal/workloads"
+)
+
+// InterInvocationGap is the simulated host-side time between kernel
+// invocations (frontier construction, buffer bookkeeping). It is far
+// shorter than the PCU's idle hysteresis, so back-to-back kernels do
+// not re-trigger the start-of-kernel transient.
+const InterInvocationGap = 200 * time.Microsecond
+
+// Result summarizes one workload run under one strategy.
+type Result struct {
+	// Strategy, Workload, Platform identify the run.
+	Strategy, Workload, Platform string
+	// Duration and EnergyJ are whole-application totals.
+	Duration time.Duration
+	EnergyJ  float64
+	// Value is the evaluation metric over the whole run.
+	Value float64
+	// GPUShare is the fraction of all items that ran on the GPU.
+	GPUShare float64
+	// OracleAlpha is the winning fixed ratio (Oracle strategy only).
+	OracleAlpha float64
+	// Invocations is the number of kernel invocations executed.
+	Invocations int
+}
+
+// Strategy runs a workload on a platform and reports totals.
+type Strategy interface {
+	// Name is the strategy's display name ("CPU", "GPU", "PERF",
+	// "Oracle", "EAS").
+	Name() string
+	// Run executes the full workload. The characterization model is
+	// used only by strategies that need it (EAS); metric is the
+	// evaluation objective.
+	Run(w workloads.Workload, spec platform.Spec, model *powerchar.Model, metric metrics.Metric, seed int64) (Result, error)
+}
+
+// runFixed executes a whole workload at one fixed GPU offload ratio.
+func runFixed(w workloads.Workload, spec platform.Spec, alpha float64, seed int64) (time.Duration, float64, float64, int, error) {
+	invs, err := w.Schedule(spec.Name, seed)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	p, err := platform.New(spec)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	eng := engine.New(p)
+	var total time.Duration
+	var energy, gpuItems, allItems float64
+	for _, inv := range invs {
+		n := float64(inv.N)
+		res, err := eng.Run(engine.Phase{
+			Kernel:    inv.Kernel,
+			GPUItems:  alpha * n,
+			PoolItems: (1 - alpha) * n,
+		})
+		if err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("sched: %s at alpha=%v: %w", w.Abbrev, alpha, err)
+		}
+		total += res.Duration
+		energy += res.EnergyJ
+		gpuItems += res.GPUItems
+		allItems += n
+		eng.RunIdle(InterInvocationGap, nil)
+	}
+	share := 0.0
+	if allItems > 0 {
+		share = gpuItems / allItems
+	}
+	return total, energy, share, len(invs), nil
+}
+
+// RunFixedTraced executes a whole workload at one fixed offload ratio
+// with full power-trace recording — the analysis path behind the
+// per-workload detail reports.
+func RunFixedTraced(w workloads.Workload, spec platform.Spec, alpha float64, seed int64) (Result, *trace.Set, error) {
+	invs, err := w.Schedule(spec.Name, seed)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	p, err := platform.New(spec)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	eng := engine.New(p)
+	tr := trace.NewSet()
+	var total time.Duration
+	var energy, gpuItems, allItems float64
+	for _, inv := range invs {
+		n := float64(inv.N)
+		res, err := eng.Run(engine.Phase{
+			Kernel:    inv.Kernel,
+			GPUItems:  alpha * n,
+			PoolItems: (1 - alpha) * n,
+			Trace:     tr,
+		})
+		if err != nil {
+			return Result{}, nil, err
+		}
+		total += res.Duration
+		energy += res.EnergyJ
+		gpuItems += res.GPUItems
+		allItems += n
+		eng.RunIdle(InterInvocationGap, tr)
+	}
+	share := 0.0
+	if allItems > 0 {
+		share = gpuItems / allItems
+	}
+	return Result{
+		Strategy: fmt.Sprintf("alpha=%.2f", alpha), Workload: w.Abbrev, Platform: spec.Name,
+		Duration: total, EnergyJ: energy, GPUShare: share, Invocations: len(invs),
+	}, tr, nil
+}
+
+// fixed is the CPU-alone / GPU-alone strategy.
+type fixed struct {
+	name  string
+	alpha float64
+}
+
+// CPUOnly runs everything on the multi-core CPU (TBB-style).
+func CPUOnly() Strategy { return fixed{name: "CPU", alpha: 0} }
+
+// GPUOnly runs everything on the GPU through the OpenCL-style queue.
+func GPUOnly() Strategy { return fixed{name: "GPU", alpha: 1} }
+
+// FixedAlpha runs everything at one offload ratio (the Oracle's
+// building block, also useful for sweeps like Fig. 1).
+func FixedAlpha(alpha float64) Strategy {
+	return fixed{name: fmt.Sprintf("alpha=%.2f", alpha), alpha: alpha}
+}
+
+func (f fixed) Name() string { return f.name }
+
+func (f fixed) Run(w workloads.Workload, spec platform.Spec, _ *powerchar.Model, metric metrics.Metric, seed int64) (Result, error) {
+	dur, energy, share, n, err := runFixed(w, spec, f.alpha, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Strategy: f.name, Workload: w.Abbrev, Platform: spec.Name,
+		Duration: dur, EnergyJ: energy,
+		Value:       metric.EvalEnergy(energy, dur.Seconds()),
+		GPUShare:    share,
+		Invocations: n,
+	}, nil
+}
+
+// oracle exhaustively searches fixed offload ratios.
+type oracle struct {
+	step float64
+}
+
+// Oracle returns the paper's baseline: the best fixed ratio found by
+// exhaustive search over α ∈ {0, step, …, 1} (paper: step = 0.1).
+func Oracle(step float64) Strategy {
+	if step <= 0 || step > 0.5 {
+		step = 0.1
+	}
+	return oracle{step: step}
+}
+
+func (o oracle) Name() string { return "Oracle" }
+
+func (o oracle) Run(w workloads.Workload, spec platform.Spec, _ *powerchar.Model, metric metrics.Metric, seed int64) (Result, error) {
+	best := Result{}
+	found := false
+	for alpha := 0.0; alpha <= 1+1e-9; alpha += o.step {
+		a := alpha
+		if a > 1 {
+			a = 1
+		}
+		dur, energy, share, n, err := runFixed(w, spec, a, seed)
+		if err != nil {
+			return Result{}, err
+		}
+		v := metric.EvalEnergy(energy, dur.Seconds())
+		if !found || v < best.Value {
+			found = true
+			best = Result{
+				Strategy: "Oracle", Workload: w.Abbrev, Platform: spec.Name,
+				Duration: dur, EnergyJ: energy, Value: v,
+				GPUShare: share, OracleAlpha: a, Invocations: n,
+			}
+		}
+	}
+	if !found {
+		return Result{}, fmt.Errorf("sched: oracle found no feasible ratio for %s", w.Abbrev)
+	}
+	return best, nil
+}
+
+// adaptive wraps the EAS runtime; with the time metric it degenerates
+// to the paper's PERF strategy.
+type adaptive struct {
+	name string
+	// objective is what the runtime optimizes; the evaluation metric
+	// may differ (PERF optimizes time but is judged on energy metrics).
+	objective func(metric metrics.Metric) metrics.Metric
+	opts      core.Options
+}
+
+// EAS returns the paper's energy-aware scheduler optimizing the
+// evaluation metric itself.
+func EAS(opts core.Options) Strategy {
+	return adaptive{
+		name:      "EAS",
+		objective: func(m metrics.Metric) metrics.Metric { return m },
+		opts:      opts,
+	}
+}
+
+// Perf returns the best-performance strategy of [12]: the same
+// profiling machinery, but partitioning purely to minimize execution
+// time.
+func Perf(opts core.Options) Strategy {
+	timeMetric := metrics.New("time", func(_, t float64) float64 { return t })
+	return adaptive{
+		name:      "PERF",
+		objective: func(metrics.Metric) metrics.Metric { return timeMetric },
+		opts:      opts,
+	}
+}
+
+func (a adaptive) Name() string { return a.name }
+
+func (a adaptive) Run(w workloads.Workload, spec platform.Spec, model *powerchar.Model, metric metrics.Metric, seed int64) (Result, error) {
+	if model == nil {
+		return Result{}, fmt.Errorf("sched: %s needs a power characterization model", a.name)
+	}
+	invs, err := w.Schedule(spec.Name, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	p, err := platform.New(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	eng := engine.New(p)
+	s, err := core.New(eng, model, a.objective(metric), a.opts)
+	if err != nil {
+		return Result{}, err
+	}
+	var total time.Duration
+	var energy, gpuItems, allItems float64
+	for _, inv := range invs {
+		rep, err := s.ParallelFor(inv.Kernel, inv.N)
+		if err != nil {
+			return Result{}, fmt.Errorf("sched: %s on %s: %w", a.name, w.Abbrev, err)
+		}
+		total += rep.Duration
+		energy += rep.EnergyJ
+		gpuItems += rep.GPUItems
+		allItems += float64(inv.N)
+		eng.RunIdle(InterInvocationGap, nil)
+	}
+	share := 0.0
+	if allItems > 0 {
+		share = gpuItems / allItems
+	}
+	return Result{
+		Strategy: a.name, Workload: w.Abbrev, Platform: spec.Name,
+		Duration: total, EnergyJ: energy,
+		Value:       metric.EvalEnergy(energy, total.Seconds()),
+		GPUShare:    share,
+		Invocations: len(invs),
+	}, nil
+}

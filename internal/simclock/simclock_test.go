@@ -1,0 +1,73 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStepAdvancesByTick(t *testing.T) {
+	c := New(time.Millisecond)
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock Now = %v, want 0", c.Now())
+	}
+	for i := 1; i <= 5; i++ {
+		got := c.Step()
+		want := time.Duration(i) * time.Millisecond
+		if got != want {
+			t.Fatalf("step %d: Now = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAdvanceRoundsUp(t *testing.T) {
+	c := New(time.Millisecond)
+	n := c.Advance(2500 * time.Microsecond)
+	if n != 3 {
+		t.Errorf("Advance ticks = %d, want 3", n)
+	}
+	if c.Now() != 3*time.Millisecond {
+		t.Errorf("Now = %v, want 3ms", c.Now())
+	}
+	if n := c.Advance(0); n != 0 || c.Now() != 3*time.Millisecond {
+		t.Errorf("Advance(0) moved the clock: n=%d now=%v", n, c.Now())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(10 * time.Millisecond)
+	c.Step()
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("after Reset Now = %v, want 0", c.Now())
+	}
+	if c.Tick() != 10*time.Millisecond {
+		t.Errorf("Reset changed tick: %v", c.Tick())
+	}
+}
+
+func TestSecondsHelpers(t *testing.T) {
+	c := New(250 * time.Millisecond)
+	c.Step()
+	c.Step()
+	if c.Seconds() != 0.5 {
+		t.Errorf("Seconds = %v, want 0.5", c.Seconds())
+	}
+	if c.TickSeconds() != 0.25 {
+		t.Errorf("TickSeconds = %v, want 0.25", c.TickSeconds())
+	}
+}
+
+func TestInvalidUsePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero tick", func() { New(0) })
+	mustPanic("negative tick", func() { New(-time.Second) })
+	mustPanic("negative advance", func() { New(time.Millisecond).Advance(-1) })
+}

@@ -1,0 +1,314 @@
+// Package svgchart renders the reproduction's figures as standalone
+// SVG documents using only the standard library — line charts for the
+// power-over-time traces and α sweeps (paper Figs. 1-6) and grouped bar
+// charts for the efficiency grids (Figs. 9-12). The output is plain
+// SVG 1.1, viewable in any browser.
+package svgchart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Palette is the default series palette (colorblind-friendly).
+var Palette = []string{"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb"}
+
+const (
+	defaultWidth  = 720
+	defaultHeight = 420
+	marginLeft    = 64
+	marginRight   = 20
+	marginTop     = 40
+	marginBottom  = 52
+)
+
+// Series is one line of a LineChart.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are the sample coordinates (equal length, ≥ 2 points).
+	X, Y []float64
+}
+
+// LineChart plots one or more series over a shared numeric axis.
+type LineChart struct {
+	Title, XLabel, YLabel string
+	Series                []Series
+	// Width and Height override the default 720×420 canvas.
+	Width, Height int
+	// YMin/YMax fix the y-range; both zero selects auto-scaling.
+	YMin, YMax float64
+}
+
+// Render produces the SVG document.
+func (c *LineChart) Render() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("svgchart: line chart %q has no series", c.Title)
+	}
+	var xLo, xHi, yLo, yHi float64
+	first := true
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("svgchart: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) < 2 {
+			return "", fmt.Errorf("svgchart: series %q needs at least 2 points", s.Name)
+		}
+		for i := range s.X {
+			if first {
+				xLo, xHi, yLo, yHi = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xLo = math.Min(xLo, s.X[i])
+			xHi = math.Max(xHi, s.X[i])
+			yLo = math.Min(yLo, s.Y[i])
+			yHi = math.Max(yHi, s.Y[i])
+		}
+	}
+	if !(c.YMin == 0 && c.YMax == 0) {
+		yLo, yHi = c.YMin, c.YMax
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+
+	g := newGeometry(c.Width, c.Height)
+	var b strings.Builder
+	g.open(&b, c.Title)
+	g.axes(&b, xLo, xHi, yLo, yHi, c.XLabel, c.YLabel)
+	for i, s := range c.Series {
+		color := Palette[i%len(Palette)]
+		var path strings.Builder
+		for j := range s.X {
+			cmd := "L"
+			if j == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.2f %.2f ", cmd, g.px(s.X[j], xLo, xHi), g.py(s.Y[j], yLo, yHi))
+		}
+		fmt.Fprintf(&b, `<path d=%q fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+	}
+	g.legend(&b, seriesNames(c.Series))
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func seriesNames(ss []Series) []string {
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// BarGroup is one cluster of a grouped bar chart (one workload).
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// BarChart plots grouped bars — the efficiency figures' layout.
+type BarChart struct {
+	Title, YLabel string
+	// SeriesNames label the bars within each group (strategies).
+	SeriesNames []string
+	Groups      []BarGroup
+	// RefLine draws a horizontal reference (the Oracle's 100%).
+	RefLine float64
+	// Width and Height override the default canvas.
+	Width, Height int
+}
+
+// Render produces the SVG document.
+func (c *BarChart) Render() (string, error) {
+	if len(c.Groups) == 0 || len(c.SeriesNames) == 0 {
+		return "", fmt.Errorf("svgchart: bar chart %q has no data", c.Title)
+	}
+	yHi := c.RefLine
+	for _, grp := range c.Groups {
+		if len(grp.Values) != len(c.SeriesNames) {
+			return "", fmt.Errorf("svgchart: group %q has %d values for %d series", grp.Label, len(grp.Values), len(c.SeriesNames))
+		}
+		for _, v := range grp.Values {
+			if v < 0 {
+				return "", fmt.Errorf("svgchart: group %q has negative value %v", grp.Label, v)
+			}
+			yHi = math.Max(yHi, v)
+		}
+	}
+	if yHi == 0 {
+		yHi = 1
+	}
+	yHi *= 1.05
+
+	width := c.Width
+	if width == 0 {
+		// Scale with group count so labels stay readable.
+		width = marginLeft + marginRight + len(c.Groups)*(18*len(c.SeriesNames)+16)
+		if width < defaultWidth {
+			width = defaultWidth
+		}
+	}
+	g := newGeometry(width, c.Height)
+	var b strings.Builder
+	g.open(&b, c.Title)
+	g.axes(&b, 0, float64(len(c.Groups)), 0, yHi, "", c.YLabel)
+
+	groupW := g.plotW / float64(len(c.Groups))
+	barW := groupW * 0.8 / float64(len(c.SeriesNames))
+	for gi, grp := range c.Groups {
+		x0 := float64(marginLeft) + float64(gi)*groupW + groupW*0.1
+		for si, v := range grp.Values {
+			color := Palette[si%len(Palette)]
+			x := x0 + float64(si)*barW
+			y := g.py(v, 0, yHi)
+			h := g.py(0, 0, yHi) - y
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+				x, y, barW*0.92, h, color)
+		}
+		fmt.Fprintf(&b, `<text x="%.2f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x0+groupW*0.4, g.height-marginBottom+16, escape(grp.Label))
+	}
+	if c.RefLine > 0 {
+		y := g.py(c.RefLine, 0, yHi)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.2f" x2="%.2f" y2="%.2f" stroke="#888" stroke-dasharray="5,4"/>`+"\n",
+			marginLeft, y, float64(marginLeft)+g.plotW, y)
+	}
+	g.legend(&b, c.SeriesNames)
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// geometry handles the shared canvas math.
+type geometry struct {
+	width, height int
+	plotW, plotH  float64
+}
+
+func newGeometry(w, h int) geometry {
+	if w <= 0 {
+		w = defaultWidth
+	}
+	if h <= 0 {
+		h = defaultHeight
+	}
+	return geometry{
+		width: w, height: h,
+		plotW: float64(w - marginLeft - marginRight),
+		plotH: float64(h - marginTop - marginBottom),
+	}
+}
+
+func (g geometry) px(x, lo, hi float64) float64 {
+	return float64(marginLeft) + (x-lo)/(hi-lo)*g.plotW
+}
+
+func (g geometry) py(y, lo, hi float64) float64 {
+	return float64(marginTop) + (1-(y-lo)/(hi-lo))*g.plotH
+}
+
+func (g geometry) open(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		g.width, g.height, g.width, g.height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", g.width, g.height)
+	fmt.Fprintf(b, `<text x="%d" y="22" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(title))
+}
+
+// axes draws the frame, y ticks, and axis labels; x ticks are drawn for
+// line charts only (lo != hi in a numeric sense and xLabel provided).
+func (g geometry) axes(b *strings.Builder, xLo, xHi, yLo, yHi float64, xLabel, yLabel string) {
+	x0, y0 := float64(marginLeft), float64(marginTop)
+	fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#333"/>`+"\n",
+		x0, y0, g.plotW, g.plotH)
+	for _, tv := range niceTicks(yLo, yHi, 6) {
+		y := g.py(tv, yLo, yHi)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.2f" x2="%.1f" y2="%.2f" stroke="#ddd"/>`+"\n",
+			x0, y, x0+g.plotW, y)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.2f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			x0-6, y+4, formatTick(tv))
+	}
+	if xLabel != "" {
+		for _, tv := range niceTicks(xLo, xHi, 8) {
+			x := g.px(tv, xLo, xHi)
+			fmt.Fprintf(b, `<line x1="%.2f" y1="%.1f" x2="%.2f" y2="%.1f" stroke="#ccc"/>`+"\n",
+				x, y0+g.plotH, x, y0+g.plotH+4)
+			fmt.Fprintf(b, `<text x="%.2f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+				x, y0+g.plotH+18, formatTick(tv))
+		}
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			x0+g.plotW/2, g.height-8, escape(xLabel))
+	}
+	if yLabel != "" {
+		fmt.Fprintf(b, `<text x="14" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			y0+g.plotH/2, y0+g.plotH/2, escape(yLabel))
+	}
+}
+
+func (g geometry) legend(b *strings.Builder, names []string) {
+	x := float64(marginLeft) + 8
+	y := float64(marginTop) + 6
+	for i, name := range names {
+		color := Palette[i%len(Palette)]
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", x, y, color)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", x+14, y+9, escape(name))
+		x += 18 + 7*float64(len(name)+2)
+		_ = i
+	}
+}
+
+// niceTicks returns ~n round tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var ticks []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step*1e-9; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av > 0 && av < 0.01:
+		return fmt.Sprintf("%.2g", v)
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+}
+
+// escape sanitizes text for embedding in SVG.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,166 @@
+package svgchart
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, doc)
+		}
+	}
+}
+
+func TestLineChartRender(t *testing.T) {
+	c := &LineChart{
+		Title:  "Power over time",
+		XLabel: "seconds",
+		YLabel: "watts",
+		Series: []Series{
+			{Name: "package", X: []float64{0, 1, 2, 3}, Y: []float64{12, 58, 40, 58}},
+			{Name: "gpu", X: []float64{0, 1, 2, 3}, Y: []float64{0, 18, 18, 4}},
+		},
+	}
+	doc, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, doc)
+	for _, want := range []string{"Power over time", "package", "gpu", "watts", "<path", "xmlns"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+	// Two series → two path elements.
+	if n := strings.Count(doc, "<path"); n != 2 {
+		t.Errorf("found %d paths, want 2", n)
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	if _, err := (&LineChart{Title: "empty"}).Render(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := &LineChart{Series: []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := bad.Render(); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	short := &LineChart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1}}}}
+	if _, err := short.Render(); err == nil {
+		t.Error("single-point series accepted")
+	}
+}
+
+func TestLineChartDegenerateRanges(t *testing.T) {
+	// Constant series must not divide by zero.
+	c := &LineChart{Series: []Series{{Name: "flat", X: []float64{0, 0}, Y: []float64{5, 5}}}}
+	doc, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, doc)
+	if strings.Contains(doc, "NaN") || strings.Contains(doc, "Inf") {
+		t.Error("degenerate range produced NaN/Inf coordinates")
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := &BarChart{
+		Title:       "Figure 9",
+		YLabel:      "% of Oracle",
+		SeriesNames: []string{"CPU", "GPU", "PERF", "EAS"},
+		Groups: []BarGroup{
+			{Label: "BH", Values: []float64{36, 87, 100, 100}},
+			{Label: "BFS", Values: []float64{57, 87, 103, 103}},
+		},
+		RefLine: 100,
+	}
+	doc, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, doc)
+	// 2 groups × 4 series bars + background + frame + legend swatches.
+	if n := strings.Count(doc, "<rect"); n < 8 {
+		t.Errorf("found %d rects, want ≥8 bars", n)
+	}
+	if !strings.Contains(doc, "stroke-dasharray") {
+		t.Error("reference line missing")
+	}
+	for _, want := range []string{"BH", "BFS", "EAS"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	if _, err := (&BarChart{Title: "x"}).Render(); err == nil {
+		t.Error("empty bar chart accepted")
+	}
+	bad := &BarChart{SeriesNames: []string{"a", "b"}, Groups: []BarGroup{{Label: "g", Values: []float64{1}}}}
+	if _, err := bad.Render(); err == nil {
+		t.Error("ragged group accepted")
+	}
+	neg := &BarChart{SeriesNames: []string{"a"}, Groups: []BarGroup{{Label: "g", Values: []float64{-1}}}}
+	if _, err := neg.Render(); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &LineChart{
+		Title:  `<script>&"attack"</script>`,
+		Series: []Series{{Name: "a<b", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	doc, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, doc)
+	if strings.Contains(doc, "<script>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 4 || len(ticks) > 8 {
+		t.Errorf("tick count %d for [0,100]", len(ticks))
+	}
+	for _, v := range ticks {
+		if v < 0 || v > 100.0001 {
+			t.Errorf("tick %v outside range", v)
+		}
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 {
+		t.Errorf("degenerate range ticks = %v", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12:      "12",
+		0.5:     "0.5",
+		1500:    "1.5k",
+		2.5e6:   "2.5M",
+		3.9e9:   "3.9G",
+		0.00123: "0.0012",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

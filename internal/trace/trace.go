@@ -1,0 +1,353 @@
+// Package trace records time series produced by the platform
+// simulation — package power, per-device utilization and frequency —
+// and offers the integration and rendering primitives the experiment
+// harness needs to regenerate the paper's power-over-time figures
+// (Figs. 2, 3, 4) and the α-sweep curves (Fig. 1, Figs. 5-6).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// Sample is one point of a time series.
+type Sample struct {
+	T time.Duration // virtual time
+	V float64       // value (watts, ratio, hertz, ...)
+}
+
+// Series is an append-only time series. The zero value is ready to use.
+type Series struct {
+	Name    string
+	Unit    string
+	Samples []Sample
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name, unit string) *Series {
+	return &Series{Name: name, Unit: unit}
+}
+
+// Append adds a sample. Samples are expected in non-decreasing time
+// order; Append panics otherwise since the simulation only moves
+// forward.
+func (s *Series) Append(t time.Duration, v float64) {
+	if n := len(s.Samples); n > 0 && t < s.Samples[n-1].T {
+		panic(fmt.Sprintf("trace: time went backwards: %v after %v", t, s.Samples[n-1].T))
+	}
+	s.Samples = append(s.Samples, Sample{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// Duration returns the time span covered by the series.
+func (s *Series) Duration() time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	return s.Samples[len(s.Samples)-1].T - s.Samples[0].T
+}
+
+// Mean returns the time-weighted mean value. For a series sampled on a
+// uniform grid this equals the arithmetic mean of the samples; for
+// non-uniform series each sample's value is held until the next sample
+// (left Riemann). Returns NaN for fewer than one sample.
+func (s *Series) Mean() float64 {
+	switch len(s.Samples) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return s.Samples[0].V
+	}
+	integral, span := s.integrate()
+	if span == 0 {
+		return s.Samples[0].V
+	}
+	return integral / span
+}
+
+// Integral returns ∫ v dt in (value-unit)·seconds. For a power series in
+// watts this is energy in joules.
+func (s *Series) Integral() float64 {
+	integral, _ := s.integrate()
+	return integral
+}
+
+func (s *Series) integrate() (integral, span float64) {
+	for i := 0; i+1 < len(s.Samples); i++ {
+		dt := (s.Samples[i+1].T - s.Samples[i].T).Seconds()
+		integral += s.Samples[i].V * dt
+		span += dt
+	}
+	return integral, span
+}
+
+// Max returns the maximum sample value, or NaN if empty.
+func (s *Series) Max() float64 {
+	if len(s.Samples) == 0 {
+		return math.NaN()
+	}
+	m := s.Samples[0].V
+	for _, p := range s.Samples[1:] {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Min returns the minimum sample value, or NaN if empty.
+func (s *Series) Min() float64 {
+	if len(s.Samples) == 0 {
+		return math.NaN()
+	}
+	m := s.Samples[0].V
+	for _, p := range s.Samples[1:] {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// MeanBetween returns the time-weighted mean of samples with
+// t0 <= T < t1, NaN when the window is empty.
+func (s *Series) MeanBetween(t0, t1 time.Duration) float64 {
+	var integral, span float64
+	for i := 0; i+1 < len(s.Samples); i++ {
+		if s.Samples[i].T < t0 || s.Samples[i].T >= t1 {
+			continue
+		}
+		dt := (s.Samples[i+1].T - s.Samples[i].T).Seconds()
+		integral += s.Samples[i].V * dt
+		span += dt
+	}
+	if span == 0 {
+		return math.NaN()
+	}
+	return integral / span
+}
+
+// Downsample returns a copy of the series keeping every k-th sample
+// (k ≥ 1), always including the final sample so Duration is preserved.
+func (s *Series) Downsample(k int) *Series {
+	if k < 1 {
+		k = 1
+	}
+	out := NewSeries(s.Name, s.Unit)
+	for i := 0; i < len(s.Samples); i += k {
+		out.Samples = append(out.Samples, s.Samples[i])
+	}
+	if n := len(s.Samples); n > 0 && (n-1)%k != 0 {
+		out.Samples = append(out.Samples, s.Samples[n-1])
+	}
+	return out
+}
+
+// WriteCSV emits "seconds,value" rows with a header line.
+func (s *Series) WriteCSV(w io.Writer) error {
+	name := s.Name
+	if name == "" {
+		name = "value"
+	}
+	if _, err := fmt.Fprintf(w, "seconds,%s\n", name); err != nil {
+		return err
+	}
+	for _, p := range s.Samples {
+		if _, err := fmt.Fprintf(w, "%.6f,%.6f\n", p.T.Seconds(), p.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderASCII draws the series as a rows×cols ASCII chart, used by the
+// cmd/powertrace tool to reproduce the paper's power-over-time figures
+// in a terminal. Empty series render as an empty frame.
+func (s *Series) RenderASCII(rows, cols int) string {
+	if rows < 2 {
+		rows = 2
+	}
+	if cols < 2 {
+		cols = 2
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	lo, hi := s.Min(), s.Max()
+	if len(s.Samples) > 0 && !math.IsNaN(lo) {
+		if hi == lo {
+			hi = lo + 1
+		}
+		t0 := s.Samples[0].T
+		span := s.Duration()
+		for _, p := range s.Samples {
+			var x int
+			if span > 0 {
+				x = int(float64(cols-1) * float64(p.T-t0) / float64(span))
+			}
+			y := int(float64(rows-1) * (p.V - lo) / (hi - lo))
+			row := rows - 1 - y
+			grid[row][x] = '*'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s]  min=%.3g max=%.3g mean=%.3g dur=%s\n",
+		s.Name, s.Unit, lo, hi, s.Mean(), s.Duration())
+	for i, row := range grid {
+		var label string
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3g |", hi)
+		case rows - 1:
+			label = fmt.Sprintf("%8.3g |", lo)
+		default:
+			label = "         |"
+		}
+		b.WriteString(label)
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("          +" + strings.Repeat("-", cols) + "\n")
+	return b.String()
+}
+
+// Dip is one excursion of a series below a threshold.
+type Dip struct {
+	// Start and End bound the excursion (End is the first sample back
+	// above the recovery level).
+	Start, End time.Duration
+	// Min is the lowest value reached.
+	Min float64
+}
+
+// FindDips locates excursions below `floor` that recover above
+// `ceiling` (hysteresis avoids counting jitter as separate dips). Used
+// to detect the paper's Fig. 4 power dips programmatically.
+func (s *Series) FindDips(floor, ceiling float64) []Dip {
+	if ceiling < floor {
+		ceiling = floor
+	}
+	var dips []Dip
+	var cur *Dip
+	for _, p := range s.Samples {
+		switch {
+		case cur == nil && p.V < floor:
+			dips = append(dips, Dip{Start: p.T, End: p.T, Min: p.V})
+			cur = &dips[len(dips)-1]
+		case cur != nil && p.V > ceiling:
+			cur.End = p.T
+			cur = nil
+		case cur != nil:
+			if p.V < cur.Min {
+				cur.Min = p.V
+			}
+			cur.End = p.T
+		}
+	}
+	return dips
+}
+
+// Set bundles the series the engine records for one run.
+type Set struct {
+	PackagePower *Series // watts
+	CPUPower     *Series // watts (core contribution)
+	GPUPower     *Series // watts
+	DRAMPower    *Series // watts (memory subsystem)
+	IdlePower    *Series // watts (uncore floor)
+	CPUUtil      *Series // 0..1
+	GPUUtil      *Series // 0..1
+	CPUFreq      *Series // Hz
+	GPUFreq      *Series // Hz
+	Temperature  *Series // °C
+}
+
+// NewSet returns a Set with all series allocated.
+func NewSet() *Set {
+	return &Set{
+		PackagePower: NewSeries("package_power", "W"),
+		CPUPower:     NewSeries("cpu_power", "W"),
+		GPUPower:     NewSeries("gpu_power", "W"),
+		DRAMPower:    NewSeries("dram_power", "W"),
+		IdlePower:    NewSeries("idle_power", "W"),
+		CPUUtil:      NewSeries("cpu_util", "ratio"),
+		GPUUtil:      NewSeries("gpu_util", "ratio"),
+		CPUFreq:      NewSeries("cpu_freq", "Hz"),
+		GPUFreq:      NewSeries("gpu_freq", "Hz"),
+		Temperature:  NewSeries("temperature", "C"),
+	}
+}
+
+// WriteCSV emits all series of the set as one wide CSV table (columns:
+// seconds plus one per series), sampled at the PackagePower series'
+// timestamps. All series share the engine's recording grid, so rows
+// align; shorter series pad with empty cells.
+func (ts *Set) WriteCSV(w io.Writer) error {
+	cols := []*Series{
+		ts.PackagePower, ts.CPUPower, ts.GPUPower, ts.DRAMPower, ts.IdlePower,
+		ts.CPUUtil, ts.GPUUtil, ts.CPUFreq, ts.GPUFreq, ts.Temperature,
+	}
+	if _, err := fmt.Fprint(w, "seconds"); err != nil {
+		return err
+	}
+	for _, c := range cols {
+		if _, err := fmt.Fprintf(w, ",%s", c.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i, p := range ts.PackagePower.Samples {
+		if _, err := fmt.Fprintf(w, "%.6f", p.T.Seconds()); err != nil {
+			return err
+		}
+		for _, c := range cols {
+			if i < len(c.Samples) {
+				if _, err := fmt.Fprintf(w, ",%.6f", c.Samples[i].V); err != nil {
+					return err
+				}
+			} else if _, err := fmt.Fprint(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnergyBreakdown integrates each power component over the trace and
+// returns the joules attributable to CPU cores, GPU, memory subsystem,
+// and the idle/uncore floor.
+type EnergyBreakdown struct {
+	CPUJ, GPUJ, DRAMJ, IdleJ, TotalJ float64
+}
+
+// Breakdown computes the energy split of the recorded run.
+func (ts *Set) Breakdown() EnergyBreakdown {
+	if ts == nil {
+		return EnergyBreakdown{}
+	}
+	return EnergyBreakdown{
+		CPUJ:   ts.CPUPower.Integral(),
+		GPUJ:   ts.GPUPower.Integral(),
+		DRAMJ:  ts.DRAMPower.Integral(),
+		IdleJ:  ts.IdlePower.Integral(),
+		TotalJ: ts.PackagePower.Integral(),
+	}
+}
+
+// Energy returns the integral of package power in joules.
+func (ts *Set) Energy() float64 {
+	if ts == nil || ts.PackagePower == nil {
+		return 0
+	}
+	return ts.PackagePower.Integral()
+}

@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func uniform(vals ...float64) *Series {
+	s := NewSeries("test", "W")
+	for i, v := range vals {
+		s.Append(ms(i), v)
+	}
+	return s
+}
+
+func TestMeanUniform(t *testing.T) {
+	s := uniform(10, 20, 30) // left-Riemann over 2ms: (10+20)/2
+	if got := s.Mean(); got != 15 {
+		t.Errorf("Mean = %v, want 15", got)
+	}
+}
+
+func TestMeanEdgeCases(t *testing.T) {
+	if !math.IsNaN(NewSeries("e", "W").Mean()) {
+		t.Error("empty Mean should be NaN")
+	}
+	if got := uniform(7).Mean(); got != 7 {
+		t.Errorf("single-sample Mean = %v, want 7", got)
+	}
+	s := NewSeries("z", "W")
+	s.Append(0, 5)
+	s.Append(0, 9) // zero span
+	if got := s.Mean(); got != 5 {
+		t.Errorf("zero-span Mean = %v, want first value 5", got)
+	}
+}
+
+func TestIntegralIsEnergy(t *testing.T) {
+	// 50 W held for 2 s = 100 J.
+	s := NewSeries("p", "W")
+	s.Append(0, 50)
+	s.Append(2*time.Second, 0)
+	if got := s.Integral(); got != 100 {
+		t.Errorf("Integral = %v, want 100", got)
+	}
+}
+
+func TestAppendMonotonicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on time going backwards")
+		}
+	}()
+	s := NewSeries("t", "W")
+	s.Append(ms(5), 1)
+	s.Append(ms(4), 1)
+}
+
+func TestMinMaxDuration(t *testing.T) {
+	s := uniform(3, -2, 8, 0)
+	if s.Min() != -2 || s.Max() != 8 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Duration() != ms(3) {
+		t.Errorf("Duration = %v, want 3ms", s.Duration())
+	}
+	if NewSeries("e", "").Duration() != 0 {
+		t.Error("empty Duration should be 0")
+	}
+}
+
+func TestMeanBetween(t *testing.T) {
+	s := uniform(10, 10, 40, 40, 40)
+	got := s.MeanBetween(ms(2), ms(4))
+	if got != 40 {
+		t.Errorf("MeanBetween = %v, want 40", got)
+	}
+	if !math.IsNaN(s.MeanBetween(ms(100), ms(200))) {
+		t.Error("empty window should be NaN")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := uniform(0, 1, 2, 3, 4, 5, 6)
+	d := s.Downsample(3)
+	wantT := []time.Duration{ms(0), ms(3), ms(6)}
+	if d.Len() != 3 {
+		t.Fatalf("Downsample len = %d, want 3", d.Len())
+	}
+	for i, w := range wantT {
+		if d.Samples[i].T != w {
+			t.Errorf("sample %d at %v, want %v", i, d.Samples[i].T, w)
+		}
+	}
+	// Last sample must always survive.
+	s2 := uniform(0, 1, 2, 3, 4)
+	d2 := s2.Downsample(3)
+	if d2.Samples[d2.Len()-1].T != ms(4) {
+		t.Errorf("final sample lost: %+v", d2.Samples)
+	}
+	if s.Downsample(0).Len() != s.Len() {
+		t.Error("k<1 should behave as k=1")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	s := uniform(1.5, 2.5)
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3: %q", len(lines), b.String())
+	}
+	if lines[0] != "seconds,test" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.000000,1.5") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	s := uniform(0, 5, 10, 5, 0)
+	out := s.RenderASCII(5, 20)
+	if !strings.Contains(out, "*") {
+		t.Error("render has no points")
+	}
+	if !strings.Contains(out, "test [W]") {
+		t.Errorf("render missing title: %q", out)
+	}
+	// Degenerate inputs should not panic.
+	_ = NewSeries("e", "").RenderASCII(0, 0)
+	_ = uniform(42).RenderASCII(3, 10)
+}
+
+func TestSetEnergy(t *testing.T) {
+	ts := NewSet()
+	ts.PackagePower.Append(0, 30)
+	ts.PackagePower.Append(time.Second, 30)
+	if got := ts.Energy(); got != 30 {
+		t.Errorf("Energy = %v, want 30", got)
+	}
+	var nilSet *Set
+	if nilSet.Energy() != 0 {
+		t.Error("nil Set Energy should be 0")
+	}
+}
+
+func TestFindDips(t *testing.T) {
+	// Plateau 60, two dips to 35, idle spike down at the end without
+	// recovery.
+	s := uniform(60, 60, 35, 34, 60, 60, 36, 60, 30)
+	dips := s.FindDips(40, 50)
+	if len(dips) != 3 {
+		t.Fatalf("found %d dips, want 3: %+v", len(dips), dips)
+	}
+	if dips[0].Min != 34 {
+		t.Errorf("first dip min = %v, want 34", dips[0].Min)
+	}
+	if dips[0].Start != ms(2) || dips[0].End != ms(4) {
+		t.Errorf("first dip span = [%v, %v]", dips[0].Start, dips[0].End)
+	}
+	// Hysteresis: values between floor and ceiling do not end a dip.
+	s2 := uniform(60, 35, 45, 35, 60)
+	if got := s2.FindDips(40, 50); len(got) != 1 {
+		t.Errorf("hysteresis broken: %d dips, want 1", len(got))
+	}
+	// Degenerate ceiling below floor is clamped.
+	if got := s2.FindDips(40, 10); len(got) == 0 {
+		t.Error("clamped ceiling should still find dips")
+	}
+	if got := NewSeries("e", "").FindDips(1, 2); len(got) != 0 {
+		t.Error("empty series should have no dips")
+	}
+}
+
+// Property: Mean always lies within [Min, Max] for any non-empty series
+// on a uniform grid.
+func TestMeanWithinBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, math.Mod(v, 1e6))
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := uniform(vals...)
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetWriteCSV(t *testing.T) {
+	ts := NewSet()
+	for i := 0; i < 3; i++ {
+		tm := ms(i)
+		ts.PackagePower.Append(tm, 50)
+		ts.CPUPower.Append(tm, 20)
+		ts.GPUPower.Append(tm, 15)
+		ts.DRAMPower.Append(tm, 10)
+		ts.IdlePower.Append(tm, 5)
+		ts.CPUUtil.Append(tm, 1)
+		ts.GPUUtil.Append(tm, 0)
+		ts.CPUFreq.Append(tm, 3.4e9)
+		ts.GPUFreq.Append(tm, 0.35e9)
+		ts.Temperature.Append(tm, 42)
+	}
+	var b strings.Builder
+	if err := ts.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d, want header + 3 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "seconds,package_power,cpu_power") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if cells := strings.Split(lines[1], ","); len(cells) != 11 {
+		t.Errorf("row has %d cells, want 11", len(cells))
+	}
+}
+
+func TestSetBreakdown(t *testing.T) {
+	ts := NewSet()
+	for i := 0; i < 3; i++ {
+		tm := time.Duration(i) * time.Second
+		ts.PackagePower.Append(tm, 50)
+		ts.CPUPower.Append(tm, 20)
+		ts.GPUPower.Append(tm, 15)
+		ts.DRAMPower.Append(tm, 10)
+		ts.IdlePower.Append(tm, 5)
+	}
+	b := ts.Breakdown()
+	if b.TotalJ != 100 || b.CPUJ != 40 || b.GPUJ != 30 || b.DRAMJ != 20 || b.IdleJ != 10 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	var nilSet *Set
+	if nilSet.Breakdown() != (EnergyBreakdown{}) {
+		t.Error("nil Set breakdown should be zero")
+	}
+}

@@ -1,0 +1,36 @@
+package vmath
+
+import "testing"
+
+func BenchmarkFitPolySixthOrder(b *testing.B) {
+	// The characterization's 21-sample sixth-order fit.
+	xs := make([]float64, 21)
+	ys := make([]float64, 21)
+	truth := NewPoly(40, -25, 90, -130, 60, 20, -31)
+	for i := range xs {
+		xs[i] = float64(i) / 20
+		ys[i] = truth.Eval(xs[i])
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitPoly(xs, ys, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolyEval(b *testing.B) {
+	p := NewPoly(40, -25, 90, -130, 60, 20, -31)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.Eval(float64(i%11) / 10)
+	}
+	_ = sink
+}
+
+func BenchmarkGridMin(b *testing.B) {
+	f := func(x float64) float64 { return (x - 0.37) * (x - 0.37) }
+	for i := 0; i < b.N; i++ {
+		GridMin(f, 0, 1, 10)
+	}
+}

@@ -1,0 +1,59 @@
+package vmath
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFitPoly checks the least-squares path never panics and, when it
+// reports success, returns a polynomial that is finite on the sample
+// range.
+func FuzzFitPoly(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0, uint8(2))
+	f.Add(0.0, 0.0, 0.0, 0.0, uint8(1))
+	f.Add(-5.5, 100.25, 3.75, -0.001, uint8(3))
+	f.Fuzz(func(t *testing.T, a, b, c, d float64, degRaw uint8) {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				t.Skip()
+			}
+		}
+		degree := int(degRaw % 4)
+		xs := []float64{0, 0.25, 0.5, 0.75, 1}
+		ys := []float64{a, b, c, d, a + b}
+		p, err := FitPoly(xs, ys, degree)
+		if err != nil {
+			return
+		}
+		for _, x := range xs {
+			if v := p.Eval(x); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("fit evaluates to %v at %v (coeffs %v)", v, x, p.Coeffs)
+			}
+		}
+	})
+}
+
+// FuzzGridMin checks the grid search returns a point on the grid whose
+// value is genuinely minimal over the grid.
+func FuzzGridMin(f *testing.F) {
+	f.Add(1.0, -2.0, 0.5)
+	f.Add(0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				t.Skip()
+			}
+		}
+		fn := func(x float64) float64 { return a*x*x + b*x + c }
+		arg, val := GridMin(fn, 0, 1, 10)
+		if math.IsNaN(val) {
+			t.Skip()
+		}
+		for i := 0; i <= 10; i++ {
+			x := float64(i) / 10
+			if fn(x) < val-1e-9 {
+				t.Fatalf("grid point %v (=%v) beats reported min %v at %v", x, fn(x), val, arg)
+			}
+		}
+	})
+}

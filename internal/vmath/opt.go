@@ -1,0 +1,79 @@
+package vmath
+
+import "math"
+
+// GridMin evaluates f on the closed interval [lo, hi] at uniform steps
+// and returns the argmin and minimum value. steps is the number of
+// intervals, so steps+1 points are evaluated; the paper's scheduler uses
+// steps = 10 (α increments of 0.1). Ties are broken toward the smaller
+// argument, matching a low-to-high scan.
+func GridMin(f func(float64) float64, lo, hi float64, steps int) (argmin, minval float64) {
+	if steps < 1 {
+		steps = 1
+	}
+	argmin = lo
+	minval = math.Inf(1)
+	for i := 0; i <= steps; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(steps)
+		v := f(x)
+		if v < minval {
+			minval = v
+			argmin = x
+		}
+	}
+	return argmin, minval
+}
+
+// GridMinRefined runs GridMin and then refines the winner with a golden
+// section search on the bracketing interval. Used by the ablation
+// benches to quantify what a finer α search would buy EAS.
+func GridMinRefined(f func(float64) float64, lo, hi float64, steps int, tol float64) (argmin, minval float64) {
+	coarse, _ := GridMin(f, lo, hi, steps)
+	h := (hi - lo) / float64(steps)
+	a := math.Max(lo, coarse-h)
+	b := math.Min(hi, coarse+h)
+	return GoldenMin(f, a, b, tol)
+}
+
+// GoldenMin minimizes a unimodal f on [a, b] via golden-section search
+// down to interval width tol. For non-unimodal f it still converges to a
+// local minimum inside the bracket.
+func GoldenMin(f func(float64) float64, a, b float64, tol float64) (argmin, minval float64) {
+	if b < a {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	const invPhi = 0.6180339887498949
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	x := (a + b) / 2
+	return x, f(x)
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a and b by t ∈ [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }

@@ -1,0 +1,235 @@
+// Package vmath provides the small numerical toolbox the energy-aware
+// runtime needs: dense linear least squares, polynomial fitting and
+// evaluation, 1-D grid minimization, and summary statistics.
+//
+// The paper fits sixth-order polynomials to measured package power as a
+// function of the GPU offload ratio α (its "power characterization
+// functions"). Those fits are computed here with a QR (Householder)
+// least-squares solve over a Vandermonde design matrix, which is far
+// better conditioned than the normal equations for order-6 fits on
+// [0,1].
+package vmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Poly is a dense univariate polynomial. Coeffs[i] is the coefficient
+// of x^i, so Poly{Coeffs: []float64{1, 2, 3}} is 1 + 2x + 3x².
+type Poly struct {
+	Coeffs []float64
+}
+
+// NewPoly returns a polynomial with the given coefficients in
+// ascending-degree order. The slice is copied.
+func NewPoly(coeffs ...float64) Poly {
+	c := make([]float64, len(coeffs))
+	copy(c, coeffs)
+	return Poly{Coeffs: c}
+}
+
+// Degree returns the nominal degree of p (len(Coeffs)-1), or -1 for an
+// empty polynomial. Trailing zero coefficients are not trimmed.
+func (p Poly) Degree() int { return len(p.Coeffs) - 1 }
+
+// Eval evaluates p at x using Horner's method.
+func (p Poly) Eval(x float64) float64 {
+	v := 0.0
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		v = v*x + p.Coeffs[i]
+	}
+	return v
+}
+
+// Derivative returns p'.
+func (p Poly) Derivative() Poly {
+	if len(p.Coeffs) <= 1 {
+		return Poly{Coeffs: []float64{0}}
+	}
+	d := make([]float64, len(p.Coeffs)-1)
+	for i := 1; i < len(p.Coeffs); i++ {
+		d[i-1] = float64(i) * p.Coeffs[i]
+	}
+	return Poly{Coeffs: d}
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := max(len(p.Coeffs), len(q.Coeffs))
+	c := make([]float64, n)
+	for i := range c {
+		if i < len(p.Coeffs) {
+			c[i] += p.Coeffs[i]
+		}
+		if i < len(q.Coeffs) {
+			c[i] += q.Coeffs[i]
+		}
+	}
+	return Poly{Coeffs: c}
+}
+
+// Scale returns k·p.
+func (p Poly) Scale(k float64) Poly {
+	c := make([]float64, len(p.Coeffs))
+	for i, v := range p.Coeffs {
+		c[i] = k * v
+	}
+	return Poly{Coeffs: c}
+}
+
+// String renders the polynomial in the "y = a + bx + cx^2 ..." style the
+// paper prints next to each characterization curve.
+func (p Poly) String() string {
+	if len(p.Coeffs) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i, c := range p.Coeffs {
+		if c == 0 && len(p.Coeffs) > 1 {
+			continue
+		}
+		if first {
+			fmt.Fprintf(&b, "%.4g", c)
+		} else if c >= 0 {
+			fmt.Fprintf(&b, " + %.4g", c)
+		} else {
+			fmt.Fprintf(&b, " - %.4g", -c)
+		}
+		if i == 1 {
+			b.WriteString("x")
+		} else if i > 1 {
+			fmt.Fprintf(&b, "x^%d", i)
+		}
+		first = false
+	}
+	if first {
+		return "0"
+	}
+	return b.String()
+}
+
+// ErrFitUnderdetermined is returned by FitPoly when there are fewer
+// samples than coefficients to fit.
+var ErrFitUnderdetermined = errors.New("vmath: fewer samples than polynomial coefficients")
+
+// FitPoly fits a least-squares polynomial of the given degree to the
+// samples (xs[i], ys[i]). It requires len(xs) == len(ys) and
+// len(xs) >= degree+1.
+func FitPoly(xs, ys []float64, degree int) (Poly, error) {
+	if len(xs) != len(ys) {
+		return Poly{}, fmt.Errorf("vmath: mismatched sample lengths %d and %d", len(xs), len(ys))
+	}
+	if degree < 0 {
+		return Poly{}, fmt.Errorf("vmath: negative degree %d", degree)
+	}
+	m, n := len(xs), degree+1
+	if m < n {
+		return Poly{}, fmt.Errorf("%w: %d samples for degree %d", ErrFitUnderdetermined, m, degree)
+	}
+	// Vandermonde design matrix, row-major.
+	a := make([]float64, m*n)
+	for i, x := range xs {
+		v := 1.0
+		for j := 0; j < n; j++ {
+			a[i*n+j] = v
+			v *= x
+		}
+	}
+	b := make([]float64, m)
+	copy(b, ys)
+	coeffs, err := SolveLeastSquares(a, b, m, n)
+	if err != nil {
+		return Poly{}, err
+	}
+	return Poly{Coeffs: coeffs}, nil
+}
+
+// SolveLeastSquares solves min ‖Ax − b‖₂ for an m×n row-major matrix A
+// (m ≥ n) using Householder QR. A and b are clobbered.
+func SolveLeastSquares(a, b []float64, m, n int) ([]float64, error) {
+	if m < n {
+		return nil, fmt.Errorf("vmath: least squares needs m >= n, got %dx%d", m, n)
+	}
+	if len(a) != m*n || len(b) != m {
+		return nil, fmt.Errorf("vmath: bad buffer sizes for %dx%d system", m, n)
+	}
+	for k := 0; k < n; k++ {
+		// Householder vector for column k below the diagonal.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, a[i*n+k])
+		}
+		if norm == 0 {
+			return nil, fmt.Errorf("vmath: rank-deficient matrix at column %d", k)
+		}
+		if a[k*n+k] > 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			a[i*n+k] /= norm
+		}
+		a[k*n+k] -= 1
+		// Apply H = I − vvᵀ/v_k to remaining columns and to b.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += a[i*n+k] * a[i*n+j]
+			}
+			s /= a[k*n+k]
+			for i := k; i < m; i++ {
+				a[i*n+j] += s * a[i*n+k]
+			}
+		}
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += a[i*n+k] * b[i]
+		}
+		s /= a[k*n+k]
+		for i := k; i < m; i++ {
+			b[i] += s * a[i*n+k]
+		}
+		a[k*n+k] = norm // store R's diagonal
+	}
+	// Back-substitute Rx = Qᵀb (upper triangle of a, diagonal stashed).
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * x[j]
+		}
+		d := a[i*n+i]
+		if d == 0 {
+			return nil, fmt.Errorf("vmath: zero pivot at row %d", i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// RSquared reports the coefficient of determination of poly against the
+// samples: 1 − SS_res/SS_tot. Returns 1 when the samples are constant
+// and perfectly matched, and can be negative for terrible fits.
+func RSquared(p Poly, xs, ys []float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return math.NaN()
+	}
+	mean := Mean(ys)
+	ssRes, ssTot := 0.0, 0.0
+	for i, x := range xs {
+		r := ys[i] - p.Eval(x)
+		ssRes += r * r
+		d := ys[i] - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.Inf(-1)
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,208 @@
+package vmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyEvalKnown(t *testing.T) {
+	p := NewPoly(1, -2, 3) // 1 - 2x + 3x²
+	cases := []struct{ x, want float64 }{
+		{0, 1},
+		{1, 2},
+		{-1, 6},
+		{2, 9},
+		{0.5, 0.75},
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.x); !AlmostEqual(got, c.want, 1e-12) {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestPolyEvalEmpty(t *testing.T) {
+	var p Poly
+	if got := p.Eval(3.7); got != 0 {
+		t.Errorf("empty poly Eval = %v, want 0", got)
+	}
+	if p.Degree() != -1 {
+		t.Errorf("empty poly Degree = %d, want -1", p.Degree())
+	}
+}
+
+func TestPolyDerivative(t *testing.T) {
+	p := NewPoly(5, 4, 3, 2) // 5 + 4x + 3x² + 2x³
+	d := p.Derivative()
+	want := []float64{4, 6, 6}
+	if len(d.Coeffs) != len(want) {
+		t.Fatalf("derivative has %d coeffs, want %d", len(d.Coeffs), len(want))
+	}
+	for i := range want {
+		if !AlmostEqual(d.Coeffs[i], want[i], 1e-12) {
+			t.Errorf("coeff %d = %v, want %v", i, d.Coeffs[i], want[i])
+		}
+	}
+	c := NewPoly(7)
+	if dc := c.Derivative(); dc.Eval(100) != 0 {
+		t.Errorf("derivative of constant not zero: %v", dc)
+	}
+}
+
+func TestPolyAddScale(t *testing.T) {
+	p := NewPoly(1, 2)
+	q := NewPoly(0, 0, 3)
+	s := p.Add(q)
+	if got := s.Eval(2); !AlmostEqual(got, 1+4+12, 1e-12) {
+		t.Errorf("Add eval = %v, want 17", got)
+	}
+	k := p.Scale(-2)
+	if got := k.Eval(3); !AlmostEqual(got, -14, 1e-12) {
+		t.Errorf("Scale eval = %v, want -14", got)
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	p := NewPoly(2, 0, -1.5)
+	s := p.String()
+	if s != "2 - 1.5x^2" {
+		t.Errorf("String() = %q", s)
+	}
+	if NewPoly().String() != "0" {
+		t.Errorf("empty String() = %q, want 0", NewPoly().String())
+	}
+	if NewPoly(0, 0).String() != "0" {
+		t.Errorf("zero String() = %q, want 0", NewPoly(0, 0).String())
+	}
+}
+
+func TestFitPolyExactRecovery(t *testing.T) {
+	// A degree-6 fit over exact degree-6 samples must recover the
+	// coefficients almost exactly: this is the paper's P(α) setting.
+	truth := NewPoly(40, -25, 90, -130, 60, 20, -31)
+	xs := make([]float64, 21)
+	ys := make([]float64, 21)
+	for i := range xs {
+		xs[i] = float64(i) / 20
+		ys[i] = truth.Eval(xs[i])
+	}
+	got, err := FitPoly(xs, ys, 6)
+	if err != nil {
+		t.Fatalf("FitPoly: %v", err)
+	}
+	for i := range truth.Coeffs {
+		if !AlmostEqual(got.Coeffs[i], truth.Coeffs[i], 1e-6) {
+			t.Errorf("coeff %d = %v, want %v", i, got.Coeffs[i], truth.Coeffs[i])
+		}
+	}
+	if r2 := RSquared(got, xs, ys); r2 < 1-1e-9 {
+		t.Errorf("R² = %v, want ≈1", r2)
+	}
+}
+
+func TestFitPolyNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	truth := NewPoly(55, -10, 4)
+	xs := make([]float64, 101)
+	ys := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i) / 100
+		ys[i] = truth.Eval(xs[i]) + rng.NormFloat64()*0.05
+	}
+	got, err := FitPoly(xs, ys, 2)
+	if err != nil {
+		t.Fatalf("FitPoly: %v", err)
+	}
+	for i := range truth.Coeffs {
+		if math.Abs(got.Coeffs[i]-truth.Coeffs[i]) > 0.5 {
+			t.Errorf("coeff %d = %v, too far from %v", i, got.Coeffs[i], truth.Coeffs[i])
+		}
+	}
+}
+
+func TestFitPolyErrors(t *testing.T) {
+	if _, err := FitPoly([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("mismatched lengths: want error")
+	}
+	if _, err := FitPoly([]float64{1, 2}, []float64{1, 2}, 6); err == nil {
+		t.Error("underdetermined: want error")
+	}
+	if _, err := FitPoly([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("negative degree: want error")
+	}
+	// Rank-deficient: all x identical.
+	if _, err := FitPoly([]float64{2, 2, 2}, []float64{1, 1, 1}, 1); err == nil {
+		t.Error("rank-deficient: want error")
+	}
+}
+
+// Property: fitting a polynomial of degree d to points generated from a
+// polynomial of degree ≤ d reproduces those points.
+func TestFitPolyInterpolatesProperty(t *testing.T) {
+	f := func(c0, c1, c2 float64) bool {
+		c0 = math.Mod(c0, 100)
+		c1 = math.Mod(c1, 100)
+		c2 = math.Mod(c2, 100)
+		if math.IsNaN(c0) || math.IsNaN(c1) || math.IsNaN(c2) {
+			return true
+		}
+		truth := NewPoly(c0, c1, c2)
+		xs := []float64{0, 0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = truth.Eval(x)
+		}
+		fit, err := FitPoly(xs, ys, 3)
+		if err != nil {
+			return false
+		}
+		for i, x := range xs {
+			if !AlmostEqual(fit.Eval(x), ys[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveLeastSquaresOverdetermined(t *testing.T) {
+	// min ||Ax - b|| with A = [[1,0],[0,1],[1,1]], b = [1,1,3].
+	// Normal equations: [[2,1],[1,2]] x = [4,4] → x = [4/3, 4/3].
+	a := []float64{1, 0, 0, 1, 1, 1}
+	b := []float64{1, 1, 3}
+	x, err := SolveLeastSquares(a, b, 3, 2)
+	if err != nil {
+		t.Fatalf("SolveLeastSquares: %v", err)
+	}
+	if !AlmostEqual(x[0], 4.0/3, 1e-10) || !AlmostEqual(x[1], 4.0/3, 1e-10) {
+		t.Errorf("x = %v, want [4/3 4/3]", x)
+	}
+}
+
+func TestSolveLeastSquaresBadShapes(t *testing.T) {
+	if _, err := SolveLeastSquares(make([]float64, 2), make([]float64, 1), 1, 2); err == nil {
+		t.Error("m<n: want error")
+	}
+	if _, err := SolveLeastSquares(make([]float64, 3), make([]float64, 2), 2, 2); err == nil {
+		t.Error("bad buffer: want error")
+	}
+}
+
+func TestRSquaredDegenerate(t *testing.T) {
+	p := NewPoly(5)
+	xs := []float64{0, 1, 2}
+	if r := RSquared(p, xs, []float64{5, 5, 5}); r != 1 {
+		t.Errorf("perfect constant fit R² = %v, want 1", r)
+	}
+	if r := RSquared(p, xs, []float64{6, 6, 6}); !math.IsInf(r, -1) {
+		t.Errorf("wrong constant fit R² = %v, want -Inf", r)
+	}
+	if r := RSquared(p, nil, nil); !math.IsNaN(r) {
+		t.Errorf("empty R² = %v, want NaN", r)
+	}
+}

@@ -1,0 +1,93 @@
+package vmath
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// GeoMean returns the geometric mean of xs. All inputs must be positive;
+// non-positive values yield NaN. The paper reports cross-benchmark
+// averages; we expose both arithmetic and geometric means in reports.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Median returns the median of xs without modifying it.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	c := make([]float64, len(xs))
+	copy(c, xs)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// MinMax returns the minimum and maximum of xs.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// AlmostEqual reports whether a and b agree within absolute tolerance
+// tol or relative tolerance tol (whichever is looser). Used pervasively
+// by calibration tests.
+func AlmostEqual(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*scale
+}

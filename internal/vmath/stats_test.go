@@ -1,0 +1,93 @@
+package vmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !AlmostEqual(m, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if s := StdDev(xs); !AlmostEqual(s, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Error("empty input should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); !AlmostEqual(g, 10, 1e-12) {
+		t.Errorf("GeoMean = %v, want 10", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("negative input should be NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty input should be NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd Median = %v, want 2", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", m)
+	}
+	orig := []float64{9, 1, 5}
+	Median(orig)
+	if orig[0] != 9 || orig[1] != 1 || orig[2] != 5 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", lo, hi)
+	}
+	lo, hi = MinMax([]float64{5})
+	if lo != 5 || hi != 5 {
+		t.Errorf("single MinMax = (%v, %v)", lo, hi)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1e9, 1e9+1, 1e-6) {
+		t.Error("relative tolerance should accept 1e9 vs 1e9+1")
+	}
+	if AlmostEqual(1, 2, 1e-6) {
+		t.Error("1 vs 2 should not be almost equal")
+	}
+	if !AlmostEqual(0, 1e-9, 1e-6) {
+		t.Error("absolute tolerance should accept tiny values near zero")
+	}
+}
+
+// Property: mean is within [min, max], and stddev is non-negative.
+func TestStatsBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := MinMax(xs)
+		m := Mean(xs)
+		if m < lo-1e-9 || m > hi+1e-9 {
+			return false
+		}
+		return StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

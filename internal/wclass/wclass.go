@@ -1,0 +1,81 @@
+// Package wclass defines the paper's eight-way workload classification
+// that selects which power characterization function applies to a
+// workload: memory- vs compute-bound × short vs long CPU execution ×
+// short vs long GPU execution.
+package wclass
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShortLongThreshold separates short- from long-running executions.
+// The paper found 100 ms to work well on both of its platforms.
+const ShortLongThreshold = 100 * time.Millisecond
+
+// MemoryBoundThreshold is the L3-miss-per-load/store ratio above which
+// a workload is classified memory-bound (paper §5).
+const MemoryBoundThreshold = 0.33
+
+// Category is one of the eight workload classes.
+type Category struct {
+	// Memory is true for memory-bound workloads.
+	Memory bool
+	// CPUShort is true when the workload's CPU-alone execution is
+	// shorter than ShortLongThreshold; GPUShort likewise for the GPU.
+	CPUShort, GPUShort bool
+}
+
+// Key returns a stable identifier like "mem-cpuS-gpuL", used to index
+// characterization curves.
+func (c Category) Key() string {
+	b := "comp"
+	if c.Memory {
+		b = "mem"
+	}
+	cpu, gpu := "L", "L"
+	if c.CPUShort {
+		cpu = "S"
+	}
+	if c.GPUShort {
+		gpu = "S"
+	}
+	return fmt.Sprintf("%s-cpu%s-gpu%s", b, cpu, gpu)
+}
+
+// String implements fmt.Stringer.
+func (c Category) String() string { return c.Key() }
+
+// All returns the eight categories in a stable order.
+func All() []Category {
+	var out []Category
+	for _, mem := range []bool{false, true} {
+		for _, cs := range []bool{false, true} {
+			for _, gs := range []bool{false, true} {
+				out = append(out, Category{Memory: mem, CPUShort: cs, GPUShort: gs})
+			}
+		}
+	}
+	return out
+}
+
+// Classify derives the category from profiling observations: the
+// hardware-counter memory intensity and the estimated times to run the
+// remaining iterations on each device alone.
+func Classify(memIntensity float64, estCPUAlone, estGPUAlone time.Duration) Category {
+	return Category{
+		Memory:   memIntensity > MemoryBoundThreshold,
+		CPUShort: estCPUAlone < ShortLongThreshold,
+		GPUShort: estGPUAlone < ShortLongThreshold,
+	}
+}
+
+// ParseKey inverts Key. It returns an error for unknown keys.
+func ParseKey(key string) (Category, error) {
+	for _, c := range All() {
+		if c.Key() == key {
+			return c, nil
+		}
+	}
+	return Category{}, fmt.Errorf("wclass: unknown category key %q", key)
+}

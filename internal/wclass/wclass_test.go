@@ -1,0 +1,59 @@
+package wclass
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllHasEightDistinct(t *testing.T) {
+	cats := All()
+	if len(cats) != 8 {
+		t.Fatalf("All() = %d categories, want 8", len(cats))
+	}
+	seen := map[string]bool{}
+	for _, c := range cats {
+		if seen[c.Key()] {
+			t.Errorf("duplicate key %s", c.Key())
+		}
+		seen[c.Key()] = true
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	c := Category{Memory: true, CPUShort: true, GPUShort: false}
+	if c.Key() != "mem-cpuS-gpuL" {
+		t.Errorf("Key = %q", c.Key())
+	}
+	c = Category{}
+	if c.Key() != "comp-cpuL-gpuL" {
+		t.Errorf("Key = %q", c.Key())
+	}
+	if c.String() != c.Key() {
+		t.Error("String should equal Key")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	c := Classify(0.5, 50*time.Millisecond, 2*time.Second)
+	want := Category{Memory: true, CPUShort: true, GPUShort: false}
+	if c != want {
+		t.Errorf("Classify = %+v, want %+v", c, want)
+	}
+	// Exactly at the thresholds: not memory-bound, not short.
+	c = Classify(MemoryBoundThreshold, ShortLongThreshold, ShortLongThreshold)
+	if c.Memory || c.CPUShort || c.GPUShort {
+		t.Errorf("boundary Classify = %+v, want all false", c)
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	for _, c := range All() {
+		got, err := ParseKey(c.Key())
+		if err != nil || got != c {
+			t.Errorf("ParseKey(%q) = %+v, %v", c.Key(), got, err)
+		}
+	}
+	if _, err := ParseKey("quantum-cpuS"); err == nil {
+		t.Error("unknown key accepted")
+	}
+}

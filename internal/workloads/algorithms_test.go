@@ -1,0 +1,250 @@
+package workloads
+
+// Deeper algorithm-specific correctness tests, beyond the generic
+// Run/Verify round trips in functional_test.go. These run in-package so
+// they can set up targeted inputs.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hetsched/eas/internal/ws"
+)
+
+func exec() Executor { return PoolExecutor{Pool: ws.NewPool(4)} }
+
+func TestBlackscholesPutCallBounds(t *testing.T) {
+	b, err := NewFunctionalBlackscholes(2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(exec()); err != nil {
+		t.Fatal(err)
+	}
+	// Deep in-the-money call converges to S - K·e^(-rT); deep
+	// out-of-the-money converges to 0.
+	itm := blackScholesCall(1000, 1, 1, 0.2, 0.03)
+	if math.Abs(itm-(1000-math.Exp(-0.03))) > 0.01 {
+		t.Errorf("deep ITM call = %v, want ≈%v", itm, 1000-math.Exp(-0.03))
+	}
+	otm := blackScholesCall(1, 1000, 1, 0.2, 0.03)
+	if otm > 1e-9 {
+		t.Errorf("deep OTM call = %v, want ≈0", otm)
+	}
+	// Monotonicity in spot: C(S+δ) ≥ C(S).
+	if blackScholesCall(110, 100, 1, 0.3, 0.02) <= blackScholesCall(90, 100, 1, 0.3, 0.02) {
+		t.Error("call price should increase with spot")
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	m, err := NewFunctionalMatMul(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B := I, so C must equal A.
+	for i := 0; i < m.dim; i++ {
+		for j := 0; j < m.dim; j++ {
+			if i == j {
+				m.b[i*m.dim+j] = 1
+			} else {
+				m.b[i*m.dim+j] = 0
+			}
+		}
+	}
+	if err := m.Run(exec()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.dim; i++ {
+		for j := 0; j < m.dim; j++ {
+			if got, want := m.At(i, j), m.a[i*m.dim+j]; math.Abs(float64(got-want)) > 1e-6 {
+				t.Fatalf("A·I mismatch at (%d,%d): %v vs %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMandelbrotConjugateSymmetry(t *testing.T) {
+	// Escape counts are invariant under complex conjugation:
+	// escape(c) == escape(conj(c)).
+	for _, c := range []struct{ cr, ci float64 }{
+		{-0.7, 0.3}, {0.1, 0.65}, {-1.5, 0.01}, {0.25, 0.5}, {-0.1, 1.05},
+	} {
+		a := escape(c.cr, c.ci, 256)
+		b := escape(c.cr, -c.ci, 256)
+		if a != b {
+			t.Errorf("conjugate symmetry broken at (%v,%v): %d vs %d", c.cr, c.ci, a, b)
+		}
+	}
+	// Known membership: the period-2 bulb center (-1, 0) never escapes.
+	if escape(-1, 0, 256) != 256 {
+		t.Error("(-1,0) should be in the set")
+	}
+	if escape(2, 2, 256) > 2 {
+		t.Error("(2,2) should escape immediately")
+	}
+}
+
+func TestNBodyMomentumConservation(t *testing.T) {
+	b, err := NewFunctionalNBody(64, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	momentum := func() (px, py, pz float64) {
+		for i := range b.vx {
+			px += b.mass[i] * b.vx[i]
+			py += b.mass[i] * b.vy[i]
+			pz += b.mass[i] * b.vz[i]
+		}
+		return px, py, pz
+	}
+	p0x, p0y, p0z := momentum()
+	if err := b.Run(exec()); err != nil {
+		t.Fatal(err)
+	}
+	p1x, p1y, p1z := momentum()
+	// Pairwise forces are equal and opposite; with a shared softening
+	// term momentum drift should be tiny relative to total speed scale.
+	drift := math.Abs(p1x-p0x) + math.Abs(p1y-p0y) + math.Abs(p1z-p0z)
+	if drift > 1e-6 {
+		t.Errorf("momentum drift %v, want ≈0", drift)
+	}
+}
+
+func TestBarnesHutTwoBodies(t *testing.T) {
+	b, err := NewFunctionalBarnesHut(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Place the two bodies deterministically.
+	b.px[0], b.py[0], b.mass[0] = 0, 0, 2
+	b.px[1], b.py[1], b.mass[1] = 3, 4, 1
+	if err := b.Run(exec()); err != nil {
+		t.Fatal(err)
+	}
+	f0x, f0y := b.Forces(0)
+	f1x, f1y := b.Forces(1)
+	// Newton's third law.
+	if math.Abs(f0x+f1x) > 1e-9 || math.Abs(f0y+f1y) > 1e-9 {
+		t.Errorf("forces not equal/opposite: (%v,%v) vs (%v,%v)", f0x, f0y, f1x, f1y)
+	}
+	// Force on body 0 points toward body 1 (positive x and y).
+	if f0x <= 0 || f0y <= 0 {
+		t.Errorf("force direction wrong: (%v,%v)", f0x, f0y)
+	}
+	// Magnitude ≈ m0·m1/d² with d=5 (softening is negligible here).
+	mag := math.Hypot(f0x, f0y)
+	if math.Abs(mag-2.0/25) > 1e-3 {
+		t.Errorf("force magnitude %v, want ≈0.08", mag)
+	}
+}
+
+func TestCCGridIsSingleComponent(t *testing.T) {
+	c, err := NewFunctionalCC(16, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(exec()); err != nil {
+		t.Fatal(err)
+	}
+	// Verify() checks labels against union-find; additionally, a small
+	// grid with shortcuts is usually one component — every vertex
+	// reachable from 0 must share its label.
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSSPDominatesBFSLowerBound(t *testing.T) {
+	// Every edge weighs ≥ 0.8, so dist(v) ≥ 0.8 × (BFS hops to v).
+	s, err := NewFunctionalSSSP(40, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(exec()); err != nil {
+		t.Fatal(err)
+	}
+	bfs := &FunctionalBFS{g: s.g, src: s.src}
+	if err := bfs.Run(exec()); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < s.g.N; v += 17 {
+		lvl := bfs.Levels()[v]
+		if lvl < 0 {
+			continue
+		}
+		if d := float64(s.Dist(v)); d < 0.8*float64(lvl)-1e-3 {
+			t.Fatalf("vertex %d: dist %v below hop lower bound %v", v, d, 0.8*float64(lvl))
+		}
+	}
+}
+
+func TestSkipListLevelDistribution(t *testing.T) {
+	// Tower heights should be geometric(1/2): mean ≈ 2, capped at 16.
+	total := 0
+	n := 100000
+	for k := 0; k < n; k++ {
+		l := randomLevel(int64(k)*7 + 3)
+		if l < 1 || l > slMaxLevel {
+			t.Fatalf("level %d out of range", l)
+		}
+		total += l
+	}
+	mean := float64(total) / float64(n)
+	if mean < 1.8 || mean > 2.2 {
+		t.Errorf("mean tower height %v, want ≈2", mean)
+	}
+}
+
+func TestFaceDetectNoFacesNoNoise(t *testing.T) {
+	// An image with zero planted faces and a dim background should
+	// yield no detections (stage 0 requires bright windows).
+	f, err := NewFunctionalFaceDetect(200, 160, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(exec()); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(f.Detections()); n != 0 {
+		t.Errorf("%d detections on a faceless image", n)
+	}
+}
+
+func TestSeismicWaveReachesNeighbors(t *testing.T) {
+	s, err := NewFunctionalSeismic(32, 32, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(exec()); err != nil {
+		t.Fatal(err)
+	}
+	// After a few frames, cells near the source carry energy.
+	field := s.Field()
+	idx := s.sourceIdx
+	near := math.Abs(float64(field[idx-1])) + math.Abs(float64(field[idx+1])) +
+		math.Abs(float64(field[idx-32])) + math.Abs(float64(field[idx+32]))
+	if near == 0 {
+		t.Error("wave did not reach the source's neighbors")
+	}
+}
+
+func TestRayTracerCenterHitsScene(t *testing.T) {
+	rt, err := NewFunctionalRayTracer(64, 64, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One huge sphere dead ahead: the center pixel must not be
+	// background.
+	rt.spheres[0] = rtSphere{x: 0, y: 0, z: 20, r: 8, mat: 1}
+	if err := rt.Run(exec()); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Pixel(32, 32) <= 0.051 {
+		t.Errorf("center pixel %v should hit the sphere", rt.Pixel(32, 32))
+	}
+	// A corner ray misses it.
+	if rt.Pixel(0, 0) > 0.0501 {
+		t.Errorf("corner pixel %v should be background", rt.Pixel(0, 0))
+	}
+}

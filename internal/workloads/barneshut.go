@@ -1,0 +1,273 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// bhCost is the per-body cost of a Barnes-Hut force pass: a pointer-
+// chasing quadtree walk with scattered node reads.
+func bhCost() device.CostProfile {
+	return device.CostProfile{
+		FLOPs:        2500,
+		MemOps:       140,
+		L3MissRatio:  0.4,
+		Instructions: 4500,
+		Divergence:   0.65,
+	}
+}
+
+// BarnesHut is the BH workload: one force-computation kernel over 1M
+// bodies (desktop input; the paper does not run BH on the tablet).
+func BarnesHut() Workload {
+	return Workload{
+		Name:             "BarnesHut",
+		Abbrev:           "BH",
+		Irregular:        true,
+		Paper:            wclass.Category{Memory: true, CPUShort: false, GPUShort: false},
+		PaperInvocations: 1,
+		Inputs: map[string]string{
+			"desktop": "1M bodies, 1 step",
+		},
+		Schedule: func(platformName string, seed int64) ([]Invocation, error) {
+			if platformName != "desktop" {
+				return nil, errUnsupported("BH", platformName)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			cpuF, gpuF := noise(rng, 0.05)
+			return []Invocation{{
+				Kernel: engine.Kernel{
+					Name:           "BH.forces",
+					Cost:           bhCost(),
+					CPUSpeedFactor: cpuF,
+					GPUSpeedFactor: gpuF,
+				},
+				N: 1_000_000,
+			}}, nil
+		},
+	}
+}
+
+// FunctionalBarnesHut computes one gravity step over 2-D bodies with a
+// quadtree and the Barnes-Hut opening criterion.
+type FunctionalBarnesHut struct {
+	theta      float64
+	px, py     []float64
+	mass       []float64
+	fx, fy     []float64
+	nodes      []bhNode
+	root       int32
+	minX, maxX float64
+	minY, maxY float64
+}
+
+type bhNode struct {
+	// children are quadrant node indices, -1 for empty.
+	children [4]int32
+	// body is the index of the single body in a leaf, -1 for internal.
+	body int32
+	// cx, cy, m are the center of mass and total mass.
+	cx, cy, m float64
+	// x, y, half describe the node's square region.
+	x, y, half float64
+}
+
+// NewFunctionalBarnesHut creates n randomly placed bodies.
+func NewFunctionalBarnesHut(n int, seed int64) (*FunctionalBarnesHut, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("barneshut: need at least 2 bodies, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := &FunctionalBarnesHut{
+		theta: 0.5,
+		px:    make([]float64, n),
+		py:    make([]float64, n),
+		mass:  make([]float64, n),
+		fx:    make([]float64, n),
+		fy:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		b.px[i] = rng.Float64() * 100
+		b.py[i] = rng.Float64() * 100
+		b.mass[i] = 0.5 + rng.Float64()
+	}
+	return b, nil
+}
+
+// Name implements Functional.
+func (b *FunctionalBarnesHut) Name() string { return "BH" }
+
+// Forces returns the computed force on body i (valid after Run).
+func (b *FunctionalBarnesHut) Forces(i int) (fx, fy float64) { return b.fx[i], b.fy[i] }
+
+func (b *FunctionalBarnesHut) newNode(x, y, half float64) int32 {
+	b.nodes = append(b.nodes, bhNode{
+		children: [4]int32{-1, -1, -1, -1},
+		body:     -1,
+		x:        x, y: y, half: half,
+	})
+	return int32(len(b.nodes) - 1)
+}
+
+func (b *FunctionalBarnesHut) quadrant(n *bhNode, x, y float64) int {
+	q := 0
+	if x >= n.x {
+		q |= 1
+	}
+	if y >= n.y {
+		q |= 2
+	}
+	return q
+}
+
+func (b *FunctionalBarnesHut) insert(node int32, body int32) {
+	n := &b.nodes[node]
+	if n.body < 0 && n.children == [4]int32{-1, -1, -1, -1} {
+		n.body = body
+		return
+	}
+	if n.body >= 0 {
+		// Split the leaf: push the resident body down.
+		resident := n.body
+		n.body = -1
+		b.pushDown(node, resident)
+		n = &b.nodes[node] // pushDown may grow b.nodes
+	}
+	b.pushDown(node, body)
+}
+
+func (b *FunctionalBarnesHut) pushDown(node int32, body int32) {
+	n := &b.nodes[node]
+	q := b.quadrant(n, b.px[body], b.py[body])
+	child := n.children[q]
+	if child < 0 {
+		h := n.half / 2
+		cx := n.x - h
+		if q&1 != 0 {
+			cx = n.x + h
+		}
+		cy := n.y - h
+		if q&2 != 0 {
+			cy = n.y + h
+		}
+		child = b.newNode(cx, cy, h)
+		b.nodes[node].children[q] = child
+	}
+	b.insert(child, body)
+}
+
+func (b *FunctionalBarnesHut) summarize(node int32) (cx, cy, m float64) {
+	n := &b.nodes[node]
+	if n.body >= 0 {
+		n.cx, n.cy, n.m = b.px[n.body], b.py[n.body], b.mass[n.body]
+		return n.cx, n.cy, n.m
+	}
+	var sx, sy, sm float64
+	for _, c := range n.children {
+		if c < 0 {
+			continue
+		}
+		ccx, ccy, cm := b.summarize(c)
+		sx += ccx * cm
+		sy += ccy * cm
+		sm += cm
+	}
+	if sm > 0 {
+		n.cx, n.cy, n.m = sx/sm, sy/sm, sm
+	}
+	return n.cx, n.cy, n.m
+}
+
+func (b *FunctionalBarnesHut) buildTree() {
+	b.nodes = b.nodes[:0]
+	b.minX, b.maxX = b.px[0], b.px[0]
+	b.minY, b.maxY = b.py[0], b.py[0]
+	for i := range b.px {
+		b.minX = math.Min(b.minX, b.px[i])
+		b.maxX = math.Max(b.maxX, b.px[i])
+		b.minY = math.Min(b.minY, b.py[i])
+		b.maxY = math.Max(b.maxY, b.py[i])
+	}
+	half := math.Max(b.maxX-b.minX, b.maxY-b.minY)/2 + 1e-9
+	b.root = b.newNode((b.minX+b.maxX)/2, (b.minY+b.maxY)/2, half)
+	for i := range b.px {
+		b.insert(b.root, int32(i))
+	}
+	b.summarize(b.root)
+}
+
+// force accumulates the Barnes-Hut force on body i from the subtree.
+func (b *FunctionalBarnesHut) force(i int, node int32) (fx, fy float64) {
+	n := &b.nodes[node]
+	if n.m == 0 {
+		return 0, 0
+	}
+	dx := n.cx - b.px[i]
+	dy := n.cy - b.py[i]
+	d2 := dx*dx + dy*dy + 1e-6
+	d := math.Sqrt(d2)
+	isLeaf := n.body >= 0
+	if isLeaf && n.body == int32(i) {
+		return 0, 0
+	}
+	if isLeaf || (2*n.half)/d < b.theta {
+		f := b.mass[i] * n.m / (d2 * d)
+		return f * dx, f * dy
+	}
+	for _, c := range n.children {
+		if c >= 0 {
+			cfx, cfy := b.force(i, c)
+			fx += cfx
+			fy += cfy
+		}
+	}
+	return fx, fy
+}
+
+// Run implements Functional: serial tree build, parallel force pass
+// (the kernel the paper offloads).
+func (b *FunctionalBarnesHut) Run(ex Executor) error {
+	b.buildTree()
+	return ex.ParallelFor(len(b.px), func(i int) {
+		b.fx[i], b.fy[i] = b.force(i, b.root)
+	})
+}
+
+// Verify implements Functional: sampled bodies must agree with the
+// direct O(n²) force within the Barnes-Hut approximation tolerance.
+func (b *FunctionalBarnesHut) Verify() error {
+	if b.nodes == nil {
+		return fmt.Errorf("barneshut: Verify called before Run")
+	}
+	n := len(b.px)
+	step := n / 16
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < n; i += step {
+		var ex, ey float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := b.px[j] - b.px[i]
+			dy := b.py[j] - b.py[i]
+			d2 := dx*dx + dy*dy + 1e-6
+			d := math.Sqrt(d2)
+			f := b.mass[i] * b.mass[j] / (d2 * d)
+			ex += f * dx
+			ey += f * dy
+		}
+		mag := math.Hypot(ex, ey)
+		diff := math.Hypot(b.fx[i]-ex, b.fy[i]-ey)
+		if diff > 0.08*mag+1e-6 {
+			return fmt.Errorf("barneshut: body %d force error %v exceeds 8%% of %v", i, diff, mag)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/hetsched/eas/internal/ws"
+)
+
+// Host-side throughput of the functional implementations, exercised
+// through the real work-stealing pool.
+
+func benchFunctional(b *testing.B, build func() (Functional, error)) {
+	b.Helper()
+	ex := PoolExecutor{Pool: ws.NewPool(0)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := f.Run(ex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFunctionalBFS(b *testing.B) {
+	benchFunctional(b, func() (Functional, error) { return NewFunctionalBFS(300, 200, 1) })
+}
+
+func BenchmarkFunctionalCC(b *testing.B) {
+	benchFunctional(b, func() (Functional, error) { return NewFunctionalCC(120, 120, 1) })
+}
+
+func BenchmarkFunctionalSSSP(b *testing.B) {
+	benchFunctional(b, func() (Functional, error) { return NewFunctionalSSSP(120, 100, 1) })
+}
+
+func BenchmarkFunctionalBarnesHut(b *testing.B) {
+	benchFunctional(b, func() (Functional, error) { return NewFunctionalBarnesHut(4000, 1) })
+}
+
+func BenchmarkFunctionalMandelbrot(b *testing.B) {
+	benchFunctional(b, func() (Functional, error) { return NewFunctionalMandelbrot(512, 384) })
+}
+
+func BenchmarkFunctionalSkipList(b *testing.B) {
+	benchFunctional(b, func() (Functional, error) { return NewFunctionalSkipList(100000, 1) })
+}
+
+func BenchmarkFunctionalBlackscholes(b *testing.B) {
+	benchFunctional(b, func() (Functional, error) { return NewFunctionalBlackscholes(200000, 1) })
+}
+
+func BenchmarkFunctionalMatMul(b *testing.B) {
+	benchFunctional(b, func() (Functional, error) { return NewFunctionalMatMul(256, 1) })
+}
+
+func BenchmarkFunctionalNBody(b *testing.B) {
+	benchFunctional(b, func() (Functional, error) { return NewFunctionalNBody(512, 2, 1) })
+}
+
+func BenchmarkFunctionalRayTracer(b *testing.B) {
+	benchFunctional(b, func() (Functional, error) { return NewFunctionalRayTracer(256, 256, 64, 1) })
+}
+
+func BenchmarkFunctionalSeismic(b *testing.B) {
+	benchFunctional(b, func() (Functional, error) { return NewFunctionalSeismic(256, 192, 25, 1) })
+}
+
+func BenchmarkFunctionalFaceDetect(b *testing.B) {
+	benchFunctional(b, func() (Functional, error) { return NewFunctionalFaceDetect(320, 240, 3, 1) })
+}

@@ -1,0 +1,140 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/graphgen"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// bfsCost is the per-item (per frontier vertex) cost of the BFS kernel:
+// a neighbor scan with random-access marking — memory-bound and highly
+// divergent.
+func bfsCost() device.CostProfile {
+	return device.CostProfile{
+		FLOPs:        0,
+		MemOps:       12,
+		L3MissRatio:  0.5,
+		Instructions: 60,
+		Divergence:   0.85,
+	}
+}
+
+// BFS is the breadth-first search workload: W-USA-scale road network,
+// one kernel invocation per BFS level (1748 on the desktop input).
+func BFS() Workload {
+	return Workload{
+		Name:             "Breadth first search",
+		Abbrev:           "BFS",
+		Irregular:        true,
+		Paper:            wclass.Category{Memory: true, CPUShort: true, GPUShort: true},
+		PaperInvocations: 1748,
+		Inputs: map[string]string{
+			"desktop": "synthetic road network, |V|=6.2M (W-USA-like)",
+		},
+		Schedule: func(platformName string, seed int64) ([]Invocation, error) {
+			if platformName != "desktop" {
+				return nil, errUnsupported("BFS", platformName)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			frontiers := bellFrontiers(1748, 6_200_000)
+			invs := make([]Invocation, len(frontiers))
+			for k, n := range frontiers {
+				cpuF, gpuF := noise(rng, 0.06)
+				invs[k] = Invocation{
+					Kernel: engine.Kernel{
+						Name:           "BFS.expand",
+						Cost:           bfsCost(),
+						CPUSpeedFactor: cpuF,
+						GPUSpeedFactor: gpuF,
+					},
+					N: n,
+				}
+			}
+			return invs, nil
+		},
+	}
+}
+
+// FunctionalBFS is a really-computing level-synchronous parallel BFS on
+// a synthetic road network.
+type FunctionalBFS struct {
+	g      *graphgen.Graph
+	src    int
+	levels []int32
+
+	frontier, next []int32
+	nextLen        atomic.Int64
+}
+
+// NewFunctionalBFS builds a BFS instance over a w×h road network.
+func NewFunctionalBFS(w, h int, seed int64) (*FunctionalBFS, error) {
+	g, err := graphgen.RoadNetwork(w, h, 0.001, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &FunctionalBFS{g: g, src: 0}, nil
+}
+
+// Name implements Functional.
+func (b *FunctionalBFS) Name() string { return "BFS" }
+
+// Levels returns the computed level array (valid after Run).
+func (b *FunctionalBFS) Levels() []int32 { return b.levels }
+
+// Run implements Functional: one ParallelFor per BFS level.
+func (b *FunctionalBFS) Run(ex Executor) error {
+	n := b.g.N
+	b.levels = make([]int32, n)
+	for i := range b.levels {
+		b.levels[i] = -1
+	}
+	b.levels[b.src] = 0
+	b.frontier = append(b.frontier[:0], int32(b.src))
+	b.next = make([]int32, n)
+
+	depth := int32(0)
+	for len(b.frontier) > 0 {
+		b.nextLen.Store(0)
+		frontier := b.frontier
+		g := b.g
+		levels := b.levels
+		err := ex.ParallelFor(len(frontier), func(i int) {
+			v := frontier[i]
+			for _, nb := range g.Neighbors(int(v)) {
+				// Claim unvisited neighbors with a CAS so each vertex
+				// joins exactly one frontier.
+				if atomic.CompareAndSwapInt32(&levels[nb], -1, depth+1) {
+					slot := b.nextLen.Add(1) - 1
+					b.next[slot] = nb
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		newLen := int(b.nextLen.Load())
+		b.frontier = append(b.frontier[:0], b.next[:newLen]...)
+		depth++
+	}
+	return nil
+}
+
+// Verify implements Functional: the parallel result must match a serial
+// reference BFS.
+func (b *FunctionalBFS) Verify() error {
+	if b.levels == nil {
+		return fmt.Errorf("bfs: Verify called before Run")
+	}
+	want, _ := graphgen.BFSLevels(b.g, b.src)
+	for v := range want {
+		if want[v] != b.levels[v] {
+			return fmt.Errorf("bfs: vertex %d has level %d, want %d", v, b.levels[v], want[v])
+		}
+	}
+	return nil
+}

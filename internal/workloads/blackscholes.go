@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// bsCost is the per-option cost: a fixed closed-form evaluation with no
+// divergence and excellent locality.
+func bsCost() device.CostProfile {
+	return device.CostProfile{
+		FLOPs:        250,
+		MemOps:       8,
+		L3MissRatio:  0.05,
+		Instructions: 60,
+		Divergence:   0,
+	}
+}
+
+// Blackscholes is the BS workload (from PARSEC): 2000 pricing kernel
+// invocations over 64K options (desktop) or 2.6M options (tablet).
+func Blackscholes() Workload {
+	sched := func(platformName string, seed int64) ([]Invocation, error) {
+		var n int
+		switch platformName {
+		case "desktop":
+			n = 64 * 1024
+		case "tablet":
+			n = 2_621_440
+		default:
+			return nil, errUnsupported("BS", platformName)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		invs := make([]Invocation, 2000)
+		for k := range invs {
+			cpuF, gpuF := noise(rng, 0.01)
+			invs[k] = Invocation{
+				Kernel: engine.Kernel{
+					Name:           "BS.price",
+					Cost:           bsCost(),
+					CPUSpeedFactor: cpuF,
+					GPUSpeedFactor: gpuF,
+				},
+				N: n,
+			}
+		}
+		return invs, nil
+	}
+	return Workload{
+		Name:             "Blackscholes",
+		Abbrev:           "BS",
+		Irregular:        false,
+		Paper:            wclass.Category{Memory: false, CPUShort: true, GPUShort: true},
+		PaperInvocations: 2000,
+		Inputs: map[string]string{
+			"desktop": "64K options",
+			"tablet":  "2621440 options",
+		},
+		Schedule: sched,
+	}
+}
+
+// FunctionalBlackscholes prices a deterministic batch of European
+// options with the closed-form Black-Scholes formula.
+type FunctionalBlackscholes struct {
+	spot, strike, t, vol, rate []float64
+	call                       []float64
+}
+
+// NewFunctionalBlackscholes builds n options.
+func NewFunctionalBlackscholes(n int, seed int64) (*FunctionalBlackscholes, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("blackscholes: need at least one option")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := &FunctionalBlackscholes{
+		spot:   make([]float64, n),
+		strike: make([]float64, n),
+		t:      make([]float64, n),
+		vol:    make([]float64, n),
+		rate:   make([]float64, n),
+		call:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		b.spot[i] = 50 + 100*rng.Float64()
+		b.strike[i] = 50 + 100*rng.Float64()
+		b.t[i] = 0.25 + 2*rng.Float64()
+		b.vol[i] = 0.1 + 0.5*rng.Float64()
+		b.rate[i] = 0.01 + 0.05*rng.Float64()
+	}
+	return b, nil
+}
+
+// Name implements Functional.
+func (b *FunctionalBlackscholes) Name() string { return "BS" }
+
+// Call returns the computed call price of option i (valid after Run).
+func (b *FunctionalBlackscholes) Call(i int) float64 { return b.call[i] }
+
+// cnd is the cumulative standard normal distribution.
+func cnd(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+func blackScholesCall(s, k, t, v, r float64) float64 {
+	d1 := (math.Log(s/k) + (r+v*v/2)*t) / (v * math.Sqrt(t))
+	d2 := d1 - v*math.Sqrt(t)
+	return s*cnd(d1) - k*math.Exp(-r*t)*cnd(d2)
+}
+
+// Run implements Functional.
+func (b *FunctionalBlackscholes) Run(ex Executor) error {
+	return ex.ParallelFor(len(b.call), func(i int) {
+		b.call[i] = blackScholesCall(b.spot[i], b.strike[i], b.t[i], b.vol[i], b.rate[i])
+	})
+}
+
+// Verify implements Functional: prices must obey arbitrage bounds and
+// match a serial recomputation on a sample.
+func (b *FunctionalBlackscholes) Verify() error {
+	if b.call == nil {
+		return fmt.Errorf("blackscholes: Verify called before Run")
+	}
+	step := len(b.call)/500 + 1
+	for i := 0; i < len(b.call); i += step {
+		want := blackScholesCall(b.spot[i], b.strike[i], b.t[i], b.vol[i], b.rate[i])
+		if math.Abs(b.call[i]-want) > 1e-12 {
+			return fmt.Errorf("blackscholes: option %d price %v, want %v", i, b.call[i], want)
+		}
+		// No-arbitrage: S - K·e^(-rT) ≤ C ≤ S.
+		lower := b.spot[i] - b.strike[i]*math.Exp(-b.rate[i]*b.t[i])
+		if b.call[i] < math.Max(lower, 0)-1e-9 || b.call[i] > b.spot[i]+1e-9 {
+			return fmt.Errorf("blackscholes: option %d price %v violates arbitrage bounds", i, b.call[i])
+		}
+	}
+	return nil
+}

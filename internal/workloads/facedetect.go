@@ -1,0 +1,236 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// fdCost is the per-window cost of one cascade stage: feature sums via
+// an integral image with early-exit control flow. The cascade's
+// rejection branches are fully input-dependent, which is why GPU
+// execution suffers on FD and the paper's EAS ends up choosing 100% CPU
+// execution under the energy metric.
+func fdCost() device.CostProfile {
+	return device.CostProfile{
+		FLOPs:        800,
+		MemOps:       60,
+		L3MissRatio:  0.1,
+		Instructions: 700,
+		Divergence:   1.0,
+	}
+}
+
+// FaceDetect is the FD workload: a detection cascade over a
+// 3000×2171 photograph (the paper uses the Solvay-1927 group photo; we
+// substitute a synthetic image with planted faces).
+func FaceDetect() Workload {
+	return Workload{
+		Name:             "Face Detect",
+		Abbrev:           "FD",
+		Irregular:        true,
+		Paper:            wclass.Category{Memory: false, CPUShort: true, GPUShort: true},
+		PaperInvocations: 132,
+		Inputs: map[string]string{
+			"desktop": "3000x2171 synthetic group photo (Solvay-1927-like)",
+		},
+		Schedule: func(platformName string, seed int64) ([]Invocation, error) {
+			if platformName != "desktop" {
+				return nil, errUnsupported("FD", platformName)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			// 132 invocations: scales × cascade stages; each stage
+			// processes the survivors of the previous one.
+			sizes := geometricStages(132, 1_500_000, 0.88)
+			invs := make([]Invocation, len(sizes))
+			for k, n := range sizes {
+				cpuF, gpuF := noise(rng, 0.08)
+				invs[k] = Invocation{
+					Kernel: engine.Kernel{
+						Name:           "FD.stage",
+						Cost:           fdCost(),
+						CPUSpeedFactor: cpuF,
+						GPUSpeedFactor: gpuF,
+					},
+					N: n,
+				}
+			}
+			return invs, nil
+		},
+	}
+}
+
+// FunctionalFaceDetect runs a three-stage brightness cascade over all
+// windows of a synthetic image with planted bright square "faces".
+type FunctionalFaceDetect struct {
+	w, h     int
+	win      int
+	img      []uint8
+	integral []int64
+	planted  [][2]int
+
+	survivors []int32 // window indices surviving all stages
+	flags     []int32 // per-window survival marks, reused per stage
+}
+
+// NewFunctionalFaceDetect builds a w×h image with nFaces planted faces.
+func NewFunctionalFaceDetect(w, h, nFaces int, seed int64) (*FunctionalFaceDetect, error) {
+	const win = 24
+	if w < 4*win || h < 4*win {
+		return nil, fmt.Errorf("facedetect: image %dx%d too small for %d-pixel windows", w, h, win)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &FunctionalFaceDetect{w: w, h: h, win: win, img: make([]uint8, w*h)}
+	// Dim noisy background.
+	for i := range f.img {
+		f.img[i] = uint8(rng.Intn(60))
+	}
+	// Planted faces: bright squares with darker "eyes" band, aligned to
+	// window positions so detection is exact.
+	for i := 0; i < nFaces; i++ {
+		x := rng.Intn((w-2*win)/win) * win
+		y := rng.Intn((h-2*win)/win) * win
+		f.planted = append(f.planted, [2]int{x, y})
+		for dy := 0; dy < win; dy++ {
+			for dx := 0; dx < win; dx++ {
+				v := uint8(200 + rng.Intn(40))
+				if dy >= win/4 && dy < win/2 {
+					v = uint8(100 + rng.Intn(20)) // eye band
+				}
+				f.img[(y+dy)*w+x+dx] = v
+			}
+		}
+	}
+	f.buildIntegral()
+	return f, nil
+}
+
+func (f *FunctionalFaceDetect) buildIntegral() {
+	w, h := f.w, f.h
+	f.integral = make([]int64, (w+1)*(h+1))
+	for y := 1; y <= h; y++ {
+		var rowSum int64
+		for x := 1; x <= w; x++ {
+			rowSum += int64(f.img[(y-1)*w+x-1])
+			f.integral[y*(w+1)+x] = f.integral[(y-1)*(w+1)+x] + rowSum
+		}
+	}
+}
+
+// rectSum returns the pixel sum over [x,x+rw)×[y,y+rh).
+func (f *FunctionalFaceDetect) rectSum(x, y, rw, rh int) int64 {
+	w1 := f.w + 1
+	return f.integral[(y+rh)*w1+x+rw] - f.integral[y*w1+x+rw] -
+		f.integral[(y+rh)*w1+x] + f.integral[y*w1+x]
+}
+
+// stage evaluates cascade stage s on the window at (x, y).
+func (f *FunctionalFaceDetect) stage(s, x, y int) bool {
+	win := int64(f.win)
+	area := win * win
+	switch s {
+	case 0: // overall brightness
+		return f.rectSum(x, y, f.win, f.win) > 150*area
+	case 1: // eye band darker than the whole window
+		band := f.rectSum(x, y+f.win/4, f.win, f.win/4)
+		whole := f.rectSum(x, y, f.win, f.win)
+		return band*4 < whole
+	default: // lower half brighter than the eye band
+		lower := f.rectSum(x, y+f.win/2, f.win, f.win/2)
+		band := f.rectSum(x, y+f.win/4, f.win, f.win/4)
+		return lower > 2*band-band/2
+	}
+}
+
+// Name implements Functional.
+func (f *FunctionalFaceDetect) Name() string { return "FD" }
+
+// Detections returns the surviving window indices (valid after Run).
+func (f *FunctionalFaceDetect) Detections() []int32 { return f.survivors }
+
+// Run implements Functional: one ParallelFor per cascade stage over the
+// surviving windows.
+func (f *FunctionalFaceDetect) Run(ex Executor) error {
+	gw := f.w - f.win + 1
+	gh := f.h - f.win + 1
+	// Stage 0 scans every window.
+	current := make([]int32, 0, gw*gh/64)
+	all := int32(gw * gh)
+	f.flags = make([]int32, gw*gh)
+	err := ex.ParallelFor(int(all), func(i int) {
+		x, y := i%gw, i/gw
+		if f.stage(0, x, y) {
+			f.flags[i] = 1
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for i := int32(0); i < all; i++ {
+		if f.flags[i] == 1 {
+			current = append(current, i)
+		}
+	}
+	// Later stages scan survivors only.
+	for s := 1; s <= 2; s++ {
+		for i := range f.flags {
+			f.flags[i] = 0
+		}
+		windows := current
+		err := ex.ParallelFor(len(windows), func(i int) {
+			idx := windows[i]
+			x, y := int(idx)%gw, int(idx)/gw
+			if f.stage(s, x, y) {
+				f.flags[idx] = 1
+			}
+		})
+		if err != nil {
+			return err
+		}
+		next := current[:0]
+		for _, idx := range windows {
+			if f.flags[idx] == 1 {
+				next = append(next, idx)
+			}
+		}
+		current = next
+	}
+	f.survivors = current
+	return nil
+}
+
+// Verify implements Functional: every planted face must be among the
+// detections, and the detections must match a serial cascade.
+func (f *FunctionalFaceDetect) Verify() error {
+	if f.flags == nil {
+		return fmt.Errorf("facedetect: Verify called before Run")
+	}
+	gw := f.w - f.win + 1
+	detected := map[int32]bool{}
+	for _, idx := range f.survivors {
+		detected[idx] = true
+	}
+	for _, p := range f.planted {
+		idx := int32(p[1]*gw + p[0])
+		if !detected[idx] {
+			return fmt.Errorf("facedetect: planted face at (%d,%d) not detected", p[0], p[1])
+		}
+	}
+	// Serial reference over all windows.
+	gh := f.h - f.win + 1
+	serial := 0
+	for y := 0; y < gh; y++ {
+		for x := 0; x < gw; x++ {
+			if f.stage(0, x, y) && f.stage(1, x, y) && f.stage(2, x, y) {
+				serial++
+			}
+		}
+	}
+	if serial != len(f.survivors) {
+		return fmt.Errorf("facedetect: %d detections, serial reference finds %d", len(f.survivors), serial)
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/hetsched/eas/internal/ws"
+)
+
+// runFunctional executes a functional workload on a real work-stealing
+// pool and verifies its results.
+func runFunctional(t *testing.T, f Functional) {
+	t.Helper()
+	ex := PoolExecutor{Pool: ws.NewPool(4)}
+	if err := f.Run(ex); err != nil {
+		t.Fatalf("%s: Run: %v", f.Name(), err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("%s: Verify: %v", f.Name(), err)
+	}
+}
+
+func TestFunctionalBFS(t *testing.T) {
+	b, err := NewFunctionalBFS(80, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, b)
+	if b.Levels()[0] != 0 {
+		t.Error("source level wrong")
+	}
+}
+
+func TestFunctionalCC(t *testing.T) {
+	c, err := NewFunctionalCC(40, 40, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, c)
+}
+
+func TestFunctionalSSSP(t *testing.T) {
+	s, err := NewFunctionalSSSP(50, 40, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, s)
+	if s.Dist(0) != 0 {
+		t.Error("source distance wrong")
+	}
+}
+
+func TestFunctionalBarnesHut(t *testing.T) {
+	b, err := NewFunctionalBarnesHut(600, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, b)
+}
+
+func TestFunctionalMandelbrot(t *testing.T) {
+	m, err := NewFunctionalMandelbrot(200, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, m)
+}
+
+func TestFunctionalSkipList(t *testing.T) {
+	s, err := NewFunctionalSkipList(20000, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, s)
+	if !s.Contains(3) { // first generated key is 0*7+3
+		t.Error("known key missing")
+	}
+	if s.Contains(4) {
+		t.Error("absent key found")
+	}
+}
+
+func TestFunctionalFaceDetect(t *testing.T) {
+	f, err := NewFunctionalFaceDetect(240, 180, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, f)
+	if len(f.Detections()) < 3 {
+		t.Errorf("detections = %d, want ≥3 planted faces", len(f.Detections()))
+	}
+}
+
+func TestFunctionalBlackscholes(t *testing.T) {
+	b, err := NewFunctionalBlackscholes(5000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, b)
+	if b.Call(0) < 0 {
+		t.Error("negative option price")
+	}
+}
+
+func TestFunctionalMatMul(t *testing.T) {
+	m, err := NewFunctionalMatMul(64, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, m)
+}
+
+func TestFunctionalNBody(t *testing.T) {
+	b, err := NewFunctionalNBody(96, 3, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, b)
+}
+
+func TestFunctionalRayTracer(t *testing.T) {
+	r, err := NewFunctionalRayTracer(64, 64, 16, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, r)
+}
+
+func TestFunctionalSeismic(t *testing.T) {
+	s, err := NewFunctionalSeismic(64, 64, 30, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFunctional(t, s)
+}
+
+func TestVerifyBeforeRunErrors(t *testing.T) {
+	cases := []Functional{
+		must(NewFunctionalBFS(20, 20, 1)),
+		must(NewFunctionalCC(20, 20, 1)),
+		must(NewFunctionalSSSP(20, 20, 1)),
+		must(NewFunctionalBarnesHut(10, 1)),
+		must(NewFunctionalMandelbrot(10, 10)),
+		must(NewFunctionalFaceDetect(100, 100, 1, 1)),
+		must(NewFunctionalBlackscholes(10, 1)),
+		must(NewFunctionalNBody(4, 1, 1)),
+		must(NewFunctionalRayTracer(8, 8, 2, 1)),
+		must(NewFunctionalSeismic(16, 16, 2, 1)),
+	}
+	for _, f := range cases {
+		if err := f.Verify(); err == nil {
+			t.Errorf("%s: Verify before Run should error", f.Name())
+		}
+	}
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewFunctionalBFS(1, 1, 0); err == nil {
+		t.Error("tiny BFS grid accepted")
+	}
+	if _, err := NewFunctionalBarnesHut(1, 0); err == nil {
+		t.Error("1-body BarnesHut accepted")
+	}
+	if _, err := NewFunctionalMandelbrot(0, 5); err == nil {
+		t.Error("empty mandelbrot accepted")
+	}
+	if _, err := NewFunctionalSkipList(0, 0); err == nil {
+		t.Error("empty skiplist accepted")
+	}
+	if _, err := NewFunctionalFaceDetect(10, 10, 1, 0); err == nil {
+		t.Error("tiny facedetect image accepted")
+	}
+	if _, err := NewFunctionalMatMul(30, 0); err == nil {
+		t.Error("non-tile-aligned matmul accepted")
+	}
+	if _, err := NewFunctionalNBody(1, 1, 0); err == nil {
+		t.Error("1-body nbody accepted")
+	}
+	if _, err := NewFunctionalSeismic(4, 4, 1, 0); err == nil {
+		t.Error("tiny seismic grid accepted")
+	}
+	if _, err := NewFunctionalRayTracer(0, 8, 2, 0); err == nil {
+		t.Error("empty raytracer accepted")
+	}
+	if _, err := NewFunctionalBlackscholes(0, 0); err == nil {
+		t.Error("empty blackscholes accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// mbCost is the per-pixel cost: iteration counts vary wildly between
+// neighboring pixels (divergence), and the image/palette writes stream
+// through the cache.
+func mbCost() device.CostProfile {
+	return device.CostProfile{
+		FLOPs:        900,
+		MemOps:       24,
+		L3MissRatio:  0.45,
+		Instructions: 500,
+		Divergence:   0.7,
+	}
+}
+
+// Mandelbrot is the MB workload: one kernel over a 7680×6144 image on
+// both platforms.
+func Mandelbrot() Workload {
+	sched := func(platformName string, seed int64) ([]Invocation, error) {
+		if platformName != "desktop" && platformName != "tablet" {
+			return nil, errUnsupported("MB", platformName)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		cpuF, gpuF := noise(rng, 0.05)
+		return []Invocation{{
+			Kernel: engine.Kernel{
+				Name:           "MB.escape",
+				Cost:           mbCost(),
+				CPUSpeedFactor: cpuF,
+				GPUSpeedFactor: gpuF,
+			},
+			N: 7680 * 6144,
+		}}, nil
+	}
+	return Workload{
+		Name:             "Mandelbrot",
+		Abbrev:           "MB",
+		Irregular:        true,
+		Paper:            wclass.Category{Memory: true, CPUShort: false, GPUShort: false},
+		PaperInvocations: 1,
+		Inputs: map[string]string{
+			"desktop": "image 7680x6144",
+			"tablet":  "image 7680x6144",
+		},
+		Schedule: sched,
+	}
+}
+
+// FunctionalMandelbrot computes escape iterations for every pixel of a
+// region of the complex plane.
+type FunctionalMandelbrot struct {
+	w, h    int
+	maxIter int32
+	iters   []int32
+}
+
+// NewFunctionalMandelbrot builds a w×h instance.
+func NewFunctionalMandelbrot(w, h int) (*FunctionalMandelbrot, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("mandelbrot: bad image size %dx%d", w, h)
+	}
+	return &FunctionalMandelbrot{w: w, h: h, maxIter: 256}, nil
+}
+
+// Name implements Functional.
+func (m *FunctionalMandelbrot) Name() string { return "MB" }
+
+// Iterations returns the per-pixel escape counts (valid after Run).
+func (m *FunctionalMandelbrot) Iterations() []int32 { return m.iters }
+
+// pixel maps an index to complex coordinates over [-2.2,1] × [-1.2,1.2].
+func (m *FunctionalMandelbrot) pixel(i int) (cr, ci float64) {
+	x, y := i%m.w, i/m.w
+	cr = -2.2 + 3.2*float64(x)/float64(m.w)
+	ci = -1.2 + 2.4*float64(y)/float64(m.h)
+	return cr, ci
+}
+
+func escape(cr, ci float64, maxIter int32) int32 {
+	var zr, zi float64
+	for it := int32(0); it < maxIter; it++ {
+		zr, zi = zr*zr-zi*zi+cr, 2*zr*zi+ci
+		if zr*zr+zi*zi > 4 {
+			return it
+		}
+	}
+	return maxIter
+}
+
+// Run implements Functional.
+func (m *FunctionalMandelbrot) Run(ex Executor) error {
+	m.iters = make([]int32, m.w*m.h)
+	return ex.ParallelFor(m.w*m.h, func(i int) {
+		cr, ci := m.pixel(i)
+		m.iters[i] = escape(cr, ci, m.maxIter)
+	})
+}
+
+// Verify implements Functional: sampled pixels must match a serial
+// recomputation, and known interior/exterior points must classify
+// correctly.
+func (m *FunctionalMandelbrot) Verify() error {
+	if m.iters == nil {
+		return fmt.Errorf("mandelbrot: Verify called before Run")
+	}
+	step := len(m.iters)/257 + 1
+	for i := 0; i < len(m.iters); i += step {
+		cr, ci := m.pixel(i)
+		if want := escape(cr, ci, m.maxIter); m.iters[i] != want {
+			return fmt.Errorf("mandelbrot: pixel %d = %d, want %d", i, m.iters[i], want)
+		}
+	}
+	// The origin is in the set; the top-left corner escapes instantly.
+	originIdx := (m.h/2)*m.w + int(float64(m.w)*2.2/3.2)
+	if m.iters[originIdx] != m.maxIter {
+		return fmt.Errorf("mandelbrot: origin escaped after %d iterations", m.iters[originIdx])
+	}
+	if m.iters[0] >= 8 {
+		return fmt.Errorf("mandelbrot: corner pixel should escape quickly, took %d", m.iters[0])
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// mmTile is the tile edge: one work item computes a 16×16 output tile.
+const mmTile = 16
+
+// mmCost returns the per-tile cost for a dim×dim multiply: 2·dim FLOPs
+// per output element over 256 elements, with streaming loads of the
+// operand panels.
+func mmCost(dim int) device.CostProfile {
+	return device.CostProfile{
+		FLOPs:        2 * float64(dim) * mmTile * mmTile,
+		MemOps:       2 * float64(dim) * mmTile,
+		L3MissRatio:  0.1,
+		Instructions: float64(dim) * mmTile * 4,
+		Divergence:   0,
+	}
+}
+
+// MatrixMultiply is the MM workload: one kernel computing C = A·B for
+// 2048² (desktop) or 1024² (tablet) matrices, one item per 16×16 tile.
+func MatrixMultiply() Workload {
+	sched := func(platformName string, seed int64) ([]Invocation, error) {
+		var dim int
+		switch platformName {
+		case "desktop":
+			dim = 2048
+		case "tablet":
+			dim = 1024
+		default:
+			return nil, errUnsupported("MM", platformName)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		cpuF, gpuF := noise(rng, 0.01)
+		tiles := (dim / mmTile) * (dim / mmTile)
+		return []Invocation{{
+			Kernel: engine.Kernel{
+				Name:           "MM.tile",
+				Cost:           mmCost(dim),
+				CPUSpeedFactor: cpuF,
+				GPUSpeedFactor: gpuF,
+			},
+			N: tiles,
+		}}, nil
+	}
+	return Workload{
+		Name:             "Matrix Multiply",
+		Abbrev:           "MM",
+		Irregular:        false,
+		Paper:            wclass.Category{Memory: false, CPUShort: false, GPUShort: false},
+		PaperInvocations: 1,
+		Inputs: map[string]string{
+			"desktop": "2048 by 2048",
+			"tablet":  "1024x1024",
+		},
+		Schedule: sched,
+	}
+}
+
+// FunctionalMatMul computes C = A·B with one parallel item per output
+// tile.
+type FunctionalMatMul struct {
+	dim     int
+	a, b, c []float32
+}
+
+// NewFunctionalMatMul builds dim×dim operands; dim must be a multiple
+// of the 16-element tile edge.
+func NewFunctionalMatMul(dim int, seed int64) (*FunctionalMatMul, error) {
+	if dim < mmTile || dim%mmTile != 0 {
+		return nil, fmt.Errorf("matmul: dim %d must be a positive multiple of %d", dim, mmTile)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &FunctionalMatMul{
+		dim: dim,
+		a:   make([]float32, dim*dim),
+		b:   make([]float32, dim*dim),
+		c:   make([]float32, dim*dim),
+	}
+	for i := range m.a {
+		m.a[i] = rng.Float32() - 0.5
+		m.b[i] = rng.Float32() - 0.5
+	}
+	return m, nil
+}
+
+// Name implements Functional.
+func (m *FunctionalMatMul) Name() string { return "MM" }
+
+// At returns C[i][j] (valid after Run).
+func (m *FunctionalMatMul) At(i, j int) float32 { return m.c[i*m.dim+j] }
+
+// Run implements Functional: each item fills one 16×16 tile of C.
+func (m *FunctionalMatMul) Run(ex Executor) error {
+	tilesPerRow := m.dim / mmTile
+	return ex.ParallelFor(tilesPerRow*tilesPerRow, func(t int) {
+		ti, tj := t/tilesPerRow, t%tilesPerRow
+		i0, j0 := ti*mmTile, tj*mmTile
+		dim := m.dim
+		for i := i0; i < i0+mmTile; i++ {
+			for j := j0; j < j0+mmTile; j++ {
+				var sum float32
+				for k := 0; k < dim; k++ {
+					sum += m.a[i*dim+k] * m.b[k*dim+j]
+				}
+				m.c[i*dim+j] = sum
+			}
+		}
+	})
+}
+
+// Verify implements Functional: sampled entries must match a serial dot
+// product.
+func (m *FunctionalMatMul) Verify() error {
+	step := m.dim/7 + 1
+	for i := 0; i < m.dim; i += step {
+		for j := 0; j < m.dim; j += step {
+			var want float32
+			for k := 0; k < m.dim; k++ {
+				want += m.a[i*m.dim+k] * m.b[k*m.dim+j]
+			}
+			got := m.c[i*m.dim+j]
+			if math.Abs(float64(got-want)) > 1e-3*math.Max(1, math.Abs(float64(want))) {
+				return fmt.Errorf("matmul: C[%d][%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	return nil
+}

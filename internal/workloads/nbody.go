@@ -1,0 +1,186 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// nbCost returns the per-body cost of one direct n-body step over n
+// bodies: ~25 FLOPs per pairwise interaction, operands served from
+// cache.
+func nbCost(n int) device.CostProfile {
+	return device.CostProfile{
+		FLOPs:        25 * float64(n),
+		MemOps:       4 * float64(n),
+		L3MissRatio:  0.05,
+		Instructions: 4 * float64(n),
+		Divergence:   0,
+	}
+}
+
+// NBody is the NB workload: 101 simulation steps over 4096 (desktop)
+// or 1024 (tablet) bodies.
+//
+// Note: Table 1 classifies NB as CPU-Long/GPU-Short on the authors'
+// desktop. With 4096 items per invocation, both alone-run estimates
+// stay below the 100 ms threshold in our model, so our runtime
+// classifies NB as Short/Short; EXPERIMENTS.md records the deviation.
+func NBody() Workload {
+	sched := func(platformName string, seed int64) ([]Invocation, error) {
+		var n int
+		switch platformName {
+		case "desktop":
+			n = 4096
+		case "tablet":
+			n = 1024
+		default:
+			return nil, errUnsupported("NB", platformName)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		invs := make([]Invocation, 101)
+		for k := range invs {
+			cpuF, gpuF := noise(rng, 0.01)
+			invs[k] = Invocation{
+				Kernel: engine.Kernel{
+					Name:           "NB.step",
+					Cost:           nbCost(n),
+					CPUSpeedFactor: cpuF,
+					GPUSpeedFactor: gpuF,
+				},
+				N: n,
+			}
+		}
+		return invs, nil
+	}
+	return Workload{
+		Name:             "N-Body",
+		Abbrev:           "NB",
+		Irregular:        false,
+		Paper:            wclass.Category{Memory: false, CPUShort: false, GPUShort: true},
+		PaperInvocations: 101,
+		Inputs: map[string]string{
+			"desktop": "4096 bodies",
+			"tablet":  "1024 bodies",
+		},
+		Schedule: sched,
+	}
+}
+
+// FunctionalNBody advances a direct-summation gravitational system.
+type FunctionalNBody struct {
+	steps          int
+	px, py, pz     []float64
+	vx, vy, vz     []float64
+	ax, ay, az     []float64
+	mass           []float64
+	initialEnergy  float64
+	energyComputed bool
+}
+
+// NewFunctionalNBody builds n bodies for the given number of steps.
+func NewFunctionalNBody(n, steps int, seed int64) (*FunctionalNBody, error) {
+	if n < 2 || steps < 1 {
+		return nil, fmt.Errorf("nbody: need ≥2 bodies and ≥1 step, got %d/%d", n, steps)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := &FunctionalNBody{
+		steps: steps,
+		px:    make([]float64, n), py: make([]float64, n), pz: make([]float64, n),
+		vx: make([]float64, n), vy: make([]float64, n), vz: make([]float64, n),
+		ax: make([]float64, n), ay: make([]float64, n), az: make([]float64, n),
+		mass: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		b.px[i] = rng.NormFloat64() * 10
+		b.py[i] = rng.NormFloat64() * 10
+		b.pz[i] = rng.NormFloat64() * 10
+		b.vx[i] = rng.NormFloat64() * 0.01
+		b.vy[i] = rng.NormFloat64() * 0.01
+		b.vz[i] = rng.NormFloat64() * 0.01
+		b.mass[i] = 0.5 + rng.Float64()
+	}
+	return b, nil
+}
+
+// Name implements Functional.
+func (b *FunctionalNBody) Name() string { return "NB" }
+
+const nbSoftening = 1e-2
+const nbDt = 1e-4
+
+// totalEnergy returns kinetic + potential energy.
+func (b *FunctionalNBody) totalEnergy() float64 {
+	var e float64
+	n := len(b.px)
+	for i := 0; i < n; i++ {
+		v2 := b.vx[i]*b.vx[i] + b.vy[i]*b.vy[i] + b.vz[i]*b.vz[i]
+		e += 0.5 * b.mass[i] * v2
+		for j := i + 1; j < n; j++ {
+			dx := b.px[j] - b.px[i]
+			dy := b.py[j] - b.py[i]
+			dz := b.pz[j] - b.pz[i]
+			d := math.Sqrt(dx*dx + dy*dy + dz*dz + nbSoftening)
+			e -= b.mass[i] * b.mass[j] / d
+		}
+	}
+	return e
+}
+
+// Run implements Functional: each step computes accelerations in
+// parallel, then integrates.
+func (b *FunctionalNBody) Run(ex Executor) error {
+	b.initialEnergy = b.totalEnergy()
+	b.energyComputed = true
+	n := len(b.px)
+	for s := 0; s < b.steps; s++ {
+		err := ex.ParallelFor(n, func(i int) {
+			var axi, ayi, azi float64
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				dx := b.px[j] - b.px[i]
+				dy := b.py[j] - b.py[i]
+				dz := b.pz[j] - b.pz[i]
+				d2 := dx*dx + dy*dy + dz*dz + nbSoftening
+				inv := 1 / (d2 * math.Sqrt(d2))
+				f := b.mass[j] * inv
+				axi += f * dx
+				ayi += f * dy
+				azi += f * dz
+			}
+			b.ax[i], b.ay[i], b.az[i] = axi, ayi, azi
+		})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			b.vx[i] += b.ax[i] * nbDt
+			b.vy[i] += b.ay[i] * nbDt
+			b.vz[i] += b.az[i] * nbDt
+			b.px[i] += b.vx[i] * nbDt
+			b.py[i] += b.vy[i] * nbDt
+			b.pz[i] += b.vz[i] * nbDt
+		}
+	}
+	return nil
+}
+
+// Verify implements Functional: with a small symplectic-ish step, total
+// energy must be approximately conserved.
+func (b *FunctionalNBody) Verify() error {
+	if !b.energyComputed {
+		return fmt.Errorf("nbody: Verify called before Run")
+	}
+	final := b.totalEnergy()
+	drift := math.Abs(final-b.initialEnergy) / math.Max(math.Abs(b.initialEnergy), 1e-9)
+	if drift > 0.02 {
+		return fmt.Errorf("nbody: energy drift %.3f%% exceeds 2%% (E0=%v, E=%v)", 100*drift, b.initialEnergy, final)
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// rtCost returns the per-pixel cost: every primary ray tests every
+// sphere plus shading with a handful of lights — regular, FLOP-heavy.
+func rtCost(spheres, lights int) device.CostProfile {
+	perRay := float64(spheres)*40 + float64(lights)*60
+	return device.CostProfile{
+		FLOPs:        perRay,
+		MemOps:       float64(spheres) / 2,
+		L3MissRatio:  0.05,
+		Instructions: perRay / 4,
+		Divergence:   0.15,
+	}
+}
+
+// RayTracer is the RT workload: one kernel rendering a sphere scene
+// (256 spheres desktop, 225 tablet; 3 materials, 5 lights).
+func RayTracer() Workload {
+	sched := func(platformName string, seed int64) ([]Invocation, error) {
+		var spheres int
+		switch platformName {
+		case "desktop":
+			spheres = 256
+		case "tablet":
+			spheres = 225
+		default:
+			return nil, errUnsupported("RT", platformName)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		cpuF, gpuF := noise(rng, 0.02)
+		return []Invocation{{
+			Kernel: engine.Kernel{
+				Name:           "RT.render",
+				Cost:           rtCost(spheres, 5),
+				CPUSpeedFactor: cpuF,
+				GPUSpeedFactor: gpuF,
+			},
+			N: 2048 * 2048,
+		}}, nil
+	}
+	return Workload{
+		Name:             "Ray Tracer",
+		Abbrev:           "RT",
+		Irregular:        false,
+		Paper:            wclass.Category{Memory: false, CPUShort: false, GPUShort: false},
+		PaperInvocations: 1,
+		Inputs: map[string]string{
+			"desktop": "sphere=256,material=3,light=5",
+			"tablet":  "sphere=225,material=3,light=5",
+		},
+		Schedule: sched,
+	}
+}
+
+// rtSphere is one scene sphere.
+type rtSphere struct {
+	x, y, z, r float64
+	mat        int
+}
+
+// rtLight is one point light.
+type rtLight struct {
+	x, y, z, intensity float64
+}
+
+// FunctionalRayTracer renders a sphere scene with flat shading and
+// shadows.
+type FunctionalRayTracer struct {
+	w, h    int
+	spheres []rtSphere
+	lights  []rtLight
+	img     []float32
+}
+
+// NewFunctionalRayTracer builds a deterministic scene.
+func NewFunctionalRayTracer(w, h, spheres int, seed int64) (*FunctionalRayTracer, error) {
+	if w < 1 || h < 1 || spheres < 1 {
+		return nil, fmt.Errorf("raytrace: bad scene %dx%d with %d spheres", w, h, spheres)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rt := &FunctionalRayTracer{w: w, h: h, img: make([]float32, w*h)}
+	for i := 0; i < spheres; i++ {
+		rt.spheres = append(rt.spheres, rtSphere{
+			x:   rng.Float64()*20 - 10,
+			y:   rng.Float64()*20 - 10,
+			z:   10 + rng.Float64()*30,
+			r:   0.5 + rng.Float64(),
+			mat: i % 3,
+		})
+	}
+	for i := 0; i < 5; i++ {
+		rt.lights = append(rt.lights, rtLight{
+			x: rng.Float64()*40 - 20, y: rng.Float64()*40 - 20, z: rng.Float64() * 10,
+			intensity: 0.4 + 0.4*rng.Float64(),
+		})
+	}
+	return rt, nil
+}
+
+// Name implements Functional.
+func (rt *FunctionalRayTracer) Name() string { return "RT" }
+
+// Pixel returns the rendered intensity at (x, y) (valid after Run).
+func (rt *FunctionalRayTracer) Pixel(x, y int) float32 { return rt.img[y*rt.w+x] }
+
+// trace computes the intensity for pixel i.
+func (rt *FunctionalRayTracer) trace(i int) float32 {
+	px, py := i%rt.w, i/rt.w
+	// Primary ray from the origin through the image plane at z=1.
+	dx := (float64(px)/float64(rt.w) - 0.5) * 2
+	dy := (float64(py)/float64(rt.h) - 0.5) * 2
+	dz := 1.0
+	norm := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	dx, dy, dz = dx/norm, dy/norm, dz/norm
+
+	// Nearest sphere intersection.
+	bestT := math.Inf(1)
+	best := -1
+	for s, sp := range rt.spheres {
+		// |o + t·d - c|² = r² with o = 0.
+		b := dx*sp.x + dy*sp.y + dz*sp.z
+		c := sp.x*sp.x + sp.y*sp.y + sp.z*sp.z - sp.r*sp.r
+		disc := b*b - c
+		if disc < 0 {
+			continue
+		}
+		t := b - math.Sqrt(disc)
+		if t > 1e-6 && t < bestT {
+			bestT = t
+			best = s
+		}
+	}
+	if best < 0 {
+		return 0.05 // background
+	}
+	sp := rt.spheres[best]
+	hx, hy, hz := dx*bestT, dy*bestT, dz*bestT
+	nx, ny, nz := (hx-sp.x)/sp.r, (hy-sp.y)/sp.r, (hz-sp.z)/sp.r
+	albedo := 0.4 + 0.2*float64(sp.mat)
+	var intensity float64
+	for _, l := range rt.lights {
+		lx, ly, lz := l.x-hx, l.y-hy, l.z-hz
+		ln := math.Sqrt(lx*lx + ly*ly + lz*lz)
+		lx, ly, lz = lx/ln, ly/ln, lz/ln
+		lambert := nx*lx + ny*ly + nz*lz
+		if lambert > 0 {
+			intensity += albedo * l.intensity * lambert
+		}
+	}
+	return float32(math.Min(intensity+0.05, 1))
+}
+
+// Run implements Functional.
+func (rt *FunctionalRayTracer) Run(ex Executor) error {
+	return ex.ParallelFor(rt.w*rt.h, func(i int) {
+		rt.img[i] = rt.trace(i)
+	})
+}
+
+// Verify implements Functional: sampled pixels must match a serial
+// retrace, and the image must not be flat (the scene must be visible).
+func (rt *FunctionalRayTracer) Verify() error {
+	if rt.img == nil {
+		return fmt.Errorf("raytrace: Verify called before Run")
+	}
+	step := len(rt.img)/511 + 1
+	for i := 0; i < len(rt.img); i += step {
+		if want := rt.trace(i); rt.img[i] != want {
+			return fmt.Errorf("raytrace: pixel %d = %v, want %v", i, rt.img[i], want)
+		}
+	}
+	lo, hi := rt.img[0], rt.img[0]
+	for _, v := range rt.img {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo < 0.05 {
+		return fmt.Errorf("raytrace: image is flat (min=%v max=%v); scene not rendered", lo, hi)
+	}
+	return nil
+}

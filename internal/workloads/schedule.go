@@ -1,0 +1,64 @@
+package workloads
+
+import "math"
+
+// bellFrontiers synthesizes a road-network-like frontier schedule:
+// levels ramp up, plateau, and decay, as in BFS over a high-diameter
+// graph. The sizes sum to ~total across `levels` invocations.
+func bellFrontiers(levels, total int) []int {
+	if levels < 1 {
+		levels = 1
+	}
+	shape := make([]float64, levels)
+	sum := 0.0
+	mid := 0.45 * float64(levels)
+	width := 0.22 * float64(levels)
+	for k := range shape {
+		d := (float64(k) - mid) / width
+		shape[k] = math.Exp(-d*d) + 0.002
+		sum += shape[k]
+	}
+	out := make([]int, levels)
+	for k := range out {
+		n := int(math.Round(shape[k] / sum * float64(total)))
+		if n < 1 {
+			n = 1
+		}
+		out[k] = n
+	}
+	return out
+}
+
+// decayingWorklist synthesizes a label-propagation-style schedule: a
+// heavy head of near-full sweeps decaying geometrically, then a long
+// tail of small fix-up invocations (trailing components), totalling
+// `invocations` kernel launches.
+func decayingWorklist(invocations, firstSweep int, decay float64, tailFloor int) []int {
+	out := make([]int, invocations)
+	n := float64(firstSweep)
+	for k := range out {
+		v := int(n)
+		if v < tailFloor {
+			v = tailFloor
+		}
+		out[k] = v
+		n *= decay
+	}
+	return out
+}
+
+// geometricStages synthesizes a detection-cascade schedule: each stage
+// processes the survivors of the previous one.
+func geometricStages(stages, firstStage int, survival float64) []int {
+	out := make([]int, stages)
+	n := float64(firstStage)
+	for k := range out {
+		v := int(n)
+		if v < 1 {
+			v = 1
+		}
+		out[k] = v
+		n *= survival
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// smCost is the per-cell cost of one wave-propagation frame: a 5-point
+// stencil streaming through memory.
+func smCost() device.CostProfile {
+	return device.CostProfile{
+		FLOPs:        40,
+		MemOps:       12,
+		L3MissRatio:  0.35,
+		Instructions: 50,
+		Divergence:   0,
+	}
+}
+
+// Seismic is the SM workload (from TBB): 100 wave-propagation frames
+// over a 1950×1326 grid on both platforms.
+func Seismic() Workload {
+	sched := func(platformName string, seed int64) ([]Invocation, error) {
+		if platformName != "desktop" && platformName != "tablet" {
+			return nil, errUnsupported("SM", platformName)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		invs := make([]Invocation, 100)
+		for k := range invs {
+			cpuF, gpuF := noise(rng, 0.01)
+			invs[k] = Invocation{
+				Kernel: engine.Kernel{
+					Name:           "SM.frame",
+					Cost:           smCost(),
+					CPUSpeedFactor: cpuF,
+					GPUSpeedFactor: gpuF,
+				},
+				N: 1950 * 1326,
+			}
+		}
+		return invs, nil
+	}
+	return Workload{
+		Name:             "Seismic",
+		Abbrev:           "SM",
+		Irregular:        false,
+		Paper:            wclass.Category{Memory: true, CPUShort: true, GPUShort: true},
+		PaperInvocations: 100,
+		Inputs: map[string]string{
+			"desktop": "1950 by 1326, 100 frames",
+			"tablet":  "1950 by 1326, 100 frames",
+		},
+		Schedule: sched,
+	}
+}
+
+// FunctionalSeismic propagates a 2-D wave with a leapfrog 5-point
+// stencil from a point source.
+type FunctionalSeismic struct {
+	w, h      int
+	frames    int
+	prev, cur []float32
+	next      []float32
+	sourceIdx int
+	ran       bool
+}
+
+// NewFunctionalSeismic builds a w×h grid advanced for the given frames.
+func NewFunctionalSeismic(w, h, frames int, seed int64) (*FunctionalSeismic, error) {
+	if w < 8 || h < 8 || frames < 1 {
+		return nil, fmt.Errorf("seismic: bad grid %dx%d / %d frames", w, h, frames)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &FunctionalSeismic{
+		w: w, h: h, frames: frames,
+		prev: make([]float32, w*h),
+		cur:  make([]float32, w*h),
+		next: make([]float32, w*h),
+	}
+	// Point source away from the borders.
+	sx := 2 + rng.Intn(w-4)
+	sy := 2 + rng.Intn(h-4)
+	s.sourceIdx = sy*w + sx
+	s.cur[s.sourceIdx] = 1
+	return s, nil
+}
+
+// Name implements Functional.
+func (s *FunctionalSeismic) Name() string { return "SM" }
+
+// Field returns the final wave field (valid after Run).
+func (s *FunctionalSeismic) Field() []float32 { return s.cur }
+
+const smCourant = 0.4
+
+// Run implements Functional: one ParallelFor per frame.
+func (s *FunctionalSeismic) Run(ex Executor) error {
+	w, h := s.w, s.h
+	for f := 0; f < s.frames; f++ {
+		prev, cur, next := s.prev, s.cur, s.next
+		err := ex.ParallelFor(w*h, func(i int) {
+			x, y := i%w, i/w
+			if x == 0 || y == 0 || x == w-1 || y == h-1 {
+				next[i] = 0 // absorbing-ish border
+				return
+			}
+			lap := cur[i-1] + cur[i+1] + cur[i-w] + cur[i+w] - 4*cur[i]
+			next[i] = 2*cur[i] - prev[i] + smCourant*lap
+		})
+		if err != nil {
+			return err
+		}
+		s.prev, s.cur, s.next = cur, next, prev
+	}
+	s.ran = true
+	return nil
+}
+
+// Verify implements Functional: the wave must have propagated (non-zero
+// field away from the source) while staying numerically stable.
+func (s *FunctionalSeismic) Verify() error {
+	if !s.ran {
+		return fmt.Errorf("seismic: Verify called before Run")
+	}
+	var maxAbs float64
+	nonZero := 0
+	for _, v := range s.cur {
+		a := math.Abs(float64(v))
+		if a > maxAbs {
+			maxAbs = a
+		}
+		if a > 1e-7 {
+			nonZero++
+		}
+	}
+	if math.IsNaN(maxAbs) || maxAbs > 10 {
+		return fmt.Errorf("seismic: unstable field, max |u| = %v", maxAbs)
+	}
+	minSpread := s.frames * s.frames / 4
+	if limit := s.w * s.h / 2; minSpread > limit {
+		minSpread = limit
+	}
+	if nonZero < minSpread {
+		return fmt.Errorf("seismic: wave did not propagate (%d active cells)", nonZero)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// slCost is the per-key cost: a multi-level pointer chase with almost
+// every hop missing the cache.
+func slCost() device.CostProfile {
+	return device.CostProfile{
+		FLOPs:        0,
+		MemOps:       30,
+		L3MissRatio:  0.75,
+		Instructions: 220,
+		Divergence:   0.9,
+	}
+}
+
+// SkipList is the SL workload: one kernel inserting a key set into a
+// concurrent skip list (500M keys desktop, 45M tablet).
+func SkipList() Workload {
+	sched := func(platformName string, seed int64) ([]Invocation, error) {
+		var n int
+		switch platformName {
+		case "desktop":
+			n = 500_000_000
+		case "tablet":
+			n = 45_000_000
+		default:
+			return nil, errUnsupported("SL", platformName)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		cpuF, gpuF := noise(rng, 0.06)
+		return []Invocation{{
+			Kernel: engine.Kernel{
+				Name:           "SL.insert",
+				Cost:           slCost(),
+				CPUSpeedFactor: cpuF,
+				GPUSpeedFactor: gpuF,
+			},
+			N: n,
+		}}, nil
+	}
+	return Workload{
+		Name:             "SkipList",
+		Abbrev:           "SL",
+		Irregular:        true,
+		Paper:            wclass.Category{Memory: true, CPUShort: false, GPUShort: false},
+		PaperInvocations: 1,
+		Inputs: map[string]string{
+			"desktop": "500M keys",
+			"tablet":  "45M keys",
+		},
+		Schedule: sched,
+	}
+}
+
+const slMaxLevel = 16
+
+// slNode is a lock-free skip-list node.
+type slNode struct {
+	key  int64
+	next [slMaxLevel]atomic.Pointer[slNode]
+}
+
+// FunctionalSkipList inserts a deterministic key set concurrently into
+// a lock-free (insert-only) skip list.
+type FunctionalSkipList struct {
+	head *slNode
+	keys []int64
+	seed int64
+}
+
+// NewFunctionalSkipList prepares n distinct keys in shuffled order.
+func NewFunctionalSkipList(n int, seed int64) (*FunctionalSkipList, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("skiplist: need at least one key, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i)*7 + 3 // distinct, non-contiguous
+	}
+	rng.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	return &FunctionalSkipList{
+		head: &slNode{key: -1 << 62},
+		keys: keys,
+		seed: seed,
+	}, nil
+}
+
+// Name implements Functional.
+func (s *FunctionalSkipList) Name() string { return "SL" }
+
+// randomLevel derives a deterministic tower height from the key.
+func randomLevel(key int64) int {
+	// xorshift hash of the key; count trailing ones ≈ geometric(1/2).
+	x := uint64(key)*0x9e3779b97f4a7c15 + 1
+	x ^= x >> 29
+	level := 1
+	for x&1 == 1 && level < slMaxLevel {
+		level++
+		x >>= 1
+	}
+	return level
+}
+
+// insert adds key with lock-free bottom-up linking.
+func (s *FunctionalSkipList) insert(key int64) {
+	level := randomLevel(key)
+	node := &slNode{key: key}
+	for l := 0; l < level; l++ {
+		for {
+			pred, succ := s.findAt(key, l)
+			node.next[l].Store(succ)
+			if pred.next[l].CompareAndSwap(succ, node) {
+				break
+			}
+		}
+	}
+}
+
+// findAt locates the insertion point for key at one level.
+func (s *FunctionalSkipList) findAt(key int64, level int) (pred, succ *slNode) {
+	pred = s.head
+	// Descend from the top for search efficiency.
+	for l := slMaxLevel - 1; l >= level; l-- {
+		for {
+			n := pred.next[l].Load()
+			if n == nil || n.key >= key {
+				break
+			}
+			pred = n
+		}
+	}
+	for {
+		n := pred.next[level].Load()
+		if n == nil || n.key >= key {
+			return pred, n
+		}
+		pred = n
+	}
+}
+
+// Contains reports whether key is in the list.
+func (s *FunctionalSkipList) Contains(key int64) bool {
+	_, succ := s.findAt(key, 0)
+	return succ != nil && succ.key == key
+}
+
+// Run implements Functional: every key inserted by a parallel
+// iteration.
+func (s *FunctionalSkipList) Run(ex Executor) error {
+	return ex.ParallelFor(len(s.keys), func(i int) {
+		s.insert(s.keys[i])
+	})
+}
+
+// Verify implements Functional: the bottom level must be sorted and
+// contain exactly the inserted key set.
+func (s *FunctionalSkipList) Verify() error {
+	count := 0
+	prev := int64(-1 << 62)
+	for n := s.head.next[0].Load(); n != nil; n = n.next[0].Load() {
+		if n.key <= prev {
+			return fmt.Errorf("skiplist: out of order: %d after %d", n.key, prev)
+		}
+		prev = n.key
+		count++
+	}
+	if count != len(s.keys) {
+		return fmt.Errorf("skiplist: %d keys present, want %d", count, len(s.keys))
+	}
+	// Spot-check membership.
+	step := len(s.keys)/64 + 1
+	for i := 0; i < len(s.keys); i += step {
+		if !s.Contains(s.keys[i]) {
+			return fmt.Errorf("skiplist: key %d missing", s.keys[i])
+		}
+	}
+	return nil
+}

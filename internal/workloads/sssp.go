@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/graphgen"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// ssspCost is the per-relaxation cost: neighbor scans with weight
+// arithmetic and scattered distance updates.
+func ssspCost() device.CostProfile {
+	return device.CostProfile{
+		FLOPs:        12,
+		MemOps:       14,
+		L3MissRatio:  0.45,
+		Instructions: 160,
+		Divergence:   0.9,
+	}
+}
+
+// ShortestPath is the SP workload: Bellman-Ford-style worklist SSSP on
+// the road network, 2577 kernel invocations on the desktop input.
+func ShortestPath() Workload {
+	return Workload{
+		Name:             "Shortest Path",
+		Abbrev:           "SP",
+		Irregular:        true,
+		Paper:            wclass.Category{Memory: true, CPUShort: true, GPUShort: true},
+		PaperInvocations: 2577,
+		Inputs: map[string]string{
+			"desktop": "synthetic road network, |V|=6.2M (W-USA-like)",
+		},
+		Schedule: func(platformName string, seed int64) ([]Invocation, error) {
+			if platformName != "desktop" {
+				return nil, errUnsupported("SP", platformName)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			// SSSP worklists re-relax vertices, so total work exceeds
+			// |V|; frontiers follow the same bell shape as BFS.
+			frontiers := bellFrontiers(2577, 14_500_000)
+			invs := make([]Invocation, len(frontiers))
+			for k, n := range frontiers {
+				cpuF, gpuF := noise(rng, 0.06)
+				invs[k] = Invocation{
+					Kernel: engine.Kernel{
+						Name:           "SP.relax",
+						Cost:           ssspCost(),
+						CPUSpeedFactor: cpuF,
+						GPUSpeedFactor: gpuF,
+					},
+					N: n,
+				}
+			}
+			return invs, nil
+		},
+	}
+}
+
+// FunctionalSSSP is a really-computing parallel single-source shortest
+// paths: round-based Bellman-Ford with atomic distance relaxation.
+type FunctionalSSSP struct {
+	g    *graphgen.Graph
+	src  int
+	dist []uint32 // float32 bits, for atomic min via CAS
+}
+
+// NewFunctionalSSSP builds an SSSP instance over a w×h road network.
+func NewFunctionalSSSP(w, h int, seed int64) (*FunctionalSSSP, error) {
+	g, err := graphgen.RoadNetwork(w, h, 0.001, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &FunctionalSSSP{g: g, src: 0}, nil
+}
+
+// Name implements Functional.
+func (s *FunctionalSSSP) Name() string { return "SP" }
+
+// Dist returns vertex v's computed distance (valid after Run).
+func (s *FunctionalSSSP) Dist(v int) float32 {
+	return math.Float32frombits(s.dist[v])
+}
+
+const infBits = uint32(0x7f800000) // +Inf in float32
+
+// Run implements Functional: full-graph relaxation rounds until no
+// distance improves. Distances are float32 bit patterns so atomic
+// compare-and-swap implements atomic-min (IEEE 754 ordering matches
+// integer ordering for non-negative floats).
+func (s *FunctionalSSSP) Run(ex Executor) error {
+	n := s.g.N
+	s.dist = make([]uint32, n)
+	for i := range s.dist {
+		s.dist[i] = infBits
+	}
+	s.dist[s.src] = 0
+	var changed atomic.Bool
+	for {
+		changed.Store(false)
+		dist := s.dist
+		g := s.g
+		err := ex.ParallelFor(n, func(v int) {
+			dv := math.Float32frombits(atomic.LoadUint32(&dist[v]))
+			if math.IsInf(float64(dv), 1) {
+				return
+			}
+			weights := g.NeighborWeights(v)
+			for i, nb := range g.Neighbors(v) {
+				cand := dv + weights[i]
+				candBits := math.Float32bits(cand)
+				for {
+					cur := atomic.LoadUint32(&dist[nb])
+					if candBits >= cur {
+						break
+					}
+					if atomic.CompareAndSwapUint32(&dist[nb], cur, candBits) {
+						changed.Store(true)
+						break
+					}
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if !changed.Load() {
+			return nil
+		}
+	}
+}
+
+// Verify implements Functional: distances must satisfy the shortest-
+// path optimality conditions (triangle inequality tight on a tree).
+func (s *FunctionalSSSP) Verify() error {
+	if s.dist == nil {
+		return fmt.Errorf("sssp: Verify called before Run")
+	}
+	if s.Dist(s.src) != 0 {
+		return fmt.Errorf("sssp: source distance %v, want 0", s.Dist(s.src))
+	}
+	for v := 0; v < s.g.N; v++ {
+		dv := float64(s.Dist(v))
+		weights := s.g.NeighborWeights(v)
+		for i, nb := range s.g.Neighbors(v) {
+			dn := float64(s.Dist(int(nb)))
+			w := float64(weights[i])
+			// No edge may offer an improvement: d(nb) ≤ d(v) + w.
+			if dn > dv+w+1e-4 {
+				return fmt.Errorf("sssp: edge %d->%d violates optimality: %v > %v + %v", v, nb, dn, dv, w)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package workloads
+
+import "testing"
+
+func TestTabletSchedules(t *testing.T) {
+	expected := map[string]struct {
+		invocations int
+		totalItems  int
+	}{
+		"MB": {1, 7680 * 6144},
+		"SL": {1, 45_000_000},
+		"BS": {2000, 2000 * 2_621_440},
+		"MM": {1, (1024 / 16) * (1024 / 16)},
+		"NB": {101, 101 * 1024},
+		"RT": {1, 2048 * 2048},
+		"SM": {100, 100 * 1950 * 1326},
+	}
+	for _, w := range ForPlatform("tablet") {
+		want, ok := expected[w.Abbrev]
+		if !ok {
+			t.Fatalf("unexpected tablet workload %s", w.Abbrev)
+		}
+		invs, err := w.Schedule("tablet", 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Abbrev, err)
+		}
+		if len(invs) != want.invocations {
+			t.Errorf("%s: %d invocations, want %d", w.Abbrev, len(invs), want.invocations)
+		}
+		if got := TotalItems(invs); got != want.totalItems {
+			t.Errorf("%s: %d total items, want %d (Table 1 tablet input)", w.Abbrev, got, want.totalItems)
+		}
+	}
+}
+
+func TestTabletInputsSmallerWhereTable1SaysSo(t *testing.T) {
+	// The tablet's 250 MB shared-region limit forces smaller inputs for
+	// SL, MM, NB (Table 1 column 4); MB, BS, SM keep or grow theirs,
+	// and RT shrinks per-ray cost (225 vs 256 spheres) rather than
+	// pixel count.
+	smaller := map[string]bool{"SL": true, "MM": true, "NB": true}
+	for ab := range smaller {
+		w, _ := ByAbbrev(ab)
+		d, err := w.Schedule("desktop", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := w.Schedule("tablet", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if TotalItems(tb) >= TotalItems(d) {
+			t.Errorf("%s: tablet items %d should be below desktop %d", ab, TotalItems(tb), TotalItems(d))
+		}
+	}
+	rt, _ := ByAbbrev("RT")
+	d, _ := rt.Schedule("desktop", 1)
+	tb, _ := rt.Schedule("tablet", 1)
+	if tb[0].Kernel.Cost.FLOPs >= d[0].Kernel.Cost.FLOPs {
+		t.Errorf("RT tablet per-ray FLOPs %v should be below desktop %v (225 vs 256 spheres)",
+			tb[0].Kernel.Cost.FLOPs, d[0].Kernel.Cost.FLOPs)
+	}
+}
+
+func TestMMTabletCostScalesWithDim(t *testing.T) {
+	// The per-tile cost depends on the matrix dimension, so the tablet
+	// (1024) and desktop (2048) kernels must differ.
+	w, _ := ByAbbrev("MM")
+	d, _ := w.Schedule("desktop", 1)
+	tb, _ := w.Schedule("tablet", 1)
+	if d[0].Kernel.Cost.FLOPs <= tb[0].Kernel.Cost.FLOPs {
+		t.Errorf("desktop tile FLOPs %v should exceed tablet %v",
+			d[0].Kernel.Cost.FLOPs, tb[0].Kernel.Cost.FLOPs)
+	}
+	if d[0].Kernel.Cost.FLOPs != 2*tb[0].Kernel.Cost.FLOPs {
+		t.Errorf("2048-dim tile should cost exactly 2× the 1024-dim tile")
+	}
+}

@@ -1,0 +1,183 @@
+// Package workloads defines the paper's twelve benchmarks (Table 1):
+// seven irregular (BarnesHut, BFS, Connected Components, Face Detect,
+// Mandelbrot, SkipList, Shortest Path) and five regular (Blackscholes,
+// Matrix Multiply, N-Body, Ray Tracer, Seismic).
+//
+// Each workload exists in two forms:
+//
+//   - a *timed schedule* — the sequence of kernel invocations (item
+//     counts, per-item cost profiles, per-invocation irregularity) fed
+//     to the platform simulator for the paper's experiments, with the
+//     paper's input sizes; and
+//   - a *functional implementation* — real Go code computing real
+//     results at configurable scale, used by the examples and
+//     correctness tests (the simulator models time and power; the
+//     functional code proves the kernels are genuine parallel_for
+//     bodies).
+//
+// Original inputs the paper used but we cannot ship (the DIMACS
+// Western-USA road graph, the Solvay-1927 photograph) are replaced by
+// synthetic equivalents with matching structure; see DESIGN.md.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/wclass"
+	"github.com/hetsched/eas/internal/ws"
+)
+
+// Invocation is one timed kernel invocation of a workload.
+type Invocation struct {
+	Kernel engine.Kernel
+	N      int
+}
+
+// Workload is one Table 1 benchmark.
+type Workload struct {
+	// Name and Abbrev identify the benchmark ("Connected Components",
+	// "CC").
+	Name, Abbrev string
+	// Irregular marks input-dependent control flow (Table 1 col. 6).
+	Irregular bool
+	// Paper is the classification Table 1 reports on the desktop.
+	Paper wclass.Category
+	// PaperInvocations is the kernel invocation count Table 1 reports.
+	PaperInvocations int
+	// Inputs describes the input per platform name (Table 1 cols 3-4).
+	Inputs map[string]string
+	// Schedule builds the timed invocation sequence for a platform.
+	// It returns an error for platforms the workload does not support
+	// (five workloads do not build on the 32-bit tablet).
+	Schedule func(platformName string, seed int64) ([]Invocation, error)
+}
+
+// SupportsPlatform reports whether the workload runs on the platform.
+func (w Workload) SupportsPlatform(name string) bool {
+	_, ok := w.Inputs[name]
+	return ok
+}
+
+// TotalItems sums the invocation sizes of a schedule.
+func TotalItems(schedule []Invocation) int {
+	total := 0
+	for _, inv := range schedule {
+		total += inv.N
+	}
+	return total
+}
+
+// errUnsupported builds the standard unsupported-platform error.
+func errUnsupported(abbrev, platformName string) error {
+	return fmt.Errorf("workloads: %s does not run on %q (32-bit toolchain limitation in the paper; only desktop inputs exist)", abbrev, platformName)
+}
+
+// noise produces per-invocation device speed factors: regular
+// workloads barely vary, irregular ones vary run to run. Factors are
+// deterministic per (seed, invocation).
+func noise(rng *rand.Rand, sigma float64) (cpuFactor, gpuFactor float64) {
+	if sigma <= 0 {
+		return 1, 1
+	}
+	c := 1 + sigma*rng.NormFloat64()
+	g := 1 + sigma*rng.NormFloat64()
+	return clampFactor(c), clampFactor(g)
+}
+
+func clampFactor(f float64) float64 {
+	if f < 0.5 {
+		return 0.5
+	}
+	if f > 1.5 {
+		return 1.5
+	}
+	return f
+}
+
+// All returns the twelve workloads in Table 1 order.
+func All() []Workload {
+	return []Workload{
+		BarnesHut(),
+		BFS(),
+		ConnectedComponents(),
+		FaceDetect(),
+		Mandelbrot(),
+		SkipList(),
+		ShortestPath(),
+		Blackscholes(),
+		MatrixMultiply(),
+		NBody(),
+		RayTracer(),
+		Seismic(),
+	}
+}
+
+// ByAbbrev returns the workload with the given abbreviation.
+func ByAbbrev(ab string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Abbrev == ab {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// ForPlatform returns the workloads that run on the named platform
+// (all twelve on the desktop, seven on the tablet, as in the paper).
+func ForPlatform(name string) []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.SupportsPlatform(name) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Executor abstracts "run this data-parallel loop": the functional
+// workloads issue their rounds through it, so the same workload code
+// runs on a plain thread pool, the mini-OpenCL queue, or the
+// energy-aware runtime's hybrid ParallelFor.
+type Executor interface {
+	ParallelFor(n int, body func(i int)) error
+}
+
+// PoolExecutor adapts a work-stealing pool to the Executor interface —
+// the plain multi-core CPU execution backend.
+type PoolExecutor struct {
+	Pool *ws.Pool
+}
+
+// ParallelFor implements Executor.
+func (p PoolExecutor) ParallelFor(n int, body func(i int)) error {
+	if n < 0 {
+		return fmt.Errorf("workloads: negative iteration count %d", n)
+	}
+	p.Pool.ParallelFor(n, 0, body)
+	return nil
+}
+
+// SerialExecutor runs loops on the calling goroutine; useful for
+// debugging and as a determinism reference.
+type SerialExecutor struct{}
+
+// ParallelFor implements Executor.
+func (SerialExecutor) ParallelFor(n int, body func(i int)) error {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+	return nil
+}
+
+// Functional is a really-computing workload instance.
+type Functional interface {
+	// Name identifies the instance.
+	Name() string
+	// Run executes every parallel round through the executor.
+	Run(ex Executor) error
+	// Verify checks the computed results, returning nil on success.
+	// It must be called after Run.
+	Verify() error
+}

@@ -1,0 +1,192 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("All() = %d workloads, want 12", len(all))
+	}
+	seen := map[string]bool{}
+	irregular, tablet := 0, 0
+	for _, w := range all {
+		if seen[w.Abbrev] {
+			t.Errorf("duplicate abbrev %s", w.Abbrev)
+		}
+		seen[w.Abbrev] = true
+		if w.Irregular {
+			irregular++
+		}
+		if w.SupportsPlatform("tablet") {
+			tablet++
+		}
+		if !w.SupportsPlatform("desktop") {
+			t.Errorf("%s must support the desktop", w.Abbrev)
+		}
+	}
+	if irregular != 7 {
+		t.Errorf("%d irregular workloads, want 7 (BH BFS CC FD MB SL SP)", irregular)
+	}
+	if tablet != 7 {
+		t.Errorf("%d tablet workloads, want 7 (MB SL BS MM NB RT SM)", tablet)
+	}
+	if len(ForPlatform("tablet")) != 7 || len(ForPlatform("desktop")) != 12 {
+		t.Error("ForPlatform counts wrong")
+	}
+}
+
+func TestByAbbrev(t *testing.T) {
+	w, ok := ByAbbrev("CC")
+	if !ok || w.Name != "Connected Component" {
+		t.Errorf("ByAbbrev(CC) = %+v, %v", w, ok)
+	}
+	if _, ok := ByAbbrev("XX"); ok {
+		t.Error("unknown abbrev resolved")
+	}
+}
+
+func TestSchedulesMatchTable1(t *testing.T) {
+	for _, w := range All() {
+		invs, err := w.Schedule("desktop", 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Abbrev, err)
+		}
+		if len(invs) != w.PaperInvocations {
+			t.Errorf("%s: %d invocations, want %d (Table 1)", w.Abbrev, len(invs), w.PaperInvocations)
+		}
+		for k, inv := range invs {
+			if inv.N < 1 {
+				t.Fatalf("%s invocation %d has N=%d", w.Abbrev, k, inv.N)
+			}
+			if err := inv.Kernel.Cost.Validate(); err != nil {
+				t.Fatalf("%s invocation %d: %v", w.Abbrev, k, err)
+			}
+		}
+		// Memory-bound classification of the schedule's cost profiles
+		// must match the Table 1 column.
+		mi := invs[0].Kernel.Cost.MemoryIntensity()
+		if w.Paper.Memory && mi <= wclass.MemoryBoundThreshold {
+			t.Errorf("%s: intensity %v but Table 1 says memory-bound", w.Abbrev, mi)
+		}
+		if !w.Paper.Memory && mi > wclass.MemoryBoundThreshold {
+			t.Errorf("%s: intensity %v but Table 1 says compute-bound", w.Abbrev, mi)
+		}
+	}
+}
+
+func TestSchedulesDeterministic(t *testing.T) {
+	for _, w := range All() {
+		a, err := w.Schedule("desktop", 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := w.Schedule("desktop", 99)
+		if len(a) != len(b) {
+			t.Fatalf("%s: nondeterministic schedule length", w.Abbrev)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: invocation %d differs across same-seed builds", w.Abbrev, i)
+			}
+		}
+	}
+}
+
+func TestUnsupportedPlatformErrors(t *testing.T) {
+	for _, ab := range []string{"BH", "BFS", "CC", "FD", "SP"} {
+		w, _ := ByAbbrev(ab)
+		if _, err := w.Schedule("tablet", 1); err == nil {
+			t.Errorf("%s should not build on the tablet", ab)
+		}
+	}
+	w, _ := ByAbbrev("MB")
+	if _, err := w.Schedule("mainframe", 1); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestTotalItems(t *testing.T) {
+	w, _ := ByAbbrev("BFS")
+	invs, err := w.Schedule("desktop", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := TotalItems(invs)
+	// The BFS schedule covers the 6.2M-vertex graph (±2% rounding).
+	if total < 6_000_000 || total > 6_500_000 {
+		t.Errorf("BFS total items = %d, want ≈6.2M", total)
+	}
+}
+
+func TestCCDriftsTowardCPU(t *testing.T) {
+	// The CC schedule must degrade GPU-relative efficiency over the
+	// run — the mechanism behind the paper's observed EAS misprediction.
+	w, _ := ByAbbrev("CC")
+	invs, _ := w.Schedule("desktop", 1)
+	head := invs[10].Kernel
+	tail := invs[len(invs)-10].Kernel
+	if tail.Cost.Divergence <= head.Cost.Divergence {
+		t.Error("CC divergence should grow over the run")
+	}
+	// Late invocations shrink below GPU_PROFILE_SIZE (2240), starving
+	// GPU occupancy.
+	if invs[len(invs)-1].N >= 2240 {
+		t.Errorf("CC tail invocations should be small, got %d", invs[len(invs)-1].N)
+	}
+	if invs[0].N != 6_200_000 {
+		t.Errorf("CC head sweep = %d, want 6.2M", invs[0].N)
+	}
+}
+
+func TestNoiseBounds(t *testing.T) {
+	for _, w := range All() {
+		invs, _ := w.Schedule("desktop", 5)
+		for i, inv := range invs {
+			k := inv.Kernel
+			for _, f := range []float64{k.CPUSpeedFactor, k.GPUSpeedFactor} {
+				if f < 0.5 || f > 1.5 {
+					t.Fatalf("%s invocation %d: speed factor %v outside [0.5,1.5]", w.Abbrev, i, f)
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleShapes(t *testing.T) {
+	// BFS frontiers must ramp up and back down (road-network shape).
+	bfs, _ := ByAbbrev("BFS")
+	invs, _ := bfs.Schedule("desktop", 1)
+	peak, peakAt := 0, 0
+	for i, inv := range invs {
+		if inv.N > peak {
+			peak, peakAt = inv.N, i
+		}
+	}
+	if peakAt < len(invs)/10 || peakAt > len(invs)*9/10 {
+		t.Errorf("BFS peak frontier at invocation %d of %d; want interior", peakAt, len(invs))
+	}
+	if invs[0].N >= peak/10 || invs[len(invs)-1].N >= peak/10 {
+		t.Errorf("BFS frontier ends (%d, %d) should be tiny vs peak %d",
+			invs[0].N, invs[len(invs)-1].N, peak)
+	}
+
+	// CC sweeps must decay monotonically down to the fix-up floor.
+	cc, _ := ByAbbrev("CC")
+	ccInvs, _ := cc.Schedule("desktop", 1)
+	for i := 1; i < len(ccInvs); i++ {
+		if ccInvs[i].N > ccInvs[i-1].N {
+			t.Fatalf("CC sweep %d grew: %d > %d", i, ccInvs[i].N, ccInvs[i-1].N)
+		}
+	}
+
+	// FD stages shrink geometrically (survivors of the cascade).
+	fd, _ := ByAbbrev("FD")
+	fdInvs, _ := fd.Schedule("desktop", 1)
+	if fdInvs[len(fdInvs)-1].N >= fdInvs[0].N/100 {
+		t.Errorf("FD last stage %d should be ≪ first %d", fdInvs[len(fdInvs)-1].N, fdInvs[0].N)
+	}
+}

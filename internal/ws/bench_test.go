@@ -1,0 +1,48 @@
+package ws
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkDequePushPop(b *testing.B) {
+	d := NewDeque()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(Range{Start: i, End: i + 1})
+		d.PopBottom()
+	}
+}
+
+func BenchmarkDequeSteal(b *testing.B) {
+	d := NewDeque()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(Range{Start: i, End: i + 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Steal()
+	}
+}
+
+func BenchmarkSharedCounterGrab(b *testing.B) {
+	c := NewSharedCounter(1 << 62)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Grab(64)
+		}
+	})
+}
+
+func BenchmarkParallelForThroughput(b *testing.B) {
+	p := NewPool(0)
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ParallelFor(100000, 256, func(j int) {
+			if j == 0 {
+				sink.Add(1)
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package ws
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the default chunk size for splitting iteration spaces.
+const DefaultGrain = 256
+
+// Pool executes data-parallel loops over a fixed set of worker
+// goroutines using work stealing. A Pool may be reused for many loops;
+// it is safe for sequential reuse but a single loop runs at a time.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of n workers; n <= 0 selects GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// ParallelFor executes body(i) for every i in [0, n) using all workers.
+// Iterations may run in any order and concurrently; the body must be
+// safe for concurrent invocation on distinct indices. grain <= 0 uses
+// DefaultGrain.
+func (p *Pool) ParallelFor(n int, grain int, body func(i int)) {
+	p.ParallelRange(n, grain, func(r Range) {
+		for i := r.Start; i < r.End; i++ {
+			body(i)
+		}
+	})
+}
+
+// ParallelRange is ParallelFor at chunk granularity: body receives
+// whole ranges, which lets callers amortize per-chunk setup.
+func (p *Pool) ParallelRange(n int, grain int, body func(r Range)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	if n <= grain || p.workers == 1 {
+		body(Range{Start: 0, End: n})
+		return
+	}
+
+	// Seed each worker's deque with an equal slice of the iteration
+	// space, itself split into grain-sized chunks.
+	deques := make([]*Deque, p.workers)
+	per := (n + p.workers - 1) / p.workers
+	for w := 0; w < p.workers; w++ {
+		deques[w] = NewDeque()
+		lo := w * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		for s := lo; s < hi; s += grain {
+			e := s + grain
+			if e > hi {
+				e = hi
+			}
+			deques[w].PushBottom(Range{Start: s, End: e})
+		}
+	}
+
+	var wg sync.WaitGroup
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			rng := uint64(self)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+			for remaining.Load() > 0 {
+				r, ok := deques[self].PopBottom()
+				if !ok {
+					// Steal from a pseudo-random victim.
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					victim := int(rng % uint64(p.workers))
+					if victim == self {
+						victim = (victim + 1) % p.workers
+					}
+					r, ok = deques[victim].Steal()
+					if !ok {
+						// Nothing to steal right now; yield and retry
+						// until the loop is globally done.
+						runtime.Gosched()
+						continue
+					}
+				}
+				body(r)
+				remaining.Add(int64(-r.Len()))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// SharedCounter is the atomically drained work pool the paper's online
+// profiling uses: CPU workers grab chunks by atomic decrement while the
+// GPU proxy carves off its profile chunk from the same counter.
+type SharedCounter struct {
+	next  atomic.Int64
+	limit int64
+}
+
+// NewSharedCounter returns a counter over the iteration space [0, n).
+func NewSharedCounter(n int) *SharedCounter {
+	if n < 0 {
+		panic(fmt.Sprintf("ws: negative iteration count %d", n))
+	}
+	return &SharedCounter{limit: int64(n)}
+}
+
+// Grab atomically claims up to k iterations, returning the claimed
+// range; ok is false when the counter is exhausted.
+func (c *SharedCounter) Grab(k int) (Range, bool) {
+	if k <= 0 {
+		return Range{}, false
+	}
+	for {
+		cur := c.next.Load()
+		if cur >= c.limit {
+			return Range{}, false
+		}
+		end := cur + int64(k)
+		if end > c.limit {
+			end = c.limit
+		}
+		if c.next.CompareAndSwap(cur, end) {
+			return Range{Start: int(cur), End: int(end)}, true
+		}
+	}
+}
+
+// Remaining returns the number of unclaimed iterations.
+func (c *SharedCounter) Remaining() int {
+	r := c.limit - c.next.Load()
+	if r < 0 {
+		return 0
+	}
+	return int(r)
+}

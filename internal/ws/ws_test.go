@@ -1,0 +1,249 @@
+package ws
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeLIFOForOwner(t *testing.T) {
+	d := NewDeque()
+	for i := 0; i < 10; i++ {
+		d.PushBottom(Range{Start: i, End: i + 1})
+	}
+	for i := 9; i >= 0; i-- {
+		r, ok := d.PopBottom()
+		if !ok || r.Start != i {
+			t.Fatalf("PopBottom got (%v,%v), want start %d", r, ok, i)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Error("empty deque returned a value")
+	}
+}
+
+func TestDequeFIFOForThieves(t *testing.T) {
+	d := NewDeque()
+	for i := 0; i < 10; i++ {
+		d.PushBottom(Range{Start: i, End: i + 1})
+	}
+	for i := 0; i < 10; i++ {
+		r, ok := d.Steal()
+		if !ok || r.Start != i {
+			t.Fatalf("Steal got (%v,%v), want start %d", r, ok, i)
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Error("empty deque stolen from")
+	}
+}
+
+func TestDequeGrow(t *testing.T) {
+	d := NewDeque()
+	const n = 1000 // far beyond the initial 64 capacity
+	for i := 0; i < n; i++ {
+		d.PushBottom(Range{Start: i, End: i + 1})
+	}
+	if d.Size() != n {
+		t.Fatalf("Size = %d, want %d", d.Size(), n)
+	}
+	seen := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		r, ok := d.PopBottom()
+		if !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		if seen[r.Start] {
+			t.Fatalf("duplicate element %d", r.Start)
+		}
+		seen[r.Start] = true
+	}
+}
+
+func TestDequeMixedOwnerThief(t *testing.T) {
+	d := NewDeque()
+	d.PushBottom(Range{Start: 1, End: 2})
+	d.PushBottom(Range{Start: 2, End: 3})
+	if r, ok := d.Steal(); !ok || r.Start != 1 {
+		t.Fatalf("Steal = (%v,%v), want start 1", r, ok)
+	}
+	if r, ok := d.PopBottom(); !ok || r.Start != 2 {
+		t.Fatalf("PopBottom = (%v,%v), want start 2", r, ok)
+	}
+	if _, ok := d.Steal(); ok {
+		t.Error("deque should be empty")
+	}
+}
+
+// Concurrent stress: one owner pushes/pops, many thieves steal; every
+// pushed element must be consumed exactly once.
+func TestDequeConcurrentConservation(t *testing.T) {
+	const total = 20000
+	const thieves = 4
+	d := NewDeque()
+	var consumed atomic.Int64
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for consumed.Load() < total {
+				if r, ok := d.Steal(); ok {
+					sum.Add(int64(r.Start))
+					consumed.Add(1)
+				}
+			}
+		}()
+	}
+	// Owner: push all, interleaving occasional pops.
+	for i := 0; i < total; i++ {
+		d.PushBottom(Range{Start: i, End: i + 1})
+		if i%3 == 0 {
+			if r, ok := d.PopBottom(); ok {
+				sum.Add(int64(r.Start))
+				consumed.Add(1)
+			}
+		}
+	}
+	for consumed.Load() < total {
+		if r, ok := d.PopBottom(); ok {
+			sum.Add(int64(r.Start))
+			consumed.Add(1)
+		}
+	}
+	wg.Wait()
+	want := int64(total) * (total - 1) / 2
+	if sum.Load() != want {
+		t.Errorf("element sum = %d, want %d (lost or duplicated work)", sum.Load(), want)
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	p := NewPool(4)
+	const n = 100000
+	hits := make([]int32, n)
+	p.ParallelFor(n, 64, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForSmallAndEdge(t *testing.T) {
+	p := NewPool(8)
+	var count atomic.Int64
+	p.ParallelFor(0, 10, func(int) { count.Add(1) })
+	if count.Load() != 0 {
+		t.Error("n=0 should run nothing")
+	}
+	p.ParallelFor(5, 100, func(int) { count.Add(1) }) // below grain
+	if count.Load() != 5 {
+		t.Errorf("n=5 ran %d iterations", count.Load())
+	}
+	single := NewPool(1)
+	count.Store(0)
+	single.ParallelFor(1000, 10, func(int) { count.Add(1) })
+	if count.Load() != 1000 {
+		t.Errorf("single worker ran %d iterations", count.Load())
+	}
+}
+
+func TestParallelRangeChunks(t *testing.T) {
+	p := NewPool(4)
+	var covered atomic.Int64
+	p.ParallelRange(10000, 128, func(r Range) {
+		if r.Start < 0 || r.End > 10000 || r.Start >= r.End {
+			t.Errorf("bad range %+v", r)
+		}
+		covered.Add(int64(r.Len()))
+	})
+	if covered.Load() != 10000 {
+		t.Errorf("covered %d iterations, want 10000", covered.Load())
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(0).Workers() <= 0 {
+		t.Error("default pool should have workers")
+	}
+	if NewPool(3).Workers() != 3 {
+		t.Error("explicit worker count ignored")
+	}
+}
+
+func TestSharedCounterSequential(t *testing.T) {
+	c := NewSharedCounter(100)
+	r, ok := c.Grab(30)
+	if !ok || r.Start != 0 || r.End != 30 {
+		t.Fatalf("first grab = %+v", r)
+	}
+	if c.Remaining() != 70 {
+		t.Errorf("Remaining = %d, want 70", c.Remaining())
+	}
+	r, _ = c.Grab(100) // clamped to what's left
+	if r.End != 100 || r.Start != 30 {
+		t.Errorf("clamped grab = %+v", r)
+	}
+	if _, ok := c.Grab(1); ok {
+		t.Error("exhausted counter granted work")
+	}
+	if _, ok := c.Grab(0); ok {
+		t.Error("k=0 grab should fail")
+	}
+}
+
+func TestSharedCounterConcurrent(t *testing.T) {
+	const n = 100000
+	c := NewSharedCounter(n)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r, ok := c.Grab(97)
+				if !ok {
+					return
+				}
+				total.Add(int64(r.Len()))
+			}
+		}()
+	}
+	wg.Wait()
+	if total.Load() != n {
+		t.Errorf("grabbed %d iterations, want %d", total.Load(), n)
+	}
+	if c.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", c.Remaining())
+	}
+}
+
+func TestSharedCounterPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSharedCounter(-1)
+}
+
+// Property: ParallelFor computes the same sum as a serial loop.
+func TestParallelForSumProperty(t *testing.T) {
+	p := NewPool(4)
+	f := func(n uint16, grain uint8) bool {
+		nn := int(n) % 5000
+		var sum atomic.Int64
+		p.ParallelFor(nn, int(grain), func(i int) { sum.Add(int64(i)) })
+		return sum.Load() == int64(nn)*int64(nn-1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package eas
+
+import "github.com/hetsched/eas/internal/metrics"
+
+// Metric is an energy-related objective; lower values are better. The
+// zero Metric is invalid — use one of the standard metrics or NewMetric.
+type Metric struct {
+	inner metrics.Metric
+}
+
+func (m Metric) valid() bool { return m.inner.Valid() }
+
+// Name returns the metric's name.
+func (m Metric) Name() string { return m.inner.Name() }
+
+// Eval computes the metric from average package power (watts) and
+// execution time (seconds).
+func (m Metric) Eval(powerW, timeS float64) float64 { return m.inner.Eval(powerW, timeS) }
+
+// Standard metrics.
+var (
+	// Energy is total energy use, E = P·T — what battery-constrained
+	// mobile users optimize.
+	Energy = Metric{inner: metrics.Energy}
+	// EDP is the energy-delay product, P·T² — the paper's headline
+	// metric, balancing energy with performance.
+	EDP = Metric{inner: metrics.EDP}
+	// ED2P is energy-delay-squared, P·T³ — for deployments where
+	// execution time dominates.
+	ED2P = Metric{inner: metrics.ED2P}
+)
+
+// MetricByName resolves "energy", "edp", or "ed2p".
+func MetricByName(name string) (Metric, error) {
+	m, err := metrics.ByName(name)
+	if err != nil {
+		return Metric{}, err
+	}
+	return Metric{inner: m}, nil
+}
+
+// NewMetric builds a custom objective from any function of average
+// package power (watts) and execution time (seconds). The scheduler can
+// optimize any such metric (paper §3.2).
+func NewMetric(name string, eval func(powerW, timeS float64) float64) Metric {
+	return Metric{inner: metrics.New(name, eval)}
+}

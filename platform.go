@@ -1,0 +1,198 @@
+package eas
+
+import (
+	"fmt"
+
+	"github.com/hetsched/eas/internal/core"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// Platform is a simulated integrated CPU-GPU processor.
+type Platform struct {
+	inner *platform.Platform
+}
+
+// DesktopPlatform returns the Haswell-class desktop of the paper's
+// evaluation: a quad-core 3.4 GHz CPU (turbo 3.9 GHz) with an HD
+// 4600-class GPU (20 EUs), 25.6 GB/s DDR3, and an 84 W TDP.
+func DesktopPlatform() *Platform {
+	return &Platform{inner: platform.Desktop()}
+}
+
+// TabletPlatform returns the Bay Trail-class tablet: a quad-core
+// 1.33 GHz Atom (burst 1.86 GHz) with a 4-EU GPU, 8.5 GB/s LPDDR3, a
+// 2.5 W package budget, and a 250 MB CPU-GPU shared-memory limit.
+func TabletPlatform() *Platform {
+	return &Platform{inner: platform.Tablet()}
+}
+
+// PlatformByName resolves "desktop" or "tablet".
+func PlatformByName(name string) (*Platform, error) {
+	spec, ok := platform.Presets(name)
+	if !ok {
+		return nil, fmt.Errorf("eas: unknown platform %q (want desktop or tablet)", name)
+	}
+	p, err := platform.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{inner: p}, nil
+}
+
+// LoadPlatform builds a platform from a spec JSON file — the format
+// `powerchar -dump-spec` emits. Start from a preset's dump, edit the
+// device shapes, clocks, power coefficients and budgets, and the whole
+// pipeline (characterization, scheduling, evaluation) works on the
+// custom processor unchanged: the black-box approach needs no
+// per-platform code.
+func LoadPlatform(path string) (*Platform, error) {
+	spec, err := platform.LoadSpec(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := platform.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{inner: p}, nil
+}
+
+// Name returns the platform's name.
+func (p *Platform) Name() string { return p.inner.Name() }
+
+// GPUProfileSize returns the online profiler's GPU chunk size — the
+// GPU's hardware parallelism (2240 on the desktop, 448 on the tablet).
+func (p *Platform) GPUProfileSize() int { return p.inner.GPUProfileSize() }
+
+// SetGPUBusy marks the GPU as owned by another application; the runtime
+// then falls back to CPU-only execution (the paper's A26-counter check).
+func (p *Platform) SetGPUBusy(busy bool) { p.inner.SetGPUBusy(busy) }
+
+// Reset restores the platform to boot state (clock, power-management
+// transients, counters, accumulated energy).
+func (p *Platform) Reset() { p.inner.Reset() }
+
+// PowerModel is a platform's one-time power characterization: eight
+// fitted sixth-order polynomials P(α), one per workload class.
+type PowerModel struct {
+	inner *powerchar.Model
+}
+
+// Characterize runs the paper's §2 procedure on the platform's
+// configuration: each of the eight micro-benchmarks is swept across GPU
+// offload ratios on a freshly booted instance, average package power is
+// measured through the emulated MSR, and a sixth-order polynomial is
+// fitted per workload class.
+func Characterize(p *Platform) (*PowerModel, error) {
+	if p == nil {
+		return nil, fmt.Errorf("eas: nil platform")
+	}
+	m, err := powerchar.Characterize(p.inner.Spec(), powerchar.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &PowerModel{inner: m}, nil
+}
+
+// Save writes the model to a JSON file.
+func (m *PowerModel) Save(path string) error { return m.inner.Save(path) }
+
+// LoadPowerModel reads a model saved with Save.
+func LoadPowerModel(path string) (*PowerModel, error) {
+	inner, err := powerchar.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &PowerModel{inner: inner}, nil
+}
+
+// PlatformName returns the platform the model was measured on.
+func (m *PowerModel) PlatformName() string { return m.inner.Platform }
+
+// Categories lists the workload-class keys the model covers, e.g.
+// "mem-cpuS-gpuL".
+func (m *PowerModel) Categories() []string {
+	var keys []string
+	for _, c := range wclass.All() {
+		if _, ok := m.inner.Curve(c); ok {
+			keys = append(keys, c.Key())
+		}
+	}
+	return keys
+}
+
+// Power predicts average package power (watts) for a workload class at
+// GPU offload ratio alpha ∈ [0,1].
+func (m *PowerModel) Power(categoryKey string, alpha float64) (float64, error) {
+	cat, err := wclass.ParseKey(categoryKey)
+	if err != nil {
+		return 0, err
+	}
+	return m.inner.Power(cat, alpha)
+}
+
+// Prediction is the analytic model's estimate for one offload ratio.
+type Prediction struct {
+	// Alpha is the GPU offload ratio.
+	Alpha float64
+	// PowerW is the predicted average package power.
+	PowerW float64
+	// Seconds is the predicted execution time (paper eqs. 1-4).
+	Seconds float64
+	// EnergyJ and EDP are the derived objective values.
+	EnergyJ, EDP float64
+}
+
+// Predict evaluates the scheduler's internal what-if computation for
+// external analysis: given a workload class, the combined-mode device
+// throughputs (items/s, as online profiling measures them), and an
+// iteration count, it returns the model's power/time/energy/EDP
+// estimates across the α grid. The α minimizing any column is what EAS
+// would choose for that metric.
+func (m *PowerModel) Predict(categoryKey string, rc, rg, n float64) ([]Prediction, error) {
+	cat, err := wclass.ParseKey(categoryKey)
+	if err != nil {
+		return nil, err
+	}
+	curve, ok := m.inner.Curve(cat)
+	if !ok {
+		return nil, fmt.Errorf("eas: model has no curve for %s", categoryKey)
+	}
+	if rc < 0 || rg < 0 || rc+rg == 0 {
+		return nil, fmt.Errorf("eas: need non-negative throughputs with at least one device measurable (rc=%v rg=%v)", rc, rg)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("eas: non-positive iteration count %v", n)
+	}
+	tm := core.TimeModel{RC: rc, RG: rg}
+	var out []Prediction
+	for i := 0; i <= 10; i++ {
+		alpha := float64(i) / 10
+		t := tm.Time(alpha, n)
+		p := curve.Power(alpha)
+		out = append(out, Prediction{
+			Alpha:   alpha,
+			PowerW:  p,
+			Seconds: t,
+			EnergyJ: p * t,
+			EDP:     p * t * t,
+		})
+	}
+	return out, nil
+}
+
+// CurveString renders a class's fitted polynomial, in the style the
+// paper prints beside each characterization chart.
+func (m *PowerModel) CurveString(categoryKey string) (string, error) {
+	cat, err := wclass.ParseKey(categoryKey)
+	if err != nil {
+		return "", err
+	}
+	c, ok := m.inner.Curve(cat)
+	if !ok {
+		return "", fmt.Errorf("eas: model has no curve for %s", categoryKey)
+	}
+	return c.Poly().String(), nil
+}

@@ -1,0 +1,35 @@
+package eas
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hetsched/eas/internal/report"
+)
+
+// ReproducePaper regenerates the paper's entire evaluation — Table 1
+// and Figures 9-12 — and writes the rendered tables to w. It is the
+// one-call equivalent of `go run ./cmd/easbench` and takes a few
+// seconds. Results are deterministic.
+func ReproducePaper(w io.Writer) error {
+	rows, err := report.Table1(0)
+	if err != nil {
+		return err
+	}
+	report.RenderTable1(w, rows)
+	fmt.Fprintln(w)
+	for _, exp := range []struct{ platform, metric string }{
+		{"desktop", "edp"}, {"desktop", "energy"},
+		{"tablet", "edp"}, {"tablet", "energy"},
+	} {
+		fig, err := report.Evaluate(exp.platform, exp.metric, report.Options{})
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

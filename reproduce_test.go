@@ -1,0 +1,22 @@
+package eas
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReproducePaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction takes a couple of seconds")
+	}
+	var b strings.Builder
+	if err := ReproducePaper(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table 1", "Figure 9", "Figure 10", "Figure 11", "Figure 12", "EAS", "avg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reproduction output missing %q", want)
+		}
+	}
+}
