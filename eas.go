@@ -40,8 +40,10 @@
 package eas
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/hetsched/eas/internal/cl"
@@ -104,6 +106,23 @@ type Config struct {
 	// Workers sets the CPU worker count for functional execution;
 	// 0 selects GOMAXPROCS.
 	Workers int
+	// GPUDispatchTimeout bounds the real (wall-clock) wait for a
+	// functional GPU dispatch to complete. On expiry the dispatch is
+	// abandoned and its work items are re-executed on the CPU pool
+	// (Report.FallbackReason = FallbackGPUTimeout). 0 disables the
+	// timeout. The re-execution is exactly-once for hung dispatches
+	// (they never start); a merely slow dispatch that outlives the
+	// timeout keeps running, so bodies should be idempotent when a
+	// timeout is configured.
+	GPUDispatchTimeout time.Duration
+	// GPURetry caps retries with exponential backoff when the GPU is
+	// transiently busy, at both the scheduling layer (simulated
+	// dispatches) and the functional layer (driver enqueues). The zero
+	// value selects 3 attempts, 500µs base backoff, 8ms cap.
+	GPURetry RetryPolicy
+	// Faults injects scripted device faults for testing the
+	// degradation paths (see FaultPlan); nil runs fault-free.
+	Faults *FaultPlan
 }
 
 // Report describes one ParallelFor execution.
@@ -120,6 +139,20 @@ type Report struct {
 	// GPUBusyFallback is true when the GPU was owned by another
 	// application and the loop ran CPU-only.
 	GPUBusyFallback bool
+	// FallbackReason explains a deviation from the planned split
+	// (FallbackNone when the run went as scheduled).
+	FallbackReason FallbackReason
+	// FallbackError is the root cause behind FallbackReason, wrapping
+	// ErrGPUBusy or ErrGPUTimeout for errors.Is; nil when the run went
+	// as scheduled. A fallback is a successful, degraded execution —
+	// ParallelFor still returns a nil error.
+	FallbackError error
+	// Retries counts GPU dispatch/enqueue attempts that found the
+	// device busy and were retried after backoff.
+	Retries int
+	// ReexecutedItems counts work items whose GPU dispatch was
+	// abandoned and which were re-executed on the CPU pool.
+	ReexecutedItems int
 	// Duration and EnergyJ are the simulated execution totals.
 	Duration time.Duration
 	EnergyJ  float64
@@ -137,13 +170,16 @@ type Report struct {
 // A Runtime is not safe for concurrent use; create one per goroutine or
 // serialize calls.
 type Runtime struct {
-	platform *Platform
-	eng      *engine.Engine
-	sched    *core.Scheduler
-	metric   Metric
-	pool     *ws.Pool
-	ctx      *cl.Context
-	queue    *cl.CommandQueue
+	platform  *Platform
+	eng       *engine.Engine
+	sched     *core.Scheduler
+	metric    Metric
+	pool      *ws.Pool
+	ctx       *cl.Context
+	queue     *cl.CommandQueue
+	timeout   time.Duration
+	retry     RetryPolicy
+	closeOnce sync.Once
 }
 
 // NewRuntime builds a runtime on the platform. If cfg.Model is nil the
@@ -169,17 +205,27 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("eas: power model was characterized on %q, platform is %q",
 			model.inner.Platform, p.Name())
 	}
+	retry := cfg.GPURetry.withDefaults()
 	eng := engine.New(p.inner)
 	sched, err := core.New(eng, model.inner, metric.inner, core.Options{
 		AlphaStep:        cfg.AlphaStep,
 		ReprofileEvery:   cfg.ReprofileEvery,
 		GrowProfileChunk: true,
 		ConvergeTol:      0.08,
+		Retry: core.Retry{
+			MaxAttempts: retry.MaxAttempts,
+			BaseBackoff: retry.BaseBackoff,
+			MaxBackoff:  retry.MaxBackoff,
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
 	ctx := cl.NewContext(p.inner)
+	if cfg.Faults != nil {
+		eng.SetFaultPlan(cfg.Faults.inner)
+		ctx.SetFaultPlan(cfg.Faults.inner)
+	}
 	return &Runtime{
 		platform: p,
 		eng:      eng,
@@ -188,6 +234,8 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 		pool:     ws.NewPool(cfg.Workers),
 		ctx:      ctx,
 		queue:    cl.NewCommandQueue(ctx),
+		timeout:  cfg.GPUDispatchTimeout,
+		retry:    retry,
 	}, nil
 }
 
@@ -209,9 +257,30 @@ func (r *Runtime) Alpha(kernelName string) (alpha float64, ok bool) {
 // functionally — the GPU's share through the OpenCL-style queue, the
 // CPU's share on the work-stealing pool — so the loop's results are
 // real.
+//
+// Execution is fault-tolerant: a panicking body is recovered and
+// returned as a *KernelPanicError (the process survives and the
+// runtime stays usable); a busy or hung GPU triggers retries and then
+// CPU re-execution, reported through Report.FallbackReason rather
+// than an error.
 func (r *Runtime) ParallelFor(k Kernel, n int) (*Report, error) {
+	return r.ParallelForCtx(context.Background(), k, n)
+}
+
+// ParallelForCtx is ParallelFor with cancellation: when ctx is
+// cancelled the CPU pool stops handing out chunks and the GPU event
+// wait returns promptly with ctx.Err(). The simulated scheduling step
+// itself is not interruptible (it runs in virtual time and returns
+// quickly); cancellation governs the functional execution.
+func (r *Runtime) ParallelForCtx(ctx context.Context, k Kernel, n int) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
 		return nil, fmt.Errorf("eas: non-positive iteration count %d", n)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	ek := k.toEngine()
 	pp0 := msr.NewMeter(r.platform.inner.MSRPP0)
@@ -229,6 +298,7 @@ func (r *Runtime) ParallelFor(k Kernel, n int) (*Report, error) {
 		Profiled:        rep.Profiled,
 		ProfileSteps:    rep.ProfileSteps,
 		GPUBusyFallback: rep.GPUBusyFallback,
+		Retries:         rep.Retries,
 		Duration:        rep.Duration,
 		EnergyJ:         rep.EnergyJ,
 		MetricValue:     r.metric.inner.EvalEnergy(rep.EnergyJ, rep.Duration.Seconds()),
@@ -238,16 +308,24 @@ func (r *Runtime) ParallelFor(k Kernel, n int) (*Report, error) {
 	if rep.Profiled {
 		out.Category = rep.Category.Key()
 	}
+	if rep.GPUBusyFallback {
+		out.FallbackReason = FallbackGPUBusy
+		out.FallbackError = fmt.Errorf("eas: kernel %q ran CPU-only: %w", k.Name, ErrGPUBusy)
+	}
 	if k.Body != nil {
-		if err := r.execute(k, n, rep.Alpha); err != nil {
+		if err := r.executeCtx(ctx, k, n, rep.Alpha, out); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
-// execute runs the loop body for real, split at the chosen ratio.
-func (r *Runtime) execute(k Kernel, n int, alpha float64) error {
+// executeCtx runs the loop body for real, split at the chosen ratio,
+// with the degradation policy: transient enqueue failures are retried
+// with capped exponential backoff, a dispatch that exceeds the GPU
+// timeout is abandoned and its share re-executed on the CPU pool, and
+// body panics on either device surface as *KernelPanicError.
+func (r *Runtime) executeCtx(ctx context.Context, k Kernel, n int, alpha float64, out *Report) error {
 	gpuItems := int(alpha * float64(n))
 	if gpuItems > n {
 		gpuItems = n
@@ -255,18 +333,108 @@ func (r *Runtime) execute(k Kernel, n int, alpha float64) error {
 	var ev *cl.Event
 	if gpuItems > 0 {
 		var err error
-		ev, err = r.queue.EnqueueNDRange(cl.Kernel{Name: k.Name, Body: k.Body}, 0, gpuItems)
-		if err != nil {
+		ev, err = r.enqueueWithRetry(ctx, k, gpuItems, out)
+		switch {
+		case err == nil:
+		case errors.Is(err, cl.ErrDeviceBusy):
+			// Retry budget exhausted: degrade the GPU share to the CPU.
+			out.FallbackReason = FallbackEnqueueError
+			out.FallbackError = fmt.Errorf("eas: kernel %q enqueue kept failing (%v): %w", k.Name, err, ErrGPUBusy)
+			out.ReexecutedItems += gpuItems
+			gpuItems = 0
+		default:
 			return fmt.Errorf("eas: GPU dispatch: %w", err)
 		}
 	}
 	if cpuItems := n - gpuItems; cpuItems > 0 {
-		r.pool.ParallelFor(cpuItems, 0, func(i int) { k.Body(gpuItems + i) })
+		err := r.pool.ParallelForCtx(ctx, cpuItems, 0, func(i int) { k.Body(gpuItems + i) })
+		if err != nil {
+			if ev != nil {
+				ev.Abandon()
+			}
+			return wrapBodyError(k, gpuItems, err)
+		}
 	}
 	if ev != nil {
-		ev.Wait()
+		wctx := ctx
+		if r.timeout > 0 {
+			var cancel context.CancelFunc
+			wctx, cancel = context.WithTimeout(ctx, r.timeout)
+			defer cancel()
+		}
+		err := ev.WaitCtx(wctx)
+		switch {
+		case err == nil:
+		case ctx.Err() != nil:
+			// Caller cancellation wins over the dispatch timeout.
+			ev.Abandon()
+			return ctx.Err()
+		case errors.Is(err, context.DeadlineExceeded):
+			// GPU hang: abandon the dispatch (a hung kernel never ran
+			// its body, so re-execution stays exactly-once) and run the
+			// GPU's share on the CPU pool.
+			ev.Abandon()
+			out.FallbackReason = FallbackGPUTimeout
+			out.FallbackError = fmt.Errorf("eas: kernel %q: %w after %v", k.Name, ErrGPUTimeout, r.timeout)
+			out.ReexecutedItems += gpuItems
+			if rerr := r.pool.ParallelForCtx(ctx, gpuItems, 0, k.Body); rerr != nil {
+				return wrapBodyError(k, 0, rerr)
+			}
+		default:
+			return wrapBodyError(k, 0, err)
+		}
 	}
 	return nil
+}
+
+// enqueueWithRetry submits the functional NDRange, retrying transient
+// device-busy rejections with capped exponential backoff (real sleep;
+// this is the host-side driver path).
+func (r *Runtime) enqueueWithRetry(ctx context.Context, k Kernel, gpuItems int, out *Report) (*cl.Event, error) {
+	backoff := r.retry.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		ev, err := r.queue.EnqueueNDRange(cl.Kernel{Name: k.Name, Body: k.Body}, 0, gpuItems)
+		if err == nil || !errors.Is(err, cl.ErrDeviceBusy) || attempt >= r.retry.MaxAttempts {
+			return ev, err
+		}
+		out.Retries++
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+		backoff *= 2
+		if backoff > r.retry.MaxBackoff {
+			backoff = r.retry.MaxBackoff
+		}
+	}
+}
+
+// wrapBodyError converts pool- and driver-level failures into the
+// public error types. indexBase shifts pool-local indices into the
+// loop's global iteration space.
+func wrapBodyError(k Kernel, indexBase int, err error) error {
+	var wsPanic *ws.PanicError
+	if errors.As(err, &wsPanic) {
+		return &KernelPanicError{
+			Kernel: k.Name,
+			Index:  indexBase + wsPanic.Index,
+			Value:  wsPanic.Value,
+			Stack:  wsPanic.Stack,
+		}
+	}
+	var clPanic *cl.PanicError
+	if errors.As(err, &clPanic) {
+		return &KernelPanicError{
+			Kernel: k.Name,
+			Index:  clPanic.GID,
+			Value:  clPanic.Value,
+			Stack:  clPanic.Stack,
+		}
+	}
+	return fmt.Errorf("eas: kernel %q execution: %w", k.Name, err)
 }
 
 // CreateBuffer reserves shared CPU-GPU memory for application data,
@@ -277,8 +445,11 @@ func (r *Runtime) CreateBuffer(name string, bytes int64) (*cl.Buffer, error) {
 }
 
 // Close drains the GPU queue and releases the runtime's shared-memory
-// context. The runtime must not be used afterwards.
+// context. The runtime must not be used afterwards. Close is
+// idempotent: calling it again returns immediately.
 func (r *Runtime) Close() {
-	r.queue.Finish()
-	r.ctx.Release()
+	r.closeOnce.Do(func() {
+		r.queue.Finish()
+		r.ctx.Release()
+	})
 }

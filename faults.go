@@ -1,0 +1,150 @@
+package eas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/faultinject"
+)
+
+// ErrGPUBusy is the engine's GPU-unavailable condition: the integrated
+// GPU is owned by another application (or transiently rejected a
+// dispatch) and the runtime degraded to CPU-only execution. It appears
+// wrapped in Report.FallbackError, so callers can
+// errors.Is(rep.FallbackError, eas.ErrGPUBusy) instead of inspecting
+// Report.GPUBusyFallback.
+var ErrGPUBusy = engine.ErrGPUBusy
+
+// ErrGPUTimeout marks a functional GPU dispatch that exceeded
+// Config.GPUDispatchTimeout; the runtime abandoned it and re-executed
+// its work items on the CPU pool. It appears wrapped in
+// Report.FallbackError.
+var ErrGPUTimeout = errors.New("eas: GPU dispatch timed out")
+
+// KernelPanicError reports a panic inside a kernel body. The runtime
+// recovers the panic (on the CPU work-stealing pool or inside the GPU
+// dispatch goroutine), drains the remaining workers cleanly, and
+// returns this error instead of crashing the process.
+type KernelPanicError struct {
+	// Kernel is the panicking kernel's name.
+	Kernel string
+	// Index is the iteration index whose body panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *KernelPanicError) Error() string {
+	return fmt.Sprintf("eas: kernel %q panicked at index %d: %v", e.Kernel, e.Index, e.Value)
+}
+
+// FallbackReason explains why a ParallelFor invocation deviated from
+// its planned CPU-GPU split.
+type FallbackReason string
+
+// Fallback reasons, from least to most disruptive.
+const (
+	// FallbackNone: the invocation ran as scheduled.
+	FallbackNone FallbackReason = ""
+	// FallbackGPUBusy: the GPU was owned by another application (or
+	// stayed transiently busy past the retry budget) and the loop ran
+	// CPU-only.
+	FallbackGPUBusy FallbackReason = "gpu-busy"
+	// FallbackEnqueueError: the driver kept rejecting the functional
+	// NDRange past the retry budget; the GPU's share ran on the CPU.
+	FallbackEnqueueError FallbackReason = "enqueue-error"
+	// FallbackGPUTimeout: the functional GPU dispatch hung past
+	// Config.GPUDispatchTimeout, was abandoned, and its share was
+	// re-executed on the CPU pool.
+	FallbackGPUTimeout FallbackReason = "gpu-timeout"
+)
+
+// RetryPolicy caps recovery from transient GPU unavailability with
+// exponential backoff. It governs both layers: simulated dispatches
+// (backoff spent as simulated idle time) and functional enqueues
+// (backoff spent as real sleep). The zero value selects the defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total dispatch attempts (default 3).
+	MaxAttempts int
+	// BaseBackoff is the delay after the first busy attempt
+	// (default 500µs), doubling per retry.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 8ms).
+	MaxBackoff time.Duration
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 3
+	}
+	if r.BaseBackoff <= 0 {
+		r.BaseBackoff = 500 * time.Microsecond
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = 8 * time.Millisecond
+	}
+	return r
+}
+
+// FaultPlan scripts device faults into a Runtime — the fault-injection
+// harness that makes every degradation path testable without real
+// hardware. Faults are deterministic: scripted counts fire in FIFO
+// order, probabilistic modes draw from a PRNG seeded at construction.
+// Attach a plan via Config.Faults before NewRuntime.
+type FaultPlan struct {
+	inner *faultinject.Plan
+}
+
+// NewFaultPlan returns an empty plan; seed drives its probabilistic
+// fault modes.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{inner: faultinject.New(seed)}
+}
+
+// GPUBusyFor scripts the next k GPU dispatch attempts (in the
+// simulated engine) to find the device owned by another application.
+func (f *FaultPlan) GPUBusyFor(k int) { f.inner.GPUBusyFor(k) }
+
+// HangKernels scripts the next k functional GPU dispatches to hang:
+// the driver accepts the NDRange but never starts the kernel, so only
+// Config.GPUDispatchTimeout (or context cancellation) recovers it. A
+// hung kernel never executes its body.
+func (f *FaultPlan) HangKernels(k int) { f.inner.HangKernels(k) }
+
+// FailEnqueues scripts the next k functional EnqueueNDRange calls to
+// fail with a transient device-busy error.
+func (f *FaultPlan) FailEnqueues(k int) { f.inner.FailEnqueues(k) }
+
+// SlowGPU scripts the next k simulated GPU dispatches to run with
+// throughput divided by factor (> 1).
+func (f *FaultPlan) SlowGPU(factor float64, k int) { f.inner.SlowGPU(factor, k) }
+
+// GPUBusyProb sets a per-dispatch busy probability (seeded chaos mode).
+func (f *FaultPlan) GPUBusyProb(p float64) { f.inner.GPUBusyProb(p) }
+
+// EnqueueErrorProb sets a per-enqueue transient-failure probability.
+func (f *FaultPlan) EnqueueErrorProb(p float64) { f.inner.EnqueueErrorProb(p) }
+
+// ReleaseHangs aborts every currently hung dispatch without executing
+// it; useful in tests that inject hangs without configuring a timeout.
+func (f *FaultPlan) ReleaseHangs() { f.inner.ReleaseHangs() }
+
+// FaultStats counts the faults a plan has delivered.
+type FaultStats struct {
+	GPUBusy, KernelHangs, EnqueueErrors, SlowDispatches int
+}
+
+// Stats returns a snapshot of delivered faults.
+func (f *FaultPlan) Stats() FaultStats {
+	s := f.inner.Stats()
+	return FaultStats{
+		GPUBusy:        s.GPUBusy,
+		KernelHangs:    s.KernelHangs,
+		EnqueueErrors:  s.EnqueueErrors,
+		SlowDispatches: s.SlowDispatches,
+	}
+}

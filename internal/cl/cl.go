@@ -15,13 +15,22 @@
 //
 // Functional execution of kernel bodies runs on host goroutines; the
 // *timing* of GPU execution is simulated separately by internal/engine.
+//
+// The driver is fault-tolerant: a panicking kernel body is recovered
+// and surfaced as the event's error instead of crashing the process, a
+// hung dispatch (injected via faultinject) blocks its event until the
+// caller abandons it, and transient enqueue failures report
+// ErrDeviceBusy so callers can retry.
 package cl
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
+	"github.com/hetsched/eas/internal/faultinject"
 	"github.com/hetsched/eas/internal/platform"
 )
 
@@ -30,7 +39,31 @@ var (
 	ErrReleased     = errors.New("cl: object already released")
 	ErrOutOfMemory  = errors.New("cl: shared-region allocation failed")
 	ErrInvalidValue = errors.New("cl: invalid argument")
+	// ErrDeviceBusy is a transient enqueue failure: the device rejected
+	// the command but a retry may succeed.
+	ErrDeviceBusy = errors.New("cl: device temporarily busy")
+	// ErrAborted marks a command abandoned before it executed (the
+	// caller timed out on the event, or the queue was torn down).
+	ErrAborted = errors.New("cl: command abandoned")
 )
+
+// PanicError is a kernel-body panic recovered inside the dispatch
+// goroutine; the event that covers the NDRange reports it instead of
+// the panic unwinding through the driver.
+type PanicError struct {
+	// Kernel is the dispatched kernel's name.
+	Kernel string
+	// GID is the global work-item id whose body panicked.
+	GID int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cl: kernel %q panicked at gid %d: %v", e.Kernel, e.GID, e.Value)
+}
 
 // Context owns shared CPU-GPU memory accounting for one platform.
 // It is safe for concurrent use.
@@ -41,6 +74,7 @@ type Context struct {
 	allocated int64
 	buffers   map[*Buffer]struct{}
 	released  bool
+	faults    *faultinject.Plan
 }
 
 // NewContext creates a context on the given platform.
@@ -53,6 +87,14 @@ func NewContext(p *platform.Platform) *Context {
 
 // Platform returns the context's platform.
 func (c *Context) Platform() *platform.Platform { return c.platform }
+
+// SetFaultPlan attaches a fault-injection plan consulted by command
+// queues on this context (nil detaches).
+func (c *Context) SetFaultPlan(p *faultinject.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.faults = p
+}
 
 // AllocatedBytes returns the current shared-region footprint.
 func (c *Context) AllocatedBytes() int64 {
@@ -82,10 +124,23 @@ func (c *Context) CreateBuffer(name string, bytes int64) (*Buffer, error) {
 	return b, nil
 }
 
-// Release frees all buffers and invalidates the context.
+// Release frees all buffers and invalidates the context. Every live
+// buffer is marked released, so a later Buffer.Release reports
+// ErrReleased (a double free) instead of silently succeeding.
+// Releasing an already-released context is a no-op.
 func (c *Context) Release() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.released {
+		return
+	}
+	// Lock order is ctx.mu then buffer.mu everywhere (Buffer.Release
+	// follows the same order), so marking buffers here cannot deadlock.
+	for b := range c.buffers {
+		b.mu.Lock()
+		b.released = true
+		b.mu.Unlock()
+	}
 	c.allocated = 0
 	c.buffers = map[*Buffer]struct{}{}
 	c.released = true
@@ -110,16 +165,17 @@ func (b *Buffer) Name() string { return b.name }
 func (b *Buffer) Size() int64 { return b.bytes }
 
 // Release returns the buffer's bytes to the shared region. Releasing
-// twice is an error.
+// twice — including after the owning context was released — is an
+// error.
 func (b *Buffer) Release() error {
+	b.ctx.mu.Lock()
+	defer b.ctx.mu.Unlock()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.released {
 		return fmt.Errorf("%w: buffer %q", ErrReleased, b.name)
 	}
 	b.released = true
-	b.ctx.mu.Lock()
-	defer b.ctx.mu.Unlock()
 	if _, ok := b.ctx.buffers[b]; ok {
 		delete(b.ctx.buffers, b)
 		b.ctx.allocated -= b.bytes
@@ -138,23 +194,73 @@ type Kernel struct {
 // EventStatus is the lifecycle state of an enqueued command.
 type EventStatus int32
 
-// Event lifecycle states, in execution order.
+// Event lifecycle states. Queued, Running and Complete follow
+// execution order; Failed marks a dispatch whose kernel body panicked,
+// Aborted a command abandoned before its body ran.
 const (
 	Queued EventStatus = iota
 	Running
 	Complete
+	Failed
+	Aborted
 )
 
 // Event tracks an enqueued NDRange.
 type Event struct {
-	done   chan struct{}
-	status EventStatus
-	mu     sync.Mutex
-	items  int
+	done       chan struct{}
+	cancel     chan struct{}
+	cancelOnce sync.Once
+	mu         sync.Mutex
+	status     EventStatus
+	err        error
+	items      int
 }
 
-// Wait blocks until the command completes.
-func (e *Event) Wait() { <-e.done }
+func newEvent(items int) *Event {
+	return &Event{
+		done:   make(chan struct{}),
+		cancel: make(chan struct{}),
+		items:  items,
+	}
+}
+
+// Wait blocks until the command completes and returns its outcome:
+// nil on success, a *PanicError if the kernel body panicked, or
+// ErrAborted if the command was abandoned.
+func (e *Event) Wait() error {
+	<-e.done
+	return e.Err()
+}
+
+// WaitCtx is Wait with a deadline: it returns ctx.Err() when the
+// context expires first, leaving the command in flight. Callers that
+// give up on a command should Abandon it so a hung dispatch releases
+// the queue.
+func (e *Event) WaitCtx(ctx context.Context) error {
+	select {
+	case <-e.done:
+		return e.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Abandon tells the driver the caller has given up on the command. A
+// command that has not started its body (queued, or hung in dispatch)
+// terminates as Aborted without executing any work item — which is
+// what makes CPU re-execution of the range exactly-once. A body
+// already running is not preempted. Abandon is idempotent.
+func (e *Event) Abandon() {
+	e.cancelOnce.Do(func() { close(e.cancel) })
+}
+
+// Err returns the command's outcome so far: nil while in flight or
+// after success, otherwise the failure.
+func (e *Event) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
 
 // Status returns the command's current state.
 func (e *Event) Status() EventStatus {
@@ -170,6 +276,15 @@ func (e *Event) setStatus(s EventStatus) {
 	e.mu.Lock()
 	e.status = s
 	e.mu.Unlock()
+}
+
+// finish resolves the event exactly once.
+func (e *Event) finish(s EventStatus, err error) {
+	e.mu.Lock()
+	e.status = s
+	e.err = err
+	e.mu.Unlock()
+	close(e.done)
 }
 
 // CommandQueue executes NDRanges in order, asynchronously with respect
@@ -193,29 +308,78 @@ func NewCommandQueue(ctx *Context) *CommandQueue {
 }
 
 // EnqueueNDRange schedules kernel k over global work items
-// [offset, offset+global). It returns immediately with an event.
+// [offset, offset+global). It returns immediately with an event. It
+// fails with ErrReleased on a released context and with ErrDeviceBusy
+// when the device transiently rejects the command (retryable).
 func (q *CommandQueue) EnqueueNDRange(k Kernel, offset, global int) (*Event, error) {
 	if global <= 0 || offset < 0 {
 		return nil, fmt.Errorf("%w: NDRange offset=%d global=%d", ErrInvalidValue, offset, global)
 	}
-	ev := &Event{done: make(chan struct{}), items: global}
+	q.ctx.mu.Lock()
+	released := q.ctx.released
+	faults := q.ctx.faults
+	q.ctx.mu.Unlock()
+	if released {
+		return nil, fmt.Errorf("%w: enqueue %q on released context", ErrReleased, k.Name)
+	}
+	if faults.TakeEnqueueError() {
+		return nil, fmt.Errorf("%w: NDRange %q rejected", ErrDeviceBusy, k.Name)
+	}
+	ev := newEvent(global)
 	q.mu.Lock()
 	prev := q.tail
 	q.tail = ev.done
 	q.mu.Unlock()
 
-	go func() {
-		<-prev // in-order execution
-		ev.setStatus(Running)
-		if k.Body != nil {
-			for gid := offset; gid < offset+global; gid++ {
-				k.Body(gid)
-			}
-		}
-		ev.setStatus(Complete)
-		close(ev.done)
-	}()
+	go dispatch(ev, prev, faults, k, offset, global)
 	return ev, nil
+}
+
+// dispatch is the queue's worker goroutine for one command.
+func dispatch(ev *Event, prev <-chan struct{}, faults *faultinject.Plan, k Kernel, offset, global int) {
+	select {
+	case <-prev: // in-order execution
+	case <-ev.cancel:
+		<-prev // keep completion in-order even for abandoned commands
+		ev.finish(Aborted, fmt.Errorf("%w: kernel %q abandoned while queued", ErrAborted, k.Name))
+		return
+	}
+	if faults.TakeKernelHang() {
+		// The device accepted the kernel but it never starts: the event
+		// resolves only when the caller abandons it (or the fault plan
+		// releases hangs). The body is never executed.
+		ev.setStatus(Running)
+		select {
+		case <-ev.cancel:
+		case <-faults.HangReleased():
+		}
+		ev.finish(Aborted, fmt.Errorf("%w: kernel %q hung in dispatch", ErrAborted, k.Name))
+		return
+	}
+	ev.setStatus(Running)
+	if err := runKernel(k, offset, global); err != nil {
+		ev.finish(Failed, err)
+		return
+	}
+	ev.finish(Complete, nil)
+}
+
+// runKernel executes the body over the NDRange, converting a panic
+// into a *PanicError carrying the faulting gid.
+func runKernel(k Kernel, offset, global int) (err error) {
+	if k.Body == nil {
+		return nil
+	}
+	gid := offset
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Kernel: k.Name, GID: gid, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	for ; gid < offset+global; gid++ {
+		k.Body(gid)
+	}
+	return nil
 }
 
 // Finish blocks until every enqueued command has completed.

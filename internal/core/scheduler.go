@@ -1,15 +1,43 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/hetsched/eas/internal/engine"
 	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/msr"
 	"github.com/hetsched/eas/internal/powerchar"
 	"github.com/hetsched/eas/internal/profile"
 	"github.com/hetsched/eas/internal/wclass"
 )
+
+// Retry tunes recovery from transient GPU unavailability: a dispatch
+// that finds the device busy is retried after a capped exponential
+// backoff (spent as simulated idle time, so the energy accounting
+// stays honest) before the scheduler degrades to CPU-only execution.
+type Retry struct {
+	// MaxAttempts is the total dispatch attempts per phase (default 3).
+	MaxAttempts int
+	// BaseBackoff is the first backoff (default 500µs simulated).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 8ms).
+	MaxBackoff time.Duration
+}
+
+func (r Retry) withDefaults() Retry {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 3
+	}
+	if r.BaseBackoff <= 0 {
+		r.BaseBackoff = 500 * time.Microsecond
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = 8 * time.Millisecond
+	}
+	return r
+}
 
 // Options tune the EAS scheduler. Zero values select the paper's
 // settings.
@@ -48,6 +76,8 @@ type Options struct {
 	// MemoryBoundThreshold overrides the 0.33 miss-per-load/store cut
 	// (0 keeps the paper's value).
 	MemoryBoundThreshold float64
+	// Retry tunes recovery from transient GPU-busy dispatch failures.
+	Retry Retry
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +93,7 @@ func (o Options) withDefaults() Options {
 	if o.MemoryBoundThreshold <= 0 {
 		o.MemoryBoundThreshold = wclass.MemoryBoundThreshold
 	}
+	o.Retry = o.Retry.withDefaults()
 	return o
 }
 
@@ -92,8 +123,13 @@ type Report struct {
 	// (meaningful only when Profiled).
 	Category wclass.Category
 	// GPUBusyFallback is true when the invocation ran CPU-only because
-	// another application owned the GPU.
+	// another application owned the GPU — either observed upfront (the
+	// paper's A26 check) or after transient busy dispatches exhausted
+	// the retry budget. Fallback runs never feed the α table.
 	GPUBusyFallback bool
+	// Retries counts GPU dispatch attempts that found the device busy
+	// and were retried after backoff.
+	Retries int
 	// Duration and EnergyJ are the invocation's simulated totals.
 	Duration time.Duration
 	EnergyJ  float64
@@ -206,7 +242,18 @@ func (s *Scheduler) ParallelFor(k engine.Kernel, n int) (Report, error) {
 			if gpuChunk > nrem {
 				gpuChunk = nrem
 			}
-			obs, remaining, err := profile.Step(s.eng, k, gpuChunk, nrem-gpuChunk)
+			var obs profile.Observation
+			var remaining float64
+			err := s.retryBusy(&rep, func() error {
+				var e error
+				obs, remaining, e = profile.Step(s.eng, k, gpuChunk, nrem-gpuChunk)
+				return e
+			})
+			if errors.Is(err, engine.ErrGPUBusy) {
+				// The GPU became (and stayed) busy mid-profiling: finish
+				// the invocation CPU-only and remember nothing.
+				return s.cpuFallback(k, nrem, rep)
+			}
 			if err != nil {
 				return Report{}, err
 			}
@@ -265,11 +312,19 @@ func (s *Scheduler) ParallelFor(k engine.Kernel, n int) (Report, error) {
 
 	// Fig. 7 steps 23-25: execute the remainder with the chosen split.
 	if nrem > 0 {
-		res, err := s.eng.Run(engine.Phase{
-			Kernel:    k,
-			GPUItems:  alpha * nrem,
-			PoolItems: (1 - alpha) * nrem,
+		var res engine.Result
+		err := s.retryBusy(&rep, func() error {
+			var e error
+			res, e = s.eng.Run(engine.Phase{
+				Kernel:    k,
+				GPUItems:  alpha * nrem,
+				PoolItems: (1 - alpha) * nrem,
+			})
+			return e
 		})
+		if errors.Is(err, engine.ErrGPUBusy) {
+			return s.cpuFallback(k, nrem, rep)
+		}
 		if err != nil {
 			return Report{}, err
 		}
@@ -279,6 +334,46 @@ func (s *Scheduler) ParallelFor(k engine.Kernel, n int) (Report, error) {
 	// Fig. 7 step 26: sample-weighted α accumulation across
 	// invocations.
 	s.accumulate(k.Name, alpha, float64(n), rep.Category)
+	return rep, nil
+}
+
+// retryBusy runs op, retrying GPU-busy dispatch failures with capped
+// exponential backoff spent as simulated idle time (so the clock and
+// the energy MSR both see the stall). The last error — nil, a
+// non-busy failure, or the final busy — is returned.
+func (s *Scheduler) retryBusy(rep *Report, op func() error) error {
+	backoff := s.opts.Retry.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil || !errors.Is(err, engine.ErrGPUBusy) || attempt >= s.opts.Retry.MaxAttempts {
+			return err
+		}
+		rep.Retries++
+		meter := msr.NewMeter(s.eng.Platform().MSR)
+		s.eng.RunIdle(backoff, nil)
+		rep.Duration += backoff
+		rep.EnergyJ += meter.Joules()
+		backoff *= 2
+		if backoff > s.opts.Retry.MaxBackoff {
+			backoff = s.opts.Retry.MaxBackoff
+		}
+	}
+}
+
+// cpuFallback drains the remaining items CPU-only after the GPU
+// became unavailable mid-invocation. The run is NOT accumulated into
+// the α table — a degraded execution says nothing about the kernel's
+// best split, and must not drag the remembered ratio toward zero.
+func (s *Scheduler) cpuFallback(k engine.Kernel, items float64, rep Report) (Report, error) {
+	if items > 0 {
+		res, err := s.eng.Run(engine.Phase{Kernel: k, PoolItems: items})
+		if err != nil {
+			return Report{}, err
+		}
+		rep = reportFromResult(res, rep)
+	}
+	rep.GPUBusyFallback = true
+	rep.Alpha = 0
 	return rep, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/faultinject"
 	"github.com/hetsched/eas/internal/hwc"
 	"github.com/hetsched/eas/internal/msr"
 	"github.com/hetsched/eas/internal/pcu"
@@ -43,6 +44,13 @@ const MaxPhaseDuration = 30 * time.Minute
 
 // ErrPhaseTimeout is returned when a phase exceeds MaxPhaseDuration.
 var ErrPhaseTimeout = errors.New("engine: phase exceeded maximum simulated duration")
+
+// ErrGPUBusy is returned when a phase asks for GPU work while the
+// device is owned by another application (statically via
+// platform.SetGPUBusy, or transiently via an injected fault). The
+// error is returned before any simulation state advances, so a retry
+// is always safe.
+var ErrGPUBusy = errors.New("engine: GPU owned by another application")
 
 // Kernel describes one kernel invocation's per-item cost for the
 // simulator, with optional per-invocation speed perturbations that
@@ -133,7 +141,8 @@ func (r Result) GPUThroughput() float64 {
 
 // Engine drives one platform. Not safe for concurrent use.
 type Engine struct {
-	p *platform.Platform
+	p      *platform.Platform
+	faults *faultinject.Plan
 }
 
 // New returns an engine over the given platform.
@@ -147,6 +156,10 @@ func New(p *platform.Platform) *Engine {
 // Platform returns the platform the engine drives.
 func (e *Engine) Platform() *platform.Platform { return e.p }
 
+// SetFaultPlan attaches a fault-injection plan consulted at every GPU
+// dispatch (nil detaches).
+func (e *Engine) SetFaultPlan(pl *faultinject.Plan) { e.faults = pl }
+
 // Run simulates one phase to completion.
 func (e *Engine) Run(ph Phase) (Result, error) {
 	if err := ph.Kernel.Cost.Validate(); err != nil {
@@ -157,6 +170,16 @@ func (e *Engine) Run(ph Phase) (Result, error) {
 	}
 	if ph.StopWhenGPUDone && ph.GPUItems <= 0 {
 		return Result{}, fmt.Errorf("engine: profiling phase for kernel %q has no GPU items", ph.Kernel.Name)
+	}
+
+	// GPU dispatch faults resolve before any simulation state advances,
+	// so callers can retry or degrade without rollback.
+	gpuSlowdown := 1.0
+	if ph.GPUItems > epsilon {
+		if e.faults.TakeGPUBusy() {
+			return Result{}, fmt.Errorf("engine: kernel %q dispatch: %w", ph.Kernel.Name, ErrGPUBusy)
+		}
+		gpuSlowdown = e.faults.TakeSlowGPU()
 	}
 
 	spec := e.p.Spec()
@@ -233,6 +256,10 @@ func (e *Engine) Run(ph Phase) (Result, error) {
 		if bw := device.BandwidthLimitedThroughput(gpuAlloc, cost); bw < gpuTP {
 			gpuTP = bw
 		}
+		// An injected slow device retires items below its modeled rate
+		// whatever the limiter (compute or bandwidth) — the shape of a
+		// thermally throttled or contended GPU.
+		gpuTP /= gpuSlowdown
 
 		// Step length: capped at the tick, shortened to hit events.
 		dt := spec.Tick

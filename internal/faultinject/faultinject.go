@@ -1,0 +1,225 @@
+// Package faultinject provides a deterministic, seedable fault plan
+// for the simulated GPU driver and execution engine. The scheduling
+// runtime's degradation paths — GPU owned by another application,
+// kernels that hang in hardware, transient enqueue failures, devices
+// running below their rated speed — are all rare on a healthy machine,
+// so without injection they would be untestable. A Plan scripts them.
+//
+// Faults come in two flavours that compose:
+//
+//   - scripted counts: "the next k GPU dispatches observe a busy
+//     device" (GPUBusyFor), consumed in FIFO order by the layer that
+//     owns the fault; and
+//   - seeded probabilities: "each enqueue fails with probability p"
+//     (EnqueueErrorProb), drawn from a PRNG seeded at construction so a
+//     chaos run replays bit-for-bit.
+//
+// Consumers (internal/engine for busy/slow, internal/cl for enqueue
+// errors and hangs) call the Take* methods at each decision point; a
+// nil *Plan is inert and costs one branch.
+package faultinject
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// knob is one fault class: a scripted remaining count plus an optional
+// probability for seeded-random injection.
+type knob struct {
+	remaining int
+	prob      float64
+}
+
+// take consumes one scripted injection, falling back to a seeded coin
+// flip. Callers hold the plan lock.
+func (k *knob) take(rng *rand.Rand) bool {
+	if k.remaining > 0 {
+		k.remaining--
+		return true
+	}
+	return k.prob > 0 && rng.Float64() < k.prob
+}
+
+// Stats counts the faults a plan has actually delivered.
+type Stats struct {
+	// GPUBusy is the number of dispatches that observed a busy GPU.
+	GPUBusy int
+	// KernelHangs is the number of dispatched kernels that hung.
+	KernelHangs int
+	// EnqueueErrors is the number of enqueues that failed transiently.
+	EnqueueErrors int
+	// SlowDispatches is the number of dispatches run at reduced speed.
+	SlowDispatches int
+}
+
+// Plan is a scripted set of device faults. It is safe for concurrent
+// use; all Take* methods on a nil Plan report "no fault".
+type Plan struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	gpuBusy     knob
+	kernelHang  knob
+	enqueueErr  knob
+	slow        knob
+	slowFactor  float64
+	stats       Stats
+	hangRelease chan struct{}
+	released    bool
+}
+
+// New returns an empty plan whose probabilistic faults draw from a
+// PRNG seeded with seed, so a run replays deterministically.
+func New(seed int64) *Plan {
+	return &Plan{
+		rng:         rand.New(rand.NewSource(seed)),
+		hangRelease: make(chan struct{}),
+	}
+}
+
+// GPUBusyFor scripts the next k GPU dispatch attempts to find the
+// device owned by another application (the engine returns its busy
+// error; the scheduler's retry/fallback policy takes over).
+func (p *Plan) GPUBusyFor(k int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gpuBusy.remaining += k
+}
+
+// HangKernels scripts the next k dispatched kernels to hang: the
+// driver accepts the NDRange but the kernel never starts executing,
+// and its event completes only when abandoned (or ReleaseHangs is
+// called). A hung kernel never runs its body, so re-executing its
+// range elsewhere preserves exactly-once semantics.
+func (p *Plan) HangKernels(k int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.kernelHang.remaining += k
+}
+
+// FailEnqueues scripts the next k EnqueueNDRange calls to fail with a
+// transient device-busy error.
+func (p *Plan) FailEnqueues(k int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.enqueueErr.remaining += k
+}
+
+// SlowGPU scripts the next k GPU dispatches to run with their
+// throughput divided by factor (factor > 1 slows the device; values
+// <= 1 are ignored).
+func (p *Plan) SlowGPU(factor float64, k int) {
+	if factor <= 1 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.slow.remaining += k
+	p.slowFactor = factor
+}
+
+// GPUBusyProb sets the per-dispatch probability of observing a busy
+// GPU (seeded-random chaos mode).
+func (p *Plan) GPUBusyProb(prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gpuBusy.prob = prob
+}
+
+// EnqueueErrorProb sets the per-enqueue probability of a transient
+// failure.
+func (p *Plan) EnqueueErrorProb(prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.enqueueErr.prob = prob
+}
+
+// TakeGPUBusy reports (and consumes) whether the current GPU dispatch
+// should observe a busy device.
+func (p *Plan) TakeGPUBusy() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.gpuBusy.take(p.rng) {
+		p.stats.GPUBusy++
+		return true
+	}
+	return false
+}
+
+// TakeKernelHang reports (and consumes) whether the current dispatch
+// should hang.
+func (p *Plan) TakeKernelHang() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.kernelHang.take(p.rng) {
+		p.stats.KernelHangs++
+		return true
+	}
+	return false
+}
+
+// TakeEnqueueError reports (and consumes) whether the current enqueue
+// should fail transiently.
+func (p *Plan) TakeEnqueueError() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.enqueueErr.take(p.rng) {
+		p.stats.EnqueueErrors++
+		return true
+	}
+	return false
+}
+
+// TakeSlowGPU returns the throughput divisor for the current dispatch
+// (1 when the device runs at full speed).
+func (p *Plan) TakeSlowGPU() float64 {
+	if p == nil {
+		return 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.slow.take(p.rng) && p.slowFactor > 1 {
+		p.stats.SlowDispatches++
+		return p.slowFactor
+	}
+	return 1
+}
+
+// HangReleased returns a channel closed by ReleaseHangs, letting hung
+// dispatch goroutines terminate without executing their bodies.
+func (p *Plan) HangReleased() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hangRelease
+}
+
+// ReleaseHangs aborts every currently hung dispatch (they complete as
+// abandoned, still without running their bodies). Tests use it to
+// reclaim goroutines when no timeout-driven abandon is configured.
+func (p *Plan) ReleaseHangs() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.released {
+		p.released = true
+		close(p.hangRelease)
+	}
+}
+
+// Stats returns a snapshot of the faults delivered so far.
+func (p *Plan) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if p.TakeGPUBusy() || p.TakeKernelHang() || p.TakeEnqueueError() {
+		t.Error("nil plan injected a fault")
+	}
+	if f := p.TakeSlowGPU(); f != 1 {
+		t.Errorf("nil plan slow factor = %v, want 1", f)
+	}
+	if s := p.Stats(); s != (Stats{}) {
+		t.Errorf("nil plan stats = %+v", s)
+	}
+}
+
+func TestScriptedCountsConsumeFIFO(t *testing.T) {
+	p := New(1)
+	p.GPUBusyFor(2)
+	p.FailEnqueues(1)
+	p.HangKernels(1)
+	p.SlowGPU(4, 1)
+
+	if !p.TakeGPUBusy() || !p.TakeGPUBusy() {
+		t.Fatal("first two dispatches should observe busy")
+	}
+	if p.TakeGPUBusy() {
+		t.Fatal("third dispatch should not be busy")
+	}
+	if !p.TakeEnqueueError() || p.TakeEnqueueError() {
+		t.Fatal("exactly one enqueue error expected")
+	}
+	if !p.TakeKernelHang() || p.TakeKernelHang() {
+		t.Fatal("exactly one hang expected")
+	}
+	if f := p.TakeSlowGPU(); f != 4 {
+		t.Fatalf("slow factor = %v, want 4", f)
+	}
+	if f := p.TakeSlowGPU(); f != 1 {
+		t.Fatalf("second slow factor = %v, want 1", f)
+	}
+	want := Stats{GPUBusy: 2, KernelHangs: 1, EnqueueErrors: 1, SlowDispatches: 1}
+	if got := p.Stats(); got != want {
+		t.Errorf("stats = %+v, want %+v", got, want)
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	draw := func() []bool {
+		p := New(42)
+		p.EnqueueErrorProb(0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.TakeEnqueueError()
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	anyTrue := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+		anyTrue = anyTrue || a[i]
+	}
+	if !anyTrue {
+		t.Error("p=0.5 over 64 draws delivered no fault")
+	}
+}
+
+func TestReleaseHangsIdempotent(t *testing.T) {
+	p := New(0)
+	ch := p.HangReleased()
+	p.ReleaseHangs()
+	p.ReleaseHangs() // second release must not panic on double close
+	select {
+	case <-ch:
+	default:
+		t.Error("HangReleased channel not closed after ReleaseHangs")
+	}
+}
+
+func TestConcurrentTakes(t *testing.T) {
+	p := New(7)
+	p.GPUBusyFor(100)
+	var wg sync.WaitGroup
+	hits := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if p.TakeGPUBusy() {
+					hits[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	if total != 100 {
+		t.Errorf("scripted faults delivered %d times, want exactly 100", total)
+	}
+}

@@ -150,13 +150,13 @@ type PoolExecutor struct {
 	Pool *ws.Pool
 }
 
-// ParallelFor implements Executor.
+// ParallelFor implements Executor. A panic recovered inside the pool
+// (a *ws.PanicError) propagates as the returned error.
 func (p PoolExecutor) ParallelFor(n int, body func(i int)) error {
 	if n < 0 {
 		return fmt.Errorf("workloads: negative iteration count %d", n)
 	}
-	p.Pool.ParallelFor(n, 0, body)
-	return nil
+	return p.Pool.ParallelFor(n, 0, body)
 }
 
 // SerialExecutor runs loops on the calling goroutine; useful for

@@ -1,14 +1,34 @@
 package ws
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
 
 // DefaultGrain is the default chunk size for splitting iteration spaces.
 const DefaultGrain = 256
+
+// PanicError is a recovered panic from a kernel body running on the
+// pool. The panicking worker converts it to an error, the remaining
+// workers drain cleanly, and the loop returns it — a misbehaving
+// kernel must not take down the scheduling runtime.
+type PanicError struct {
+	// Index is the iteration index whose body panicked (for range-level
+	// loops, the first index of the panicking chunk).
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("ws: kernel body panicked at index %d: %v", e.Index, e.Value)
+}
 
 // Pool executes data-parallel loops over a fixed set of worker
 // goroutines using work stealing. A Pool may be reused for many loops;
@@ -31,27 +51,85 @@ func (p *Pool) Workers() int { return p.workers }
 // ParallelFor executes body(i) for every i in [0, n) using all workers.
 // Iterations may run in any order and concurrently; the body must be
 // safe for concurrent invocation on distinct indices. grain <= 0 uses
-// DefaultGrain.
-func (p *Pool) ParallelFor(n int, grain int, body func(i int)) {
-	p.ParallelRange(n, grain, func(r Range) {
-		for i := r.Start; i < r.End; i++ {
-			body(i)
-		}
+// DefaultGrain. A panicking body is recovered and returned as a
+// *PanicError after the other workers drain.
+func (p *Pool) ParallelFor(n int, grain int, body func(i int)) error {
+	return p.ParallelForCtx(context.Background(), n, grain, body)
+}
+
+// ParallelForCtx is ParallelFor with cancellation: when ctx is
+// cancelled the loop stops handing out chunks and returns ctx.Err()
+// promptly. Chunks already inside body keep running to completion in
+// the background (bodies are not preemptible), so a cancelled loop may
+// still execute a bounded amount of trailing work.
+func (p *Pool) ParallelForCtx(ctx context.Context, n int, grain int, body func(i int)) error {
+	return p.run(ctx, n, grain, func(r Range) error {
+		return runIndexed(body, r)
 	})
 }
 
 // ParallelRange is ParallelFor at chunk granularity: body receives
 // whole ranges, which lets callers amortize per-chunk setup.
-func (p *Pool) ParallelRange(n int, grain int, body func(r Range)) {
+func (p *Pool) ParallelRange(n int, grain int, body func(r Range)) error {
+	return p.ParallelRangeCtx(context.Background(), n, grain, body)
+}
+
+// ParallelRangeCtx is ParallelRange with cancellation (see
+// ParallelForCtx for the semantics).
+func (p *Pool) ParallelRangeCtx(ctx context.Context, n int, grain int, body func(r Range)) error {
+	return p.run(ctx, n, grain, func(r Range) error {
+		return runRange(body, r)
+	})
+}
+
+// runIndexed executes body over r item-by-item, converting a panic to
+// a *PanicError carrying the exact iteration index. One deferred
+// recover per chunk keeps the hot loop free of per-item overhead.
+func runIndexed(body func(int), r Range) (err error) {
+	i := r.Start
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	for ; i < r.End; i++ {
+		body(i)
+	}
+	return nil
+}
+
+// runRange executes a chunk body, attributing a panic to the chunk's
+// first index (the pool cannot see inside the caller's chunk loop).
+func runRange(body func(Range), r Range) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: r.Start, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	body(r)
+	return nil
+}
+
+// run is the shared work-stealing loop. exec runs one chunk and
+// reports a recovered panic as an error; the first error stops all
+// workers (they finish their current chunk, then exit without taking
+// more work) and is returned after the pool drains.
+func (p *Pool) run(ctx context.Context, n int, grain int, exec func(r Range) error) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if grain <= 0 {
 		grain = DefaultGrain
 	}
-	if n <= grain || p.workers == 1 {
-		body(Range{Start: 0, End: n})
-		return
+	cancelled := ctx.Done()
+	if cancelled == nil && (n <= grain || p.workers == 1) {
+		// Uncancellable small or single-worker loop: run inline. A
+		// cancellable loop always takes the goroutine path below, so
+		// the caller gets a prompt return even if a body blocks.
+		return exec(Range{Start: 0, End: n})
 	}
 
 	// Seed each worker's deque with an equal slice of the iteration
@@ -74,15 +152,20 @@ func (p *Pool) ParallelRange(n int, grain int, body func(r Range)) {
 		}
 	}
 
-	var wg sync.WaitGroup
-	var remaining atomic.Int64
+	var (
+		wg        sync.WaitGroup
+		remaining atomic.Int64
+		stop      atomic.Bool
+		errOnce   sync.Once
+		firstErr  error
+	)
 	remaining.Store(int64(n))
 	for w := 0; w < p.workers; w++ {
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
 			rng := uint64(self)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
-			for remaining.Load() > 0 {
+			for remaining.Load() > 0 && !stop.Load() {
 				r, ok := deques[self].PopBottom()
 				if !ok {
 					// Steal from a pseudo-random victim.
@@ -96,17 +179,46 @@ func (p *Pool) ParallelRange(n int, grain int, body func(r Range)) {
 					r, ok = deques[victim].Steal()
 					if !ok {
 						// Nothing to steal right now; yield and retry
-						// until the loop is globally done.
+						// until the loop is globally done or stopped.
 						runtime.Gosched()
 						continue
 					}
 				}
-				body(r)
+				if err := exec(r); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					stop.Store(true)
+					return
+				}
 				remaining.Add(int64(-r.Len()))
 			}
 		}(w)
 	}
-	wg.Wait()
+
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-cancelled:
+		// Return promptly; workers observe stop at their next chunk
+		// boundary and drain in the background.
+		stop.Store(true)
+		select {
+		case <-finished:
+			// Workers happened to finish anyway; fall through to report
+			// a body error if one raced with the cancellation.
+		default:
+			return ctx.Err()
+		}
+	}
+	// firstErr is safely published: the writing worker set it before
+	// wg.Done, and finished closing orders that before this read.
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // SharedCounter is the atomically drained work pool the paper's online
