@@ -10,8 +10,11 @@ package eas_test
 // (see EXPERIMENTS.md for the comparison table).
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
+	"github.com/hetsched/eas"
 	"github.com/hetsched/eas/internal/core"
 	"github.com/hetsched/eas/internal/engine"
 	"github.com/hetsched/eas/internal/metrics"
@@ -261,6 +264,58 @@ func BenchmarkAblationSingleCurve(b *testing.B) {
 	}
 	b.ReportMetric(rows[0].EASAvgEff, "eight_curves_eff_%")
 	b.ReportMetric(rows[1].EASAvgEff, "single_curve_eff_%")
+}
+
+// BenchmarkRuntimeMultiTenant measures end-to-end invocation throughput
+// of one shared Runtime under 1, 4 and 16 concurrent tenants — the
+// admission gate's scaling curve. The scheduling step is serialized by
+// design (one simulated platform), so the interesting number is how
+// much aggregate throughput survives queueing as tenancy grows.
+func BenchmarkRuntimeMultiTenant(b *testing.B) {
+	model, err := eas.Characterize(eas.DesktopPlatform())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 50000
+	for _, tenants := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			rt, err := eas.NewRuntime(eas.DesktopPlatform(), eas.Config{Metric: eas.EDP, Model: model})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			kernel := func(g int) eas.Kernel {
+				return eas.Kernel{
+					Name:         fmt.Sprintf("tenant-%d", g),
+					FLOPsPerItem: 200, MemOpsPerItem: 20, L3MissRatio: 0.1, InstructionsPerItem: 400,
+				}
+			}
+			// Warm the α table so the steady state is measured, not
+			// first-touch profiling.
+			for g := 0; g < tenants; g++ {
+				if _, err := rt.ParallelFor(kernel(g), n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for g := 0; g < tenants; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						if _, err := rt.ParallelFor(kernel(g), n); err != nil {
+							b.Error(err)
+						}
+					}(g)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			invocations := float64(tenants) * float64(b.N)
+			b.ReportMetric(invocations/b.Elapsed().Seconds(), "invocations/s")
+		})
+	}
 }
 
 // BenchmarkWorkloadsEAS runs every Table 1 workload end-to-end under

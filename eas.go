@@ -50,7 +50,6 @@ import (
 	"github.com/hetsched/eas/internal/core"
 	"github.com/hetsched/eas/internal/device"
 	"github.com/hetsched/eas/internal/engine"
-	"github.com/hetsched/eas/internal/msr"
 	"github.com/hetsched/eas/internal/ws"
 )
 
@@ -147,8 +146,10 @@ type Report struct {
 	// as scheduled. A fallback is a successful, degraded execution —
 	// ParallelFor still returns a nil error.
 	FallbackError error
-	// Retries counts GPU dispatch/enqueue attempts that found the
-	// device busy and were retried after backoff.
+	// Retries counts every GPU dispatch/enqueue attempt that found the
+	// device busy — including the final attempt that exhausts the
+	// retry budget on fallback paths — so dispatch attempts equal
+	// successes plus Retries.
 	Retries int
 	// ReexecutedItems counts work items whose GPU dispatch was
 	// abandoned and which were re-executed on the CPU pool.
@@ -167,8 +168,16 @@ type Report struct {
 }
 
 // Runtime is the energy-aware scheduling runtime bound to one platform.
-// A Runtime is not safe for concurrent use; create one per goroutine or
-// serialize calls.
+// A Runtime is safe for concurrent use: any number of goroutines may
+// call ParallelFor/ParallelForCtx at once. The scheduling step of each
+// invocation (profiling, α search, and the simulated timed execution)
+// is admitted onto the single simulated platform in fair FIFO order —
+// the virtual clock, PCU state and energy MSRs are a shared physical
+// resource, so exactly one invocation drives them at a time — while
+// the functional execution of kernel bodies from different callers
+// runs genuinely in parallel on the shared work-stealing pool and GPU
+// command queue. Do not share one Platform between multiple Runtimes
+// that run concurrently.
 type Runtime struct {
 	platform  *Platform
 	eng       *engine.Engine
@@ -267,11 +276,13 @@ func (r *Runtime) ParallelFor(k Kernel, n int) (*Report, error) {
 	return r.ParallelForCtx(context.Background(), k, n)
 }
 
-// ParallelForCtx is ParallelFor with cancellation: when ctx is
-// cancelled the CPU pool stops handing out chunks and the GPU event
-// wait returns promptly with ctx.Err(). The simulated scheduling step
-// itself is not interruptible (it runs in virtual time and returns
-// quickly); cancellation governs the functional execution.
+// ParallelForCtx is ParallelFor with cancellation: while the
+// invocation is queued at the admission gate behind other callers, or
+// once the CPU pool is handing out chunks and the GPU event wait is in
+// flight, cancellation returns promptly with ctx.Err(). The simulated
+// scheduling step itself is not interruptible once admitted (it runs
+// in virtual time and returns quickly); cancellation governs the
+// admission wait and the functional execution.
 func (r *Runtime) ParallelForCtx(ctx context.Context, k Kernel, n int) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -283,17 +294,14 @@ func (r *Runtime) ParallelForCtx(ctx context.Context, k Kernel, n int) (*Report,
 		return nil, err
 	}
 	ek := k.toEngine()
-	pp0 := msr.NewMeter(r.platform.inner.MSRPP0)
-	pp1 := msr.NewMeter(r.platform.inner.MSRPP1)
-	dram := msr.NewMeter(r.platform.inner.MSRDRAM)
-	rep, err := r.sched.ParallelFor(ek, n)
+	rep, err := r.sched.ParallelForCtx(ctx, ek, n)
 	if err != nil {
 		return nil, err
 	}
 	out := &Report{
-		CPUEnergyJ:      pp0.Joules(),
-		GPUEnergyJ:      pp1.Joules(),
-		DRAMEnergyJ:     dram.Joules(),
+		CPUEnergyJ:      rep.CPUEnergyJ,
+		GPUEnergyJ:      rep.GPUEnergyJ,
+		DRAMEnergyJ:     rep.DRAMEnergyJ,
 		Alpha:           rep.Alpha,
 		Profiled:        rep.Profiled,
 		ProfileSteps:    rep.ProfileSteps,
@@ -389,15 +397,20 @@ func (r *Runtime) executeCtx(ctx context.Context, k Kernel, n int, alpha float64
 
 // enqueueWithRetry submits the functional NDRange, retrying transient
 // device-busy rejections with capped exponential backoff (real sleep;
-// this is the host-side driver path).
+// this is the host-side driver path). Every busy rejection counts
+// toward out.Retries, including the final attempt that exhausts the
+// budget, matching the scheduling layer's accounting.
 func (r *Runtime) enqueueWithRetry(ctx context.Context, k Kernel, gpuItems int, out *Report) (*cl.Event, error) {
 	backoff := r.retry.BaseBackoff
 	for attempt := 1; ; attempt++ {
 		ev, err := r.queue.EnqueueNDRange(cl.Kernel{Name: k.Name, Body: k.Body}, 0, gpuItems)
-		if err == nil || !errors.Is(err, cl.ErrDeviceBusy) || attempt >= r.retry.MaxAttempts {
+		if err == nil || !errors.Is(err, cl.ErrDeviceBusy) {
 			return ev, err
 		}
 		out.Retries++
+		if attempt >= r.retry.MaxAttempts {
+			return ev, err
+		}
 		timer := time.NewTimer(backoff)
 		select {
 		case <-timer.C:

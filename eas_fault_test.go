@@ -174,6 +174,11 @@ func TestPersistentEnqueueErrorFallsBackToCPU(t *testing.T) {
 	if !errors.Is(rep.FallbackError, ErrGPUBusy) {
 		t.Errorf("FallbackError = %v, want errors.Is ErrGPUBusy", rep.FallbackError)
 	}
+	// All three attempts of the default budget were rejected; the final
+	// exhausted attempt counts toward Retries like the others.
+	if rep.Retries != 3 {
+		t.Errorf("Retries = %d, want 3 (dispatch attempts = successes + Retries)", rep.Retries)
+	}
 	if rep.ReexecutedItems <= 0 {
 		t.Error("ReexecutedItems = 0 after enqueue fallback")
 	}

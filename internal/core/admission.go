@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// Admission is the scheduler's admission gate: a fair FIFO mutex that
+// serializes whole invocations onto the single simulated
+// engine/platform. The simulation advances one virtual clock, one PCU
+// and one set of energy MSRs, so exactly one invocation may drive it at
+// a time; N concurrent callers queue here in arrival order and are
+// admitted one by one.
+//
+// Fairness matters for multi-tenancy: Go's sync.Mutex allows barging,
+// which under heavy contention can starve a tenant for a long time
+// while others repeatedly reacquire. Admission instead hands the gate
+// directly to the longest-waiting caller on every Release.
+//
+// Waiting is context-aware: a caller whose context is cancelled while
+// queued leaves the queue and returns ctx.Err() without ever touching
+// the engine. Once admitted, an invocation runs to completion (it
+// executes in virtual time and returns quickly); cancellation governs
+// only the wait.
+//
+// The zero value is ready to use.
+type Admission struct {
+	mu    sync.Mutex
+	busy  bool
+	queue []chan struct{} // FIFO of parked waiters; closed to grant
+}
+
+// Acquire admits the caller, blocking behind earlier callers in FIFO
+// order. It returns ctx.Err() if the context is cancelled first; on a
+// nil return the caller owns the gate and must Release it.
+func (a *Admission) Acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	if !a.busy {
+		a.busy = true
+		a.mu.Unlock()
+		return nil
+	}
+	grant := make(chan struct{})
+	a.queue = append(a.queue, grant)
+	a.mu.Unlock()
+
+	select {
+	case <-grant:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		// The grant is closed under a.mu, so holding it here makes the
+		// race determinate: either we were already granted the gate (and
+		// must pass it on), or we are still queued and can leave.
+		select {
+		case <-grant:
+			a.mu.Unlock()
+			a.Release()
+		default:
+			for i, c := range a.queue {
+				if c == grant {
+					a.queue = append(a.queue[:i], a.queue[i+1:]...)
+					break
+				}
+			}
+			a.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// Release hands the gate to the longest-waiting caller, or marks it
+// free when nobody is queued. Calling Release without holding the gate
+// is a programming error and panics.
+func (a *Admission) Release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.busy {
+		panic("core: Admission.Release without Acquire")
+	}
+	if len(a.queue) > 0 {
+		grant := a.queue[0]
+		a.queue = a.queue[1:]
+		close(grant) // direct handoff: busy stays true for the new owner
+		return
+	}
+	a.busy = false
+}
+
+// Waiters returns the number of callers currently queued (diagnostic;
+// the value is stale the moment it is read).
+func (a *Admission) Waiters() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
+}

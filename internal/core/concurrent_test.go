@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/metrics"
+)
+
+// TestSchedulerConcurrentCallers hammers one Scheduler from many
+// goroutines — some sharing a kernel, some with private kernels — and
+// checks that the admission gate kept every invocation intact and the
+// α table's books balance exactly. Run under -race this is the core
+// tentpole regression test: any unsynchronized access to the engine,
+// simulated clock, or table G trips the detector.
+func TestSchedulerConcurrentCallers(t *testing.T) {
+	const (
+		goroutines = 8
+		runsEach   = 4
+		n          = 200000
+	)
+	s := newEAS(t, metrics.EDP, Options{})
+
+	kernelFor := func(g int) engine.Kernel {
+		if g%2 == 0 {
+			return compKernel() // shared: even goroutines contend on one record
+		}
+		return engine.Kernel{ // distinct: odd goroutines get private records
+			Name: fmt.Sprintf("private-%d", g),
+			Cost: device.CostProfile{FLOPs: 10, MemOps: 100, L3MissRatio: 0.6, Instructions: 500},
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := kernelFor(g)
+			for r := 0; r < runsEach; r++ {
+				rep, err := s.ParallelFor(k, n)
+				if err != nil {
+					t.Errorf("goroutine %d run %d: %v", g, r, err)
+					return
+				}
+				// Items are float64 split shares; allow accumulation epsilon.
+				if got := rep.CPUItems + rep.GPUItems; math.Abs(got-n) > 1 {
+					t.Errorf("goroutine %d run %d: retired %v items, want %d", g, r, got, n)
+					return
+				}
+				if rep.Alpha < 0 || rep.Alpha > 1 {
+					t.Errorf("goroutine %d run %d: α = %v out of [0,1]", g, r, rep.Alpha)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Books must balance exactly: the shared kernel saw 4 goroutines ×
+	// runsEach invocations, each private kernel saw runsEach.
+	if got, want := s.Kernels(), 1+goroutines/2; got != want {
+		t.Errorf("table remembers %d kernels, want %d", got, want)
+	}
+	check := func(name string, invocations int) {
+		rec, ok := s.table.lookup(name)
+		if !ok {
+			t.Errorf("kernel %q missing from table", name)
+			return
+		}
+		if rec.invocations != invocations {
+			t.Errorf("kernel %q: invocations = %d, want %d", name, rec.invocations, invocations)
+		}
+		if want := float64(invocations) * n; rec.weight != want {
+			t.Errorf("kernel %q: weight = %v, want %v", name, rec.weight, want)
+		}
+		if rec.alpha < 0 || rec.alpha > 1 {
+			t.Errorf("kernel %q: accumulated α = %v out of [0,1]", name, rec.alpha)
+		}
+	}
+	check(compKernel().Name, goroutines/2*runsEach)
+	for g := 1; g < goroutines; g += 2 {
+		check(fmt.Sprintf("private-%d", g), runsEach)
+	}
+}
+
+// Concurrent readers of the table while invocations accumulate must be
+// race-free (copy-on-read records).
+func TestAlphaReadsDuringInvocations(t *testing.T) {
+	s := newEAS(t, metrics.EDP, Options{})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if a, ok := s.Alpha(compKernel().Name); ok && (a < 0 || a > 1) {
+					t.Errorf("torn read: α = %v", a)
+					return
+				}
+				s.Kernels()
+			}
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := s.ParallelFor(compKernel(), 200000); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+}

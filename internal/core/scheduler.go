@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -48,9 +49,13 @@ type Options struct {
 	// iterations consumed by repeated profiling steps (paper: 0.5 —
 	// "repeat profiling for half of the iterations").
 	ProfileShare float64
-	// ReprofileEvery re-runs profiling on every k-th subsequent
-	// invocation of a known kernel, for workloads whose behaviour
-	// drifts over time. 0 disables re-profiling (Fig. 7's default).
+	// ReprofileEvery re-runs profiling on every k-th invocation of a
+	// known kernel, for workloads whose behaviour drifts over time:
+	// counting the initial profiled invocation as 1, every invocation
+	// whose ordinal is a multiple of k profiles again (k=1 profiles
+	// every time; k=2 on invocations 2, 4, 6, …). Only recorded
+	// invocations count — small-N and fallback runs do not advance the
+	// schedule. 0 disables re-profiling (Fig. 7's default).
 	ReprofileEvery int
 	// GrowProfileChunk doubles the GPU profiling chunk between
 	// repeated steps ([12]'s size-based strategy); when false every
@@ -127,12 +132,19 @@ type Report struct {
 	// paper's A26 check) or after transient busy dispatches exhausted
 	// the retry budget. Fallback runs never feed the α table.
 	GPUBusyFallback bool
-	// Retries counts GPU dispatch attempts that found the device busy
-	// and were retried after backoff.
+	// Retries counts every GPU dispatch attempt that found the device
+	// busy, including the final attempt that exhausts the retry budget
+	// on fallback paths — it is the number of busy rejections observed,
+	// so dispatch attempts = successes + Retries.
 	Retries int
 	// Duration and EnergyJ are the invocation's simulated totals.
 	Duration time.Duration
 	EnergyJ  float64
+	// CPUEnergyJ, GPUEnergyJ and DRAMEnergyJ split the package energy
+	// by RAPL domain (cores / integrated GPU / memory), measured across
+	// the whole invocation inside the admission critical section so
+	// concurrent tenants never see each other's energy.
+	CPUEnergyJ, GPUEnergyJ, DRAMEnergyJ float64
 	// CPUItems and GPUItems are the items each device processed.
 	CPUItems, GPUItems float64
 	// PredictedPower and PredictedTime are the model's estimates at
@@ -145,14 +157,18 @@ func (r Report) MetricValue(m metrics.Metric) float64 {
 	return m.EvalEnergy(r.EnergyJ, r.Duration.Seconds())
 }
 
-// Scheduler is the energy-aware scheduling runtime. It drives one
-// engine/platform; it is not safe for concurrent use.
+// Scheduler is the energy-aware scheduling runtime. It is safe for
+// concurrent use: it drives one engine/platform, and an admission gate
+// serializes whole invocations onto it in fair FIFO order, while the
+// global table G is sharded and lock-protected so Alpha lookups and
+// accumulations from any goroutine are race-free.
 type Scheduler struct {
 	eng    *engine.Engine
 	model  *powerchar.Model
 	metric metrics.Metric
 	opts   Options
-	table  map[string]*record // the paper's global table G
+	adm    Admission   // serializes invocations onto the engine
+	table  *alphaTable // the paper's global table G
 }
 
 // New builds an EAS scheduler over an engine, a platform power
@@ -172,7 +188,7 @@ func New(eng *engine.Engine, model *powerchar.Model, metric metrics.Metric, opts
 		model:  model,
 		metric: metric,
 		opts:   opts.withDefaults(),
-		table:  map[string]*record{},
+		table:  newAlphaTable(),
 	}, nil
 }
 
@@ -180,22 +196,62 @@ func New(eng *engine.Engine, model *powerchar.Model, metric metrics.Metric, opts
 func (s *Scheduler) Metric() metrics.Metric { return s.metric }
 
 // Alpha returns the accumulated offload ratio remembered for a kernel,
-// with ok=false for never-seen kernels.
+// with ok=false for never-seen kernels. It is safe to call from any
+// goroutine, including while invocations are in flight.
 func (s *Scheduler) Alpha(kernelName string) (float64, bool) {
-	rec, ok := s.table[kernelName]
+	rec, ok := s.table.lookup(kernelName)
 	if !ok {
 		return 0, false
 	}
 	return rec.alpha, true
 }
 
+// Kernels returns the number of kernels the global table remembers.
+func (s *Scheduler) Kernels() int { return s.table.Len() }
+
 // ParallelFor executes n parallel iterations of kernel k with
 // energy-aware CPU-GPU partitioning — the EAS algorithm of Fig. 7.
+// It is safe for concurrent use: callers queue at the admission gate
+// and run one at a time against the simulated platform.
 func (s *Scheduler) ParallelFor(k engine.Kernel, n int) (Report, error) {
+	return s.ParallelForCtx(context.Background(), k, n)
+}
+
+// ParallelForCtx is ParallelFor with cancellable admission: a caller
+// whose context is cancelled while queued behind other invocations
+// returns ctx.Err() without touching the engine. Once admitted, the
+// invocation runs to completion — it executes in virtual time and
+// returns quickly, and an admitted tenant must not leave the simulated
+// clock mid-phase.
+func (s *Scheduler) ParallelForCtx(ctx context.Context, k engine.Kernel, n int) (Report, error) {
 	if n <= 0 {
 		return Report{}, fmt.Errorf("core: non-positive iteration count %d for kernel %q", n, k.Name)
 	}
+	if err := s.adm.Acquire(ctx); err != nil {
+		return Report{}, err
+	}
+	defer s.adm.Release()
 
+	// The per-domain RAPL meters span the whole invocation; they live
+	// inside the critical section so the deltas belong to this tenant
+	// alone.
+	p := s.eng.Platform()
+	pp0 := msr.NewMeter(p.MSRPP0)
+	pp1 := msr.NewMeter(p.MSRPP1)
+	dram := msr.NewMeter(p.MSRDRAM)
+	rep, err := s.parallelFor(k, n)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.CPUEnergyJ = pp0.Joules()
+	rep.GPUEnergyJ = pp1.Joules()
+	rep.DRAMEnergyJ = dram.Joules()
+	return rep, nil
+}
+
+// parallelFor is the EAS algorithm proper; the caller holds the
+// admission gate.
+func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 	// GPU owned by another application (the A26 check): CPU-only run,
 	// nothing recorded.
 	if s.eng.Platform().GPUBusy() {
@@ -207,7 +263,7 @@ func (s *Scheduler) ParallelFor(k engine.Kernel, n int) (Report, error) {
 	}
 
 	profileSize := float64(s.eng.Platform().GPUProfileSize())
-	rec, ok := s.table[k.Name]
+	rec, ok := s.table.lookup(k.Name)
 	known := ok && rec.profiled
 
 	// Too little parallelism to fill the GPU: multi-core CPU alone
@@ -224,8 +280,12 @@ func (s *Scheduler) ParallelFor(k engine.Kernel, n int) (Report, error) {
 	rep := Report{}
 	nrem := float64(n)
 	var alpha float64
+	// rec.invocations counts completed recorded invocations, so this
+	// one's ordinal is rec.invocations+1; it re-profiles when that
+	// ordinal is a multiple of k, making k=1 profile every invocation
+	// and k=2 fire first on the 2nd (not 3rd) invocation.
 	needProfile := !known ||
-		(s.opts.ReprofileEvery > 0 && rec.invocations%s.opts.ReprofileEvery == 0)
+		(s.opts.ReprofileEvery > 0 && (rec.invocations+1)%s.opts.ReprofileEvery == 0)
 
 	if known && !needProfile {
 		// Fig. 7 steps 2-4: reuse the accumulated α.
@@ -333,22 +393,28 @@ func (s *Scheduler) ParallelFor(k engine.Kernel, n int) (Report, error) {
 
 	// Fig. 7 step 26: sample-weighted α accumulation across
 	// invocations.
-	s.accumulate(k.Name, alpha, float64(n), rep.Category)
+	s.table.accumulate(k.Name, alpha, float64(n), rep.Category)
 	return rep, nil
 }
 
 // retryBusy runs op, retrying GPU-busy dispatch failures with capped
 // exponential backoff spent as simulated idle time (so the clock and
 // the energy MSR both see the stall). The last error — nil, a
-// non-busy failure, or the final busy — is returned.
+// non-busy failure, or the final busy — is returned. Every busy
+// rejection counts toward rep.Retries, including the final attempt
+// that exhausts the budget: Retries is the number of busy dispatches
+// observed, not the number of backoffs slept.
 func (s *Scheduler) retryBusy(rep *Report, op func() error) error {
 	backoff := s.opts.Retry.BaseBackoff
 	for attempt := 1; ; attempt++ {
 		err := op()
-		if err == nil || !errors.Is(err, engine.ErrGPUBusy) || attempt >= s.opts.Retry.MaxAttempts {
+		if err == nil || !errors.Is(err, engine.ErrGPUBusy) {
 			return err
 		}
 		rep.Retries++
+		if attempt >= s.opts.Retry.MaxAttempts {
+			return err
+		}
 		meter := msr.NewMeter(s.eng.Platform().MSR)
 		s.eng.RunIdle(backoff, nil)
 		rep.Duration += backoff
@@ -375,22 +441,6 @@ func (s *Scheduler) cpuFallback(k engine.Kernel, items float64, rep Report) (Rep
 	rep.GPUBusyFallback = true
 	rep.Alpha = 0
 	return rep, nil
-}
-
-func (s *Scheduler) accumulate(name string, alpha, items float64, cat wclass.Category) {
-	rec, ok := s.table[name]
-	if !ok {
-		s.table[name] = &record{alpha: alpha, weight: items, category: cat, invocations: 1, profiled: true}
-		return
-	}
-	total := rec.weight + items
-	if total > 0 {
-		rec.alpha = (rec.alpha*rec.weight + alpha*items) / total
-	}
-	rec.weight = total
-	rec.category = cat
-	rec.invocations++
-	rec.profiled = true
 }
 
 // within reports whether a and b agree within relative tolerance tol.

@@ -68,8 +68,11 @@ func TestPersistentBusyFallsBackWithoutPoisoningAlpha(t *testing.T) {
 	if !rep2.GPUBusyFallback {
 		t.Error("expected GPUBusyFallback after exhausted retries")
 	}
-	if rep2.Retries == 0 {
-		t.Error("fallback should come after retrying")
+	// Every attempt of the default 3-attempt budget found the device
+	// busy; the final exhausted attempt counts too, so Retries equals
+	// MaxAttempts — not MaxAttempts-1 — on fallback paths.
+	if want := (Retry{}).withDefaults().MaxAttempts; rep2.Retries != want {
+		t.Errorf("Retries = %d, want %d (exhausted budget must count the final busy attempt)", rep2.Retries, want)
 	}
 	if rep2.Alpha != 0 {
 		t.Errorf("fallback ran at α=%v, want 0", rep2.Alpha)

@@ -211,6 +211,34 @@ func TestReprofileEvery(t *testing.T) {
 	}
 }
 
+// TestReprofileSchedule pins the exact firing schedule for small k:
+// counting the initial profiled invocation as ordinal 1, every
+// invocation whose ordinal is a multiple of k re-profiles. In
+// particular k=2 fires first on the 2nd invocation, not the 3rd — the
+// off-by-one this test guards against.
+func TestReprofileSchedule(t *testing.T) {
+	const runs = 6
+	want := map[int][runs]bool{
+		// ordinal:      1     2      3      4      5      6
+		1: {true, true, true, true, true, true},
+		2: {true, true, false, true, false, true},
+		3: {true, false, true, false, false, true},
+	}
+	for k, expect := range want {
+		s := newEAS(t, metrics.EDP, Options{ReprofileEvery: k})
+		for i := 0; i < runs; i++ {
+			rep, err := s.ParallelFor(memKernel(), 2e6)
+			if err != nil {
+				t.Fatalf("k=%d invocation %d: %v", k, i+1, err)
+			}
+			if rep.Profiled != expect[i] {
+				t.Errorf("k=%d invocation %d: Profiled = %v, want %v",
+					k, i+1, rep.Profiled, expect[i])
+			}
+		}
+	}
+}
+
 func TestParallelForValidation(t *testing.T) {
 	s := newEAS(t, metrics.EDP, Options{})
 	if _, err := s.ParallelFor(compKernel(), 0); err == nil {

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// tableShards is the shard count of the global table G. Sixteen shards
+// keep same-shard collisions rare for realistic kernel populations
+// (tens of kernels) without bloating the per-scheduler footprint.
+const tableShards = 16
+
+// alphaTable is the concurrency-safe global table G: the per-kernel
+// state the runtime remembers across invocations. It is sharded by
+// kernel name so concurrent invocations of distinct kernels never
+// contend on one lock, and records are stored by value so a lookup
+// returns an immutable snapshot (copy-on-read) — readers never observe
+// a record mid-update, and -race stays silent however many goroutines
+// consult the table while an invocation accumulates into it.
+type alphaTable struct {
+	shards [tableShards]tableShard
+}
+
+type tableShard struct {
+	mu sync.RWMutex
+	m  map[string]record
+}
+
+func newAlphaTable() *alphaTable {
+	t := &alphaTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]record)
+	}
+	return t
+}
+
+// shard maps a kernel name to its shard with FNV-1a (deterministic
+// across processes, unlike maphash, so tests can reason about layout).
+func (t *alphaTable) shard(name string) *tableShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &t.shards[h%tableShards]
+}
+
+// lookup returns a snapshot of the kernel's record. The snapshot is a
+// copy: mutating it does not touch the table.
+func (t *alphaTable) lookup(name string) (record, bool) {
+	s := t.shard(name)
+	s.mu.RLock()
+	rec, ok := s.m[name]
+	s.mu.RUnlock()
+	return rec, ok
+}
+
+// accumulate folds one recorded invocation into the kernel's record —
+// the paper's Fig. 7 step 26 sample-weighted α accumulation — atomically
+// with respect to concurrent lookups and accumulations.
+func (t *alphaTable) accumulate(name string, alpha, items float64, cat wclass.Category) {
+	s := t.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.m[name]
+	if !ok {
+		s.m[name] = record{alpha: alpha, weight: items, category: cat, invocations: 1, profiled: true}
+		return
+	}
+	total := rec.weight + items
+	if total > 0 {
+		rec.alpha = (rec.alpha*rec.weight + alpha*items) / total
+	}
+	rec.weight = total
+	rec.category = cat
+	rec.invocations++
+	rec.profiled = true
+	s.m[name] = rec
+}
+
+// Len returns the number of kernels the table remembers.
+func (t *alphaTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+		n += len(t.shards[i].m)
+		t.shards[i].mu.RUnlock()
+	}
+	return n
+}

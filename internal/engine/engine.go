@@ -139,7 +139,10 @@ func (r Result) GPUThroughput() float64 {
 	return r.GPUItems / s
 }
 
-// Engine drives one platform. Not safe for concurrent use.
+// Engine drives one platform. Not safe for concurrent use: callers
+// must serialize phases externally — core.Scheduler does so with its
+// FIFO admission gate, which is why one Engine can back a runtime that
+// many goroutines invoke concurrently.
 type Engine struct {
 	p      *platform.Platform
 	faults *faultinject.Plan

@@ -86,7 +86,9 @@ func (s Spec) Validate() error {
 }
 
 // Platform is an instantiated simulated processor. It is not safe for
-// concurrent use: one engine drives it at a time.
+// concurrent use: one engine drives it at a time, and concurrent
+// tenants are serialized above it by core.Scheduler's admission gate.
+// Do not share one Platform between runtimes that run concurrently.
 type Platform struct {
 	spec  Spec
 	Clock *simclock.Clock

@@ -1,6 +1,8 @@
 package ws
 
 import (
+	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -43,6 +45,40 @@ func BenchmarkParallelForThroughput(b *testing.B) {
 			if j == 0 {
 				sink.Add(1)
 			}
+		})
+	}
+}
+
+// BenchmarkPoolContention measures aggregate loop throughput when 1, 4
+// and 16 tenants run ParallelFor concurrently on one shared pool — the
+// multi-tenant scaling curve the parking path is meant to protect
+// (spinning idle workers collapse it by stealing cycles from tenants
+// with real work).
+func BenchmarkPoolContention(b *testing.B) {
+	const n = 1 << 16
+	for _, callers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("callers=%d", callers), func(b *testing.B) {
+			p := NewPool(0)
+			var sink atomic.Int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < callers; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						p.ParallelFor(n, 256, func(j int) {
+							if j == 0 {
+								sink.Add(1)
+							}
+						})
+					}()
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			items := float64(callers) * n * float64(b.N)
+			b.ReportMetric(items/b.Elapsed().Seconds(), "items/s")
 		})
 	}
 }

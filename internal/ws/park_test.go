@@ -1,0 +1,77 @@
+//go:build linux || darwin
+
+package ws
+
+import (
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// processCPU returns the process's user+system CPU time.
+func processCPU(t testing.TB) time.Duration {
+	t.Helper()
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		t.Fatalf("getrusage: %v", err)
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// TestIdleWorkersPark pins the energy story of the parking path: while
+// one straggler chunk sleeps, the other seven workers must park (block
+// on the pool semaphore) rather than spin, so the whole wait costs a
+// small fraction of one core. Before parking, the idle workers burned
+// ~(workers-1) cores in a Gosched loop for the full wait — on this
+// scenario at least one full core-second of CPU per second of wait —
+// so the 10x-tighter bound below fails the spin implementation on any
+// machine with 2+ cores.
+func TestIdleWorkersPark(t *testing.T) {
+	const (
+		workers  = 8
+		straggle = 400 * time.Millisecond
+		budget   = 120 * time.Millisecond // >=10x below the spin cost
+	)
+	p := NewPool(workers)
+	var executed atomic.Int64
+	start := processCPU(t)
+	err := p.ParallelFor(workers, 1, func(i int) {
+		if i == 0 {
+			time.Sleep(straggle)
+		}
+		executed.Add(1)
+	})
+	spent := processCPU(t) - start
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != workers {
+		t.Fatalf("executed %d iterations, want %d", executed.Load(), workers)
+	}
+	if spent > budget {
+		t.Errorf("idle wait burned %v of CPU time (budget %v): workers are spinning, not parking", spent, budget)
+	}
+}
+
+// BenchmarkIdleWaitCPUTime measures the CPU cost of an idle wait — the
+// acceptance metric for the parking path. Each op is a loop whose only
+// real work is one 50 ms straggler chunk; cpu-ms/op reports what the
+// other seven workers burned while waiting (spin implementation:
+// ~350 cpu-ms/op on 8 cores; parking: low single digits).
+func BenchmarkIdleWaitCPUTime(b *testing.B) {
+	const straggle = 50 * time.Millisecond
+	p := NewPool(8)
+	start := processCPU(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.ParallelFor(8, 1, func(j int) {
+			if j == 0 {
+				time.Sleep(straggle)
+			}
+		})
+	}
+	b.StopTimer()
+	spent := processCPU(b) - start
+	b.ReportMetric(float64(spent.Milliseconds())/float64(b.N), "cpu-ms/op")
+}

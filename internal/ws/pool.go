@@ -30,11 +30,20 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("ws: kernel body panicked at index %d: %v", e.Index, e.Value)
 }
 
-// Pool executes data-parallel loops over a fixed set of worker
-// goroutines using work stealing. A Pool may be reused for many loops;
-// it is safe for sequential reuse but a single loop runs at a time.
+// Pool executes data-parallel loops over n worker goroutines per loop
+// using work stealing. A Pool is safe for concurrent use: any number
+// of loops may run on it at once (each loop gets its own deques and
+// workers; the pool-level parker is shared). Workers that run out of
+// stealable work spin briefly and then park on the pool's semaphore,
+// so idle workers — whether waiting out a long straggler chunk in
+// their own loop or belonging to a quiet tenant in a busy process —
+// cost ~zero CPU instead of burning a core in a Gosched loop. That is
+// both a throughput fix (spinners steal cycles from workers with real
+// work) and an energy-accounting one: an energy-aware runtime must not
+// itself convert idleness into full-core activity.
 type Pool struct {
 	workers int
+	idle    parker
 }
 
 // NewPool returns a pool of n workers; n <= 0 selects GOMAXPROCS.
@@ -43,6 +52,63 @@ func NewPool(n int) *Pool {
 		n = runtime.GOMAXPROCS(0)
 	}
 	return &Pool{workers: n}
+}
+
+// parker is the pool's idle-worker semaphore. A worker that finds no
+// work registers a wake channel with prepare, rechecks its loop's
+// state (mandatory — skipping the recheck loses wakeups), and then
+// blocks on the channel; wakers close channels via wakeOne/wakeAll.
+// The parker is shared by all loops running on the pool: a wakeup may
+// reach a worker of a different loop, which simply rechecks its own
+// state and re-parks, so cross-loop wakeups are harmless and every
+// loop's own terminator always wakes its own parked workers.
+type parker struct {
+	mu      sync.Mutex
+	waiters []chan struct{}
+}
+
+// prepare registers the caller for wakeup. The caller must either
+// block on the returned channel or call cancel on it.
+func (p *parker) prepare() chan struct{} {
+	ch := make(chan struct{})
+	p.mu.Lock()
+	p.waiters = append(p.waiters, ch)
+	p.mu.Unlock()
+	return ch
+}
+
+// cancel deregisters a prepared channel after the recheck found work.
+// If a waker already consumed the registration the signal is simply
+// dropped — the caller is awake by definition.
+func (p *parker) cancel(ch chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, c := range p.waiters {
+		if c == ch {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// wakeOne unparks the longest-parked worker, if any.
+func (p *parker) wakeOne() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.waiters) > 0 {
+		close(p.waiters[0])
+		p.waiters = p.waiters[1:]
+	}
+}
+
+// wakeAll unparks every parked worker.
+func (p *parker) wakeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.waiters {
+		close(c)
+	}
+	p.waiters = nil
 }
 
 // Workers returns the pool's worker count.
@@ -61,7 +127,9 @@ func (p *Pool) ParallelFor(n int, grain int, body func(i int)) error {
 // cancelled the loop stops handing out chunks and returns ctx.Err()
 // promptly. Chunks already inside body keep running to completion in
 // the background (bodies are not preemptible), so a cancelled loop may
-// still execute a bounded amount of trailing work.
+// still execute a bounded amount of trailing work. A loop that has
+// already executed all n iterations when the cancellation lands
+// returns nil (or the body's error), never a spurious ctx.Err().
 func (p *Pool) ParallelForCtx(ctx context.Context, n int, grain int, body func(i int)) error {
 	return p.run(ctx, n, grain, func(r Range) error {
 		return runIndexed(body, r)
@@ -110,10 +178,24 @@ func runRange(body func(Range), r Range) (err error) {
 	return nil
 }
 
+// spinSweeps is how many full steal sweeps an idle worker performs
+// (yielding between sweeps) before parking on the pool semaphore. A
+// small budget covers the common case — a chunk frees up within
+// microseconds — without letting idle workers own a core.
+const spinSweeps = 4
+
 // run is the shared work-stealing loop. exec runs one chunk and
 // reports a recovered panic as an error; the first error stops all
 // workers (they finish their current chunk, then exit without taking
 // more work) and is returned after the pool drains.
+//
+// Idle workers do not busy-wait: after a bounded spin of steal sweeps
+// they park on the pool's semaphore and are woken when a peer claims a
+// chunk whose deque still holds more (work propagation), or when the
+// loop terminates (drained, body error, or cancellation). All chunks
+// are seeded by PushBottom before the workers start, so a parked
+// worker that observed every deque empty only ever needs the
+// termination wakeup.
 func (p *Pool) run(ctx context.Context, n int, grain int, exec func(r Range) error) error {
 	if n <= 0 {
 		return nil
@@ -160,36 +242,74 @@ func (p *Pool) run(ctx context.Context, n int, grain int, exec func(r Range) err
 		firstErr  error
 	)
 	remaining.Store(int64(n))
+	anyQueued := func() bool {
+		for _, d := range deques {
+			if d.Size() > 0 {
+				return true
+			}
+		}
+		return false
+	}
 	for w := 0; w < p.workers; w++ {
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
 			rng := uint64(self)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+			idle := 0
 			for remaining.Load() > 0 && !stop.Load() {
 				r, ok := deques[self].PopBottom()
+				src := self
 				if !ok {
 					// Steal from a pseudo-random victim.
 					rng ^= rng << 13
 					rng ^= rng >> 7
 					rng ^= rng << 17
 					victim := int(rng % uint64(p.workers))
-					if victim == self {
-						victim = (victim + 1) % p.workers
+					for i := 0; i < p.workers && !ok; i++ {
+						if victim != self {
+							r, ok = deques[victim].Steal()
+							src = victim
+						}
+						if !ok {
+							victim = (victim + 1) % p.workers
+						}
 					}
-					r, ok = deques[victim].Steal()
-					if !ok {
-						// Nothing to steal right now; yield and retry
-						// until the loop is globally done or stopped.
+				}
+				if !ok {
+					idle++
+					if idle < spinSweeps {
 						runtime.Gosched()
 						continue
 					}
+					// Out of spin budget: park until terminated or new
+					// stealable work is signalled. The recheck between
+					// prepare and the blocking receive closes the race
+					// with a concurrent waker.
+					wake := p.idle.prepare()
+					if stop.Load() || remaining.Load() <= 0 || anyQueued() {
+						p.idle.cancel(wake)
+					} else {
+						<-wake
+					}
+					idle = 0
+					continue
+				}
+				idle = 0
+				// Work propagation: the deque we claimed from still has
+				// chunks, so a parked peer could be helping.
+				if deques[src].Size() > 0 {
+					p.idle.wakeOne()
 				}
 				if err := exec(r); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					stop.Store(true)
+					p.idle.wakeAll()
 					return
 				}
-				remaining.Add(int64(-r.Len()))
+				if remaining.Add(int64(-r.Len())) <= 0 {
+					p.idle.wakeAll()
+					return
+				}
 			}
 		}(w)
 	}
@@ -205,11 +325,19 @@ func (p *Pool) run(ctx context.Context, n int, grain int, exec func(r Range) err
 		// Return promptly; workers observe stop at their next chunk
 		// boundary and drain in the background.
 		stop.Store(true)
+		p.idle.wakeAll()
 		select {
 		case <-finished:
 			// Workers happened to finish anyway; fall through to report
-			// a body error if one raced with the cancellation.
+			// the loop's true outcome.
 		default:
+			if remaining.Load() <= 0 {
+				// Completion won the race: every iteration executed, so
+				// the caller gets the drained loop's nil, not a spurious
+				// ctx.Err(). (A body error is impossible here — an
+				// erroring chunk never decrements remaining.)
+				return nil
+			}
 			return ctx.Err()
 		}
 	}
@@ -217,6 +345,11 @@ func (p *Pool) run(ctx context.Context, n int, grain int, exec func(r Range) err
 	// wg.Done, and finished closing orders that before this read.
 	if firstErr != nil {
 		return firstErr
+	}
+	if remaining.Load() <= 0 {
+		// Fully drained: success even if ctx was cancelled in the same
+		// instant — a completed loop never reports cancellation.
+		return nil
 	}
 	return ctx.Err()
 }

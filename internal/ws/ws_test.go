@@ -1,6 +1,8 @@
 package ws
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -245,5 +247,135 @@ func TestParallelForSumProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Regression for the cancellation/completion race: a loop that has
+// executed every iteration must return nil even when the context is
+// cancelled at the same instant. The last body to execute cancels the
+// context, so completion and cancellation land together; whatever the
+// schedule, the loop must (a) have run every index exactly once and
+// (b) report either success or cancellation — and across many trials
+// success must actually occur, which the old code never did (it
+// returned ctx.Err() even after observing the drained pool).
+func TestCompletedLoopNeverReportsSpuriousCancellation(t *testing.T) {
+	const trials = 300
+	const n = 512
+	p := NewPool(4)
+	nilErrs := 0
+	for trial := 0; trial < trials; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var count atomic.Int64
+		err := p.ParallelForCtx(ctx, n, 16, func(int) {
+			if count.Add(1) == n {
+				cancel()
+			}
+		})
+		if got := count.Load(); got != n {
+			t.Fatalf("trial %d: executed %d iterations, want %d", trial, got, n)
+		}
+		switch {
+		case err == nil:
+			nilErrs++
+		case errors.Is(err, context.Canceled):
+			// Cancellation observed before the final bookkeeping landed:
+			// acceptable, the race was real.
+		default:
+			t.Fatalf("trial %d: err = %v", trial, err)
+		}
+		cancel()
+	}
+	if nilErrs == 0 {
+		t.Errorf("all %d fully-drained loops reported cancellation; a completed loop must return nil", trials)
+	}
+}
+
+// Deque stress across ring growth: thieves steal continuously while
+// the owner pushes enough elements (in bursts, with interleaved pops)
+// to force the ring through several doublings. Every element must be
+// consumed exactly once.
+func TestDequeStealDuringGrowth(t *testing.T) {
+	const (
+		total   = 1 << 17 // forces growth 64 -> 131072 under backlog
+		burst   = 4096
+		thieves = 4
+	)
+	d := NewDeque()
+	taken := make([]int32, total)
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for consumed.Load() < total {
+				if r, ok := d.Steal(); ok {
+					atomic.AddInt32(&taken[r.Start], 1)
+					consumed.Add(1)
+				}
+			}
+		}()
+	}
+	for next := 0; next < total; {
+		stop := next + burst
+		if stop > total {
+			stop = total
+		}
+		for ; next < stop; next++ {
+			d.PushBottom(Range{Start: next, End: next + 1})
+		}
+		// Interleave owner pops against in-flight steals.
+		for i := 0; i < burst/8; i++ {
+			if r, ok := d.PopBottom(); ok {
+				atomic.AddInt32(&taken[r.Start], 1)
+				consumed.Add(1)
+			}
+		}
+	}
+	for consumed.Load() < total {
+		if r, ok := d.PopBottom(); ok {
+			atomic.AddInt32(&taken[r.Start], 1)
+			consumed.Add(1)
+		}
+	}
+	wg.Wait()
+	for i, c := range taken {
+		if c != 1 {
+			t.Fatalf("element %d consumed %d times", i, c)
+		}
+	}
+}
+
+// A pool must support many loops in flight at once: concurrent callers
+// share one Pool and every loop still executes each index exactly once.
+func TestPoolConcurrentLoops(t *testing.T) {
+	p := NewPool(4)
+	const (
+		callers = 8
+		n       = 40000
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	hits := make([][]int32, callers)
+	for c := 0; c < callers; c++ {
+		hits[c] = make([]int32, n)
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = p.ParallelFor(n, 64, func(i int) {
+				atomic.AddInt32(&hits[c][i], 1)
+			})
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		for i, h := range hits[c] {
+			if h != 1 {
+				t.Fatalf("caller %d index %d executed %d times", c, i, h)
+			}
+		}
 	}
 }
