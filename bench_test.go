@@ -10,6 +10,7 @@ package eas_test
 // (see EXPERIMENTS.md for the comparison table).
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -33,7 +34,7 @@ import (
 func benchEvaluate(b *testing.B, platformName, metricName string) {
 	b.Helper()
 	spec, _ := platform.Presets(platformName)
-	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -189,15 +190,34 @@ func BenchmarkFig06_TabletCharacterization(b *testing.B) {
 // grid evaluation of the objective over α (paper §5: "on average 1-2
 // microseconds on both platforms").
 func BenchmarkAlphaSearch(b *testing.B) {
-	model, err := powerchar.Characterize(platform.DesktopSpec(), powerchar.Options{})
+	model, err := powerchar.Cached(context.Background(), platform.DesktopSpec(), powerchar.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	curve, _ := model.Curve(wclass.Category{Memory: true})
 	tm := core.TimeModel{RC: 7.5e6, RG: 1.4e7}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.BestAlpha(curve, tm, 1e6, metrics.EDP, 0.1)
+	}
+}
+
+// BenchmarkBestAlphaRefined measures the refined per-decision search
+// (coarse 0.1 grid + golden-section polish of the winning cell) that
+// Options.RefineAlpha enables. It must stay allocation-free: the
+// objective closure and the search state live on the stack.
+func BenchmarkBestAlphaRefined(b *testing.B) {
+	model, err := powerchar.Cached(context.Background(), platform.DesktopSpec(), powerchar.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	curve, _ := model.Curve(wclass.Category{Memory: true})
+	tm := core.TimeModel{RC: 7.5e6, RG: 1.4e7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BestAlphaRefined(curve, tm, 1e6, metrics.EDP, 0.1, 0)
 	}
 }
 
@@ -323,7 +343,7 @@ func BenchmarkRuntimeMultiTenant(b *testing.B) {
 // time and energy of the run.
 func BenchmarkWorkloadsEAS(b *testing.B) {
 	spec := platform.DesktopSpec()
-	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -333,7 +353,7 @@ func BenchmarkWorkloadsEAS(b *testing.B) {
 			var res sched.Result
 			for i := 0; i < b.N; i++ {
 				res, err = sched.EAS(core.Options{GrowProfileChunk: true, ConvergeTol: 0.08}).
-					Run(w, spec, model, metrics.EDP, report.DefaultSeed)
+					Run(context.Background(), w, spec, model, metrics.EDP, report.DefaultSeed)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -11,14 +11,18 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"github.com/hetsched/eas"
+	"github.com/hetsched/eas/internal/powerchar"
 	"github.com/hetsched/eas/internal/report"
 )
 
@@ -34,7 +38,44 @@ func main() {
 	contention := flag.String("contention", "", "run the GPU-contention study for this workload abbreviation")
 	dynOracle := flag.Bool("dyn-oracle", false, "run the dynamic per-invocation oracle study")
 	concurrent := flag.Int("concurrent", 0, "run the multi-tenant throughput demo with this many concurrent tenants")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf work)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	modelCache := flag.String("model-cache", "", "JSON file persisting characterization models across invocations (loaded at start, saved on exit)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	if *modelCache != "" {
+		if err := powerchar.DefaultCache.LoadFile(*modelCache); err != nil && !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, "easbench: model cache:", err)
+		}
+		defer func() {
+			if err := powerchar.DefaultCache.SaveFile(*modelCache); err != nil {
+				fmt.Fprintln(os.Stderr, "easbench: model cache:", err)
+			}
+		}()
+	}
 
 	if *concurrent > 0 {
 		if err := runConcurrent(*concurrent); err != nil {

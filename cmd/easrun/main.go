@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +36,20 @@ func main() {
 	seed := flag.Int64("seed", report.DefaultSeed, "workload schedule seed")
 	detail := flag.Bool("detail", false, "print the full per-workload analysis (α landscape, all strategies, EAS decisions, energy breakdown)")
 	svgDir := flag.String("svg", "", "with -detail: write the α landscape chart into this directory")
+	modelCache := flag.String("model-cache", "", "JSON file persisting characterization models across invocations (loaded at start, saved on exit)")
 	flag.Parse()
+
+	if *modelCache != "" {
+		// Best-effort load: a missing file just means first run.
+		if err := powerchar.DefaultCache.LoadFile(*modelCache); err != nil && !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, "easrun: model cache:", err)
+		}
+		defer func() {
+			if err := powerchar.DefaultCache.SaveFile(*modelCache); err != nil {
+				fmt.Fprintln(os.Stderr, "easrun: model cache:", err)
+			}
+		}()
+	}
 
 	if *detail {
 		d, err := report.WorkloadDetail(strings.ToUpper(*workload), *platformName, *metricName, *seed)
@@ -95,13 +110,13 @@ func main() {
 	var model *powerchar.Model
 	if needsModel(strat.Name()) {
 		fmt.Fprintf(os.Stderr, "characterizing %s…\n", spec.Name)
-		model, err = powerchar.Characterize(spec, powerchar.Options{})
+		model, err = powerchar.Cached(context.Background(), spec, powerchar.Options{})
 		if err != nil {
 			fail(err)
 		}
 	}
 
-	res, err := strat.Run(w, spec, model, metric, *seed)
+	res, err := strat.Run(context.Background(), w, spec, model, metric, *seed)
 	if err != nil {
 		fail(err)
 	}

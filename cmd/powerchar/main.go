@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +32,7 @@ func main() {
 	degree := flag.Int("degree", 6, "fitted polynomial degree")
 	out := flag.String("o", "", "write the model JSON to this path")
 	svgDir := flag.String("svg", "", "directory to write the curves as an SVG chart into")
+	modelCache := flag.String("model-cache", "", "JSON file persisting characterization models across invocations (loaded at start, saved on exit)")
 	flag.Parse()
 
 	var spec platform.Spec
@@ -53,12 +56,22 @@ func main() {
 		fmt.Printf("spec for %s written to %s\n", spec.Name, *dumpSpec)
 		return
 	}
+	if *modelCache != "" {
+		if err := powerchar.DefaultCache.LoadFile(*modelCache); err != nil && !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, "powerchar: model cache:", err)
+		}
+	}
 	fmt.Printf("characterizing %s (figures %s of the paper)…\n\n",
 		spec.Name, map[string]string{"desktop": "5", "tablet": "6"}[spec.Name])
 
-	model, err := powerchar.Characterize(spec, powerchar.Options{AlphaStep: *step, PolyDegree: *degree})
+	model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{AlphaStep: *step, PolyDegree: *degree})
 	if err != nil {
 		fail(err)
+	}
+	if *modelCache != "" {
+		if err := powerchar.DefaultCache.SaveFile(*modelCache); err != nil {
+			fmt.Fprintln(os.Stderr, "powerchar: model cache:", err)
+		}
 	}
 
 	for _, key := range report.SortedCurveKeys(model) {

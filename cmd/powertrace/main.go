@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 
 	"github.com/hetsched/eas/internal/report"
 	"github.com/hetsched/eas/internal/trace"
@@ -27,7 +28,19 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, dvfs, or all")
 	csvDir := flag.String("csv", "", "directory to write CSV series into")
 	svgDir := flag.String("svg", "", "directory to write SVG charts into")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	want := func(id string) bool { return *fig == "all" || *fig == id }
 

@@ -99,6 +99,11 @@ type Config struct {
 	Model *PowerModel
 	// AlphaStep is the offload-ratio search granularity (default 0.1).
 	AlphaStep float64
+	// RefineAlpha polishes each α decision with a golden-section pass
+	// over the winning grid cell. The refined objective is never worse
+	// than the plain grid's; the cost is a few extra model evaluations
+	// per scheduling decision (still allocation-free).
+	RefineAlpha bool
 	// ReprofileEvery re-profiles a known kernel every k-th invocation
 	// (for workloads whose behaviour drifts); 0 profiles only once.
 	ReprofileEvery int
@@ -218,6 +223,7 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 	eng := engine.New(p.inner)
 	sched, err := core.New(eng, model.inner, metric.inner, core.Options{
 		AlphaStep:        cfg.AlphaStep,
+		RefineAlpha:      cfg.RefineAlpha,
 		ReprofileEvery:   cfg.ReprofileEvery,
 		GrowProfileChunk: true,
 		ConvergeTol:      0.08,

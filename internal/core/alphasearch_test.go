@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+// TestRefinedNeverWorse checks the hard guarantee behind
+// Options.RefineAlpha: on every fitted desktop curve, metric, and a
+// range of device-throughput ratios, the refined search returns an
+// objective no worse than the plain 0.1 grid.
+func TestRefinedNeverWorse(t *testing.T) {
+	model, err := powerchar.Cached(context.Background(), platform.DesktopSpec(), powerchar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tms := []TimeModel{
+		{RC: 7.5e6, RG: 1.4e7},
+		{RC: 2e7, RG: 5e6},
+		{RC: 1e6, RG: 1e6},
+		{RC: 0, RG: 1e7},
+		{RC: 1e7, RG: 0},
+	}
+	for _, cat := range wclass.All() {
+		curve, ok := model.Curve(cat)
+		if !ok {
+			t.Fatalf("model missing curve for %s", cat)
+		}
+		for _, metric := range []metrics.Metric{metrics.Energy, metrics.EDP, metrics.ED2P} {
+			for _, tm := range tms {
+				_, coarse := BestAlpha(curve, tm, 1e6, metric, 0.1)
+				_, refined := BestAlphaRefined(curve, tm, 1e6, metric, 0.1, 0)
+				if refined > coarse {
+					t.Errorf("%s/%s RC=%g RG=%g: refined %v worse than coarse %v",
+						cat, metric, tm.RC, tm.RG, refined, coarse)
+				}
+			}
+		}
+	}
+}
+
+// TestBestAlphaRefinedOnGridWhenFlat keeps the refined search honest on
+// degenerate objectives: with flat power and symmetric throughputs the
+// coarse winner already sits at the optimum, and refinement must not
+// wander off it.
+func TestBestAlphaRefinedOnGridWhenFlat(t *testing.T) {
+	m := TimeModel{RC: 1e6, RG: 1e6}
+	aCoarse, vCoarse := BestAlpha(flatCurve(40), m, 1e5, metrics.EDP, 0.1)
+	aRef, vRef := BestAlphaRefined(flatCurve(40), m, 1e5, metrics.EDP, 0.1, 0)
+	if vRef > vCoarse {
+		t.Errorf("refined objective %v worse than coarse %v", vRef, vCoarse)
+	}
+	// The optimum is αPERF = 0.5, which the 0.1 grid hits exactly.
+	if diff := aRef - aCoarse; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("refined α = %v moved off the already-optimal grid point %v", aRef, aCoarse)
+	}
+}
+
+// TestAlphaSearchNoAllocs pins the hot path's allocation budget to
+// zero: the objective closure and both searches must stay on the stack.
+// One α decision runs per scheduled invocation, so a single heap
+// allocation here would show up in every workload.
+func TestAlphaSearchNoAllocs(t *testing.T) {
+	model, err := powerchar.Cached(context.Background(), platform.DesktopSpec(), powerchar.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, _ := model.Curve(wclass.Category{Memory: true})
+	tm := TimeModel{RC: 7.5e6, RG: 1.4e7}
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() {
+		a, _ := BestAlpha(curve, tm, 1e6, metrics.EDP, 0.1)
+		sink += a
+	}); n != 0 {
+		t.Errorf("BestAlpha allocates %.0f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		a, _ := BestAlphaRefined(curve, tm, 1e6, metrics.EDP, 0.1, 0)
+		sink += a
+	}); n != 0 {
+		t.Errorf("BestAlphaRefined allocates %.0f objects/op, want 0", n)
+	}
+	_ = sink
+}

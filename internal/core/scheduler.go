@@ -45,6 +45,11 @@ func (r Retry) withDefaults() Retry {
 type Options struct {
 	// AlphaStep is the α grid granularity (paper: 0.1).
 	AlphaStep float64
+	// RefineAlpha refines each grid search's winner with a golden-section
+	// pass over the winning cell (BestAlphaRefined). The result is never
+	// worse than the plain grid; the cost is a handful of extra objective
+	// evaluations per decision.
+	RefineAlpha bool
 	// ProfileShare is the fraction of the first invocation's
 	// iterations consumed by repeated profiling steps (paper: 0.5 —
 	// "repeat profiling for half of the iterations").
@@ -364,7 +369,11 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 				return Report{}, fmt.Errorf("core: characterization has no curve for %s", rep.Category)
 			}
 		}
-		alpha, _ = BestAlpha(curve, tm, searchN, s.metric, s.opts.AlphaStep)
+		if s.opts.RefineAlpha {
+			alpha, _ = BestAlphaRefined(curve, tm, searchN, s.metric, s.opts.AlphaStep, 0)
+		} else {
+			alpha, _ = BestAlpha(curve, tm, searchN, s.metric, s.opts.AlphaStep)
+		}
 		rep.PredictedTime = tm.Time(alpha, searchN)
 		rep.PredictedPower = curve.Power(alpha)
 	}

@@ -111,3 +111,21 @@ func BestAlpha(curve powerchar.Curve, tm TimeModel, n float64, metric metrics.Me
 	steps := int(math.Round(1 / step))
 	return vmath.GridMin(Objective(curve, tm, n, metric), 0, 1, steps)
 }
+
+// BestAlphaRefined is BestAlpha followed by a golden-section refinement
+// of the winning grid cell (±step around the coarse minimizer). It
+// costs a handful of extra objective evaluations — far cheaper than
+// shrinking the whole grid — and is guaranteed never to return a worse
+// objective than the coarse search (vmath.GridMinRefined keeps the grid
+// winner as a floor). tol is the final bracket width; ≤0 selects 1e-3.
+// Enabled in the scheduler via Options.RefineAlpha.
+func BestAlphaRefined(curve powerchar.Curve, tm TimeModel, n float64, metric metrics.Metric, step, tol float64) (alpha, objective float64) {
+	if step <= 0 || step > 1 {
+		step = 0.1
+	}
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	steps := int(math.Round(1 / step))
+	return vmath.GridMinRefined(Objective(curve, tm, n, metric), 0, 1, steps, tol)
+}

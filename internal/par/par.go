@@ -1,0 +1,98 @@
+// Package par is the bounded fan-out primitive the measurement and
+// evaluation pipelines share. Every hot grid in the reproduction —
+// characterization sweeps, the workloads × strategies evaluation, the
+// Oracle's α search — is embarrassingly parallel: each cell runs on a
+// freshly booted simulated platform and touches no shared state. ForEach
+// runs such index ranges across a worker pool bounded by GOMAXPROCS
+// (errgroup-style), cancelling the remaining work on the first error, so
+// callers keep determinism simply by writing results into pre-sized
+// slots and assembling them in index order afterwards.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested fan-out width: values ≤ 0 select
+// GOMAXPROCS, and the result never exceeds n (no idle goroutines).
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (workers ≤ 0 selects GOMAXPROCS). The first error cancels
+// the shared context and is returned; indices not yet started are then
+// skipped. When the parent context is cancelled, ForEach stops issuing
+// work and returns ctx.Err(). fn must confine its writes to slots owned
+// by index i — ForEach provides the necessary happens-before edges
+// between fn calls and ForEach's return.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		// Degenerate pool: run inline in index order (the serial path,
+		// byte-identical by construction and cheap to reason about).
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

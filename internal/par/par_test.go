@@ -1,0 +1,152 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, max},  // default: GOMAXPROCS
+		{-3, 100, max}, // negative: same default
+		{4, 2, 2},      // capped at job count
+		{2, 100, 2},    // explicit width respected
+		{1, 100, 1},    // serial
+		{5, 0, 1},      // floor of one even with no jobs
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 100
+		counts := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), n, workers, func(_ context.Context, i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSerialRunsInOrder(t *testing.T) {
+	var order []int
+	err := ForEach(context.Background(), 10, 1, func(_ context.Context, i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	called := false
+	if err := ForEach(context.Background(), 0, 4, func(_ context.Context, _ int) error {
+		called = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called with n=0")
+	}
+}
+
+func TestForEachReturnsFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := ForEach(context.Background(), 50, 4, func(_ context.Context, i int) error {
+		if i == 7 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+}
+
+func TestForEachErrorCancelsRemaining(t *testing.T) {
+	// After the failing job, workers should observe the cancelled ctx and
+	// stop picking up new indices; with one extra worker the run must end
+	// well short of n jobs.
+	var started atomic.Int32
+	sentinel := errors.New("boom")
+	err := ForEach(context.Background(), 1000, 2, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if i < 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Error("cancellation did not stop the fan-out (all 1000 jobs ran)")
+	}
+}
+
+func TestForEachRespectsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEach(ctx, 100, 4, func(ctx context.Context, _ int) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	err := ForEach(context.Background(), 64, workers, func(_ context.Context, _ int) error {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		defer cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent jobs, want ≤ %d", p, workers)
+	}
+}

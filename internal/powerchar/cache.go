@@ -1,0 +1,187 @@
+package powerchar
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/hetsched/eas/internal/platform"
+)
+
+// Cache memoizes characterization models by (spec fingerprint, Options).
+// Characterization is the pipeline's dominant fixed cost — eight α
+// sweeps, each booting a platform per point — and the paper's whole
+// premise is that it happens *once per processor*; the reproduction
+// used to re-fit the identical model in every evaluation call, bench
+// iteration, and CLI invocation. A Cache is safe for concurrent use and
+// deduplicates in-flight work: goroutines asking for the same key share
+// one measurement (singleflight) instead of racing eight sweeps each.
+//
+// Cached models are shared pointers — treat them as immutable. Code
+// that wants to perturb a model (the single-curve ablation) must build
+// its own copy.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	once  sync.Once
+	model *Model
+	err   error
+}
+
+// NewCache returns an empty model cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]*cacheEntry{}}
+}
+
+// DefaultCache is the process-wide model cache the evaluation pipeline,
+// the public API, and the CLI tools share.
+var DefaultCache = NewCache()
+
+// Cached characterizes through the process-wide DefaultCache: a hit
+// returns the shared fitted model immediately, a miss runs
+// CharacterizeCtx once and remembers it.
+func Cached(ctx context.Context, spec platform.Spec, opts Options) (*Model, error) {
+	return DefaultCache.Characterize(ctx, spec, opts)
+}
+
+// Key fingerprints a characterization configuration: a SHA-256 over the
+// spec's canonical JSON plus the options that shape the fit. Workers is
+// deliberately excluded — pool width cannot change the model. Two specs
+// that serialize identically produce identical models, so the hash is a
+// sound identity.
+func Key(spec platform.Spec, opts Options) (string, error) {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("powerchar: fingerprinting spec %s: %w", spec.Name, err)
+	}
+	opts = opts.withDefaults()
+	h := sha256.New()
+	h.Write(data)
+	fmt.Fprintf(h, "|step=%g|degree=%d", opts.AlphaStep, opts.PolyDegree)
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// Characterize returns the cached model for (spec, opts), measuring and
+// fitting it on first use. Concurrent callers with the same key block
+// on the single in-flight characterization rather than duplicating it.
+// Errors are not cached: a failed or cancelled characterization is
+// retried by the next caller.
+func (c *Cache) Characterize(ctx context.Context, spec platform.Spec, opts Options) (*Model, error) {
+	key, err := Key(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.model, e.err = CharacterizeCtx(ctx, spec, opts)
+	})
+	if e.err != nil {
+		// Drop the failed entry so a later call can retry (the error
+		// may be a cancelled ctx, not a property of the spec).
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	return e.model, nil
+}
+
+// Put seeds the cache with an already-fitted model (used when loading
+// persisted caches and by tests).
+func (c *Cache) Put(spec platform.Spec, opts Options, m *Model) error {
+	key, err := Key(spec, opts)
+	if err != nil {
+		return err
+	}
+	e := &cacheEntry{model: m}
+	e.once.Do(func() {}) // mark resolved
+	c.mu.Lock()
+	c.entries[key] = e
+	c.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of resolved models in the cache.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.entries {
+		if e.model != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports cache hits and misses since creation (a hit is a lookup
+// that found an entry, including one still being measured).
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// SaveFile persists every resolved model as a JSON map of fingerprint →
+// model, so CLI invocations can skip re-characterization across
+// processes ("computed once per processor", now literally).
+func (c *Cache) SaveFile(path string) error {
+	c.mu.Lock()
+	out := make(map[string]*Model, len(c.entries))
+	for key, e := range c.entries {
+		if e.model != nil {
+			out[key] = e.model
+		}
+	}
+	c.mu.Unlock()
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("powerchar: encoding model cache: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadFile merges a cache saved with SaveFile into c. Incomplete models
+// are skipped rather than poisoning lookups; unknown keys are kept
+// verbatim (the fingerprint algorithm is stable for a given spec JSON).
+func (c *Cache) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("powerchar: reading model cache: %w", err)
+	}
+	var in map[string]*Model
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("powerchar: decoding model cache %s: %w", path, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, m := range in {
+		if m == nil || !m.Complete() {
+			continue
+		}
+		e := &cacheEntry{model: m}
+		e.once.Do(func() {})
+		c.entries[key] = e
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package powerchar
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"github.com/hetsched/eas/internal/platform"
+)
+
+// fastOpts keeps cache-test characterizations cheap: 11 α points per
+// sweep instead of 21.
+func fastOpts() Options { return Options{AlphaStep: 0.1, PolyDegree: 4} }
+
+func TestParallelCharacterizeMatchesSerial(t *testing.T) {
+	// Every α point boots a fresh platform, so the fan-out must be
+	// bit-identical to the serial sweep no matter the pool width.
+	spec := platform.DesktopSpec()
+	serial, err := CharacterizeCtx(context.Background(), spec, Options{AlphaStep: 0.1, PolyDegree: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 7} {
+		par, err := CharacterizeCtx(context.Background(), spec, Options{AlphaStep: 0.1, PolyDegree: 4, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par.Curves) != len(serial.Curves) {
+			t.Fatalf("workers=%d: %d curves, serial has %d", workers, len(par.Curves), len(serial.Curves))
+		}
+		for key, sc := range serial.Curves {
+			pc, ok := par.Curves[key]
+			if !ok {
+				t.Fatalf("workers=%d: missing curve %s", workers, key)
+			}
+			for i := range sc.Coeffs {
+				if pc.Coeffs[i] != sc.Coeffs[i] {
+					t.Errorf("workers=%d %s coeff %d: %v != %v (parallel fit must be bit-identical)",
+						workers, key, i, pc.Coeffs[i], sc.Coeffs[i])
+				}
+			}
+			if pc.R2 != sc.R2 {
+				t.Errorf("workers=%d %s: R² %v != %v", workers, key, pc.R2, sc.R2)
+			}
+			for i := range sc.Samples {
+				if pc.Samples[i] != sc.Samples[i] {
+					t.Errorf("workers=%d %s sample %d: %+v != %+v", workers, key, i, pc.Samples[i], sc.Samples[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCharacterizeCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CharacterizeCtx(ctx, platform.DesktopSpec(), fastOpts()); err == nil {
+		t.Error("cancelled ctx should abort characterization")
+	}
+}
+
+func TestCacheHitReturnsSameModel(t *testing.T) {
+	c := NewCache()
+	spec := platform.DesktopSpec()
+	a, err := c.Characterize(context.Background(), spec, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Characterize(context.Background(), spec, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second characterization of an identical spec should return the cached *Model")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func mustKey(t *testing.T, spec platform.Spec, opts Options) string {
+	t.Helper()
+	k, err := Key(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	spec := platform.DesktopSpec()
+	base := mustKey(t, spec, fastOpts())
+	if base == "" {
+		t.Fatal("empty key")
+	}
+	// Different platform → different model.
+	if k := mustKey(t, platform.TabletSpec(), fastOpts()); k == base {
+		t.Error("tablet and desktop specs share a cache key")
+	}
+	// Different fit options → different model.
+	if k := mustKey(t, spec, Options{AlphaStep: 0.05, PolyDegree: 4}); k == base {
+		t.Error("alpha step should be part of the key")
+	}
+	if k := mustKey(t, spec, Options{AlphaStep: 0.1, PolyDegree: 6}); k == base {
+		t.Error("poly degree should be part of the key")
+	}
+	// Workers is an execution detail, not a model property.
+	o := fastOpts()
+	o.Workers = 7
+	if k := mustKey(t, spec, o); k != base {
+		t.Error("worker count must not change the key")
+	}
+	// Defaults normalize: zero options equal the explicit defaults.
+	if mustKey(t, spec, Options{}) != mustKey(t, spec, Options{AlphaStep: 0.05, PolyDegree: 6}) {
+		t.Error("zero options should normalize to the defaults")
+	}
+	// A perturbed spec reads as a different platform.
+	perturbed := spec
+	perturbed.CPU.Cores++
+	if k := mustKey(t, perturbed, fastOpts()); k == base {
+		t.Error("spec changes should change the key")
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache()
+	spec := platform.DesktopSpec()
+	bad := Options{AlphaStep: 0.9} // too coarse: validation fails
+	if _, err := c.Characterize(context.Background(), spec, bad); err == nil {
+		t.Fatal("want validation error")
+	}
+	if c.Len() != 0 {
+		t.Error("failed characterization should not stay cached")
+	}
+	// A later call with the same key retries rather than replaying the
+	// error — here it fails again, but through a fresh attempt.
+	if _, err := c.Characterize(context.Background(), spec, bad); err == nil {
+		t.Fatal("retry should re-run and fail again")
+	}
+}
+
+func TestCacheSaveLoadFile(t *testing.T) {
+	c := NewCache()
+	spec := platform.DesktopSpec()
+	want, err := c.Characterize(context.Background(), spec, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewCache()
+	if err := fresh.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 1 {
+		t.Fatalf("loaded cache holds %d entries, want 1", fresh.Len())
+	}
+	got, err := fresh.Characterize(context.Background(), spec, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := fresh.Stats(); hits != 1 {
+		t.Error("characterize after LoadFile should hit, not re-measure")
+	}
+	for key, wc := range want.Curves {
+		gc, ok := got.Curves[key]
+		if !ok {
+			t.Fatalf("loaded model missing curve %s", key)
+		}
+		for i := range wc.Coeffs {
+			if gc.Coeffs[i] != wc.Coeffs[i] {
+				t.Errorf("%s coeff %d: %v != %v after round trip", key, i, gc.Coeffs[i], wc.Coeffs[i])
+			}
+		}
+	}
+}
+
+func TestCacheLoadFileMissing(t *testing.T) {
+	c := NewCache()
+	if err := c.LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file should surface an error for the caller to classify")
+	}
+}
+
+func TestCachePut(t *testing.T) {
+	c := NewCache()
+	spec := platform.DesktopSpec()
+	m := &Model{Platform: spec.Name, Curves: map[string]Curve{}}
+	if err := c.Put(spec, fastOpts(), m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Characterize(context.Background(), spec, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Error("Put model should satisfy the next Characterize")
+	}
+}

@@ -8,13 +8,14 @@
 package powerchar
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
-	"sort"
 
 	"github.com/hetsched/eas/internal/engine"
 	"github.com/hetsched/eas/internal/microbench"
+	"github.com/hetsched/eas/internal/par"
 	"github.com/hetsched/eas/internal/platform"
 	"github.com/hetsched/eas/internal/vmath"
 	"github.com/hetsched/eas/internal/wclass"
@@ -46,9 +47,16 @@ type Curve struct {
 func (c Curve) Poly() vmath.Poly { return vmath.Poly{Coeffs: c.Coeffs} }
 
 // Power evaluates the fitted curve at offload ratio alpha, clamped to
-// [0,1].
+// [0,1]. The Horner loop is inlined here rather than routed through
+// Poly.Eval: this is the innermost call of the scheduler's online α
+// search, and it must stay allocation-free.
 func (c Curve) Power(alpha float64) float64 {
-	return c.Poly().Eval(vmath.Clamp(alpha, 0, 1))
+	x := vmath.Clamp(alpha, 0, 1)
+	v := 0.0
+	for i := len(c.Coeffs) - 1; i >= 0; i-- {
+		v = v*x + c.Coeffs[i]
+	}
+	return v
 }
 
 // Model is a platform's complete power characterization: one curve per
@@ -96,6 +104,11 @@ type Options struct {
 	// PolyDegree is the fitted polynomial degree; 0 selects the
 	// paper's sixth order.
 	PolyDegree int
+	// Workers bounds the measurement fan-out; 0 selects GOMAXPROCS.
+	// Every (category, α) point runs on a freshly booted platform, so
+	// the pool width changes wall-clock time only, never the model —
+	// Workers is therefore excluded from the cache key.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +137,17 @@ func (o Options) validate() error {
 // on a freshly booted platform per α point, so measurements are
 // independent and deterministic.
 func Characterize(spec platform.Spec, opts Options) (*Model, error) {
+	return CharacterizeCtx(context.Background(), spec, opts)
+}
+
+// CharacterizeCtx is Characterize with cancellation: the measurement
+// grid — all eight category sweeps and every α point within them —
+// fans out across a worker pool bounded by opts.Workers (default
+// GOMAXPROCS), and the first failure (or a cancelled ctx) stops the
+// remaining points. Each point boots its own platform, so results are
+// written to pre-sized slots and the assembled model is byte-identical
+// to a serial run regardless of pool width.
+func CharacterizeCtx(ctx context.Context, spec platform.Spec, opts Options) (*Model, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -132,15 +156,49 @@ func Characterize(spec platform.Spec, opts Options) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	alphas := alphaGrid(opts.AlphaStep)
+
+	// One flat job per (category, α) point; samples land in their own
+	// slot so assembly order never depends on completion order.
+	samples := make([][]Sample, len(suite))
+	for i := range samples {
+		samples[i] = make([]Sample, len(alphas))
+	}
+	npts := len(alphas)
+	err = par.ForEach(ctx, len(suite)*npts, opts.Workers, func(_ context.Context, j int) error {
+		bi, pi := j/npts, j%npts
+		b := suite[bi]
+		s, err := MeasureAlpha(spec, b, alphas[pi])
+		if err != nil {
+			return fmt.Errorf("powerchar: %s on %s: %w", b.Category, spec.Name, err)
+		}
+		samples[bi][pi] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	model := &Model{Platform: spec.Name, AlphaStep: opts.AlphaStep, Curves: map[string]Curve{}}
-	for _, b := range suite {
-		curve, err := sweep(spec, b, opts)
+	for bi, b := range suite {
+		curve, err := fit(b, samples[bi], opts)
 		if err != nil {
 			return nil, fmt.Errorf("powerchar: %s on %s: %w", b.Category, spec.Name, err)
 		}
 		model.Curves[b.Category.Key()] = curve
 	}
 	return model, nil
+}
+
+// alphaGrid enumerates the sweep's α points. It uses the same
+// accumulating loop the serial sweep always used, so the grid (and with
+// it every fitted coefficient) is bit-identical to historical models.
+func alphaGrid(step float64) []float64 {
+	var alphas []float64
+	for alpha := 0.0; alpha <= 1.0+1e-9; alpha += step {
+		alphas = append(alphas, vmath.Clamp(alpha, 0, 1))
+	}
+	return alphas
 }
 
 // MeasureAlpha runs one micro-benchmark at one offload ratio on a fresh
@@ -169,18 +227,9 @@ func MeasureAlpha(spec platform.Spec, b microbench.Benchmark, alpha float64) (Sa
 	return Sample{Alpha: alpha, Watts: res.EnergyJ / sec, Seconds: sec}, nil
 }
 
-func sweep(spec platform.Spec, b microbench.Benchmark, opts Options) (Curve, error) {
-	var samples []Sample
-	for alpha := 0.0; alpha <= 1.0+1e-9; alpha += opts.AlphaStep {
-		a := vmath.Clamp(alpha, 0, 1)
-		s, err := MeasureAlpha(spec, b, a)
-		if err != nil {
-			return Curve{}, err
-		}
-		samples = append(samples, s)
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i].Alpha < samples[j].Alpha })
-
+// fit turns one category's measured sweep (already in ascending α
+// order — the grid is enumerated low to high) into a fitted curve.
+func fit(b microbench.Benchmark, samples []Sample, opts Options) (Curve, error) {
 	xs := make([]float64, len(samples))
 	ys := make([]float64, len(samples))
 	for i, s := range samples {

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -46,7 +47,7 @@ func AblationPolyDegree(degrees []int, seed int64) ([]AblationRow, error) {
 	spec := platform.DesktopSpec()
 	var rows []AblationRow
 	for _, d := range degrees {
-		model, err := powerchar.Characterize(spec, powerchar.Options{PolyDegree: d})
+		model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{PolyDegree: d})
 		if err != nil {
 			return nil, fmt.Errorf("report: degree %d: %w", d, err)
 		}
@@ -67,7 +68,7 @@ func AblationAlphaStep(steps []float64, seed int64) ([]AblationRow, error) {
 		seed = DefaultSeed
 	}
 	spec := platform.DesktopSpec()
-	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +92,7 @@ func AblationSingleCurve(seed int64) ([]AblationRow, error) {
 		seed = DefaultSeed
 	}
 	spec := platform.DesktopSpec()
-	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +139,7 @@ func AblationProfileStrategy(seed int64) ([]AblationRow, error) {
 		seed = DefaultSeed
 	}
 	spec := platform.DesktopSpec()
-	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{})
 	if err != nil {
 		return nil, err
 	}

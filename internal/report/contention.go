@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -47,7 +48,7 @@ func GPUContentionStudy(abbrev, metricName string, busyFractions []float64, seed
 		return nil, fmt.Errorf("report: unknown workload %q", abbrev)
 	}
 	spec := platform.DesktopSpec()
-	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -71,7 +72,7 @@ func WorkloadDetail(abbrev, platformName, metricName string, seed int64) (*Detai
 	if err != nil {
 		return nil, err
 	}
-	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +81,7 @@ func WorkloadDetail(abbrev, platformName, metricName string, seed int64) (*Detai
 	// Fixed-α landscape.
 	for alpha := 0.0; alpha <= 1+1e-9; alpha += 0.1 {
 		a := vmath.Clamp(alpha, 0, 1)
-		res, err := sched.FixedAlpha(a).Run(w, spec, nil, metric, seed)
+		res, err := sched.FixedAlpha(a).Run(context.Background(), w, spec, nil, metric, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +98,7 @@ func WorkloadDetail(abbrev, platformName, metricName string, seed int64) (*Detai
 	for _, s := range []sched.Strategy{
 		sched.CPUOnly(), sched.GPUOnly(), sched.Perf(opts), sched.EAS(opts), sched.Oracle(0.1),
 	} {
-		res, err := s.Run(w, spec, model, metric, seed)
+		res, err := s.Run(context.Background(), w, spec, model, metric, seed)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -35,7 +36,7 @@ func DynOracleStudy(abbrevs []string, metricName string, seed int64) ([]DynOracl
 		return nil, err
 	}
 	spec := platform.DesktopSpec()
-	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -46,15 +47,15 @@ func DynOracleStudy(abbrevs []string, metricName string, seed int64) ([]DynOracl
 		if !ok {
 			return nil, fmt.Errorf("report: unknown workload %q", ab)
 		}
-		static, err := sched.Oracle(0.1).Run(w, spec, nil, metric, seed)
+		static, err := sched.Oracle(0.1).Run(context.Background(), w, spec, nil, metric, seed)
 		if err != nil {
 			return nil, err
 		}
-		dyn, err := sched.DynOracle(0.1).Run(w, spec, nil, metric, seed)
+		dyn, err := sched.DynOracle(0.1).Run(context.Background(), w, spec, nil, metric, seed)
 		if err != nil {
 			return nil, err
 		}
-		eas, err := sched.EAS(opts).Run(w, spec, model, metric, seed)
+		eas, err := sched.EAS(opts).Run(context.Background(), w, spec, model, metric, seed)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,7 +22,7 @@ func AblationThresholds(seed int64) ([]AblationRow, error) {
 		seed = DefaultSeed
 	}
 	spec := platform.DesktopSpec()
-	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +66,7 @@ func CCReprofileStudy(metricName string, seed int64) ([]AblationRow, error) {
 		return nil, err
 	}
 	spec := platform.DesktopSpec()
-	model, err := powerchar.Characterize(spec, powerchar.Options{})
+	model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +74,7 @@ func CCReprofileStudy(metricName string, seed int64) ([]AblationRow, error) {
 	if !ok {
 		return nil, fmt.Errorf("report: CC workload missing")
 	}
-	oracle, err := sched.Oracle(0.1).Run(cc, spec, model, metric, seed)
+	oracle, err := sched.Oracle(0.1).Run(context.Background(), cc, spec, model, metric, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +84,7 @@ func CCReprofileStudy(metricName string, seed int64) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, k := range []int{0, 64, 16, 4, 2} {
 		opts := core.Options{GrowProfileChunk: true, ConvergeTol: 0.08, ReprofileEvery: k}
-		res, err := sched.EAS(opts).Run(cc, spec, model, metric, seed)
+		res, err := sched.EAS(opts).Run(context.Background(), cc, spec, model, metric, seed)
 		if err != nil {
 			return nil, err
 		}

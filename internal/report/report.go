@@ -6,6 +6,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -13,6 +14,7 @@ import (
 
 	"github.com/hetsched/eas/internal/core"
 	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/par"
 	"github.com/hetsched/eas/internal/platform"
 	"github.com/hetsched/eas/internal/powerchar"
 	"github.com/hetsched/eas/internal/sched"
@@ -66,9 +68,16 @@ type Options struct {
 	OracleStep float64
 	// EAS options (zero = paper defaults).
 	EAS core.Options
-	// Model supplies a precomputed characterization; nil characterizes
-	// on the fly.
+	// Model supplies a precomputed characterization; nil resolves the
+	// platform's model through the shared powerchar cache (measuring
+	// it only the first time a process needs it).
 	Model *powerchar.Model
+	// Serial disables the evaluation grid's parallel fan-out, running
+	// every cell sequentially in display order. The parallel path is
+	// byte-identical by construction (each cell boots its own
+	// platform); Serial exists so tests can prove that, and as an
+	// escape hatch for single-core debugging.
+	Serial bool
 }
 
 func (o Options) withDefaults() Options {
@@ -105,16 +114,28 @@ func figureID(platformName, metricName string) string {
 // Evaluate runs the full strategy grid for one platform preset and
 // metric.
 func Evaluate(platformName, metricName string, opts Options) (*EfficiencyFigure, error) {
+	return EvaluateCtx(context.Background(), platformName, metricName, opts)
+}
+
+// EvaluateCtx is Evaluate with cancellation: the workloads × strategies
+// grid (and the Oracle's α sweep inside it) fans out concurrently, and
+// the first failing cell — or a cancelled ctx — stops the rest.
+func EvaluateCtx(ctx context.Context, platformName, metricName string, opts Options) (*EfficiencyFigure, error) {
 	spec, ok := platform.Presets(platformName)
 	if !ok {
 		return nil, fmt.Errorf("report: unknown platform %q", platformName)
 	}
-	return evaluateSpec(spec, metricName, opts)
+	return evaluateSpec(ctx, spec, metricName, opts)
 }
 
 // evaluateSpec is Evaluate for an explicit platform spec (used by the
-// SKU-variation study, which runs on perturbed units).
-func evaluateSpec(spec platform.Spec, metricName string, opts Options) (*EfficiencyFigure, error) {
+// SKU-variation study, which runs on perturbed units). Every cell of
+// the workloads × strategies grid executes on a freshly booted
+// simulated platform, so the cells run concurrently on a pool bounded
+// by GOMAXPROCS; results are written into pre-sized slots and
+// assembled in display order, keeping the figure byte-identical to a
+// serial evaluation.
+func evaluateSpec(ctx context.Context, spec platform.Spec, metricName string, opts Options) (*EfficiencyFigure, error) {
 	opts = opts.withDefaults()
 	metric, err := metrics.ByName(metricName)
 	if err != nil {
@@ -122,7 +143,7 @@ func evaluateSpec(spec platform.Spec, metricName string, opts Options) (*Efficie
 	}
 	model := opts.Model
 	if model == nil {
-		model, err = powerchar.Characterize(spec, powerchar.Options{})
+		model, err = powerchar.Cached(ctx, spec, powerchar.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -147,22 +168,54 @@ func evaluateSpec(spec platform.Spec, metricName string, opts Options) (*Efficie
 		fig.Strategies = append(fig.Strategies, s.Name())
 	}
 
-	for _, w := range workloads.ForPlatform(spec.Name) {
+	// One job per cell: index j decomposes as (workload, slot) with
+	// slot 0 the Oracle and slot i>0 strategies[i-1]. Serial mode runs
+	// the same jobs on one worker in index order — exactly the old
+	// nested loop.
+	wls := workloads.ForPlatform(spec.Name)
+	for _, w := range wls {
 		fig.Workloads = append(fig.Workloads, w.Abbrev)
-		oracleRes, err := oracleStrat.Run(w, spec, model, metric, opts.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("report: oracle on %s: %w", w.Abbrev, err)
-		}
-		fig.Oracle[w.Abbrev] = oracleRes
-		fig.Cells[w.Abbrev] = map[string]Cell{}
-		for _, s := range strategies {
-			res, err := s.Run(w, spec, model, metric, opts.Seed)
+	}
+	slots := len(strategies) + 1
+	oracleRes := make([]sched.Result, len(wls))
+	cellRes := make([][]sched.Result, len(wls))
+	for i := range cellRes {
+		cellRes[i] = make([]sched.Result, len(strategies))
+	}
+	workers := 0
+	if opts.Serial {
+		workers = 1
+	}
+	err = par.ForEach(ctx, len(wls)*slots, workers, func(ctx context.Context, j int) error {
+		wi, si := j/slots, j%slots
+		w := wls[wi]
+		if si == 0 {
+			res, err := oracleStrat.Run(ctx, w, spec, model, metric, opts.Seed)
 			if err != nil {
-				return nil, fmt.Errorf("report: %s on %s: %w", s.Name(), w.Abbrev, err)
+				return fmt.Errorf("report: oracle on %s: %w", w.Abbrev, err)
 			}
+			oracleRes[wi] = res
+			return nil
+		}
+		s := strategies[si-1]
+		res, err := s.Run(ctx, w, spec, model, metric, opts.Seed)
+		if err != nil {
+			return fmt.Errorf("report: %s on %s: %w", s.Name(), w.Abbrev, err)
+		}
+		cellRes[wi][si-1] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for wi, w := range wls {
+		fig.Oracle[w.Abbrev] = oracleRes[wi]
+		fig.Cells[w.Abbrev] = map[string]Cell{}
+		for si, s := range strategies {
 			fig.Cells[w.Abbrev][s.Name()] = Cell{
-				Result:        res,
-				EfficiencyPct: metrics.Efficiency(oracleRes.Value, res.Value),
+				Result:        cellRes[wi][si],
+				EfficiencyPct: metrics.Efficiency(oracleRes[wi].Value, cellRes[wi][si].Value),
 			}
 		}
 	}
@@ -217,14 +270,22 @@ func Fig1Sweep(step float64, seed int64) ([]Fig1Point, error) {
 		return nil, fmt.Errorf("report: CC workload missing")
 	}
 	metric := metrics.Energy
-	var pts []Fig1Point
+	var alphas []float64
 	for alpha := 0.0; alpha <= 1+1e-9; alpha += step {
-		a := vmath.Clamp(alpha, 0, 1)
-		res, err := sched.FixedAlpha(a).Run(cc, spec, nil, metric, seed)
+		alphas = append(alphas, vmath.Clamp(alpha, 0, 1))
+	}
+	pts := make([]Fig1Point, len(alphas))
+	err := par.ForEach(context.Background(), len(alphas), 0, func(ctx context.Context, i int) error {
+		a := alphas[i]
+		res, err := sched.FixedAlpha(a).Run(ctx, cc, spec, nil, metric, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pts = append(pts, Fig1Point{Alpha: a, EnergyJ: res.EnergyJ, Seconds: res.Duration.Seconds()})
+		pts[i] = Fig1Point{Alpha: a, EnergyJ: res.EnergyJ, Seconds: res.Duration.Seconds()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pts, nil
 }

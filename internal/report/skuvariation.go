@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -50,7 +51,7 @@ func SKUVariationStudy(perturbations []float64, seed int64) ([]SKUVariationResul
 		seed = DefaultSeed
 	}
 	base := platform.DesktopSpec()
-	origModel, err := powerchar.Characterize(base, powerchar.Options{})
+	origModel, err := powerchar.Cached(context.Background(), base, powerchar.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +62,7 @@ func SKUVariationStudy(perturbations []float64, seed int64) ([]SKUVariationResul
 		}
 		perturbed := perturbSpec(base, p, seed)
 		// Fresh: characterize the perturbed unit itself.
-		freshModel, err := powerchar.Characterize(perturbed, powerchar.Options{})
+		freshModel, err := powerchar.Cached(context.Background(), perturbed, powerchar.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +85,7 @@ func evaluateOn(spec platform.Spec, model *powerchar.Model, seed int64) (float64
 	// Reuse the Evaluate machinery by temporarily running the grid
 	// directly: Evaluate resolves specs by preset name, so for custom
 	// specs we inline the loop here.
-	fig, err := evaluateSpec(spec, "edp", Options{Seed: seed, Model: model})
+	fig, err := evaluateSpec(context.Background(), spec, "edp", Options{Seed: seed, Model: model})
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -36,7 +37,7 @@ func SeedSweep(platformName, metricName string, seeds []int64, opts Options) ([]
 		if !ok {
 			return nil, fmt.Errorf("report: unknown platform %q", platformName)
 		}
-		model, err := powerchar.Characterize(spec, powerchar.Options{})
+		model, err := powerchar.Cached(context.Background(), spec, powerchar.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -1,11 +1,13 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/hetsched/eas/internal/engine"
 	"github.com/hetsched/eas/internal/microbench"
+	"github.com/hetsched/eas/internal/par"
 	"github.com/hetsched/eas/internal/platform"
 	"github.com/hetsched/eas/internal/trace"
 	"github.com/hetsched/eas/internal/wclass"
@@ -70,15 +72,21 @@ func Fig2Traces() (tablet, desktop *trace.Set, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	tablet, err = traceSplit(tSpec, tb, 0.9, 1, 0)
+	// The two platforms trace independently (each boots fresh).
+	out := make([]*trace.Set, 2)
+	err = par.ForEach(context.Background(), 2, 0, func(_ context.Context, i int) error {
+		var e error
+		if i == 0 {
+			out[0], e = traceSplit(tSpec, tb, 0.9, 1, 0)
+		} else {
+			out[1], e = traceSplit(dSpec, db, 0.9, 1, 0)
+		}
+		return e
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	desktop, err = traceSplit(dSpec, db, 0.9, 1, 0)
-	if err != nil {
-		return nil, nil, err
-	}
-	return tablet, desktop, nil
+	return out[0], out[1], nil
 }
 
 // Fig3Traces reproduces Figure 3: desktop power over time for
@@ -94,15 +102,20 @@ func Fig3Traces() (compute, memory *trace.Set, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	compute, err = traceSplit(spec, cb, 0.5, 1, 0)
+	out := make([]*trace.Set, 2)
+	err = par.ForEach(context.Background(), 2, 0, func(_ context.Context, i int) error {
+		var e error
+		if i == 0 {
+			out[0], e = traceSplit(spec, cb, 0.5, 1, 0)
+		} else {
+			out[1], e = traceSplit(spec, mb, 0.5, 1, 0)
+		}
+		return e
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	memory, err = traceSplit(spec, mb, 0.5, 1, 0)
-	if err != nil {
-		return nil, nil, err
-	}
-	return compute, memory, nil
+	return out[0], out[1], nil
 }
 
 // DVFSTrace records the PCU's frequency decisions in action: a

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,7 +35,7 @@ func DynOracle(step float64) Strategy {
 
 func (d dynOracle) Name() string { return "DynOracle" }
 
-func (d dynOracle) Run(w workloads.Workload, spec platform.Spec, _ *powerchar.Model, metric metrics.Metric, seed int64) (Result, error) {
+func (d dynOracle) Run(ctx context.Context, w workloads.Workload, spec platform.Spec, _ *powerchar.Model, metric metrics.Metric, seed int64) (Result, error) {
 	invs, err := w.Schedule(spec.Name, seed)
 	if err != nil {
 		return Result{}, err
@@ -46,7 +47,13 @@ func (d dynOracle) Run(w workloads.Workload, spec platform.Spec, _ *powerchar.Mo
 	eng := engine.New(p)
 	var total time.Duration
 	var energy, gpuItems, allItems float64
+	// The what-if probes share one platform via snapshot/rollback, so
+	// this strategy cannot fan out; it still honours cancellation
+	// between invocations.
 	for _, inv := range invs {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		n := float64(inv.N)
 		snap := p.Snapshot()
 		bestAlpha, bestVal := 0.0, 0.0

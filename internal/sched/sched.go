@@ -9,12 +9,14 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/hetsched/eas/internal/core"
 	"github.com/hetsched/eas/internal/engine"
 	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/par"
 	"github.com/hetsched/eas/internal/platform"
 	"github.com/hetsched/eas/internal/powerchar"
 	"github.com/hetsched/eas/internal/trace"
@@ -49,10 +51,12 @@ type Strategy interface {
 	// Name is the strategy's display name ("CPU", "GPU", "PERF",
 	// "Oracle", "EAS").
 	Name() string
-	// Run executes the full workload. The characterization model is
-	// used only by strategies that need it (EAS); metric is the
-	// evaluation objective.
-	Run(w workloads.Workload, spec platform.Spec, model *powerchar.Model, metric metrics.Metric, seed int64) (Result, error)
+	// Run executes the full workload. ctx cancels the run between
+	// phases (the Oracle's parallel α sweep and EAS's admission both
+	// honour it); the characterization model is used only by
+	// strategies that need it (EAS); metric is the evaluation
+	// objective.
+	Run(ctx context.Context, w workloads.Workload, spec platform.Spec, model *powerchar.Model, metric metrics.Metric, seed int64) (Result, error)
 }
 
 // runFixed executes a whole workload at one fixed GPU offload ratio.
@@ -154,7 +158,7 @@ func FixedAlpha(alpha float64) Strategy {
 
 func (f fixed) Name() string { return f.name }
 
-func (f fixed) Run(w workloads.Workload, spec platform.Spec, _ *powerchar.Model, metric metrics.Metric, seed int64) (Result, error) {
+func (f fixed) Run(_ context.Context, w workloads.Workload, spec platform.Spec, _ *powerchar.Model, metric metrics.Metric, seed int64) (Result, error) {
 	dur, energy, share, n, err := runFixed(w, spec, f.alpha, seed)
 	if err != nil {
 		return Result{}, err
@@ -184,26 +188,43 @@ func Oracle(step float64) Strategy {
 
 func (o oracle) Name() string { return "Oracle" }
 
-func (o oracle) Run(w workloads.Workload, spec platform.Spec, _ *powerchar.Model, metric metrics.Metric, seed int64) (Result, error) {
-	best := Result{}
-	found := false
+func (o oracle) Run(ctx context.Context, w workloads.Workload, spec platform.Spec, _ *powerchar.Model, metric metrics.Metric, seed int64) (Result, error) {
+	// Every fixed-ratio run boots its own platform, so the exhaustive
+	// sweep fans out across the worker pool; candidates land in
+	// per-index slots and the winner is picked by the same low-to-high
+	// scan as the serial search (ties break toward smaller α).
+	var alphas []float64
 	for alpha := 0.0; alpha <= 1+1e-9; alpha += o.step {
 		a := alpha
 		if a > 1 {
 			a = 1
 		}
+		alphas = append(alphas, a)
+	}
+	cands := make([]Result, len(alphas))
+	err := par.ForEach(ctx, len(alphas), 0, func(_ context.Context, i int) error {
+		a := alphas[i]
 		dur, energy, share, n, err := runFixed(w, spec, a, seed)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
-		v := metric.EvalEnergy(energy, dur.Seconds())
-		if !found || v < best.Value {
+		cands[i] = Result{
+			Strategy: "Oracle", Workload: w.Abbrev, Platform: spec.Name,
+			Duration: dur, EnergyJ: energy,
+			Value:    metric.EvalEnergy(energy, dur.Seconds()),
+			GPUShare: share, OracleAlpha: a, Invocations: n,
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	best := Result{}
+	found := false
+	for _, c := range cands {
+		if !found || c.Value < best.Value {
 			found = true
-			best = Result{
-				Strategy: "Oracle", Workload: w.Abbrev, Platform: spec.Name,
-				Duration: dur, EnergyJ: energy, Value: v,
-				GPUShare: share, OracleAlpha: a, Invocations: n,
-			}
+			best = c
 		}
 	}
 	if !found {
@@ -246,7 +267,7 @@ func Perf(opts core.Options) Strategy {
 
 func (a adaptive) Name() string { return a.name }
 
-func (a adaptive) Run(w workloads.Workload, spec platform.Spec, model *powerchar.Model, metric metrics.Metric, seed int64) (Result, error) {
+func (a adaptive) Run(ctx context.Context, w workloads.Workload, spec platform.Spec, model *powerchar.Model, metric metrics.Metric, seed int64) (Result, error) {
 	if model == nil {
 		return Result{}, fmt.Errorf("sched: %s needs a power characterization model", a.name)
 	}
@@ -266,7 +287,7 @@ func (a adaptive) Run(w workloads.Workload, spec platform.Spec, model *powerchar
 	var total time.Duration
 	var energy, gpuItems, allItems float64
 	for _, inv := range invs {
-		rep, err := s.ParallelFor(inv.Kernel, inv.N)
+		rep, err := s.ParallelForCtx(ctx, inv.Kernel, inv.N)
 		if err != nil {
 			return Result{}, fmt.Errorf("sched: %s on %s: %w", a.name, w.Abbrev, err)
 		}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -53,11 +54,11 @@ func TestStrategyNames(t *testing.T) {
 func TestFixedEndpointsMatchDedicatedStrategies(t *testing.T) {
 	w, _ := workloads.ByAbbrev("SM")
 	spec := platform.DesktopSpec()
-	cpu1, err := CPUOnly().Run(w, spec, nil, metrics.EDP, 1)
+	cpu1, err := CPUOnly().Run(context.Background(), w, spec, nil, metrics.EDP, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cpu2, err := FixedAlpha(0).Run(w, spec, nil, metrics.EDP, 1)
+	cpu2, err := FixedAlpha(0).Run(context.Background(), w, spec, nil, metrics.EDP, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestFixedEndpointsMatchDedicatedStrategies(t *testing.T) {
 	if cpu1.GPUShare != 0 {
 		t.Errorf("CPU-only GPU share = %v", cpu1.GPUShare)
 	}
-	gpu, err := GPUOnly().Run(w, spec, nil, metrics.EDP, 1)
+	gpu, err := GPUOnly().Run(context.Background(), w, spec, nil, metrics.EDP, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,12 +82,12 @@ func TestOracleIsLowerBoundOnGrid(t *testing.T) {
 	// (both are on its search grid).
 	w, _ := workloads.ByAbbrev("SM")
 	spec := platform.DesktopSpec()
-	oracle, err := Oracle(0.1).Run(w, spec, nil, metrics.EDP, 1)
+	oracle, err := Oracle(0.1).Run(context.Background(), w, spec, nil, metrics.EDP, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range []Strategy{CPUOnly(), GPUOnly()} {
-		res, err := s.Run(w, spec, nil, metrics.EDP, 1)
+		res, err := s.Run(context.Background(), w, spec, nil, metrics.EDP, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,14 +102,14 @@ func TestOracleIsLowerBoundOnGrid(t *testing.T) {
 
 func TestAdaptiveNeedsModel(t *testing.T) {
 	w, _ := workloads.ByAbbrev("SM")
-	if _, err := EAS(easOpts()).Run(w, platform.DesktopSpec(), nil, metrics.EDP, 1); err == nil {
+	if _, err := EAS(easOpts()).Run(context.Background(), w, platform.DesktopSpec(), nil, metrics.EDP, 1); err == nil {
 		t.Error("EAS without a model should error")
 	}
 }
 
 func TestUnsupportedWorkloadPropagates(t *testing.T) {
 	w, _ := workloads.ByAbbrev("BFS") // not on tablet
-	if _, err := CPUOnly().Run(w, platform.TabletSpec(), nil, metrics.EDP, 1); err == nil {
+	if _, err := CPUOnly().Run(context.Background(), w, platform.TabletSpec(), nil, metrics.EDP, 1); err == nil {
 		t.Error("tablet BFS should error")
 	}
 }
@@ -117,11 +118,11 @@ func TestDeterministicRuns(t *testing.T) {
 	w, _ := workloads.ByAbbrev("NB")
 	spec := platform.DesktopSpec()
 	model := desktopModel(t)
-	a, err := EAS(easOpts()).Run(w, spec, model, metrics.EDP, 7)
+	a, err := EAS(easOpts()).Run(context.Background(), w, spec, model, metrics.EDP, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EAS(easOpts()).Run(w, spec, model, metrics.EDP, 7)
+	b, err := EAS(easOpts()).Run(context.Background(), w, spec, model, metrics.EDP, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +139,11 @@ func TestEASBeatsPerfOnEnergyForComputeWorkload(t *testing.T) {
 	w, _ := workloads.ByAbbrev("RT")
 	spec := platform.DesktopSpec()
 	model := desktopModel(t)
-	perf, err := Perf(easOpts()).Run(w, spec, model, metrics.Energy, 1)
+	perf, err := Perf(easOpts()).Run(context.Background(), w, spec, model, metrics.Energy, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eas, err := EAS(easOpts()).Run(w, spec, model, metrics.Energy, 1)
+	eas, err := EAS(easOpts()).Run(context.Background(), w, spec, model, metrics.Energy, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,15 +160,15 @@ func TestPerfOptimizesTime(t *testing.T) {
 	w, _ := workloads.ByAbbrev("MB")
 	spec := platform.DesktopSpec()
 	model := desktopModel(t)
-	perf, err := Perf(easOpts()).Run(w, spec, model, metrics.EDP, 1)
+	perf, err := Perf(easOpts()).Run(context.Background(), w, spec, model, metrics.EDP, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gpu, err := GPUOnly().Run(w, spec, nil, metrics.EDP, 1)
+	gpu, err := GPUOnly().Run(context.Background(), w, spec, nil, metrics.EDP, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cpu, err := CPUOnly().Run(w, spec, nil, metrics.EDP, 1)
+	cpu, err := CPUOnly().Run(context.Background(), w, spec, nil, metrics.EDP, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

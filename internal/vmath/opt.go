@@ -25,14 +25,22 @@ func GridMin(f func(float64) float64, lo, hi float64, steps int) (argmin, minval
 }
 
 // GridMinRefined runs GridMin and then refines the winner with a golden
-// section search on the bracketing interval. Used by the ablation
-// benches to quantify what a finer α search would buy EAS.
+// section search on the bracketing interval, returning whichever of the
+// two results is better. Golden section assumes unimodality inside the
+// bracket; keeping the coarse winner as a floor guarantees the refined
+// answer is never worse than the plain grid even when that assumption
+// breaks. Used by the scheduler's RefineAlpha mode and the ablation
+// benches.
 func GridMinRefined(f func(float64) float64, lo, hi float64, steps int, tol float64) (argmin, minval float64) {
-	coarse, _ := GridMin(f, lo, hi, steps)
+	coarse, cval := GridMin(f, lo, hi, steps)
 	h := (hi - lo) / float64(steps)
 	a := math.Max(lo, coarse-h)
 	b := math.Min(hi, coarse+h)
-	return GoldenMin(f, a, b, tol)
+	rx, rv := GoldenMin(f, a, b, tol)
+	if rv < cval {
+		return rx, rv
+	}
+	return coarse, cval
 }
 
 // GoldenMin minimizes a unimodal f on [a, b] via golden-section search

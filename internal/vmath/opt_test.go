@@ -69,6 +69,26 @@ func TestGridMinRefined(t *testing.T) {
 	}
 }
 
+// Property: GridMinRefined never returns a worse value than GridMin,
+// even on multimodal functions where golden section's unimodality
+// assumption breaks inside the bracket.
+func TestGridMinRefinedNeverWorseProperty(t *testing.T) {
+	f := func(a, b, c, freq float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) || math.IsNaN(freq) {
+			return true
+		}
+		a, b, c = math.Mod(a, 10), math.Mod(b, 10), math.Mod(c, 10)
+		freq = math.Mod(freq, 40)
+		fn := func(x float64) float64 { return a*x*x + b*x + c + math.Sin(freq*x) }
+		_, coarse := GridMin(fn, 0, 1, 10)
+		_, refined := GridMinRefined(fn, 0, 1, 10, 1e-6)
+		return refined <= coarse
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: GridMin's result is never worse than any grid point.
 func TestGridMinIsGridOptimalProperty(t *testing.T) {
 	f := func(a, b, c float64) bool {

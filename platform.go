@@ -1,6 +1,7 @@
 package eas
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/hetsched/eas/internal/core"
@@ -84,12 +85,20 @@ type PowerModel struct {
 // configuration: each of the eight micro-benchmarks is swept across GPU
 // offload ratios on a freshly booted instance, average package power is
 // measured through the emulated MSR, and a sixth-order polynomial is
-// fitted per workload class.
+// fitted per workload class. The sweeps fan out across CPU cores, and
+// the fitted model is memoized process-wide by platform configuration —
+// characterizing the same platform twice returns the cached model.
 func Characterize(p *Platform) (*PowerModel, error) {
+	return CharacterizeCtx(context.Background(), p)
+}
+
+// CharacterizeCtx is Characterize with cancellation: a cancelled ctx
+// stops the in-flight micro-benchmark sweeps and returns ctx.Err().
+func CharacterizeCtx(ctx context.Context, p *Platform) (*PowerModel, error) {
 	if p == nil {
 		return nil, fmt.Errorf("eas: nil platform")
 	}
-	m, err := powerchar.Characterize(p.inner.Spec(), powerchar.Options{})
+	m, err := powerchar.Cached(ctx, p.inner.Spec(), powerchar.Options{})
 	if err != nil {
 		return nil, err
 	}
