@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/hetsched/eas"
+	"github.com/hetsched/eas/internal/chaosdemo"
 	"github.com/hetsched/eas/internal/powerchar"
 	"github.com/hetsched/eas/internal/report"
 )
@@ -41,6 +42,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf work)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	modelCache := flag.String("model-cache", "", "JSON file persisting characterization models across invocations (loaded at start, saved on exit)")
+	chaos := flag.Int64("chaos", 0, "run the degraded-telemetry chaos demo with this seed (0 = off)")
+	sensorFaults := flag.String("sensor-faults", "", "fault spec for -chaos, e.g. \"stuck=6,noise=0.5,lie=0.1x2\" (empty = seeded random storm)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -75,6 +78,17 @@ func main() {
 				fmt.Fprintln(os.Stderr, "easbench: model cache:", err)
 			}
 		}()
+	}
+
+	if *chaos != 0 || *sensorFaults != "" {
+		seed := *chaos
+		if seed == 0 {
+			seed = 1
+		}
+		if err := chaosdemo.Run(os.Stdout, seed, *sensorFaults, 24); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *concurrent > 0 {

@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 	"runtime/pprof"
 
+	"github.com/hetsched/eas/internal/chaosdemo"
 	"github.com/hetsched/eas/internal/report"
 	"github.com/hetsched/eas/internal/trace"
 )
@@ -29,6 +30,8 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV series into")
 	svgDir := flag.String("svg", "", "directory to write SVG charts into")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	chaos := flag.Int64("chaos", 0, "run the degraded-telemetry chaos demo with this seed (0 = off)")
+	sensorFaults := flag.String("sensor-faults", "", "fault spec for -chaos, e.g. \"stuck=6,noise=0.5,lie=0.1x2\" (empty = seeded random storm)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -40,6 +43,17 @@ func main() {
 			fail(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *chaos != 0 || *sensorFaults != "" {
+		seed := *chaos
+		if seed == 0 {
+			seed = 1
+		}
+		if err := chaosdemo.Run(os.Stdout, seed, *sensorFaults, 24); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	want := func(id string) bool { return *fig == "all" || *fig == id }

@@ -50,6 +50,7 @@ import (
 	"github.com/hetsched/eas/internal/core"
 	"github.com/hetsched/eas/internal/device"
 	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/robust"
 	"github.com/hetsched/eas/internal/ws"
 )
 
@@ -127,6 +128,47 @@ type Config struct {
 	// Faults injects scripted device faults for testing the
 	// degradation paths (see FaultPlan); nil runs fault-free.
 	Faults *FaultPlan
+	// BreakerThreshold enables the GPU circuit breaker: after this many
+	// consecutive GPU fallbacks (busy, enqueue failures, timeouts) the
+	// runtime schedules CPU-only without paying dispatch latency, until
+	// a half-open probe finds the device healthy again. 0 disables the
+	// breaker (historical behaviour).
+	BreakerThreshold int
+	// BreakerProbeAfter is how many suppressed invocations an open
+	// breaker waits before admitting a probe (default 8).
+	BreakerProbeAfter int
+	// Robustness tunes the telemetry-hardening layer. The zero value
+	// disables it entirely.
+	Robustness Robustness
+}
+
+// Robustness tunes how skeptically the runtime treats its sensors.
+// All-zero disables the layer and keeps reports byte-identical to a
+// runtime without it.
+type Robustness struct {
+	// Meter routes invocation energy through a robust meter that
+	// rejects implausible package-energy samples (wrap-horizon
+	// violations, power outliers, stuck counters) and substitutes the
+	// characterized model's predicted P(α).
+	Meter bool
+	// MaxPlausiblePowerW bounds believable package power (default
+	// 4×TDP). Samples implying more are rejected.
+	MaxPlausiblePowerW float64
+	// MeterWindow is the outlier filter's median window (default 5).
+	MeterWindow int
+	// HampelK is the outlier threshold in scaled-MAD units (default 8).
+	HampelK float64
+	// StuckReads declares the sensor stuck after this many identical
+	// raw reads while time advances (default 4).
+	StuckReads int
+	// ValidateProfiles quarantines physically impossible online-profile
+	// observations (NaN/Inf, negative work, no throughput) before they
+	// reach the α table and clamps implausible throughput ratios to the
+	// platform envelope; quarantined kernels re-profile next invocation.
+	ValidateProfiles bool
+	// CategoryHysteresis ≥ 2 requires that many consecutive disagreeing
+	// profiles before a kernel's remembered workload category flips.
+	CategoryHysteresis int
 }
 
 // Report describes one ParallelFor execution.
@@ -170,6 +212,23 @@ type Report struct {
 	MetricValue float64
 	// CPUItems and GPUItems are the iterations each device executed.
 	CPUItems, GPUItems float64
+	// TelemetryHealth grades this invocation's energy measurement:
+	// "healthy", "degraded" (some samples rejected and substituted), or
+	// "failed" (metering effectively dead; energy is mostly
+	// model-predicted). Empty when Config.Robustness is off.
+	TelemetryHealth string
+	// MeterSamplesRejected counts MSR samples the robust meter rejected
+	// during this invocation (0 when the robust meter is off).
+	MeterSamplesRejected int
+	// ProfileQuarantined is true when this invocation's online profile
+	// was physically impossible and was discarded before reaching the α
+	// table; ProfileSanitized when it was clamped to the platform
+	// envelope. Both false when profile validation is off.
+	ProfileQuarantined, ProfileSanitized bool
+	// BreakerState is the GPU circuit breaker's position after this
+	// invocation ("closed", "open", "half-open"); empty when the
+	// breaker is disabled.
+	BreakerState string
 }
 
 // Runtime is the energy-aware scheduling runtime bound to one platform.
@@ -193,6 +252,8 @@ type Runtime struct {
 	queue     *cl.CommandQueue
 	timeout   time.Duration
 	retry     RetryPolicy
+	robustOn  bool // any Robustness knob active → report telemetry
+	breakerOn bool // breaker enabled → report breaker state
 	closeOnce sync.Once
 }
 
@@ -221,6 +282,13 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 	}
 	retry := cfg.GPURetry.withDefaults()
 	eng := engine.New(p.inner)
+	// Sensor faults must attach before core.New: they reroute the
+	// platform's MSR pointer, which the scheduler's robust meter
+	// captures at construction.
+	if cfg.Faults != nil {
+		p.inner.SetSensorFaults(cfg.Faults.inner)
+		eng.SetFaultPlan(cfg.Faults.inner)
+	}
 	sched, err := core.New(eng, model.inner, metric.inner, core.Options{
 		AlphaStep:        cfg.AlphaStep,
 		RefineAlpha:      cfg.RefineAlpha,
@@ -232,25 +300,37 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 			BaseBackoff: retry.BaseBackoff,
 			MaxBackoff:  retry.MaxBackoff,
 		},
+		RobustMeter: cfg.Robustness.Meter,
+		Meter: robust.MeterConfig{
+			MaxPlausiblePowerW: cfg.Robustness.MaxPlausiblePowerW,
+			Window:             cfg.Robustness.MeterWindow,
+			HampelK:            cfg.Robustness.HampelK,
+			StuckReads:         cfg.Robustness.StuckReads,
+		},
+		ValidateProfiles:   cfg.Robustness.ValidateProfiles,
+		CategoryHysteresis: cfg.Robustness.CategoryHysteresis,
+		BreakerThreshold:   cfg.BreakerThreshold,
+		BreakerProbeAfter:  cfg.BreakerProbeAfter,
 	})
 	if err != nil {
 		return nil, err
 	}
 	ctx := cl.NewContext(p.inner)
 	if cfg.Faults != nil {
-		eng.SetFaultPlan(cfg.Faults.inner)
 		ctx.SetFaultPlan(cfg.Faults.inner)
 	}
 	return &Runtime{
-		platform: p,
-		eng:      eng,
-		sched:    sched,
-		metric:   metric,
-		pool:     ws.NewPool(cfg.Workers),
-		ctx:      ctx,
-		queue:    cl.NewCommandQueue(ctx),
-		timeout:  cfg.GPUDispatchTimeout,
-		retry:    retry,
+		platform:  p,
+		eng:       eng,
+		sched:     sched,
+		metric:    metric,
+		pool:      ws.NewPool(cfg.Workers),
+		ctx:       ctx,
+		queue:     cl.NewCommandQueue(ctx),
+		timeout:   cfg.GPUDispatchTimeout,
+		retry:     retry,
+		robustOn:  cfg.Robustness.Meter || cfg.Robustness.ValidateProfiles,
+		breakerOn: cfg.BreakerThreshold > 0,
 	}, nil
 }
 
@@ -322,7 +402,20 @@ func (r *Runtime) ParallelForCtx(ctx context.Context, k Kernel, n int) (*Report,
 	if rep.Profiled {
 		out.Category = rep.Category.Key()
 	}
-	if rep.GPUBusyFallback {
+	if r.robustOn {
+		out.TelemetryHealth = rep.Telemetry.String()
+		out.MeterSamplesRejected = rep.MeterSamplesRejected
+		out.ProfileQuarantined = rep.ProfileQuarantined
+		out.ProfileSanitized = rep.ProfileSanitized
+	}
+	if r.breakerOn {
+		out.BreakerState = rep.BreakerState.String()
+	}
+	switch {
+	case rep.BreakerOpen:
+		out.FallbackReason = FallbackBreakerOpen
+		out.FallbackError = fmt.Errorf("eas: kernel %q ran CPU-only: %w", k.Name, ErrBreakerOpen)
+	case rep.GPUBusyFallback:
 		out.FallbackReason = FallbackGPUBusy
 		out.FallbackError = fmt.Errorf("eas: kernel %q ran CPU-only: %w", k.Name, ErrGPUBusy)
 	}
@@ -352,6 +445,7 @@ func (r *Runtime) executeCtx(ctx context.Context, k Kernel, n int, alpha float64
 		case err == nil:
 		case errors.Is(err, cl.ErrDeviceBusy):
 			// Retry budget exhausted: degrade the GPU share to the CPU.
+			r.sched.Breaker().RecordFallback()
 			out.FallbackReason = FallbackEnqueueError
 			out.FallbackError = fmt.Errorf("eas: kernel %q enqueue kept failing (%v): %w", k.Name, err, ErrGPUBusy)
 			out.ReexecutedItems += gpuItems
@@ -379,6 +473,7 @@ func (r *Runtime) executeCtx(ctx context.Context, k Kernel, n int, alpha float64
 		err := ev.WaitCtx(wctx)
 		switch {
 		case err == nil:
+			r.sched.Breaker().RecordSuccess()
 		case ctx.Err() != nil:
 			// Caller cancellation wins over the dispatch timeout.
 			ev.Abandon()
@@ -388,6 +483,7 @@ func (r *Runtime) executeCtx(ctx context.Context, k Kernel, n int, alpha float64
 			// its body, so re-execution stays exactly-once) and run the
 			// GPU's share on the CPU pool.
 			ev.Abandon()
+			r.sched.Breaker().RecordFallback()
 			out.FallbackReason = FallbackGPUTimeout
 			out.FallbackError = fmt.Errorf("eas: kernel %q: %w after %v", k.Name, ErrGPUTimeout, r.timeout)
 			out.ReexecutedItems += gpuItems

@@ -1,0 +1,161 @@
+package eas
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chaosRow is one soak invocation's outcome, written to the path in
+// $EAS_CHAOS_REPORT so a failing CI run leaves a reproducible artifact.
+type chaosRow struct {
+	Invocation int     `json:"invocation"`
+	Kernel     string  `json:"kernel"`
+	FaultSpec  string  `json:"fault_spec"`
+	Alpha      float64 `json:"alpha"`
+	EnergyJ    float64 `json:"energy_j"`
+	DurationNS int64   `json:"duration_ns"`
+	Telemetry  string  `json:"telemetry"`
+	Rejected   int     `json:"meter_samples_rejected"`
+	Breaker    string  `json:"breaker_state"`
+	Fallback   string  `json:"fallback_reason"`
+	Err        string  `json:"error,omitempty"`
+}
+
+// TestChaosSoak hammers a fully hardened runtime with randomized
+// scripted sensor and device faults. The invariants are deliberately
+// coarse — this is the paper's black-box promise under the worst
+// telemetry the fault injector can script:
+//
+//   - no invocation errors (degradations report, they do not fail),
+//   - every report is finite with α ∈ [0,1],
+//   - the functional bodies still execute,
+//   - the process survives (the -race build also checks the locking).
+//
+// The fault schedule is derived from a fixed seed so a failure
+// reproduces; the seed and per-invocation rows are logged and, when
+// $EAS_CHAOS_REPORT is set, written there as JSON even on failure.
+func TestChaosSoak(t *testing.T) {
+	const seed = 20260806
+	iters := 48
+	if testing.Short() {
+		iters = 16
+	}
+	t.Logf("chaos soak: seed=%d iters=%d", seed, iters)
+
+	rng := rand.New(rand.NewSource(seed))
+	plan := NewFaultPlan(seed)
+	rt, err := NewRuntime(DesktopPlatform(), Config{
+		Metric:             EDP,
+		Model:              sharedModel(t),
+		Faults:             plan,
+		ReprofileEvery:     3,
+		BreakerThreshold:   3,
+		BreakerProbeAfter:  2,
+		GPUDispatchTimeout: 50 * time.Millisecond,
+		GPURetry:           RetryPolicy{MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond},
+		Robustness: Robustness{
+			Meter:              true,
+			ValidateProfiles:   true,
+			CategoryHysteresis: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	var rows []chaosRow
+	defer func() {
+		path := os.Getenv("EAS_CHAOS_REPORT")
+		if path == "" {
+			return
+		}
+		blob, err := json.MarshalIndent(map[string]any{"seed": seed, "rows": rows}, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, blob, 0o644)
+		}
+		if err != nil {
+			t.Logf("chaos report not written: %v", err)
+		}
+	}()
+
+	var ran atomic.Int64
+	body := func(int) { ran.Add(1) }
+	kernels := []Kernel{
+		memKernel(body),
+		computeKernel("chaos-comp", body),
+		{Name: "chaos-mixed", FLOPsPerItem: 50, MemOpsPerItem: 30, L3MissRatio: 0.2, InstructionsPerItem: 200, Body: body},
+	}
+
+	// scripts are compact ParseFaultPlan specs; the empty entries keep
+	// a healthy invocation in the rotation so the breaker can close and
+	// the meter window can refill.
+	scripts := []func() string{
+		func() string { return "" },
+		func() string { return "" },
+		func() string { return fmt.Sprintf("stuck=%d", 2+rng.Intn(6)) },
+		func() string { return fmt.Sprintf("noise=%0.2f", 0.1+rng.Float64()) },
+		func() string { return fmt.Sprintf("wrapgap=%d", 1+rng.Intn(2)) },
+		func() string { return fmt.Sprintf("hwcdrop=%d", 1+rng.Intn(3)) },
+		func() string { return fmt.Sprintf("hwccorrupt=%d", 1+rng.Intn(3)) },
+		func() string { return fmt.Sprintf("lie=%0.2fx%d", 0.05+rng.Float64()*10, 1+rng.Intn(2)) },
+		func() string { return fmt.Sprintf("gpubusy=%d", 1+rng.Intn(4)) },
+		func() string { return fmt.Sprintf("enqueue=%d", 1+rng.Intn(3)) },
+		func() string { return "hang=1" },
+		func() string { return fmt.Sprintf("slow=%dx1", 2+rng.Intn(6)) },
+	}
+
+	for i := 0; i < iters; i++ {
+		spec := scripts[rng.Intn(len(scripts))]()
+		if err := plan.Script(spec); err != nil {
+			t.Fatalf("invocation %d: bad generated spec %q: %v", i, spec, err)
+		}
+		k := kernels[i%len(kernels)]
+		n := 100000 + rng.Intn(150000)
+		rep, err := rt.ParallelFor(k, n)
+		row := chaosRow{Invocation: i, Kernel: k.Name, FaultSpec: spec}
+		if err != nil {
+			row.Err = err.Error()
+			rows = append(rows, row)
+			t.Fatalf("invocation %d (faults %q): %v", i, spec, err)
+		}
+		row.Alpha = rep.Alpha
+		row.EnergyJ = rep.EnergyJ
+		row.DurationNS = int64(rep.Duration)
+		row.Telemetry = rep.TelemetryHealth
+		row.Rejected = rep.MeterSamplesRejected
+		row.Breaker = rep.BreakerState
+		row.Fallback = string(rep.FallbackReason)
+		rows = append(rows, row)
+
+		if rep.Alpha < 0 || rep.Alpha > 1 || math.IsNaN(rep.Alpha) {
+			t.Fatalf("invocation %d: α = %v out of range", i, rep.Alpha)
+		}
+		for name, v := range map[string]float64{
+			"EnergyJ": rep.EnergyJ, "CPUEnergyJ": rep.CPUEnergyJ,
+			"GPUEnergyJ": rep.GPUEnergyJ, "DRAMEnergyJ": rep.DRAMEnergyJ,
+			"MetricValue": rep.MetricValue,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("invocation %d: %s = %v, want finite non-negative", i, name, v)
+			}
+		}
+		if rep.Duration <= 0 {
+			t.Fatalf("invocation %d: Duration = %v", i, rep.Duration)
+		}
+		if rep.TelemetryHealth == "" || rep.BreakerState == "" {
+			t.Fatalf("invocation %d: robustness fields missing: %+v", i, rep)
+		}
+	}
+	if ran.Load() == 0 {
+		t.Fatal("no functional work executed during the soak")
+	}
+	t.Logf("chaos soak: %d invocations, %d items executed, final faults %+v",
+		iters, ran.Load(), plan.Stats())
+}

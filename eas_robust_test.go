@@ -1,0 +1,190 @@
+package eas
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// robustRuntime builds a runtime with the telemetry-hardening layer on
+// and an optional fault plan.
+func robustRuntime(t *testing.T, plan *FaultPlan, cfg Config) *Runtime {
+	t.Helper()
+	cfg.Metric = EDP
+	cfg.Model = sharedModel(t)
+	cfg.Faults = plan
+	rt, err := NewRuntime(DesktopPlatform(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestRuntimeRobustMeterSurvivesStuckMSR(t *testing.T) {
+	plan := NewFaultPlan(1)
+	plan.StuckMSR(100000)
+	rt := robustRuntime(t, plan, Config{Robustness: Robustness{Meter: true}})
+	defer rt.Close()
+
+	// A single invocation makes only a handful of meter reads; the
+	// stuck counter trips after Robustness.StuckReads identical raw
+	// reads, which may span invocations. The latch lasts 100000 reads,
+	// so the meter must flag within a few runs.
+	var flagged *Report
+	for i := 0; i < 6 && flagged == nil; i++ {
+		rep, err := rt.ParallelFor(memKernel(nil), 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(rep.EnergyJ) || math.IsInf(rep.EnergyJ, 0) || rep.EnergyJ < 0 {
+			t.Fatalf("invocation %d: EnergyJ = %v, want finite and non-negative", i, rep.EnergyJ)
+		}
+		if rep.MeterSamplesRejected > 0 {
+			flagged = rep
+		}
+	}
+	if flagged == nil {
+		t.Fatal("stuck MSR never produced a rejected sample")
+	}
+	if flagged.TelemetryHealth != "failed" && flagged.TelemetryHealth != "degraded" {
+		t.Errorf("TelemetryHealth = %q, want failed or degraded", flagged.TelemetryHealth)
+	}
+	if plan.Stats().StuckMSRReads == 0 {
+		t.Error("fault plan delivered no stuck reads")
+	}
+}
+
+func TestRuntimeRobustMeterCleanRunIsHealthy(t *testing.T) {
+	rt := robustRuntime(t, nil, Config{Robustness: Robustness{Meter: true, ValidateProfiles: true}})
+	defer rt.Close()
+
+	rep, err := rt.ParallelFor(memKernel(nil), 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TelemetryHealth != "healthy" {
+		t.Errorf("TelemetryHealth = %q, want healthy", rep.TelemetryHealth)
+	}
+	if rep.MeterSamplesRejected != 0 || rep.ProfileQuarantined || rep.ProfileSanitized {
+		t.Errorf("clean run flagged telemetry trouble: %+v", rep)
+	}
+	if rep.EnergyJ <= 0 {
+		t.Errorf("EnergyJ = %v, want positive", rep.EnergyJ)
+	}
+}
+
+func TestRuntimeRobustFieldsEmptyWhenDisabled(t *testing.T) {
+	rt := newRuntime(t, EDP)
+	defer rt.Close()
+	rep, err := rt.ParallelFor(memKernel(nil), 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TelemetryHealth != "" || rep.BreakerState != "" {
+		t.Errorf("robustness off but report has TelemetryHealth=%q BreakerState=%q",
+			rep.TelemetryHealth, rep.BreakerState)
+	}
+	if rep.MeterSamplesRejected != 0 || rep.ProfileQuarantined || rep.ProfileSanitized {
+		t.Errorf("robustness off but report flags set: %+v", rep)
+	}
+}
+
+func TestRuntimeBreakerOpensAndRecovers(t *testing.T) {
+	plan := NewFaultPlan(2)
+	plan.GPUBusyFor(9) // 3 retried fallback invocations' worth of busy faults
+	rt := robustRuntime(t, plan, Config{
+		BreakerThreshold:  2,
+		BreakerProbeAfter: 2,
+		GPURetry:          RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+	})
+	defer rt.Close()
+
+	k := computeKernel("breaker-soak", nil)
+	var sawOpen, sawSuppressed, sawClosed bool
+	for i := 0; i < 12; i++ {
+		rep, err := rt.ParallelFor(k, 200000)
+		if err != nil {
+			t.Fatalf("invocation %d: %v", i, err)
+		}
+		if rep.BreakerState == "" {
+			t.Fatalf("invocation %d: breaker enabled but BreakerState empty", i)
+		}
+		if rep.BreakerState == "open" {
+			sawOpen = true
+		}
+		if rep.FallbackReason == FallbackBreakerOpen {
+			sawSuppressed = true
+			if !errors.Is(rep.FallbackError, ErrBreakerOpen) {
+				t.Errorf("invocation %d: FallbackError = %v, want ErrBreakerOpen", i, rep.FallbackError)
+			}
+			if rep.Retries != 0 || rep.GPUItems != 0 {
+				t.Errorf("invocation %d: suppressed run paid dispatch costs: %+v", i, rep)
+			}
+		}
+	}
+	// The busy script is exhausted by now: the next run probes or runs
+	// healthily and the breaker must return to closed.
+	rep, err := rt.ParallelFor(k, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BreakerState == "closed" {
+		sawClosed = true
+	}
+	if !sawOpen || !sawSuppressed || !sawClosed {
+		t.Errorf("breaker lifecycle incomplete: open=%v suppressed=%v closed=%v",
+			sawOpen, sawSuppressed, sawClosed)
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	valid := []string{
+		"",
+		"gpubusy=2",
+		"hang=1,enqueue=3",
+		"slow=4x2",
+		"stuck=6,noise=0.5,lie=0.1x2",
+		"wrapgap=1, hwcdrop=2 ,hwccorrupt=1",
+	}
+	for _, spec := range valid {
+		if _, err := ParseFaultPlan(spec, 7); err != nil {
+			t.Errorf("ParseFaultPlan(%q) = %v, want nil", spec, err)
+		}
+	}
+	invalid := []string{
+		"gpubusy",         // no value
+		"gpubusy=-1",      // negative count
+		"gpubusy=two",     // non-numeric
+		"slow=4",          // missing xCOUNT
+		"slow=0x3",        // non-positive factor
+		"noise=-0.5",      // negative sigma
+		"lie=1.5",         // missing xCOUNT
+		"warpgap=1",       // unknown key
+		"stuck=3,bogus=1", // unknown key after a valid one
+	}
+	for _, spec := range invalid {
+		if _, err := ParseFaultPlan(spec, 7); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted, want error", spec)
+		}
+	}
+}
+
+func TestParsedFaultPlanDelivers(t *testing.T) {
+	plan, err := ParseFaultPlan("stuck=8,hwccorrupt=2", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := robustRuntime(t, plan, Config{Robustness: Robustness{Meter: true, ValidateProfiles: true}})
+	defer rt.Close()
+	if _, err := rt.ParallelFor(memKernel(nil), 200000); err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Stats()
+	if s.StuckMSRReads == 0 {
+		t.Errorf("parsed plan delivered no stuck MSR reads: %+v", s)
+	}
+	if s.HWCCorruptions == 0 {
+		t.Errorf("parsed plan delivered no HWC corruptions: %+v", s)
+	}
+}

@@ -3,6 +3,8 @@ package eas
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/hetsched/eas/internal/engine"
@@ -22,6 +24,12 @@ var ErrGPUBusy = engine.ErrGPUBusy
 // its work items on the CPU pool. It appears wrapped in
 // Report.FallbackError.
 var ErrGPUTimeout = errors.New("eas: GPU dispatch timed out")
+
+// ErrBreakerOpen marks an invocation that ran CPU-only because the GPU
+// circuit breaker was open (Config.BreakerThreshold consecutive GPU
+// fallbacks had accumulated). It appears wrapped in
+// Report.FallbackError.
+var ErrBreakerOpen = errors.New("eas: GPU circuit breaker open")
 
 // KernelPanicError reports a panic inside a kernel body. The runtime
 // recovers the panic (on the CPU work-stealing pool or inside the GPU
@@ -61,6 +69,10 @@ const (
 	// Config.GPUDispatchTimeout, was abandoned, and its share was
 	// re-executed on the CPU pool.
 	FallbackGPUTimeout FallbackReason = "gpu-timeout"
+	// FallbackBreakerOpen: the GPU circuit breaker was open after
+	// repeated fallbacks, so the loop ran CPU-only without attempting
+	// (or paying latency for) any GPU dispatch.
+	FallbackBreakerOpen FallbackReason = "breaker-open"
 )
 
 // RetryPolicy caps recovery from transient GPU unavailability with
@@ -133,9 +145,54 @@ func (f *FaultPlan) EnqueueErrorProb(p float64) { f.inner.EnqueueErrorProb(p) }
 // it; useful in tests that inject hangs without configuring a timeout.
 func (f *FaultPlan) ReleaseHangs() { f.inner.ReleaseHangs() }
 
+// Sensor faults degrade what the runtime *observes* — the package
+// energy MSR, the hardware counters, the online profile — never the
+// simulated machine itself. They compose freely with the GPU faults
+// above, and with Config.Robustness they exercise the telemetry
+// hardening end to end.
+
+// StuckMSR scripts the next k package-energy MSR reads to repeat the
+// previous reading (a latched sensor).
+func (f *FaultPlan) StuckMSR(k int) { f.inner.StuckMSRFor(k) }
+
+// StuckMSRProb sets a per-read probability of a stuck MSR reading.
+func (f *FaultPlan) StuckMSRProb(p float64) { f.inner.StuckMSRProb(p) }
+
+// MSRNoise adds seeded Gaussian noise (standard deviation sigmaJoules)
+// to every package-energy MSR read; 0 disables.
+func (f *FaultPlan) MSRNoise(sigmaJoules float64) { f.inner.MSRNoise(sigmaJoules) }
+
+// WrapGap scripts the next k MSR reads to jump forward by 2.5 counter
+// wrap periods — the multi-wrap gap a too-slow sampler would see,
+// which robust metering must flag as ambiguous.
+func (f *FaultPlan) WrapGap(k int) {
+	f.inner.WrapGapFor(k, 2.5*float64(uint64(1)<<32)*defaultMSRUnitJoules)
+}
+
+// DropHWC scripts the next k hardware-counter snapshots to return a
+// frozen (non-advancing) reading.
+func (f *FaultPlan) DropHWC(k int) { f.inner.DropHWCFor(k) }
+
+// CorruptHWC scripts the next k hardware-counter snapshots to return
+// NaNs, as a torn multiplexed read would.
+func (f *FaultPlan) CorruptHWC(k int) { f.inner.CorruptHWCFor(k) }
+
+// LieProfile scripts the next k online-profile observations to report
+// GPU throughput multiplied by factor (> 0) — a plausible-looking lie
+// that profile validation and classification hysteresis must contain.
+func (f *FaultPlan) LieProfile(factor float64, k int) { f.inner.LieProfileFor(factor, k) }
+
+// defaultMSRUnitJoules mirrors msr.DefaultUnitJoules (2^-16 J) without
+// exporting the internal package.
+const defaultMSRUnitJoules = 1.0 / 65536
+
 // FaultStats counts the faults a plan has delivered.
 type FaultStats struct {
+	// GPU/driver faults (PR 1).
 	GPUBusy, KernelHangs, EnqueueErrors, SlowDispatches int
+	// Sensor faults.
+	StuckMSRReads, NoisyMSRReads, WrapGaps int
+	HWCDrops, HWCCorruptions, ProfileLies  int
 }
 
 // Stats returns a snapshot of delivered faults.
@@ -146,5 +203,143 @@ func (f *FaultPlan) Stats() FaultStats {
 		KernelHangs:    s.KernelHangs,
 		EnqueueErrors:  s.EnqueueErrors,
 		SlowDispatches: s.SlowDispatches,
+		StuckMSRReads:  s.StuckMSRReads,
+		NoisyMSRReads:  s.NoisyMSRReads,
+		WrapGaps:       s.WrapGaps,
+		HWCDrops:       s.HWCDrops,
+		HWCCorruptions: s.HWCCorruptions,
+		ProfileLies:    s.ProfileLies,
 	}
+}
+
+// ParseFaultPlan builds a plan from a compact comma-separated spec, so
+// degraded runs are reproducible from a CLI flag:
+//
+//	gpubusy=K     next K simulated dispatches find the GPU busy
+//	hang=K        next K functional dispatches hang
+//	enqueue=K     next K functional enqueues fail transiently
+//	slow=FxK      next K dispatches run F× slower (e.g. slow=4x2)
+//	stuck=K       next K MSR reads latch
+//	noise=SIGMA   Gaussian noise (J) on every MSR read
+//	wrapgap=K     next K MSR reads jump 2.5 wrap periods
+//	hwcdrop=K     next K counter snapshots freeze
+//	hwccorrupt=K  next K counter snapshots return NaN
+//	lie=FxK       next K profiles report F× GPU throughput
+//
+// Example: "stuck=6,noise=0.5,lie=0.1x2". An empty spec returns an
+// empty (fault-free) plan; seed drives the probabilistic modes.
+func ParseFaultPlan(spec string, seed int64) (*FaultPlan, error) {
+	plan := NewFaultPlan(seed)
+	if err := plan.Script(spec); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// Script appends the faults described by a ParseFaultPlan spec to this
+// plan. An empty spec is a no-op. Scripting a plan already attached to
+// a live Runtime schedules faults for that runtime's next invocations,
+// which is how the chaos soak varies its fault mix mid-run.
+func (f *FaultPlan) Script(spec string) error {
+	plan := f
+	if strings.TrimSpace(spec) == "" {
+		return nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return fmt.Errorf("eas: fault spec %q: want key=value", tok)
+		}
+		parseCount := func() (int, error) {
+			k, err := strconv.Atoi(val)
+			if err != nil || k < 0 {
+				return 0, fmt.Errorf("eas: fault spec %q: want a non-negative count", tok)
+			}
+			return k, nil
+		}
+		parseFactorCount := func() (float64, int, error) {
+			fs, ks, ok := strings.Cut(val, "x")
+			if !ok {
+				return 0, 0, fmt.Errorf("eas: fault spec %q: want FACTORxCOUNT", tok)
+			}
+			factor, err := strconv.ParseFloat(fs, 64)
+			if err != nil || factor <= 0 {
+				return 0, 0, fmt.Errorf("eas: fault spec %q: want a positive factor", tok)
+			}
+			k, err := strconv.Atoi(ks)
+			if err != nil || k < 0 {
+				return 0, 0, fmt.Errorf("eas: fault spec %q: want a non-negative count", tok)
+			}
+			return factor, k, nil
+		}
+		switch key {
+		case "gpubusy":
+			k, err := parseCount()
+			if err != nil {
+				return err
+			}
+			plan.GPUBusyFor(k)
+		case "hang":
+			k, err := parseCount()
+			if err != nil {
+				return err
+			}
+			plan.HangKernels(k)
+		case "enqueue":
+			k, err := parseCount()
+			if err != nil {
+				return err
+			}
+			plan.FailEnqueues(k)
+		case "slow":
+			factor, k, err := parseFactorCount()
+			if err != nil {
+				return err
+			}
+			plan.SlowGPU(factor, k)
+		case "stuck":
+			k, err := parseCount()
+			if err != nil {
+				return err
+			}
+			plan.StuckMSR(k)
+		case "noise":
+			sigma, err := strconv.ParseFloat(val, 64)
+			if err != nil || sigma < 0 {
+				return fmt.Errorf("eas: fault spec %q: want a non-negative sigma", tok)
+			}
+			plan.MSRNoise(sigma)
+		case "wrapgap":
+			k, err := parseCount()
+			if err != nil {
+				return err
+			}
+			plan.WrapGap(k)
+		case "hwcdrop":
+			k, err := parseCount()
+			if err != nil {
+				return err
+			}
+			plan.DropHWC(k)
+		case "hwccorrupt":
+			k, err := parseCount()
+			if err != nil {
+				return err
+			}
+			plan.CorruptHWC(k)
+		case "lie":
+			factor, k, err := parseFactorCount()
+			if err != nil {
+				return err
+			}
+			plan.LieProfile(factor, k)
+		default:
+			return fmt.Errorf("eas: unknown fault %q", key)
+		}
+	}
+	return nil
 }

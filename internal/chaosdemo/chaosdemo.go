@@ -1,0 +1,141 @@
+// Package chaosdemo drives a fully hardened runtime through a scripted
+// sensor- and device-fault storm and renders what the robustness layer
+// did about it. It backs the -chaos / -sensor-faults CLI flags, giving
+// a reproducible command-line view of the same degradation paths the
+// chaos soak test asserts on.
+//
+// The package sits above the public eas API (nothing in the library
+// imports it), so the demo exercises exactly what an application would.
+package chaosdemo
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/hetsched/eas"
+)
+
+// Row is one demo invocation's outcome.
+type Row struct {
+	Invocation int
+	Kernel     string
+	FaultSpec  string
+	Alpha      float64
+	EnergyJ    float64
+	Duration   time.Duration
+	Telemetry  string
+	Rejected   int
+	Breaker    string
+	Fallback   string
+}
+
+// Run executes `invocations` kernel launches on a desktop runtime with
+// every robustness feature enabled. The fault schedule is spec (a
+// ParseFaultPlan string, replayed before the first invocation) plus, if
+// spec is empty, a seeded random storm so `-chaos SEED` alone shows
+// something interesting. Results render as a table on w.
+func Run(w io.Writer, seed int64, spec string, invocations int) error {
+	if invocations <= 0 {
+		invocations = 24
+	}
+	plan, err := eas.ParseFaultPlan(spec, seed)
+	if err != nil {
+		return err
+	}
+	model, err := eas.Characterize(eas.DesktopPlatform())
+	if err != nil {
+		return err
+	}
+	rt, err := eas.NewRuntime(eas.DesktopPlatform(), eas.Config{
+		Metric:             eas.EDP,
+		Model:              model,
+		Faults:             plan,
+		ReprofileEvery:     3,
+		BreakerThreshold:   3,
+		BreakerProbeAfter:  2,
+		GPUDispatchTimeout: 50 * time.Millisecond,
+		Robustness: eas.Robustness{
+			Meter:              true,
+			ValidateProfiles:   true,
+			CategoryHysteresis: 2,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	storm := []func() string{
+		func() string { return "" },
+		func() string { return fmt.Sprintf("stuck=%d", 2+rng.Intn(6)) },
+		func() string { return fmt.Sprintf("noise=%0.2f", 0.1+rng.Float64()) },
+		func() string { return fmt.Sprintf("wrapgap=%d", 1+rng.Intn(2)) },
+		func() string { return fmt.Sprintf("hwccorrupt=%d", 1+rng.Intn(3)) },
+		func() string { return fmt.Sprintf("lie=%0.2fx%d", 0.05+rng.Float64()*10, 1+rng.Intn(2)) },
+		func() string { return fmt.Sprintf("gpubusy=%d", 1+rng.Intn(4)) },
+	}
+	kernels := []eas.Kernel{
+		{Name: "chaos-mem", MemOpsPerItem: 100, L3MissRatio: 0.6, InstructionsPerItem: 500},
+		{Name: "chaos-comp", FLOPsPerItem: 20000, MemOpsPerItem: 20, L3MissRatio: 0.02, InstructionsPerItem: 3000},
+	}
+
+	fmt.Fprintf(w, "chaos demo: seed=%d invocations=%d", seed, invocations)
+	if spec != "" {
+		fmt.Fprintf(w, " faults=%q", spec)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%4s %-11s %-16s %6s %10s %11s %-9s %4s %-10s %-14s\n",
+		"#", "kernel", "injected", "α", "energy(J)", "time", "telemetry", "rej", "breaker", "fallback")
+
+	var rows []Row
+	for i := 0; i < invocations; i++ {
+		injected := ""
+		if spec == "" {
+			injected = storm[rng.Intn(len(storm))]()
+			if err := plan.Script(injected); err != nil {
+				return err
+			}
+		}
+		k := kernels[i%len(kernels)]
+		rep, err := rt.ParallelFor(k, 150000)
+		if err != nil {
+			return fmt.Errorf("invocation %d (faults %q): %w", i, injected, err)
+		}
+		row := Row{
+			Invocation: i,
+			Kernel:     k.Name,
+			FaultSpec:  injected,
+			Alpha:      rep.Alpha,
+			EnergyJ:    rep.EnergyJ,
+			Duration:   rep.Duration,
+			Telemetry:  rep.TelemetryHealth,
+			Rejected:   rep.MeterSamplesRejected,
+			Breaker:    rep.BreakerState,
+			Fallback:   string(rep.FallbackReason),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%4d %-11s %-16s %6.2f %10.2f %11v %-9s %4d %-10s %-14s\n",
+			row.Invocation, row.Kernel, row.FaultSpec, row.Alpha, row.EnergyJ,
+			row.Duration.Round(time.Microsecond), row.Telemetry, row.Rejected,
+			row.Breaker, row.Fallback)
+	}
+
+	var degraded, rejected, suppressed int
+	for _, r := range rows {
+		if r.Telemetry != "healthy" {
+			degraded++
+		}
+		rejected += r.Rejected
+		if r.Fallback == string(eas.FallbackBreakerOpen) {
+			suppressed++
+		}
+	}
+	s := plan.Stats()
+	fmt.Fprintf(w, "\n%d/%d invocations degraded, %d meter samples rejected, %d breaker-suppressed\n",
+		degraded, len(rows), rejected, suppressed)
+	fmt.Fprintf(w, "faults delivered: %+v\n", s)
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/hetsched/eas/internal/msr"
 	"github.com/hetsched/eas/internal/powerchar"
 	"github.com/hetsched/eas/internal/profile"
+	"github.com/hetsched/eas/internal/robust"
 	"github.com/hetsched/eas/internal/wclass"
 )
 
@@ -88,6 +89,37 @@ type Options struct {
 	MemoryBoundThreshold float64
 	// Retry tunes recovery from transient GPU-busy dispatch failures.
 	Retry Retry
+
+	// Telemetry-robustness knobs. All zero values disable the layer
+	// entirely, keeping reports byte-identical to the historical
+	// behaviour (Options must also stay comparable — scalars only).
+
+	// RobustMeter routes invocation energy through a robust.EnergyMeter
+	// that rejects implausible MSR samples (wrap-horizon violations,
+	// outliers, stuck counters) and substitutes the characterized
+	// model's predicted power.
+	RobustMeter bool
+	// Meter tunes the robust meter; zero fields pick defaults derived
+	// from the platform (MaxPlausiblePower = 4×TDP, window 5, Hampel
+	// K=8, 4 stuck reads).
+	Meter robust.MeterConfig
+	// ValidateProfiles sanitizes online-profile observations against
+	// the platform envelope before they may influence scheduling:
+	// impossible observations are quarantined (never reach the α
+	// table, force a re-profile next invocation), implausible
+	// throughput ratios are clamped.
+	ValidateProfiles bool
+	// CategoryHysteresis ≥ 2 requires that many consecutive recorded
+	// profiles to disagree before the remembered workload category
+	// flips. 0 or 1 keeps last-writer-wins.
+	CategoryHysteresis int
+	// BreakerThreshold enables the GPU circuit breaker: after this
+	// many consecutive GPU fallbacks the scheduler stops offering work
+	// to the GPU. 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerProbeAfter is how many suppressed invocations an open
+	// breaker waits before half-opening for a probe (default 8).
+	BreakerProbeAfter int
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +150,14 @@ type record struct {
 	category    wclass.Category
 	invocations int
 	profiled    bool
+	// reprofile forces the next invocation to profile again — set when
+	// a profile was quarantined, cleared by the next clean accumulate.
+	reprofile bool
+	// pendingCat/pendingN implement classification hysteresis: the
+	// candidate category recent profiles disagree toward, and how many
+	// consecutive profiles have agreed on it.
+	pendingCat wclass.Category
+	pendingN   int
 }
 
 // Report describes one ParallelFor invocation as executed by EAS.
@@ -155,6 +195,22 @@ type Report struct {
 	// PredictedPower and PredictedTime are the model's estimates at
 	// the chosen α for the remainder (diagnostics; zero if unprofiled).
 	PredictedPower, PredictedTime float64
+	// Telemetry grades how trustworthy this invocation's energy
+	// measurement was (always Healthy when the robust meter is off).
+	Telemetry robust.Health
+	// MeterSamplesRejected counts MSR samples the robust meter rejected
+	// and substituted during this invocation.
+	MeterSamplesRejected int
+	// ProfileQuarantined is true when this invocation's profile was
+	// physically impossible and was discarded before reaching the α
+	// table; ProfileSanitized when it was merely clamped to the
+	// platform envelope.
+	ProfileQuarantined, ProfileSanitized bool
+	// BreakerOpen is true when the invocation ran CPU-only because the
+	// GPU circuit breaker was open; BreakerState is the breaker's
+	// position after the invocation (BreakerClosed when disabled).
+	BreakerOpen  bool
+	BreakerState robust.BreakerState
 }
 
 // MetricValue evaluates a metric over the invocation's measurements.
@@ -174,6 +230,16 @@ type Scheduler struct {
 	opts   Options
 	adm    Admission   // serializes invocations onto the engine
 	table  *alphaTable // the paper's global table G
+
+	// Telemetry-robustness state (nil / zero when the knobs are off).
+	rmeter  *robust.EnergyMeter // robust package-energy reader
+	breaker *robust.Breaker     // GPU circuit breaker
+	env     profile.Envelope    // platform plausibility envelope
+	// invPredW is the model's predicted power for the in-flight
+	// invocation — the substitution value when a meter sample is
+	// rejected. Invocation-scoped: the admission gate serializes
+	// access, so no lock is needed.
+	invPredW float64
 }
 
 // New builds an EAS scheduler over an engine, a platform power
@@ -188,14 +254,47 @@ func New(eng *engine.Engine, model *powerchar.Model, metric metrics.Metric, opts
 	if !metric.Valid() {
 		return nil, fmt.Errorf("core: invalid metric")
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		eng:    eng,
 		model:  model,
 		metric: metric,
 		opts:   opts.withDefaults(),
 		table:  newAlphaTable(),
-	}, nil
+	}
+	s.breaker = robust.NewBreaker(s.opts.BreakerThreshold, s.opts.BreakerProbeAfter)
+	spec := eng.Platform().Spec()
+	if s.opts.RobustMeter {
+		cfg := s.opts.Meter
+		if cfg.MaxPlausiblePowerW <= 0 {
+			// Package power physically cannot sustain far beyond TDP;
+			// 4× leaves room for short turbo excursions.
+			cfg.MaxPlausiblePowerW = 4 * spec.Policy.TDPW
+			if cfg.MaxPlausiblePowerW <= 0 {
+				cfg.MaxPlausiblePowerW = 400
+			}
+		}
+		if cfg.Window <= 0 {
+			cfg.Window = 5
+		}
+		if cfg.HampelK <= 0 {
+			cfg.HampelK = 8
+		}
+		if cfg.StuckReads <= 0 {
+			cfg.StuckReads = 4
+		}
+		s.rmeter = robust.NewEnergyMeter(eng.Platform().MSR, cfg)
+	}
+	if s.opts.ValidateProfiles {
+		s.env = profile.EnvelopeFor(spec)
+	}
+	return s, nil
 }
+
+// Breaker returns the GPU circuit breaker (nil when disabled). The
+// runtime's functional layer records its own fallback outcomes —
+// enqueue failures, dispatch timeouts — through it so breaker state
+// reflects every path work can fail over to the CPU.
+func (s *Scheduler) Breaker() *robust.Breaker { return s.breaker }
 
 // Metric returns the objective the scheduler optimizes.
 func (s *Scheduler) Metric() metrics.Metric { return s.metric }
@@ -244,6 +343,14 @@ func (s *Scheduler) ParallelForCtx(ctx context.Context, k engine.Kernel, n int) 
 	pp0 := msr.NewMeter(p.MSRPP0)
 	pp1 := msr.NewMeter(p.MSRPP1)
 	dram := msr.NewMeter(p.MSRDRAM)
+	var pre robust.MeterStats
+	if s.rmeter != nil {
+		// Discard whatever interval elapsed since the previous tenant's
+		// last sample; it is not this invocation's energy.
+		s.rmeter.Resync()
+		pre = s.rmeter.Stats()
+		s.invPredW = 0
+	}
 	rep, err := s.parallelFor(k, n)
 	if err != nil {
 		return Report{}, err
@@ -251,6 +358,22 @@ func (s *Scheduler) ParallelForCtx(ctx context.Context, k engine.Kernel, n int) 
 	rep.CPUEnergyJ = pp0.Joules()
 	rep.GPUEnergyJ = pp1.Joules()
 	rep.DRAMEnergyJ = dram.Joules()
+	if s.rmeter != nil {
+		post := s.rmeter.Stats()
+		rejected := post.Rejected - pre.Rejected
+		accepted := post.Accepted - pre.Accepted
+		rep.MeterSamplesRejected = rejected
+		switch {
+		case post.Stuck, rejected > 0 && rejected >= accepted:
+			rep.Telemetry = robust.Failed
+		case rejected > 0:
+			rep.Telemetry = robust.Degraded
+		}
+	}
+	if rep.ProfileQuarantined || rep.ProfileSanitized {
+		rep.Telemetry = rep.Telemetry.Worse(robust.Degraded)
+	}
+	rep.BreakerState = s.breaker.State()
 	return rep, nil
 }
 
@@ -258,13 +381,15 @@ func (s *Scheduler) ParallelForCtx(ctx context.Context, k engine.Kernel, n int) 
 // admission gate.
 func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 	// GPU owned by another application (the A26 check): CPU-only run,
-	// nothing recorded.
+	// nothing recorded. The breaker counts it like any other
+	// GPU-unavailable fallback.
 	if s.eng.Platform().GPUBusy() {
 		res, err := s.eng.Run(engine.Phase{Kernel: k, PoolItems: float64(n)})
 		if err != nil {
 			return Report{}, err
 		}
-		return reportFromResult(res, Report{GPUBusyFallback: true}), nil
+		s.breaker.RecordFallback()
+		return s.addResult(res, Report{GPUBusyFallback: true}), nil
 	}
 
 	profileSize := float64(s.eng.Platform().GPUProfileSize())
@@ -279,7 +404,19 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		return reportFromResult(res, Report{}), nil
+		return s.addResult(res, Report{}), nil
+	}
+
+	// Circuit breaker open: the GPU has been failing every recent
+	// invocation, so stop paying dispatch+timeout latency and run
+	// CPU-only. Not recorded — a suppressed run says nothing about the
+	// kernel's best split.
+	if !s.breaker.Allow() {
+		res, err := s.eng.Run(engine.Phase{Kernel: k, PoolItems: float64(n)})
+		if err != nil {
+			return Report{}, err
+		}
+		return s.addResult(res, Report{BreakerOpen: true}), nil
 	}
 
 	rep := Report{}
@@ -288,14 +425,21 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 	// rec.invocations counts completed recorded invocations, so this
 	// one's ordinal is rec.invocations+1; it re-profiles when that
 	// ordinal is a multiple of k, making k=1 profile every invocation
-	// and k=2 fire first on the 2nd (not 3rd) invocation.
-	needProfile := !known ||
+	// and k=2 fire first on the 2nd (not 3rd) invocation. A
+	// quarantined profile also forces a re-profile (rec.reprofile).
+	needProfile := !known || rec.reprofile ||
 		(s.opts.ReprofileEvery > 0 && (rec.invocations+1)%s.opts.ReprofileEvery == 0)
 
+	quarantined := false
 	if known && !needProfile {
 		// Fig. 7 steps 2-4: reuse the accumulated α.
 		alpha = rec.alpha
 		rep.Category = rec.category
+		if s.rmeter != nil {
+			if curve, ok := s.model.Curve(rec.category); ok {
+				s.invPredW = curve.Power(rec.alpha)
+			}
+		}
 	} else {
 		// Fig. 7 steps 11-22: repeated online profiling over the first
 		// half of the iterations.
@@ -329,7 +473,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 				acc = profile.Merge(acc, obs)
 			}
 			rep.Duration += obs.Duration
-			rep.EnergyJ += obs.EnergyJ
+			rep.EnergyJ += s.measureEnergy(obs.Duration, obs.EnergyJ)
 			rep.CPUItems += obs.CPUItems
 			rep.GPUItems += obs.GPUItems
 			nrem = remaining
@@ -347,35 +491,57 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 			}
 		}
 		rep.Profiled = true
-		rep.Category = acc.ClassifyWith(nrem, s.opts.ShortLongThreshold, s.opts.MemoryBoundThreshold)
-		curve, ok := s.model.Curve(rep.Category)
-		if !ok {
-			return Report{}, fmt.Errorf("core: characterization has no curve for %s", rep.Category)
+		if s.opts.ValidateProfiles {
+			san, clamped, qerr := s.env.Sanitize(acc)
+			if qerr != nil {
+				// The profile is physically impossible: never let it
+				// near the α table. Replay the last known-good split
+				// (or CPU-only for unknown kernels) and force a fresh
+				// profile next invocation.
+				quarantined = true
+				rep.ProfileQuarantined = true
+				s.table.markReprofile(k.Name)
+				if known {
+					alpha = rec.alpha
+					rep.Category = rec.category
+				}
+			} else {
+				acc = san
+				rep.ProfileSanitized = clamped
+			}
 		}
-		tm := TimeModel{RC: acc.RC, RG: acc.RG}
-		if !tm.Valid() {
-			return Report{}, fmt.Errorf("core: profiling produced no usable throughputs for kernel %q", k.Name)
-		}
-		// Search over at least half an invocation's work: profiling may
-		// have consumed nearly everything (small N), and the α chosen
-		// here is what the table replays on *future* invocations, so it
-		// must reflect a representative workload size, not a remnant.
-		searchN := nrem
-		if searchN < float64(n)/2 {
-			searchN = float64(n) / 2
-			rep.Category = acc.ClassifyWith(searchN, s.opts.ShortLongThreshold, s.opts.MemoryBoundThreshold)
-			curve, ok = s.model.Curve(rep.Category)
+		if !quarantined {
+			rep.Category = acc.ClassifyWith(nrem, s.opts.ShortLongThreshold, s.opts.MemoryBoundThreshold)
+			curve, ok := s.model.Curve(rep.Category)
 			if !ok {
 				return Report{}, fmt.Errorf("core: characterization has no curve for %s", rep.Category)
 			}
+			tm := TimeModel{RC: acc.RC, RG: acc.RG}
+			if !tm.Valid() {
+				return Report{}, fmt.Errorf("core: profiling produced no usable throughputs for kernel %q", k.Name)
+			}
+			// Search over at least half an invocation's work: profiling may
+			// have consumed nearly everything (small N), and the α chosen
+			// here is what the table replays on *future* invocations, so it
+			// must reflect a representative workload size, not a remnant.
+			searchN := nrem
+			if searchN < float64(n)/2 {
+				searchN = float64(n) / 2
+				rep.Category = acc.ClassifyWith(searchN, s.opts.ShortLongThreshold, s.opts.MemoryBoundThreshold)
+				curve, ok = s.model.Curve(rep.Category)
+				if !ok {
+					return Report{}, fmt.Errorf("core: characterization has no curve for %s", rep.Category)
+				}
+			}
+			if s.opts.RefineAlpha {
+				alpha, _ = BestAlphaRefined(curve, tm, searchN, s.metric, s.opts.AlphaStep, 0)
+			} else {
+				alpha, _ = BestAlpha(curve, tm, searchN, s.metric, s.opts.AlphaStep)
+			}
+			rep.PredictedTime = tm.Time(alpha, searchN)
+			rep.PredictedPower = curve.Power(alpha)
+			s.invPredW = rep.PredictedPower
 		}
-		if s.opts.RefineAlpha {
-			alpha, _ = BestAlphaRefined(curve, tm, searchN, s.metric, s.opts.AlphaStep, 0)
-		} else {
-			alpha, _ = BestAlpha(curve, tm, searchN, s.metric, s.opts.AlphaStep)
-		}
-		rep.PredictedTime = tm.Time(alpha, searchN)
-		rep.PredictedPower = curve.Power(alpha)
 	}
 	rep.Alpha = alpha
 
@@ -397,12 +563,20 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		rep = reportFromResult(res, rep)
+		rep = s.addResult(res, rep)
+	}
+
+	// The invocation touched the GPU (profiling chunks and/or an α>0
+	// remainder) and completed without falling back: the device works.
+	if rep.Profiled || alpha > 0 {
+		s.breaker.RecordSuccess()
 	}
 
 	// Fig. 7 step 26: sample-weighted α accumulation across
-	// invocations.
-	s.table.accumulate(k.Name, alpha, float64(n), rep.Category)
+	// invocations. A quarantined profile never reaches the table.
+	if !quarantined {
+		s.table.accumulate(k.Name, alpha, float64(n), rep.Category, s.opts.CategoryHysteresis)
+	}
 	return rep, nil
 }
 
@@ -427,7 +601,7 @@ func (s *Scheduler) retryBusy(rep *Report, op func() error) error {
 		meter := msr.NewMeter(s.eng.Platform().MSR)
 		s.eng.RunIdle(backoff, nil)
 		rep.Duration += backoff
-		rep.EnergyJ += meter.Joules()
+		rep.EnergyJ += s.measureEnergy(backoff, meter.Joules())
 		backoff *= 2
 		if backoff > s.opts.Retry.MaxBackoff {
 			backoff = s.opts.Retry.MaxBackoff
@@ -445,10 +619,11 @@ func (s *Scheduler) cpuFallback(k engine.Kernel, items float64, rep Report) (Rep
 		if err != nil {
 			return Report{}, err
 		}
-		rep = reportFromResult(res, rep)
+		rep = s.addResult(res, rep)
 	}
 	rep.GPUBusyFallback = true
 	rep.Alpha = 0
+	s.breaker.RecordFallback()
 	return rep, nil
 }
 
@@ -468,10 +643,26 @@ func within(a, b, tol float64) bool {
 	return m > 0 && diff/m <= tol
 }
 
-func reportFromResult(res engine.Result, rep Report) Report {
+// addResult folds an engine result into the report, routing its energy
+// through the robust meter when one is configured.
+func (s *Scheduler) addResult(res engine.Result, rep Report) Report {
 	rep.Duration += res.Duration
-	rep.EnergyJ += res.EnergyJ
+	rep.EnergyJ += s.measureEnergy(res.Duration, res.EnergyJ)
 	rep.CPUItems += res.CPUItems
 	rep.GPUItems += res.GPUItems
 	return rep
+}
+
+// measureEnergy returns the energy to account for an interval of
+// simulated duration d whose raw (engine-measured) energy was raw.
+// Without a robust meter it is the identity on raw — byte-identical to
+// the historical accounting. With one, the robust meter re-reads the
+// MSR itself, judges the sample, and substitutes the model's predicted
+// power for the in-flight invocation when the sample is untrustworthy.
+func (s *Scheduler) measureEnergy(d time.Duration, raw float64) float64 {
+	if s.rmeter == nil {
+		return raw
+	}
+	j, _ := s.rmeter.Measure(d, s.invPredW)
+	return j
 }

@@ -131,7 +131,7 @@ func TestAccumulationBoundedProperty(t *testing.T) {
 	alphas := []float64{0.2, 0.9, 0.5, 0.7, 0.1}
 	lo, hi := 1.0, 0.0
 	for i, a := range alphas {
-		s.table.accumulate("k", a, float64((i+1)*1000), wclass.Category{})
+		s.table.accumulate("k", a, float64((i+1)*1000), wclass.Category{}, 0)
 		if a < lo {
 			lo = a
 		}

@@ -59,7 +59,13 @@ func (t *alphaTable) lookup(name string) (record, bool) {
 // accumulate folds one recorded invocation into the kernel's record —
 // the paper's Fig. 7 step 26 sample-weighted α accumulation — atomically
 // with respect to concurrent lookups and accumulations.
-func (t *alphaTable) accumulate(name string, alpha, items float64, cat wclass.Category) {
+//
+// hysteresis ≥ 2 enables classification hysteresis: the remembered
+// category flips only after that many consecutive recorded profiles
+// disagree with it the same way, so one noisy profile cannot whipsaw
+// the power curve future invocations replay. hysteresis ≤ 1 keeps the
+// historical last-writer-wins behaviour.
+func (t *alphaTable) accumulate(name string, alpha, items float64, cat wclass.Category, hysteresis int) {
 	s := t.shard(name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -73,9 +79,44 @@ func (t *alphaTable) accumulate(name string, alpha, items float64, cat wclass.Ca
 		rec.alpha = (rec.alpha*rec.weight + alpha*items) / total
 	}
 	rec.weight = total
-	rec.category = cat
+	if hysteresis >= 2 && rec.profiled {
+		if cat == rec.category {
+			rec.pendingN = 0
+		} else {
+			if cat == rec.pendingCat && rec.pendingN > 0 {
+				rec.pendingN++
+			} else {
+				rec.pendingCat = cat
+				rec.pendingN = 1
+			}
+			if rec.pendingN >= hysteresis {
+				rec.category = cat
+				rec.pendingN = 0
+			}
+		}
+	} else {
+		rec.category = cat
+	}
 	rec.invocations++
 	rec.profiled = true
+	rec.reprofile = false
+	s.m[name] = rec
+}
+
+// markReprofile flags a kernel whose latest profile was quarantined:
+// the record's accumulated state stays untouched (the bad observation
+// never lands), but the next invocation profiles again instead of
+// replaying a possibly stale α. Unknown kernels need no flag — they
+// profile on first sight anyway.
+func (t *alphaTable) markReprofile(name string) {
+	s := t.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.m[name]
+	if !ok {
+		return
+	}
+	rec.reprofile = true
 	s.m[name] = rec
 }
 

@@ -163,6 +163,11 @@ func (e *Engine) Platform() *platform.Platform { return e.p }
 // dispatch (nil detaches).
 func (e *Engine) SetFaultPlan(pl *faultinject.Plan) { e.faults = pl }
 
+// FaultPlan returns the attached fault-injection plan (nil when none).
+// Layers above the engine — the profiler injecting lying-profile
+// faults — consult it so one plan scripts the whole stack.
+func (e *Engine) FaultPlan() *faultinject.Plan { return e.faults }
+
 // Run simulates one phase to completion.
 func (e *Engine) Run(ph Phase) (Result, error) {
 	if err := ph.Kernel.Cost.Validate(); err != nil {

@@ -5,6 +5,14 @@
 // running below their rated speed — are all rare on a healthy machine,
 // so without injection they would be untestable. A Plan scripts them.
 //
+// Beyond execution faults, a Plan also scripts sensor faults — the
+// inputs every scheduling decision flows from: a stuck or noisy
+// MSR_PKG_ENERGY_STATUS counter, an energy jump exceeding the 32-bit
+// wrap horizon, dropped or corrupt hardware-counter snapshots, and a
+// profiler whose measured throughputs lie. The telemetry-robustness
+// layer (internal/robust, profile sanitization) is tested exclusively
+// through these.
+//
 // Faults come in two flavours that compose:
 //
 //   - scripted counts: "the next k GPU dispatches observe a busy
@@ -15,8 +23,9 @@
 //     chaos run replays bit-for-bit.
 //
 // Consumers (internal/engine for busy/slow, internal/cl for enqueue
-// errors and hangs) call the Take* methods at each decision point; a
-// nil *Plan is inert and costs one branch.
+// errors and hangs, internal/platform for the sensor faults) call the
+// Take* methods at each decision point; a nil *Plan is inert and costs
+// one branch.
 package faultinject
 
 import (
@@ -51,6 +60,23 @@ type Stats struct {
 	EnqueueErrors int
 	// SlowDispatches is the number of dispatches run at reduced speed.
 	SlowDispatches int
+	// StuckMSRReads is the number of MSR reads that returned a frozen
+	// counter value.
+	StuckMSRReads int
+	// NoisyMSRReads is the number of MSR reads perturbed by gaussian
+	// noise.
+	NoisyMSRReads int
+	// WrapGaps is the number of injected energy jumps beyond the wrap
+	// horizon.
+	WrapGaps int
+	// HWCDrops is the number of hardware-counter snapshots that
+	// returned stale (dropped) values.
+	HWCDrops int
+	// HWCCorruptions is the number of snapshots that returned NaN.
+	HWCCorruptions int
+	// ProfileLies is the number of profiling observations whose
+	// measured GPU throughput was scaled by the lie factor.
+	ProfileLies int
 }
 
 // Plan is a scripted set of device faults. It is safe for concurrent
@@ -66,6 +92,18 @@ type Plan struct {
 	stats       Stats
 	hangRelease chan struct{}
 	released    bool
+
+	// Sensor faults.
+	stuckMSR         knob
+	wrapGap          knob
+	wrapGapJoules    float64
+	msrNoiseSigmaJ   float64
+	msrLast          float64
+	msrGapOffsetJ    float64
+	hwcDrop          knob
+	hwcCorrupt       knob
+	profileLie       knob
+	profileLieFactor float64
 }
 
 // New returns an empty plan whose probabilistic faults draw from a
@@ -212,6 +250,154 @@ func (p *Plan) ReleaseHangs() {
 		p.released = true
 		close(p.hangRelease)
 	}
+}
+
+// StuckMSRFor scripts the next k reads of the package-energy MSR to
+// return a frozen counter value — the shape of a RAPL read that fails
+// under contention and keeps returning the last latched sample.
+func (p *Plan) StuckMSRFor(k int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stuckMSR.remaining += k
+}
+
+// StuckMSRProb sets a per-read probability of a frozen MSR value.
+func (p *Plan) StuckMSRProb(prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stuckMSR.prob = prob
+}
+
+// MSRNoise perturbs every subsequent MSR read with seeded gaussian
+// noise of the given standard deviation in joules (0 disables). Noise
+// is per-read, not accumulated — the model of read jitter, which can
+// even make the counter appear to retreat.
+func (p *Plan) MSRNoise(sigmaJoules float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sigmaJoules < 0 {
+		sigmaJoules = 0
+	}
+	p.msrNoiseSigmaJ = sigmaJoules
+}
+
+// WrapGapFor scripts the next k MSR reads to observe a permanent
+// upward jump of the given energy in joules. A jump larger than the
+// 32-bit wrap horizon (2^32 counter units) makes the uint32 delta
+// ambiguous — the fault msr.Meter's checked read must detect.
+func (p *Plan) WrapGapFor(k int, joules float64) {
+	if joules <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wrapGap.remaining += k
+	p.wrapGapJoules = joules
+}
+
+// DropHWCFor scripts the next k hardware-counter snapshots to return
+// the previous (stale) values — the shape of multiplexed counters
+// dropping an interval.
+func (p *Plan) DropHWCFor(k int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hwcDrop.remaining += k
+}
+
+// CorruptHWCFor scripts the next k hardware-counter snapshots to
+// return NaN values.
+func (p *Plan) CorruptHWCFor(k int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hwcCorrupt.remaining += k
+}
+
+// LieProfileFor scripts the next k profiling observations to report a
+// GPU throughput scaled by factor (> 0, != 1) — the lying-profile
+// fault that would whipsaw α if profiles entered the table unchecked.
+func (p *Plan) LieProfileFor(factor float64, k int) {
+	if factor <= 0 || factor == 1 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.profileLie.remaining += k
+	p.profileLieFactor = factor
+}
+
+// WrapEnergy wraps an energy accumulator with the plan's MSR sensor
+// faults (stuck reads, wrap-horizon gaps, gaussian read noise). A nil
+// plan returns src unchanged; a plan with no MSR faults configured
+// passes values through bit-exactly.
+func (p *Plan) WrapEnergy(src func() float64) func() float64 {
+	if p == nil {
+		return src
+	}
+	return func() float64 {
+		v := src()
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.stuckMSR.take(p.rng) {
+			p.stats.StuckMSRReads++
+			return p.msrLast
+		}
+		if p.wrapGap.take(p.rng) {
+			p.msrGapOffsetJ += p.wrapGapJoules
+			p.stats.WrapGaps++
+		}
+		v += p.msrGapOffsetJ
+		if p.msrNoiseSigmaJ > 0 {
+			v += p.rng.NormFloat64() * p.msrNoiseSigmaJ
+			p.stats.NoisyMSRReads++
+		}
+		p.msrLast = v
+		return v
+	}
+}
+
+// TakeHWCDrop reports (and consumes) whether the current counter
+// snapshot should return stale values.
+func (p *Plan) TakeHWCDrop() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.hwcDrop.take(p.rng) {
+		p.stats.HWCDrops++
+		return true
+	}
+	return false
+}
+
+// TakeHWCCorrupt reports (and consumes) whether the current counter
+// snapshot should return NaN.
+func (p *Plan) TakeHWCCorrupt() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.hwcCorrupt.take(p.rng) {
+		p.stats.HWCCorruptions++
+		return true
+	}
+	return false
+}
+
+// TakeProfileLie returns the factor the current profiling
+// observation's GPU throughput should be scaled by (1 when honest).
+func (p *Plan) TakeProfileLie() float64 {
+	if p == nil {
+		return 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.profileLie.take(p.rng) && p.profileLieFactor > 0 && p.profileLieFactor != 1 {
+		p.stats.ProfileLies++
+		return p.profileLieFactor
+	}
+	return 1
 }
 
 // Stats returns a snapshot of the faults delivered so far.

@@ -4,7 +4,17 @@
 // retired on the CPU cores. The simulation engine feeds the counters
 // from each kernel's cost profile as CPU items retire; the profiler
 // consumes them exactly as it would consume PCM readings.
+//
+// Real PCM counters multiplex and drop: a scripted fault plan can make
+// Snapshot return a frozen (dropped) or NaN-corrupted reading, which
+// the profile sanitizer upstream must survive.
 package hwc
+
+import (
+	"math"
+
+	"github.com/hetsched/eas/internal/faultinject"
+)
 
 // Counters is a snapshot of the monitored CPU counters.
 type Counters struct {
@@ -40,7 +50,17 @@ func (c Counters) MemoryIntensity() float64 {
 // retires; the profiler snapshots around its measurement window.
 type Monitor struct {
 	c Counters
+	// faults optionally corrupts what Snapshot reports (never what the
+	// monitor accumulates — the fault is in the reading, not the work).
+	faults *faultinject.Plan
+	// frozen is the reading a dropped counter keeps returning.
+	frozen    Counters
+	hasFrozen bool
 }
+
+// SetFaultPlan attaches a fault-injection plan consulted on every
+// Snapshot (nil detaches).
+func (m *Monitor) SetFaultPlan(p *faultinject.Plan) { m.faults = p }
 
 // Account adds the counter contributions of `items` retired work items
 // with the given per-item costs.
@@ -53,8 +73,29 @@ func (m *Monitor) Account(items, missesPerItem, instrPerItem, memOpsPerItem floa
 	m.c.MemOps += items * memOpsPerItem
 }
 
-// Snapshot returns the current counter values.
-func (m *Monitor) Snapshot() Counters { return m.c }
+// Snapshot returns the current counter values — or, under an active
+// fault plan, a degraded reading: a dropped counter repeats the last
+// frozen value (counters stop advancing), a corrupt one returns NaNs.
+func (m *Monitor) Snapshot() Counters {
+	if m.faults.TakeHWCCorrupt() {
+		nan := math.NaN()
+		return Counters{L3Misses: nan, Instructions: nan, MemOps: nan}
+	}
+	if m.faults.TakeHWCDrop() {
+		if !m.hasFrozen {
+			m.frozen = m.c
+			m.hasFrozen = true
+		}
+		return m.frozen
+	}
+	m.hasFrozen = false
+	return m.c
+}
+
+// Raw returns the true accumulated counters, bypassing any fault plan.
+// State capture (platform snapshots for rollback) must use Raw: faults
+// corrupt readings, never the machine state itself.
+func (m *Monitor) Raw() Counters { return m.c }
 
 // Restore rolls the counters back to a previous Snapshot.
 func (m *Monitor) Restore(c Counters) { m.c = c }

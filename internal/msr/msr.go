@@ -7,11 +7,24 @@
 // one would run on hardware.
 package msr
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"math"
+)
 
 // DefaultUnitJoules is the energy unit used when none is configured:
 // 2^-16 J ≈ 15.3 µJ, the unit reported by Intel client parts.
 const DefaultUnitJoules = 1.0 / 65536
+
+// ErrAmbiguousDelta reports that the energy advance between two meter
+// samples reached or exceeded the 32-bit wrap horizon (2^32 counter
+// units), so the uint32 difference is ambiguous: any whole number of
+// wraps may have been missed. Production RAPL readers avoid this by
+// bounding the sampling interval; a reader that sees this error must
+// treat the returned (under-reported) delta as unreliable and
+// substitute a model estimate instead.
+var ErrAmbiguousDelta = errors.New("msr: sample gap exceeded the 32-bit wrap horizon; energy delta ambiguous")
 
 // EnergySource supplies the accumulated true package energy in joules.
 // The PCU implements this.
@@ -48,33 +61,93 @@ func New(src EnergySource, unitJoules float64) *PackageEnergyStatus {
 // UnitJoules returns the energy unit of one counter increment.
 func (m *PackageEnergyStatus) UnitJoules() float64 { return m.unit }
 
+// WrapHorizonJoules returns the energy covered by one full counter
+// period (2^32 units) — the horizon within which a single uint32
+// difference is unambiguous.
+func (m *PackageEnergyStatus) WrapHorizonJoules() float64 {
+	return float64(uint64(1)<<32) * m.unit
+}
+
+// readUnits returns the full 64-bit unit count behind the register.
+// Only the low 32 bits are architecturally visible; the emulator keeps
+// the rest to make wrap-horizon violations detectable exactly (on
+// hardware the same check is approximated with a timestamp and a
+// max-plausible-power bound). Degenerate sources (negative or NaN
+// energy, which only injected sensor faults can produce) clamp to 0.
+func (m *PackageEnergyStatus) readUnits() uint64 {
+	units := m.src.TotalEnergy() / m.unit
+	if math.IsNaN(units) || units <= 0 {
+		return 0
+	}
+	if units >= math.MaxUint64 {
+		return math.MaxUint64
+	}
+	return uint64(units)
+}
+
 // Read returns the current 32-bit counter value. It wraps at 2^32
 // exactly like the hardware register.
 func (m *PackageEnergyStatus) Read() uint32 {
-	units := m.src.TotalEnergy() / m.unit
-	return uint32(uint64(units)) // truncate to 32 bits, wrapping
+	return uint32(m.readUnits()) // truncate to 32 bits, wrapping
 }
 
 // Meter measures energy between two points in time via MSR reads,
 // handling counter wrap the way production RAPL readers do. A Meter is
 // only valid while at most one wrap occurs between samples; sample at
 // least every few minutes of simulated time (the runtime samples every
-// kernel invocation, far more often).
+// kernel invocation, far more often). JoulesChecked enforces that
+// contract, returning ErrAmbiguousDelta when it is violated instead of
+// silently under-reporting.
 type Meter struct {
-	msr  *PackageEnergyStatus
-	last uint32
+	msr    *PackageEnergyStatus
+	last   uint32
+	last64 uint64
 }
 
 // NewMeter starts a meter at the current counter value.
 func NewMeter(m *PackageEnergyStatus) *Meter {
-	return &Meter{msr: m, last: m.Read()}
+	units := m.readUnits()
+	return &Meter{msr: m, last: uint32(units), last64: units}
 }
 
 // Joules returns the energy consumed since the previous call (or since
-// NewMeter) and advances the reference point.
+// NewMeter) and advances the reference point. If more than one wrap
+// landed between samples the result silently under-reports — use
+// JoulesChecked where that must be detected.
 func (t *Meter) Joules() float64 {
-	now := t.msr.Read()
-	delta := now - t.last // wraps correctly in uint32 arithmetic
-	t.last = now
-	return float64(delta) * t.msr.unit
+	j, _ := t.JoulesChecked()
+	return j
+}
+
+// JoulesChecked is Joules with the "at most one wrap between samples"
+// contract enforced: when the true energy advance reaches the wrap
+// horizon (2^32 units) — or the counter appears to retreat, which only
+// a faulty sensor can produce — it returns the (unreliable, modulo-2^32)
+// delta together with ErrAmbiguousDelta. The reference point advances
+// either way, so the next interval measures cleanly.
+func (t *Meter) JoulesChecked() (float64, error) {
+	now := t.msr.readUnits()
+	delta := uint32(now) - t.last // wraps correctly in uint32 arithmetic
+	advance := now - t.last64     // exact; retreats wrap to huge values
+	t.last = uint32(now)
+	t.last64 = now
+	j := float64(delta) * t.msr.unit
+	if advance >= 1<<32 {
+		return j, ErrAmbiguousDelta
+	}
+	return j, nil
+}
+
+// Last returns the counter value of the meter's most recent sample.
+// Consecutive identical values while simulated time advances indicate
+// a stuck sensor (energy never stops accumulating on powered parts).
+func (t *Meter) Last() uint32 { return t.last }
+
+// Resync re-reads the counter and resets the reference point without
+// reporting the skipped interval — used at invocation boundaries by
+// long-lived meters whose owner did not observe the time in between.
+func (t *Meter) Resync() {
+	units := t.msr.readUnits()
+	t.last = uint32(units)
+	t.last64 = units
 }

@@ -1,6 +1,7 @@
 package msr
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -59,6 +60,95 @@ func TestMeterHandlesWrap(t *testing.T) {
 	want := 250 * unit
 	if math.Abs(got-want) > unit {
 		t.Errorf("wrap delta = %v, want %v", got, want)
+	}
+}
+
+// Crossing two wraps between samples violates the meter's contract:
+// the uint32 delta is ambiguous, and JoulesChecked must say so instead
+// of silently under-reporting.
+func TestMeterDetectsMultiWrap(t *testing.T) {
+	unit := 0.01
+	src := &fakeSource{j: 0}
+	m := New(src, unit)
+	meter := NewMeter(m)
+
+	// Advance by 2.5 counter periods: the low 32 bits see only 0.5.
+	horizon := m.WrapHorizonJoules()
+	src.j = 2.5 * horizon
+	got, err := meter.JoulesChecked()
+	if err == nil {
+		t.Fatal("two-wrap gap reported no error")
+	}
+	if !errors.Is(err, ErrAmbiguousDelta) {
+		t.Fatalf("err = %v, want ErrAmbiguousDelta", err)
+	}
+	if want := 0.5 * horizon; math.Abs(got-want) > unit {
+		t.Errorf("ambiguous delta = %v, want the modulo value %v", got, want)
+	}
+
+	// The reference advanced: the next interval measures cleanly.
+	src.j += 123 * unit
+	got, err = meter.JoulesChecked()
+	if err != nil {
+		t.Fatalf("clean interval after ambiguity errored: %v", err)
+	}
+	if want := 123 * unit; math.Abs(got-want) > unit {
+		t.Errorf("post-ambiguity delta = %v, want %v", got, want)
+	}
+}
+
+// Exactly one wrap stays within the contract.
+func TestMeterSingleWrapIsUnambiguous(t *testing.T) {
+	unit := 0.01
+	start := (math.Pow(2, 32) - 100) * unit
+	src := &fakeSource{j: start}
+	m := New(src, unit)
+	meter := NewMeter(m)
+	src.j = start + 250*unit
+	got, err := meter.JoulesChecked()
+	if err != nil {
+		t.Fatalf("single wrap flagged ambiguous: %v", err)
+	}
+	if want := 250 * unit; math.Abs(got-want) > unit {
+		t.Errorf("delta = %v, want %v", got, want)
+	}
+}
+
+// A retreating counter (only a faulty sensor produces one) is flagged
+// rather than reported as a near-full-period energy burst.
+func TestMeterDetectsRetreat(t *testing.T) {
+	unit := 0.01
+	src := &fakeSource{j: 5000 * unit}
+	m := New(src, unit)
+	meter := NewMeter(m)
+	src.j = 4000 * unit
+	if _, err := meter.JoulesChecked(); !errors.Is(err, ErrAmbiguousDelta) {
+		t.Fatalf("retreating counter err = %v, want ErrAmbiguousDelta", err)
+	}
+}
+
+func TestMeterResyncSkipsInterval(t *testing.T) {
+	src := &fakeSource{}
+	m := New(src, DefaultUnitJoules)
+	meter := NewMeter(m)
+	src.j = 100
+	meter.Resync()
+	src.j = 101
+	got := meter.Joules()
+	if math.Abs(got-1) > 1e-3 {
+		t.Errorf("delta after Resync = %v, want 1 (the resynced 100 J must not count)", got)
+	}
+}
+
+func TestReadClampsDegenerateSource(t *testing.T) {
+	src := &fakeSource{j: -5}
+	m := New(src, 0.01)
+	if got := m.Read(); got != 0 {
+		t.Errorf("negative-energy Read = %d, want 0", got)
+	}
+	src.j = math.NaN()
+	if got := m.Read(); got != 0 {
+		t.Errorf("NaN-energy Read = %d, want 0", got)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/hetsched/eas/internal/device"
+	"github.com/hetsched/eas/internal/faultinject"
 	"github.com/hetsched/eas/internal/hwc"
 	"github.com/hetsched/eas/internal/msr"
 	"github.com/hetsched/eas/internal/pcu"
@@ -132,6 +133,25 @@ func MustNew(spec Spec) *Platform {
 	return p
 }
 
+// SetSensorFaults routes the platform's *sensors* through a fault
+// plan: the package-energy MSR reads a wrapped (stuck / noisy /
+// wrap-gapped) view of the PCU's true energy, and hardware-counter
+// snapshots may drop or corrupt. Only observations degrade — the PCU,
+// clock, and true counter state stay exact, as on real hardware where
+// a flaky RAPL interface does not change the power actually drawn.
+// The per-domain RAPL counters (PP0/PP1/DRAM) stay clean: they are
+// diagnostics, not decision inputs.
+//
+// Call before handing the platform to consumers that capture the MSR
+// pointer (engines, robust meters); a nil plan is a no-op.
+func (p *Platform) SetSensorFaults(plan *faultinject.Plan) {
+	if plan == nil {
+		return
+	}
+	p.MSR = msr.New(msr.EnergyFunc(plan.WrapEnergy(p.PCU.TotalEnergy)), p.spec.MSRUnitJoules)
+	p.HWC.SetFaultPlan(plan)
+}
+
 // Spec returns a copy of the platform's specification.
 func (p *Platform) Spec() Spec { return p.spec }
 
@@ -156,12 +176,14 @@ type Snapshot struct {
 	gpuBusy  bool
 }
 
-// Snapshot captures the platform state.
+// Snapshot captures the platform state. It reads the true counter
+// state (HWC.Raw), not the possibly fault-degraded reading — rollback
+// must restore reality, not a corrupted observation.
 func (p *Platform) Snapshot() Snapshot {
 	return Snapshot{
 		now:      p.Clock.Now(),
 		pcu:      p.PCU.Snapshot(),
-		counters: p.HWC.Snapshot(),
+		counters: p.HWC.Raw(),
 		gpuBusy:  p.gpuExternallyBusy,
 	}
 }

@@ -103,6 +103,12 @@ func Step(e *engine.Engine, k engine.Kernel, gpuChunk, pool float64) (Observatio
 		EnergyJ:  res.EnergyJ,
 		Counters: res.Counters,
 	}
+	// A scripted lying-profile fault distorts the observed GPU
+	// throughput (not the simulation): the decision layer sees a lie,
+	// which is exactly what sanitization and hysteresis must survive.
+	if f := e.FaultPlan().TakeProfileLie(); f != 1 {
+		obs.RG *= f
+	}
 	return obs, res.PoolRemaining, nil
 }
 

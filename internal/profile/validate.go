@@ -1,0 +1,119 @@
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/hetsched/eas/internal/platform"
+)
+
+// ErrQuarantine wraps every sanitization rejection: the observation is
+// physically impossible (NaN/Inf, negative work, no measurable
+// throughput) and must not reach the α table. The scheduler reacts by
+// falling back to its last known-good record (or α=0) and re-profiling
+// on the next invocation.
+var ErrQuarantine = errors.New("profile: observation quarantined")
+
+// Envelope bounds what a platform can physically produce, derived from
+// its device parameters. Profiles outside the envelope are either
+// clamped (implausible but directionally usable) or quarantined
+// (impossible).
+type Envelope struct {
+	// MaxRatio bounds the throughput ratio between the devices in
+	// either direction: R_C/R_G and R_G/R_C must both stay below it.
+	// No workload runs 32× further from the devices' peak-rate ratio
+	// than the hardware itself can explain.
+	MaxRatio float64
+}
+
+// DefaultEnvelope is permissive enough for any plausible platform —
+// used when no spec is available.
+func DefaultEnvelope() Envelope { return Envelope{MaxRatio: 1e6} }
+
+// EnvelopeFor derives the envelope from a platform spec: the widest
+// peak-over-floor rate ratio the two devices can reach across their
+// DVFS ranges, times a 32× allowance for workload asymmetry (a kernel
+// may vectorize perfectly on one device and serialize on the other).
+func EnvelopeFor(spec platform.Spec) Envelope {
+	cpuPeak := float64(spec.CPU.Cores) * spec.CPU.TurboHz * spec.CPU.FLOPsPerCycle
+	gpuPeak := float64(spec.GPU.EUs) * float64(spec.GPU.SIMDWidth) *
+		spec.GPU.IssueRate * spec.GPU.FLOPsPerCyclePerLane * spec.GPU.TurboHz
+	cpuMinHz := spec.CPU.MinHz
+	if cpuMinHz <= 0 {
+		cpuMinHz = spec.CPU.BaseHz
+	}
+	gpuMinHz := spec.GPU.BaseHz
+	cpuMin := float64(spec.CPU.Cores) * cpuMinHz * spec.CPU.FLOPsPerCycle
+	gpuMin := float64(spec.GPU.EUs) * float64(spec.GPU.SIMDWidth) *
+		spec.GPU.IssueRate * spec.GPU.FLOPsPerCyclePerLane * gpuMinHz
+	if cpuPeak <= 0 || gpuPeak <= 0 || cpuMin <= 0 || gpuMin <= 0 {
+		return DefaultEnvelope()
+	}
+	ratio := math.Max(cpuPeak/gpuMin, gpuPeak/cpuMin) * 32
+	if ratio < 64 {
+		ratio = 64
+	}
+	return Envelope{MaxRatio: ratio}
+}
+
+// Sanitize validates an observation before it may influence scheduling.
+// It returns the (possibly clamped) observation, whether clamping
+// occurred, and a non-nil error wrapping ErrQuarantine when the
+// observation is impossible and must be discarded entirely:
+//
+//   - any NaN or ±Inf field (throughputs, items, energy, duration,
+//     counters) — arithmetic on dropped/corrupt counters;
+//   - negative throughput, item count, energy, or counter;
+//   - a non-positive duration with work attributed to it;
+//   - both throughputs ≤ 0 (nothing was measured).
+//
+// A finite observation whose R_C/R_G ratio exceeds the platform
+// envelope in either direction is clamped to the envelope boundary
+// (the slower device's throughput is raised), not quarantined: its
+// direction is still informative even if its magnitude is not.
+func (env Envelope) Sanitize(o Observation) (Observation, bool, error) {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"RC", o.RC}, {"RG", o.RG},
+		{"CPUItems", o.CPUItems}, {"GPUItems", o.GPUItems},
+		{"EnergyJ", o.EnergyJ},
+		{"L3Misses", o.Counters.L3Misses},
+		{"Instructions", o.Counters.Instructions},
+		{"MemOps", o.Counters.MemOps},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return o, false, fmt.Errorf("%w: non-finite %s (%v)", ErrQuarantine, f.name, f.v)
+		}
+		if f.v < 0 {
+			return o, false, fmt.Errorf("%w: negative %s (%v)", ErrQuarantine, f.name, f.v)
+		}
+	}
+	if o.Duration <= 0 {
+		return o, false, fmt.Errorf("%w: non-positive duration %v", ErrQuarantine, o.Duration)
+	}
+	if o.RC <= 0 && o.RG <= 0 {
+		return o, false, fmt.Errorf("%w: no measurable throughput on either device", ErrQuarantine)
+	}
+
+	maxRatio := env.MaxRatio
+	if maxRatio <= 0 {
+		maxRatio = DefaultEnvelope().MaxRatio
+	}
+	clamped := false
+	// One dead device with the other alive is legitimate (e.g. a pure
+	// GPU chunk with an empty CPU pool); only finite nonzero ratios are
+	// judged against the envelope.
+	if o.RC > 0 && o.RG > 0 {
+		if o.RC/o.RG > maxRatio {
+			o.RG = o.RC / maxRatio
+			clamped = true
+		} else if o.RG/o.RC > maxRatio {
+			o.RC = o.RG / maxRatio
+			clamped = true
+		}
+	}
+	return o, clamped, nil
+}

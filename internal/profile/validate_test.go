@@ -1,0 +1,176 @@
+package profile
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hetsched/eas/internal/hwc"
+	"github.com/hetsched/eas/internal/platform"
+)
+
+func goodObs() Observation {
+	return Observation{
+		RC: 1e6, RG: 4e6,
+		CPUItems: 1000, GPUItems: 4000,
+		Duration: 10 * time.Millisecond,
+		EnergyJ:  0.5,
+		Counters: hwc.Counters{L3Misses: 100, Instructions: 1e6, MemOps: 1e5},
+	}
+}
+
+func TestSanitizePassesCleanObservation(t *testing.T) {
+	env := EnvelopeFor(platform.DesktopSpec())
+	out, clamped, err := env.Sanitize(goodObs())
+	if err != nil {
+		t.Fatalf("clean observation quarantined: %v", err)
+	}
+	if clamped {
+		t.Error("clean observation clamped")
+	}
+	if out != goodObs() {
+		t.Error("clean observation mutated")
+	}
+}
+
+func TestSanitizeQuarantinesNonFinite(t *testing.T) {
+	env := DefaultEnvelope()
+	mutations := map[string]func(*Observation){
+		"NaN RC":           func(o *Observation) { o.RC = math.NaN() },
+		"Inf RG":           func(o *Observation) { o.RG = math.Inf(1) },
+		"NaN energy":       func(o *Observation) { o.EnergyJ = math.NaN() },
+		"NaN misses":       func(o *Observation) { o.Counters.L3Misses = math.NaN() },
+		"Inf instructions": func(o *Observation) { o.Counters.Instructions = math.Inf(1) },
+		"NaN memops":       func(o *Observation) { o.Counters.MemOps = math.NaN() },
+		"NaN items":        func(o *Observation) { o.CPUItems = math.NaN() },
+	}
+	for name, mut := range mutations {
+		o := goodObs()
+		mut(&o)
+		if _, _, err := env.Sanitize(o); !errors.Is(err, ErrQuarantine) {
+			t.Errorf("%s: err = %v, want ErrQuarantine", name, err)
+		}
+	}
+}
+
+func TestSanitizeQuarantinesImpossibleValues(t *testing.T) {
+	env := DefaultEnvelope()
+	cases := map[string]func(*Observation){
+		"negative RC":     func(o *Observation) { o.RC = -1 },
+		"negative energy": func(o *Observation) { o.EnergyJ = -0.1 },
+		"negative items":  func(o *Observation) { o.GPUItems = -5 },
+		"zero duration":   func(o *Observation) { o.Duration = 0 },
+		"both rates zero": func(o *Observation) { o.RC, o.RG = 0, 0 },
+	}
+	for name, mut := range cases {
+		o := goodObs()
+		mut(&o)
+		if _, _, err := env.Sanitize(o); !errors.Is(err, ErrQuarantine) {
+			t.Errorf("%s: err = %v, want ErrQuarantine", name, err)
+		}
+	}
+}
+
+func TestSanitizeClampsImplausibleRatio(t *testing.T) {
+	env := Envelope{MaxRatio: 100}
+	o := goodObs()
+	o.RC, o.RG = 1e9, 1 // 10^9 ratio: implausible, clamp RG up
+	out, clamped, err := env.Sanitize(o)
+	if err != nil {
+		t.Fatalf("implausible ratio quarantined (should clamp): %v", err)
+	}
+	if !clamped {
+		t.Fatal("implausible ratio not flagged clamped")
+	}
+	if got := out.RC / out.RG; math.Abs(got-100) > 1e-9 {
+		t.Errorf("clamped ratio = %v, want 100", got)
+	}
+	// And the other direction.
+	o = goodObs()
+	o.RC, o.RG = 1, 1e9
+	out, clamped, err = env.Sanitize(o)
+	if err != nil || !clamped {
+		t.Fatalf("reverse ratio: clamped=%v err=%v", clamped, err)
+	}
+	if got := out.RG / out.RC; math.Abs(got-100) > 1e-9 {
+		t.Errorf("clamped reverse ratio = %v, want 100", got)
+	}
+}
+
+func TestSanitizeAllowsSingleDeadDevice(t *testing.T) {
+	env := Envelope{MaxRatio: 100}
+	o := goodObs()
+	o.RG = 0 // GPU measured nothing — legitimate for a CPU-only step
+	if _, clamped, err := env.Sanitize(o); err != nil || clamped {
+		t.Errorf("single dead device: clamped=%v err=%v, want pass-through", clamped, err)
+	}
+}
+
+func TestEnvelopeForPresets(t *testing.T) {
+	for _, spec := range []platform.Spec{platform.DesktopSpec(), platform.TabletSpec()} {
+		env := EnvelopeFor(spec)
+		if env.MaxRatio < 64 {
+			t.Errorf("%s: MaxRatio = %v, below floor 64", spec.Name, env.MaxRatio)
+		}
+		if math.IsInf(env.MaxRatio, 0) || math.IsNaN(env.MaxRatio) {
+			t.Errorf("%s: non-finite MaxRatio", spec.Name)
+		}
+		// Real combined-mode profiles on the preset must pass unclamped.
+		if _, clamped, err := env.Sanitize(goodObs()); err != nil || clamped {
+			t.Errorf("%s: plausible profile rejected: clamped=%v err=%v", spec.Name, clamped, err)
+		}
+	}
+}
+
+func TestEnvelopeForDegenerateSpec(t *testing.T) {
+	if env := EnvelopeFor(platform.Spec{}); env != DefaultEnvelope() {
+		t.Errorf("zero spec envelope = %+v, want DefaultEnvelope", env)
+	}
+}
+
+// FuzzSanitizeObservation: for arbitrary float inputs, Sanitize must
+// never panic, never return a non-finite or negative observation
+// without quarantining, and clamped outputs must respect the envelope.
+func FuzzSanitizeObservation(f *testing.F) {
+	f.Add(1e6, 4e6, 1000.0, 4000.0, 0.5, int64(10_000_000), 100.0, 1e6, 1e5)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, int64(0), 0.0, 0.0, 0.0)
+	f.Add(math.NaN(), math.Inf(1), -1.0, math.Inf(-1), math.NaN(), int64(-5), -0.0, math.MaxFloat64, 5e-324)
+	f.Add(1e300, 1e-300, 1.0, 1.0, 1.0, int64(1), 1.0, 1.0, 1.0)
+	env := EnvelopeFor(platform.DesktopSpec())
+	f.Fuzz(func(t *testing.T, rc, rg, ci, gi, ej float64, dur int64, l3, ins, mem float64) {
+		o := Observation{
+			RC: rc, RG: rg, CPUItems: ci, GPUItems: gi,
+			EnergyJ: ej, Duration: time.Duration(dur),
+			Counters: hwc.Counters{L3Misses: l3, Instructions: ins, MemOps: mem},
+		}
+		out, clamped, err := env.Sanitize(o)
+		if err != nil {
+			if !errors.Is(err, ErrQuarantine) {
+				t.Fatalf("non-quarantine error: %v", err)
+			}
+			return
+		}
+		for name, v := range map[string]float64{
+			"RC": out.RC, "RG": out.RG,
+			"CPUItems": out.CPUItems, "GPUItems": out.GPUItems,
+			"EnergyJ": out.EnergyJ,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("accepted observation has bad %s = %v", name, v)
+			}
+		}
+		if out.Duration <= 0 {
+			t.Fatalf("accepted observation has duration %v", out.Duration)
+		}
+		if out.RC <= 0 && out.RG <= 0 {
+			t.Fatal("accepted observation measured nothing")
+		}
+		if out.RC > 0 && out.RG > 0 {
+			r := out.RC / out.RG
+			if r > env.MaxRatio*(1+1e-9) || 1/r > env.MaxRatio*(1+1e-9) {
+				t.Fatalf("accepted ratio %v outside envelope %v (clamped=%v)", r, env.MaxRatio, clamped)
+			}
+		}
+	})
+}

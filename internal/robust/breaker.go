@@ -1,0 +1,157 @@
+package robust
+
+import "sync"
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: GPU dispatch proceeds normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: GPU dispatch is suppressed; work runs CPU-only
+	// without paying dispatch/timeout latency.
+	BreakerOpen
+	// BreakerHalfOpen: one probe invocation is allowed through; its
+	// outcome decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// DefaultProbeAfter is how many suppressed invocations an open breaker
+// waits before letting a half-open probe through, when the caller does
+// not configure it.
+const DefaultProbeAfter = 8
+
+// Breaker is a closed→open→half-open circuit breaker over GPU
+// dispatch. After `threshold` consecutive GPU fallbacks it opens and
+// the scheduler stops offering work to the GPU; after `probeAfter`
+// suppressed invocations it half-opens and admits a single probe. A
+// probe that completes on the GPU closes the breaker; one that falls
+// back re-opens it (and the suppression count restarts).
+//
+// The runtime's functional layer records outcomes from executor
+// goroutines while the scheduler consults Allow under the admission
+// gate, so the breaker carries its own lock.
+type Breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	probeAfter  int
+	state       BreakerState
+	consecutive int // consecutive fallbacks while closed
+	suppressed  int // invocations suppressed while open
+	trips       int // lifetime open transitions
+}
+
+// NewBreaker returns a breaker that opens after `threshold`
+// consecutive GPU fallbacks and probes after `probeAfter` suppressed
+// invocations. A threshold ≤ 0 disables the breaker: callers should
+// keep a nil *Breaker instead, and every method tolerates nil as
+// "always closed, never trips".
+func NewBreaker(threshold, probeAfter int) *Breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if probeAfter <= 0 {
+		probeAfter = DefaultProbeAfter
+	}
+	return &Breaker{threshold: threshold, probeAfter: probeAfter}
+}
+
+// Allow reports whether the next invocation may use the GPU. While
+// open it counts the suppressed invocation and, once probeAfter of
+// them have passed, transitions to half-open and admits the probe.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	default: // BreakerOpen
+		b.suppressed++
+		if b.suppressed >= b.probeAfter {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	}
+}
+
+// RecordSuccess notes an invocation that used the GPU and completed
+// without falling back. It closes a half-open breaker and clears the
+// consecutive-fallback run.
+func (b *Breaker) RecordSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.suppressed = 0
+	}
+	b.consecutive = 0
+}
+
+// RecordFallback notes an invocation that tried the GPU and fell back
+// to the CPU. While closed it counts toward the trip threshold; a
+// half-open probe that falls back re-opens immediately.
+func (b *Breaker) RecordFallback() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.open()
+	}
+}
+
+// open transitions to BreakerOpen; callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.consecutive = 0
+	b.suppressed = 0
+	b.trips++
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns the lifetime number of closed/half-open → open
+// transitions.
+func (b *Breaker) Trips() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

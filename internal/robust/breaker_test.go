@@ -1,0 +1,140 @@
+package robust
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBreakerDisabledIsNil(t *testing.T) {
+	b := NewBreaker(0, 5)
+	if b != nil {
+		t.Fatal("threshold 0 must return nil (disabled)")
+	}
+	// All methods tolerate nil and behave as always-closed.
+	if !b.Allow() {
+		t.Error("nil breaker denied")
+	}
+	b.RecordFallback()
+	b.RecordSuccess()
+	if b.State() != BreakerClosed || b.Trips() != 0 {
+		t.Error("nil breaker not permanently closed")
+	}
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := NewBreaker(3, 2)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("denied before threshold (fallback %d)", i)
+		}
+		b.RecordFallback()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("opened one fallback early")
+	}
+	b.Allow()
+	b.RecordFallback() // 3rd consecutive → open
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after 3 consecutive fallbacks, want open", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Errorf("Trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b := NewBreaker(3, 2)
+	b.RecordFallback()
+	b.RecordFallback()
+	b.RecordSuccess() // run broken
+	b.RecordFallback()
+	b.RecordFallback()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive fallbacks tripped the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbeAndClose(t *testing.T) {
+	b := NewBreaker(1, 2)
+	b.RecordFallback() // open
+	if b.Allow() {
+		t.Fatal("first suppressed invocation allowed")
+	}
+	if !b.Allow() {
+		t.Fatal("probeAfter=2: second invocation should be the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	b.RecordSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after successful probe, want closed", b.State())
+	}
+	// Fully recovered: the next fallback run counts from zero.
+	if !b.Allow() {
+		t.Error("closed breaker denied")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(1, 2)
+	b.RecordFallback() // open
+	b.Allow()          // suppressed (1/2)
+	b.Allow()          // probe admitted, half-open
+	b.RecordFallback() // probe fell back
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Errorf("Trips = %d, want 2", b.Trips())
+	}
+	// Suppression restarts: one more denial before the next probe.
+	if b.Allow() {
+		t.Error("suppression count did not restart after reopen")
+	}
+	if !b.Allow() {
+		t.Error("second probe not admitted")
+	}
+}
+
+func TestBreakerDefaultProbeAfter(t *testing.T) {
+	b := NewBreaker(1, 0)
+	b.RecordFallback()
+	denied := 0
+	for b.State() == BreakerOpen && !b.Allow() {
+		denied++
+	}
+	if denied != DefaultProbeAfter-1 {
+		t.Errorf("denied %d invocations before probe, want %d", denied, DefaultProbeAfter-1)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" || BreakerHalfOpen.String() != "half-open" {
+		t.Error("BreakerState strings wrong")
+	}
+}
+
+// The functional layer records outcomes from executor goroutines while
+// the scheduler consults Allow — exercise that under the race detector.
+func TestBreakerConcurrentAccess(t *testing.T) {
+	b := NewBreaker(5, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				b.Allow()
+				if (n+j)%3 == 0 {
+					b.RecordFallback()
+				} else {
+					b.RecordSuccess()
+				}
+				b.State()
+				b.Trips()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

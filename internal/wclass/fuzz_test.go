@@ -1,0 +1,27 @@
+package wclass
+
+import "testing"
+
+// FuzzParseKey checks the ParseKey/Key round-trip invariant: any key
+// ParseKey accepts must re-serialize to exactly the accepted input, and
+// no input may panic. The α table persists categories by key, so a
+// parser that accepted a near-miss would corrupt the table silently.
+func FuzzParseKey(f *testing.F) {
+	for _, c := range All() {
+		f.Add(c.Key())
+	}
+	f.Add("")
+	f.Add("quantum-cpuS")
+	f.Add("mem-cpuS-gpuS ")
+	f.Add("MEM-cpuS-gpuL")
+	f.Add("mem-cpus-gpul")
+	f.Fuzz(func(t *testing.T, key string) {
+		c, err := ParseKey(key)
+		if err != nil {
+			return
+		}
+		if got := c.Key(); got != key {
+			t.Fatalf("ParseKey(%q).Key() = %q: accepted a key that does not round-trip", key, got)
+		}
+	})
+}
