@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# check-obs-overhead.sh — fail the build if disabled observability ever
+# costs anything on the scheduling hot path.
+#
+# Two layers of defence:
+#   1. TestNilObserverZeroAlloc pins the nil-observer steady-state path
+#      to zero heap allocations per invocation.
+#   2. BenchmarkParallelForObserverNil's allocs/op is compared against
+#      the committed baseline (ci/obs-overhead-baseline.txt); any
+#      regression past the baseline fails. Allocation counts are exact
+#      and machine-independent, unlike ns/op, so this is CI-stable.
+#
+# The enabled-observer benchmark runs too and its overhead is printed
+# for the log, but only the *disabled* path is gated — observability is
+# opt-in, its cost is allowed to evolve.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline_file=ci/obs-overhead-baseline.txt
+baseline=$(awk '/^nil_allocs_per_op/ {print $2}' "$baseline_file")
+if [[ -z "$baseline" ]]; then
+    echo "error: no nil_allocs_per_op entry in $baseline_file" >&2
+    exit 1
+fi
+
+echo "== pinned zero-alloc test =="
+go test ./internal/core -run 'TestNilObserverZeroAlloc' -count=1 -v
+
+echo "== observer overhead benchmarks =="
+out=$(go test ./internal/core -run '^$' -bench 'BenchmarkParallelForObserver' \
+    -benchtime=500x -benchmem -count=1)
+echo "$out"
+
+nil_allocs=$(echo "$out" | awk '/^BenchmarkParallelForObserverNil/ {print $(NF-1)}')
+if [[ -z "$nil_allocs" ]]; then
+    echo "error: BenchmarkParallelForObserverNil produced no allocs/op figure" >&2
+    exit 1
+fi
+
+if (( nil_allocs > baseline )); then
+    echo "FAIL: nil-observer path allocates $nil_allocs allocs/op, baseline is $baseline" >&2
+    echo "(observability must stay free when disabled; see internal/core/obs_overhead_test.go)" >&2
+    exit 1
+fi
+echo "OK: nil-observer path at $nil_allocs allocs/op (baseline $baseline)"

@@ -44,6 +44,8 @@ func main() {
 	modelCache := flag.String("model-cache", "", "JSON file persisting characterization models across invocations (loaded at start, saved on exit)")
 	chaos := flag.Int64("chaos", 0, "run the degraded-telemetry chaos demo with this seed (0 = off)")
 	sensorFaults := flag.String("sensor-faults", "", "fault spec for -chaos, e.g. \"stuck=6,noise=0.5,lie=0.1x2\" (empty = seeded random storm)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the scheduling decisions to this file (observed runs: -concurrent, -chaos)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/trace on this HOST:PORT while the run executes")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -54,7 +56,14 @@ func main() {
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fail(err)
 		}
-		defer pprof.StopCPUProfile()
+		// A profile whose file fails to close is silently truncated —
+		// exit non-zero so CI catches it instead of archiving garbage.
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail(fmt.Errorf("cpuprofile %s: %w", *cpuProfile, err))
+			}
+		}()
 	}
 	if *memProfile != "" {
 		defer func() {
@@ -62,12 +71,45 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			defer f.Close()
 			runtime.GC() // report live allocations, not transient garbage
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
 				fail(err)
 			}
+			if err := f.Close(); err != nil {
+				fail(fmt.Errorf("memprofile %s: %w", *memProfile, err))
+			}
 		}()
+	}
+
+	var observer *eas.Observer
+	if *traceOut != "" || *metricsAddr != "" {
+		observer = eas.NewObserver(eas.ObserverOptions{})
+		if *metricsAddr != "" {
+			srv, err := observer.Serve(*metricsAddr)
+			if err != nil {
+				fail(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "easbench: serving metrics at http://%s/metrics (trace at /debug/trace)\n", srv.Addr)
+		}
+		if *traceOut != "" {
+			path := *traceOut
+			defer func() {
+				f, err := os.Create(path)
+				if err != nil {
+					fail(err)
+				}
+				if err := observer.WriteChromeTrace(f); err != nil {
+					f.Close()
+					fail(err)
+				}
+				if err := f.Close(); err != nil {
+					fail(fmt.Errorf("trace-out %s: %w", path, err))
+				}
+				fmt.Fprintf(os.Stderr, "easbench: wrote Perfetto trace to %s\n", path)
+			}()
+		}
 	}
 	if *modelCache != "" {
 		if err := powerchar.DefaultCache.LoadFile(*modelCache); err != nil && !errors.Is(err, os.ErrNotExist) {
@@ -85,14 +127,14 @@ func main() {
 		if seed == 0 {
 			seed = 1
 		}
-		if err := chaosdemo.Run(os.Stdout, seed, *sensorFaults, 24); err != nil {
+		if err := chaosdemo.Run(os.Stdout, seed, *sensorFaults, 24, observer); err != nil {
 			fail(err)
 		}
 		return
 	}
 
 	if *concurrent > 0 {
-		if err := runConcurrent(*concurrent); err != nil {
+		if err := runConcurrent(*concurrent, observer); err != nil {
 			fail(err)
 		}
 		return
@@ -241,12 +283,12 @@ func runAblations() {
 // The admission gate serializes the scheduling decisions FIFO while the
 // functional work runs on the shared pool, so per-tenant α and energy
 // stay honest however many tenants contend.
-func runConcurrent(tenants int) error {
+func runConcurrent(tenants int, observer *eas.Observer) error {
 	model, err := eas.Characterize(eas.DesktopPlatform())
 	if err != nil {
 		return err
 	}
-	rt, err := eas.NewRuntime(eas.DesktopPlatform(), eas.Config{Metric: eas.EDP, Model: model})
+	rt, err := eas.NewRuntime(eas.DesktopPlatform(), eas.Config{Metric: eas.EDP, Model: model, Observer: observer})
 	if err != nil {
 		return err
 	}

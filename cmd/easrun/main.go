@@ -15,11 +15,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"github.com/hetsched/eas/internal/core"
 	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/obs"
 	"github.com/hetsched/eas/internal/platform"
 	"github.com/hetsched/eas/internal/powerchar"
 	"github.com/hetsched/eas/internal/report"
@@ -37,7 +40,43 @@ func main() {
 	detail := flag.Bool("detail", false, "print the full per-workload analysis (α landscape, all strategies, EAS decisions, energy breakdown)")
 	svgDir := flag.String("svg", "", "with -detail: write the α landscape chart into this directory")
 	modelCache := flag.String("model-cache", "", "JSON file persisting characterization models across invocations (loaded at start, saved on exit)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the run's scheduling decisions to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/trace on this HOST:PORT while the run executes")
 	flag.Parse()
+
+	var observer *obs.Observer
+	var ring *obs.RingSink
+	if *traceOut != "" || *metricsAddr != "" {
+		ring = obs.NewRingSink(obs.DefaultRingCapacity)
+		observer = obs.New(ring, nil)
+		if *metricsAddr != "" {
+			ln, err := net.Listen("tcp", *metricsAddr)
+			if err != nil {
+				fail(err)
+			}
+			srv := &http.Server{Handler: obs.NewHTTPHandler(observer.Registry(), ring)}
+			defer srv.Close()
+			go func() { _ = srv.Serve(ln) }()
+			fmt.Fprintf(os.Stderr, "easrun: serving metrics at http://%s/metrics (trace at /debug/trace)\n", ln.Addr())
+		}
+		if *traceOut != "" {
+			path := *traceOut
+			defer func() {
+				f, err := os.Create(path)
+				if err != nil {
+					fail(err)
+				}
+				if err := obs.WriteChromeTrace(f, ring.Snapshot()); err != nil {
+					f.Close()
+					fail(err)
+				}
+				if err := f.Close(); err != nil {
+					fail(fmt.Errorf("trace-out %s: %w", path, err))
+				}
+				fmt.Fprintf(os.Stderr, "easrun: wrote Perfetto trace to %s\n", path)
+			}()
+		}
+	}
 
 	if *modelCache != "" {
 		// Best-effort load: a missing file just means first run.
@@ -88,7 +127,7 @@ func main() {
 		fail(err)
 	}
 
-	opts := core.Options{GrowProfileChunk: true, ConvergeTol: 0.08}
+	opts := core.Options{GrowProfileChunk: true, ConvergeTol: 0.08, Observer: observer}
 	var strat sched.Strategy
 	switch strings.ToUpper(*strategy) {
 	case "CPU":

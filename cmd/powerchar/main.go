@@ -85,8 +85,12 @@ func main() {
 		s := trace.NewSeries("P(α) "+key, "W")
 		for _, pt := range curve.Samples {
 			// Map α∈[0,1] onto a nominal time axis so the trace
-			// renderer can draw the sweep.
-			s.Append(time.Duration(pt.Alpha*1e9), pt.Watts)
+			// renderer can draw the sweep. Sample order comes from the
+			// model file, which an edited or corrupt file could leave
+			// unsorted — skip regressions instead of panicking.
+			if err := s.TryAppend(time.Duration(pt.Alpha*1e9), pt.Watts); err != nil {
+				fmt.Fprintf(os.Stderr, "powerchar: skipping out-of-order sample: %v\n", err)
+			}
 		}
 		fmt.Print(s.RenderASCII(8, 60))
 		fmt.Println()

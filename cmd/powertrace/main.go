@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 
+	"github.com/hetsched/eas"
 	"github.com/hetsched/eas/internal/chaosdemo"
 	"github.com/hetsched/eas/internal/report"
 	"github.com/hetsched/eas/internal/trace"
@@ -30,8 +32,11 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV series into")
 	svgDir := flag.String("svg", "", "directory to write SVG charts into")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	chaos := flag.Int64("chaos", 0, "run the degraded-telemetry chaos demo with this seed (0 = off)")
 	sensorFaults := flag.String("sensor-faults", "", "fault spec for -chaos, e.g. \"stuck=6,noise=0.5,lie=0.1x2\" (empty = seeded random storm)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the -chaos run's scheduling decisions to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/trace on this HOST:PORT while the run executes")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -42,7 +47,59 @@ func main() {
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fail(err)
 		}
-		defer pprof.StopCPUProfile()
+		// A truncated profile must fail the run, not pass silently.
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail(fmt.Errorf("cpuprofile %s: %w", *cpuProfile, err))
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			runtime.GC() // report live allocations, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(fmt.Errorf("memprofile %s: %w", *memProfile, err))
+			}
+		}()
+	}
+
+	var observer *eas.Observer
+	if *traceOut != "" || *metricsAddr != "" {
+		observer = eas.NewObserver(eas.ObserverOptions{})
+		if *metricsAddr != "" {
+			srv, err := observer.Serve(*metricsAddr)
+			if err != nil {
+				fail(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "powertrace: serving metrics at http://%s/metrics (trace at /debug/trace)\n", srv.Addr)
+		}
+		if *traceOut != "" {
+			path := *traceOut
+			defer func() {
+				f, err := os.Create(path)
+				if err != nil {
+					fail(err)
+				}
+				if err := observer.WriteChromeTrace(f); err != nil {
+					f.Close()
+					fail(err)
+				}
+				if err := f.Close(); err != nil {
+					fail(fmt.Errorf("trace-out %s: %w", path, err))
+				}
+				fmt.Fprintf(os.Stderr, "powertrace: wrote Perfetto trace to %s\n", path)
+			}()
+		}
 	}
 
 	if *chaos != 0 || *sensorFaults != "" {
@@ -50,7 +107,7 @@ func main() {
 		if seed == 0 {
 			seed = 1
 		}
-		if err := chaosdemo.Run(os.Stdout, seed, *sensorFaults, 24); err != nil {
+		if err := chaosdemo.Run(os.Stdout, seed, *sensorFaults, 24, observer); err != nil {
 			fail(err)
 		}
 		return

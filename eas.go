@@ -44,12 +44,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hetsched/eas/internal/cl"
 	"github.com/hetsched/eas/internal/core"
 	"github.com/hetsched/eas/internal/device"
 	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/obs"
 	"github.com/hetsched/eas/internal/robust"
 	"github.com/hetsched/eas/internal/ws"
 )
@@ -140,6 +142,11 @@ type Config struct {
 	// Robustness tunes the telemetry-hardening layer. The zero value
 	// disables it entirely.
 	Robustness Robustness
+	// Observer, when non-nil, receives a span trace, a decision-audit
+	// record, and runtime metrics for every invocation (see NewObserver).
+	// One Observer may be shared by several Runtimes. Nil — the default —
+	// disables all instrumentation at zero cost on the scheduling path.
+	Observer *Observer
 }
 
 // Robustness tunes how skeptically the runtime treats its sensors.
@@ -173,6 +180,13 @@ type Robustness struct {
 
 // Report describes one ParallelFor execution.
 type Report struct {
+	// InvocationID numbers this runtime's invocations monotonically
+	// from 1 (shared across runtimes attached to one Observer, so a
+	// report correlates with its trace track and audit record).
+	InvocationID uint64
+	// Started and Finished are the invocation's wall-clock bounds:
+	// admission wait through scheduling and functional execution.
+	Started, Finished time.Time
 	// Alpha is the GPU offload ratio applied after profiling.
 	Alpha float64
 	// Profiled is true when this invocation ran online profiling.
@@ -254,7 +268,19 @@ type Runtime struct {
 	retry     RetryPolicy
 	robustOn  bool // any Robustness knob active → report telemetry
 	breakerOn bool // breaker enabled → report breaker state
+	obsv      *obs.Observer
+	invSeq    atomic.Uint64 // invocation ids when no observer is attached
 	closeOnce sync.Once
+}
+
+// nextInvocation allocates this invocation's id: from the shared
+// observer when one is attached (unique across runtimes), otherwise
+// from the runtime's own sequence.
+func (r *Runtime) nextInvocation() uint64 {
+	if r.obsv.Enabled() {
+		return r.obsv.NextInvocationID()
+	}
+	return r.invSeq.Add(1)
 }
 
 // NewRuntime builds a runtime on the platform. If cfg.Model is nil the
@@ -311,6 +337,7 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 		CategoryHysteresis: cfg.Robustness.CategoryHysteresis,
 		BreakerThreshold:   cfg.BreakerThreshold,
 		BreakerProbeAfter:  cfg.BreakerProbeAfter,
+		Observer:           cfg.Observer.internal(),
 	})
 	if err != nil {
 		return nil, err
@@ -319,7 +346,7 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 	if cfg.Faults != nil {
 		ctx.SetFaultPlan(cfg.Faults.inner)
 	}
-	return &Runtime{
+	rt := &Runtime{
 		platform:  p,
 		eng:       eng,
 		sched:     sched,
@@ -331,7 +358,10 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 		retry:     retry,
 		robustOn:  cfg.Robustness.Meter || cfg.Robustness.ValidateProfiles,
 		breakerOn: cfg.BreakerThreshold > 0,
-	}, nil
+		obsv:      cfg.Observer.internal(),
+	}
+	cfg.Observer.registerRuntimeCollectors(rt)
+	return rt, nil
 }
 
 // Platform returns the runtime's platform.
@@ -379,12 +409,23 @@ func (r *Runtime) ParallelForCtx(ctx context.Context, k Kernel, n int) (*Report,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	started := time.Now()
+	inv := r.nextInvocation()
+	var sc obs.Scope
+	if r.obsv.Enabled() {
+		sc = r.obsv.BeginInvocation(inv, k.Name)
+	}
 	ek := k.toEngine()
-	rep, err := r.sched.ParallelForCtx(ctx, ek, n)
+	rep, err := r.sched.ParallelForScoped(ctx, ek, n, sc)
 	if err != nil {
+		if sc.Enabled() {
+			sc.End(obs.Str("error", err.Error()))
+		}
 		return nil, err
 	}
 	out := &Report{
+		InvocationID:    inv,
+		Started:         started,
 		CPUEnergyJ:      rep.CPUEnergyJ,
 		GPUEnergyJ:      rep.GPUEnergyJ,
 		DRAMEnergyJ:     rep.DRAMEnergyJ,
@@ -420,10 +461,15 @@ func (r *Runtime) ParallelForCtx(ctx context.Context, k Kernel, n int) (*Report,
 		out.FallbackError = fmt.Errorf("eas: kernel %q ran CPU-only: %w", k.Name, ErrGPUBusy)
 	}
 	if k.Body != nil {
-		if err := r.executeCtx(ctx, k, n, rep.Alpha, out); err != nil {
+		if err := r.executeCtx(ctx, k, n, rep.Alpha, out, sc); err != nil {
+			if sc.Enabled() {
+				sc.End(obs.Str("error", err.Error()))
+			}
 			return nil, err
 		}
 	}
+	out.Finished = time.Now()
+	r.finishScope(sc, core.StatsFor(rep), out, started)
 	return out, nil
 }
 
@@ -432,7 +478,14 @@ func (r *Runtime) ParallelForCtx(ctx context.Context, k Kernel, n int) (*Report,
 // with capped exponential backoff, a dispatch that exceeds the GPU
 // timeout is abandoned and its share re-executed on the CPU pool, and
 // body panics on either device surface as *KernelPanicError.
-func (r *Runtime) executeCtx(ctx context.Context, k Kernel, n int, alpha float64, out *Report) error {
+func (r *Runtime) executeCtx(ctx context.Context, k Kernel, n int, alpha float64, out *Report, sc obs.Scope) error {
+	var fn obs.Timed
+	if sc.Enabled() {
+		fn = sc.Span("functional")
+		defer func() {
+			fn.End(obs.Num("reexecuted_items", float64(out.ReexecutedItems)))
+		}()
+	}
 	gpuItems := int(alpha * float64(n))
 	if gpuItems > n {
 		gpuItems = n
@@ -440,12 +493,16 @@ func (r *Runtime) executeCtx(ctx context.Context, k Kernel, n int, alpha float64
 	var ev *cl.Event
 	if gpuItems > 0 {
 		var err error
-		ev, err = r.enqueueWithRetry(ctx, k, gpuItems, out)
+		ev, err = r.enqueueWithRetry(ctx, k, gpuItems, out, fn)
 		switch {
 		case err == nil:
 		case errors.Is(err, cl.ErrDeviceBusy):
 			// Retry budget exhausted: degrade the GPU share to the CPU.
 			r.sched.Breaker().RecordFallback()
+			if fn.Enabled() {
+				fn.Event("functional-fallback", obs.Str("reason", "enqueue-error"),
+					obs.Num("items", float64(gpuItems)))
+			}
 			out.FallbackReason = FallbackEnqueueError
 			out.FallbackError = fmt.Errorf("eas: kernel %q enqueue kept failing (%v): %w", k.Name, err, ErrGPUBusy)
 			out.ReexecutedItems += gpuItems
@@ -484,6 +541,10 @@ func (r *Runtime) executeCtx(ctx context.Context, k Kernel, n int, alpha float64
 			// GPU's share on the CPU pool.
 			ev.Abandon()
 			r.sched.Breaker().RecordFallback()
+			if fn.Enabled() {
+				fn.Event("functional-fallback", obs.Str("reason", "gpu-timeout"),
+					obs.Num("items", float64(gpuItems)))
+			}
 			out.FallbackReason = FallbackGPUTimeout
 			out.FallbackError = fmt.Errorf("eas: kernel %q: %w after %v", k.Name, ErrGPUTimeout, r.timeout)
 			out.ReexecutedItems += gpuItems
@@ -502,7 +563,7 @@ func (r *Runtime) executeCtx(ctx context.Context, k Kernel, n int, alpha float64
 // this is the host-side driver path). Every busy rejection counts
 // toward out.Retries, including the final attempt that exhausts the
 // budget, matching the scheduling layer's accounting.
-func (r *Runtime) enqueueWithRetry(ctx context.Context, k Kernel, gpuItems int, out *Report) (*cl.Event, error) {
+func (r *Runtime) enqueueWithRetry(ctx context.Context, k Kernel, gpuItems int, out *Report, fn obs.Timed) (*cl.Event, error) {
 	backoff := r.retry.BaseBackoff
 	for attempt := 1; ; attempt++ {
 		ev, err := r.queue.EnqueueNDRange(cl.Kernel{Name: k.Name, Body: k.Body}, 0, gpuItems)
@@ -510,6 +571,10 @@ func (r *Runtime) enqueueWithRetry(ctx context.Context, k Kernel, gpuItems int, 
 			return ev, err
 		}
 		out.Retries++
+		if fn.Enabled() {
+			fn.Event("enqueue-retry", obs.Num("attempt", float64(attempt)),
+				obs.Num("backoff_us", float64(backoff.Microseconds())))
+		}
 		if attempt >= r.retry.MaxAttempts {
 			return ev, err
 		}

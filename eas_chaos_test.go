@@ -3,6 +3,7 @@ package eas
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -14,17 +15,18 @@ import (
 // chaosRow is one soak invocation's outcome, written to the path in
 // $EAS_CHAOS_REPORT so a failing CI run leaves a reproducible artifact.
 type chaosRow struct {
-	Invocation int     `json:"invocation"`
-	Kernel     string  `json:"kernel"`
-	FaultSpec  string  `json:"fault_spec"`
-	Alpha      float64 `json:"alpha"`
-	EnergyJ    float64 `json:"energy_j"`
-	DurationNS int64   `json:"duration_ns"`
-	Telemetry  string  `json:"telemetry"`
-	Rejected   int     `json:"meter_samples_rejected"`
-	Breaker    string  `json:"breaker_state"`
-	Fallback   string  `json:"fallback_reason"`
-	Err        string  `json:"error,omitempty"`
+	Invocation   int     `json:"invocation"`
+	InvocationID uint64  `json:"invocation_id"`
+	Kernel       string  `json:"kernel"`
+	FaultSpec    string  `json:"fault_spec"`
+	Alpha        float64 `json:"alpha"`
+	EnergyJ      float64 `json:"energy_j"`
+	DurationNS   int64   `json:"duration_ns"`
+	Telemetry    string  `json:"telemetry"`
+	Rejected     int     `json:"meter_samples_rejected"`
+	Breaker      string  `json:"breaker_state"`
+	Fallback     string  `json:"fallback_reason"`
+	Err          string  `json:"error,omitempty"`
 }
 
 // TestChaosSoak hammers a fully hardened runtime with randomized
@@ -50,6 +52,7 @@ func TestChaosSoak(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(seed))
 	plan := NewFaultPlan(seed)
+	observer := NewObserver(ObserverOptions{})
 	rt, err := NewRuntime(DesktopPlatform(), Config{
 		Metric:             EDP,
 		Model:              sharedModel(t),
@@ -64,6 +67,7 @@ func TestChaosSoak(t *testing.T) {
 			ValidateProfiles:   true,
 			CategoryHysteresis: 2,
 		},
+		Observer: observer,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,16 +76,26 @@ func TestChaosSoak(t *testing.T) {
 
 	var rows []chaosRow
 	defer func() {
-		path := os.Getenv("EAS_CHAOS_REPORT")
-		if path == "" {
-			return
+		if path := os.Getenv("EAS_CHAOS_REPORT"); path != "" {
+			blob, err := json.MarshalIndent(map[string]any{"seed": seed, "rows": rows}, "", "  ")
+			if err == nil {
+				err = os.WriteFile(path, blob, 0o644)
+			}
+			if err != nil {
+				t.Logf("chaos report not written: %v", err)
+			}
 		}
-		blob, err := json.MarshalIndent(map[string]any{"seed": seed, "rows": rows}, "", "  ")
-		if err == nil {
-			err = os.WriteFile(path, blob, 0o644)
+		// Trace and metrics artifacts let a failing CI soak be replayed
+		// in Perfetto / diffed as Prometheus text.
+		if path := os.Getenv("EAS_CHAOS_TRACE"); path != "" {
+			if err := writeChaosArtifact(path, observer.WriteChromeTrace); err != nil {
+				t.Logf("chaos trace not written: %v", err)
+			}
 		}
-		if err != nil {
-			t.Logf("chaos report not written: %v", err)
+		if path := os.Getenv("EAS_CHAOS_METRICS"); path != "" {
+			if err := writeChaosArtifact(path, observer.WriteMetrics); err != nil {
+				t.Logf("chaos metrics not written: %v", err)
+			}
 		}
 	}()
 
@@ -125,6 +139,7 @@ func TestChaosSoak(t *testing.T) {
 			rows = append(rows, row)
 			t.Fatalf("invocation %d (faults %q): %v", i, spec, err)
 		}
+		row.InvocationID = rep.InvocationID
 		row.Alpha = rep.Alpha
 		row.EnergyJ = rep.EnergyJ
 		row.DurationNS = int64(rep.Duration)
@@ -158,4 +173,24 @@ func TestChaosSoak(t *testing.T) {
 	}
 	t.Logf("chaos soak: %d invocations, %d items executed, final faults %+v",
 		iters, ran.Load(), plan.Stats())
+
+	for i := 1; i < len(rows); i++ {
+		if rows[i].InvocationID <= rows[i-1].InvocationID {
+			t.Fatalf("invocation IDs not strictly increasing: rows[%d]=%d, rows[%d]=%d",
+				i-1, rows[i-1].InvocationID, i, rows[i].InvocationID)
+		}
+	}
+}
+
+// writeChaosArtifact streams one observer export into path.
+func writeChaosArtifact(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -35,8 +35,10 @@ type Row struct {
 // every robustness feature enabled. The fault schedule is spec (a
 // ParseFaultPlan string, replayed before the first invocation) plus, if
 // spec is empty, a seeded random storm so `-chaos SEED` alone shows
-// something interesting. Results render as a table on w.
-func Run(w io.Writer, seed int64, spec string, invocations int) error {
+// something interesting. Results render as a table on w. A non-nil
+// observer is attached to the runtime, so the storm's degradation
+// decisions land in its trace ring and metrics registry.
+func Run(w io.Writer, seed int64, spec string, invocations int, observer *eas.Observer) error {
 	if invocations <= 0 {
 		invocations = 24
 	}
@@ -61,6 +63,7 @@ func Run(w io.Writer, seed int64, spec string, invocations int) error {
 			ValidateProfiles:   true,
 			CategoryHysteresis: 2,
 		},
+		Observer: observer,
 	})
 	if err != nil {
 		return err

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hetsched/eas/internal/faultinject"
 	"github.com/hetsched/eas/internal/platform"
@@ -295,6 +296,26 @@ type CommandQueue struct {
 
 	mu   sync.Mutex
 	tail chan struct{} // completion of the most recently enqueued command
+
+	// Lifetime activity counters (always-on: one uncontended atomic add
+	// per enqueue, off the per-item dispatch path).
+	enqueues atomic.Uint64
+	busy     atomic.Uint64
+}
+
+// QueueStats is a snapshot of a queue's lifetime enqueue activity.
+type QueueStats struct {
+	// Enqueues counts EnqueueNDRange calls that passed argument
+	// validation, including those rejected as busy.
+	Enqueues uint64
+	// Busy counts enqueues transiently rejected with ErrDeviceBusy.
+	Busy uint64
+}
+
+// Stats returns a snapshot of the queue's activity counters; safe from
+// any goroutine.
+func (q *CommandQueue) Stats() QueueStats {
+	return QueueStats{Enqueues: q.enqueues.Load(), Busy: q.busy.Load()}
 }
 
 // NewCommandQueue creates an in-order queue on the context.
@@ -322,7 +343,9 @@ func (q *CommandQueue) EnqueueNDRange(k Kernel, offset, global int) (*Event, err
 	if released {
 		return nil, fmt.Errorf("%w: enqueue %q on released context", ErrReleased, k.Name)
 	}
+	q.enqueues.Add(1)
 	if faults.TakeEnqueueError() {
+		q.busy.Add(1)
 		return nil, fmt.Errorf("%w: NDRange %q rejected", ErrDeviceBusy, k.Name)
 	}
 	ev := newEvent(global)

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/obs"
+	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/powerchar"
+)
+
+// TestNilObserverZeroAlloc pins the disabled-observability overhead to
+// exactly nothing: a scheduler built without an Observer must run its
+// steady-state path (kernel already profiled, α already decided) with
+// zero heap allocations per invocation, same as before the
+// instrumentation existed. Every sc.Event / span call on the hot path
+// is therefore required to guard its attribute construction behind
+// Enabled() — an unguarded variadic attr slice escapes and fails this
+// test. The CI guard ci/check-obs-overhead.sh runs this test plus the
+// benchmarks below against ci/obs-overhead-baseline.txt.
+func TestNilObserverZeroAlloc(t *testing.T) {
+	s := newEAS(t, metrics.EDP, Options{})
+	k := memKernel()
+	if _, err := s.ParallelFor(k, 200000); err != nil { // profile + warm the α table
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := s.ParallelFor(k, 200000); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("steady-state ParallelFor with nil observer allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func benchObserver(b *testing.B, o *obs.Observer) {
+	b.Helper()
+	model, err := powerchar.Cached(context.Background(), platform.DesktopSpec(), powerchar.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(engine.New(platform.Desktop()), model, metrics.EDP, Options{Observer: o})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := memKernel()
+	if _, err := s.ParallelFor(k, 200000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ParallelFor(k, 200000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelForObserverNil measures the historical (observer
+// disabled) steady-state scheduling path. ci/check-obs-overhead.sh
+// fails the build if its allocs/op ever exceed the committed baseline.
+func BenchmarkParallelForObserverNil(b *testing.B) { benchObserver(b, nil) }
+
+// BenchmarkParallelForObserverEnabled measures the same path with a
+// ring-sink observer attached, quantifying the cost an application
+// opts into (span + explain + metric recording per invocation).
+func BenchmarkParallelForObserverEnabled(b *testing.B) {
+	benchObserver(b, obs.New(obs.NewRingSink(obs.DefaultRingCapacity), obs.NewRegistry()))
+}

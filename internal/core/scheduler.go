@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/hetsched/eas/internal/engine"
 	"github.com/hetsched/eas/internal/metrics"
 	"github.com/hetsched/eas/internal/msr"
+	"github.com/hetsched/eas/internal/obs"
 	"github.com/hetsched/eas/internal/powerchar"
 	"github.com/hetsched/eas/internal/profile"
 	"github.com/hetsched/eas/internal/robust"
@@ -120,6 +122,12 @@ type Options struct {
 	// BreakerProbeAfter is how many suppressed invocations an open
 	// breaker waits before half-opening for a probe (default 8).
 	BreakerProbeAfter int
+
+	// Observer receives per-invocation span traces, decision-audit
+	// records, and runtime metrics. Nil (the default) disables all
+	// instrumentation: every hook degrades to a nil-check and the hot
+	// path allocates nothing. A pointer keeps Options comparable.
+	Observer *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -185,6 +193,10 @@ type Report struct {
 	// Duration and EnergyJ are the invocation's simulated totals.
 	Duration time.Duration
 	EnergyJ  float64
+	// ProfileDuration is the simulated time spent inside repeated
+	// profiling steps (a subset of Duration; zero when not Profiled) —
+	// the profiling overhead the paper's half-iterations rule bounds.
+	ProfileDuration time.Duration
 	// CPUEnergyJ, GPUEnergyJ and DRAMEnergyJ split the package energy
 	// by RAPL domain (cores / integrated GPU / memory), measured across
 	// the whole invocation inside the admission critical section so
@@ -287,6 +299,11 @@ func New(eng *engine.Engine, model *powerchar.Model, metric metrics.Metric, opts
 	if s.opts.ValidateProfiles {
 		s.env = profile.EnvelopeFor(spec)
 	}
+	if o := s.opts.Observer; o.Enabled() && s.breaker != nil {
+		s.breaker.SetOnTransition(func(from, to robust.BreakerState) {
+			o.RecordBreakerTransition(int(to))
+		})
+	}
 	return s, nil
 }
 
@@ -328,10 +345,68 @@ func (s *Scheduler) ParallelFor(k engine.Kernel, n int) (Report, error) {
 // returns quickly, and an admitted tenant must not leave the simulated
 // clock mid-phase.
 func (s *Scheduler) ParallelForCtx(ctx context.Context, k engine.Kernel, n int) (Report, error) {
+	if o := s.opts.Observer; o.Enabled() {
+		sc := o.BeginInvocation(o.NextInvocationID(), k.Name)
+		rep, err := s.ParallelForScoped(ctx, k, n, sc)
+		if err != nil {
+			sc.End(obs.Str("error", err.Error()))
+		} else {
+			st := StatsFor(rep)
+			st.Seconds = sc.Elapsed().Seconds()
+			sc.End(obs.Num("alpha", rep.Alpha), obs.Num("energy_j", rep.EnergyJ))
+			o.RecordInvocation(st)
+		}
+		return rep, err
+	}
+	return s.ParallelForScoped(ctx, k, n, obs.Scope{})
+}
+
+// StatsFor summarizes a completed invocation's report as the metric
+// deltas the observer registry records. Callers that open their own
+// scope via ParallelForScoped fold these in exactly once per
+// invocation (amending the fallback reason if they know a more
+// specific one); the ParallelForCtx path does it automatically.
+func StatsFor(rep Report) obs.InvocationStats {
+	st := obs.InvocationStats{
+		Seconds:        rep.Duration.Seconds(),
+		ProfileSeconds: rep.ProfileDuration.Seconds(),
+		Alpha:          rep.Alpha,
+		Retries:        rep.Retries,
+		Profiled:       rep.Profiled,
+		ProfileSteps:   rep.ProfileSteps,
+		MeterRejected:  rep.MeterSamplesRejected,
+		Quarantined:    rep.ProfileQuarantined,
+		Sanitized:      rep.ProfileSanitized,
+		BreakerState:   int(rep.BreakerState),
+	}
+	switch {
+	case rep.BreakerOpen:
+		st.Fallback = "breaker-open"
+	case rep.GPUBusyFallback:
+		st.Fallback = "gpu-busy"
+	}
+	return st
+}
+
+// ParallelForScoped is ParallelForCtx under a caller-owned observer
+// scope: spans for admission wait, profiling, the α search (with its
+// Explain decision audit), and remainder execution are emitted as
+// children of sc, and instant events mark retries, fallbacks, and
+// breaker suppressions. The caller owns the scope's lifecycle — it
+// calls sc.End and records invocation metrics (see StatsFor) itself.
+// A zero Scope (or one from a nil observer) disables all of it.
+func (s *Scheduler) ParallelForScoped(ctx context.Context, k engine.Kernel, n int, sc obs.Scope) (Report, error) {
 	if n <= 0 {
 		return Report{}, fmt.Errorf("core: non-positive iteration count %d for kernel %q", n, k.Name)
 	}
-	if err := s.adm.Acquire(ctx); err != nil {
+	if sc.Enabled() {
+		wait := sc.Span("admission-wait")
+		if err := s.adm.Acquire(ctx); err != nil {
+			wait.End(obs.Str("error", err.Error()))
+			return Report{}, err
+		}
+		wait.End()
+	} else if err := s.adm.Acquire(ctx); err != nil {
 		return Report{}, err
 	}
 	defer s.adm.Release()
@@ -351,7 +426,7 @@ func (s *Scheduler) ParallelForCtx(ctx context.Context, k engine.Kernel, n int) 
 		pre = s.rmeter.Stats()
 		s.invPredW = 0
 	}
-	rep, err := s.parallelFor(k, n)
+	rep, err := s.parallelFor(k, n, sc)
 	if err != nil {
 		return Report{}, err
 	}
@@ -379,11 +454,12 @@ func (s *Scheduler) ParallelForCtx(ctx context.Context, k engine.Kernel, n int) 
 
 // parallelFor is the EAS algorithm proper; the caller holds the
 // admission gate.
-func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
+func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope) (Report, error) {
 	// GPU owned by another application (the A26 check): CPU-only run,
 	// nothing recorded. The breaker counts it like any other
 	// GPU-unavailable fallback.
 	if s.eng.Platform().GPUBusy() {
+		sc.Event("gpu-busy-upfront")
 		res, err := s.eng.Run(engine.Phase{Kernel: k, PoolItems: float64(n)})
 		if err != nil {
 			return Report{}, err
@@ -400,6 +476,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 	// (Fig. 7 steps 6-10). The run is not recorded: a tiny frontier
 	// says nothing about how larger invocations should split.
 	if float64(n) < profileSize {
+		sc.Event("small-n-cpu-only")
 		res, err := s.eng.Run(engine.Phase{Kernel: k, PoolItems: float64(n)})
 		if err != nil {
 			return Report{}, err
@@ -412,6 +489,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 	// CPU-only. Not recorded — a suppressed run says nothing about the
 	// kernel's best split.
 	if !s.breaker.Allow() {
+		sc.Event("breaker-suppressed")
 		res, err := s.eng.Run(engine.Phase{Kernel: k, PoolItems: float64(n)})
 		if err != nil {
 			return Report{}, err
@@ -443,6 +521,10 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 	} else {
 		// Fig. 7 steps 11-22: repeated online profiling over the first
 		// half of the iterations.
+		var prof obs.Timed
+		if sc.Enabled() {
+			prof = sc.Span("profile")
+		}
 		var acc, prev profile.Observation
 		chunk := profileSize
 		stopAt := float64(n) * (1 - s.opts.ProfileShare)
@@ -451,44 +533,61 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 			if gpuChunk > nrem {
 				gpuChunk = nrem
 			}
-			var obs profile.Observation
+			var step obs.Timed
+			if prof.Enabled() {
+				step = prof.Child("profile-step")
+			}
+			var ob profile.Observation
 			var remaining float64
-			err := s.retryBusy(&rep, func() error {
+			err := s.retryBusy(&rep, sc, func() error {
 				var e error
-				obs, remaining, e = profile.Step(s.eng, k, gpuChunk, nrem-gpuChunk)
+				ob, remaining, e = profile.Step(s.eng, k, gpuChunk, nrem-gpuChunk)
 				return e
 			})
 			if errors.Is(err, engine.ErrGPUBusy) {
 				// The GPU became (and stayed) busy mid-profiling: finish
 				// the invocation CPU-only and remember nothing.
-				return s.cpuFallback(k, nrem, rep)
+				if step.Enabled() {
+					step.End(obs.Str("outcome", "gpu-busy"))
+					prof.End(obs.Num("steps", float64(rep.ProfileSteps)))
+				}
+				return s.cpuFallback(k, nrem, rep, sc)
 			}
 			if err != nil {
 				return Report{}, err
 			}
+			if step.Enabled() {
+				step.End(obs.Num("gpu_chunk", gpuChunk),
+					obs.Num("rc", ob.RC), obs.Num("rg", ob.RG))
+			}
 			rep.ProfileSteps++
 			if rep.ProfileSteps == 1 {
-				acc = obs
+				acc = ob
 			} else {
-				acc = profile.Merge(acc, obs)
+				acc = profile.Merge(acc, ob)
 			}
-			rep.Duration += obs.Duration
-			rep.EnergyJ += s.measureEnergy(obs.Duration, obs.EnergyJ)
-			rep.CPUItems += obs.CPUItems
-			rep.GPUItems += obs.GPUItems
+			rep.Duration += ob.Duration
+			rep.ProfileDuration += ob.Duration
+			rep.EnergyJ += s.measureEnergy(ob.Duration, ob.EnergyJ)
+			rep.CPUItems += ob.CPUItems
+			rep.GPUItems += ob.GPUItems
 			nrem = remaining
 			if s.opts.MaxProfileSteps > 0 && rep.ProfileSteps >= s.opts.MaxProfileSteps {
 				break
 			}
 			if s.opts.ConvergeTol > 0 && rep.ProfileSteps >= 2 &&
-				within(obs.RC, prev.RC, s.opts.ConvergeTol) &&
-				within(obs.RG, prev.RG, s.opts.ConvergeTol) {
+				within(ob.RC, prev.RC, s.opts.ConvergeTol) &&
+				within(ob.RG, prev.RG, s.opts.ConvergeTol) {
 				break
 			}
-			prev = obs
+			prev = ob
 			if s.opts.GrowProfileChunk {
 				chunk *= 2
 			}
+		}
+		if prof.Enabled() {
+			prof.End(obs.Num("steps", float64(rep.ProfileSteps)),
+				obs.Num("rc", acc.RC), obs.Num("rg", acc.RG))
 		}
 		rep.Profiled = true
 		if s.opts.ValidateProfiles {
@@ -500,6 +599,9 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 				// profile next invocation.
 				quarantined = true
 				rep.ProfileQuarantined = true
+				if sc.Enabled() {
+					sc.Event("profile-quarantined", obs.Str("cause", qerr.Error()))
+				}
 				s.table.markReprofile(k.Name)
 				if known {
 					alpha = rec.alpha
@@ -533,10 +635,17 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 					return Report{}, fmt.Errorf("core: characterization has no curve for %s", rep.Category)
 				}
 			}
+			var search obs.Timed
+			if sc.Enabled() {
+				search = sc.Span("alpha-search")
+			}
 			if s.opts.RefineAlpha {
 				alpha, _ = BestAlphaRefined(curve, tm, searchN, s.metric, s.opts.AlphaStep, 0)
 			} else {
 				alpha, _ = BestAlpha(curve, tm, searchN, s.metric, s.opts.AlphaStep)
+			}
+			if search.Enabled() {
+				search.EndExplain(s.explain(curve, tm, searchN, alpha, rep.Category))
 			}
 			rep.PredictedTime = tm.Time(alpha, searchN)
 			rep.PredictedPower = curve.Power(alpha)
@@ -547,8 +656,12 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 
 	// Fig. 7 steps 23-25: execute the remainder with the chosen split.
 	if nrem > 0 {
+		var exec obs.Timed
+		if sc.Enabled() {
+			exec = sc.Span("execute")
+		}
 		var res engine.Result
-		err := s.retryBusy(&rep, func() error {
+		err := s.retryBusy(&rep, sc, func() error {
 			var e error
 			res, e = s.eng.Run(engine.Phase{
 				Kernel:    k,
@@ -558,10 +671,17 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 			return e
 		})
 		if errors.Is(err, engine.ErrGPUBusy) {
-			return s.cpuFallback(k, nrem, rep)
+			if exec.Enabled() {
+				exec.End(obs.Str("outcome", "gpu-busy"))
+			}
+			return s.cpuFallback(k, nrem, rep, sc)
 		}
 		if err != nil {
 			return Report{}, err
+		}
+		if exec.Enabled() {
+			exec.End(obs.Num("gpu_items", alpha*nrem),
+				obs.Num("cpu_items", (1-alpha)*nrem))
 		}
 		rep = s.addResult(res, rep)
 	}
@@ -587,7 +707,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int) (Report, error) {
 // rejection counts toward rep.Retries, including the final attempt
 // that exhausts the budget: Retries is the number of busy dispatches
 // observed, not the number of backoffs slept.
-func (s *Scheduler) retryBusy(rep *Report, op func() error) error {
+func (s *Scheduler) retryBusy(rep *Report, sc obs.Scope, op func() error) error {
 	backoff := s.opts.Retry.BaseBackoff
 	for attempt := 1; ; attempt++ {
 		err := op()
@@ -595,6 +715,10 @@ func (s *Scheduler) retryBusy(rep *Report, op func() error) error {
 			return err
 		}
 		rep.Retries++
+		if sc.Enabled() {
+			sc.Event("gpu-retry", obs.Num("attempt", float64(attempt)),
+				obs.Num("backoff_us", float64(backoff.Microseconds())))
+		}
 		if attempt >= s.opts.Retry.MaxAttempts {
 			return err
 		}
@@ -613,7 +737,10 @@ func (s *Scheduler) retryBusy(rep *Report, op func() error) error {
 // became unavailable mid-invocation. The run is NOT accumulated into
 // the α table — a degraded execution says nothing about the kernel's
 // best split, and must not drag the remembered ratio toward zero.
-func (s *Scheduler) cpuFallback(k engine.Kernel, items float64, rep Report) (Report, error) {
+func (s *Scheduler) cpuFallback(k engine.Kernel, items float64, rep Report, sc obs.Scope) (Report, error) {
+	if sc.Enabled() {
+		sc.Event("cpu-fallback", obs.Num("items", items))
+	}
 	if items > 0 {
 		res, err := s.eng.Run(engine.Phase{Kernel: k, PoolItems: items})
 		if err != nil {
@@ -625,6 +752,38 @@ func (s *Scheduler) cpuFallback(k engine.Kernel, items float64, rep Report) (Rep
 	rep.Alpha = 0
 	s.breaker.RecordFallback()
 	return rep, nil
+}
+
+// explain reconstructs the α grid search as a decision-audit record:
+// the measured throughputs, the workload category and fitted curve the
+// search ran against, and the objective value at every grid point. It
+// re-walks the same grid BestAlpha walked (the Objective closure is
+// cheap — a polynomial evaluation and a division per point) so the
+// search itself stays untouched and allocation-free when tracing is
+// off.
+func (s *Scheduler) explain(curve powerchar.Curve, tm TimeModel, searchN, alpha float64, cat wclass.Category) *obs.Explain {
+	obj := Objective(curve, tm, searchN, s.metric)
+	steps := int(math.Round(1 / s.opts.AlphaStep))
+	if steps < 1 {
+		steps = 1
+	}
+	grid := make([]obs.GridPoint, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		a := float64(i) / float64(steps)
+		grid = append(grid, obs.GridPoint{Alpha: a, Objective: obj(a)})
+	}
+	return &obs.Explain{
+		RC:       tm.RC,
+		RG:       tm.RG,
+		Category: cat.Key(),
+		CurveID: fmt.Sprintf("%s~deg%d(r2=%.3f)",
+			curve.Category.Key(), len(curve.Coeffs)-1, curve.R2),
+		AlphaStep: s.opts.AlphaStep,
+		Grid:      grid,
+		Alpha:     alpha,
+		Objective: obj(alpha),
+		Refined:   s.opts.RefineAlpha,
+	}
 }
 
 // within reports whether a and b agree within relative tolerance tol.

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// NewHTTPHandler serves the observability surface over HTTP:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/trace  Chrome trace-event JSON of the ring's current spans
+//	/             a tiny index linking both
+//
+// reg may be nil (404 for /metrics); ring may be nil (404 for
+// /debug/trace).
+func NewHTTPHandler(reg *Registry, ring *RingSink) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>eas observability</h1><ul>`+
+			`<li><a href="/metrics">/metrics</a> (Prometheus text)</li>`+
+			`<li><a href="/debug/trace">/debug/trace</a> (Chrome trace-event JSON; load in Perfetto)</li>`+
+			`</ul></body></html>`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if ring == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="eas-trace.json"`)
+		if err := WriteChromeTrace(w, ring.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

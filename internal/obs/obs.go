@@ -1,0 +1,474 @@
+// Package obs is the runtime's zero-dependency observability layer:
+// structured per-invocation span traces, decision-audit records, and a
+// lock-light metrics registry with Prometheus text exposition.
+//
+// The scheduling pipeline is a black box by design — it profiles,
+// classifies, searches α, and possibly degrades through retries, CPU
+// fallback, or an open circuit breaker, all behind one ParallelFor
+// call. This package opens a window into that pipeline without
+// changing it:
+//
+//   - Tracing: every invocation becomes a span tree (profile →
+//     alpha-search → execute, plus instant events for retries and
+//     fallbacks) emitted through a pluggable Sink. RingSink keeps the
+//     last N spans for post-mortem dumps; WriteChromeTrace renders a
+//     ring snapshot as Chrome trace-event JSON that Perfetto and
+//     chrome://tracing load directly, one track per invocation.
+//   - Decision audit: the alpha-search span carries an Explain record —
+//     measured throughputs R_C/R_G, the chosen workload category, the
+//     fitted P(α) curve, and the objective value at every α grid point —
+//     so "why α=0.6?" is answerable from the trace alone.
+//   - Metrics: Registry holds atomic counters, gauges, and fixed-bucket
+//     histograms with a Prometheus text writer and an optional HTTP
+//     handler (/metrics, /debug/trace).
+//
+// Everything is nil-safe and off by default: a nil *Observer makes
+// every hook a no-op, and the instrumented call sites guard their
+// attribute construction behind Enabled() so the disabled hot path
+// allocates nothing.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SpanKind distinguishes duration spans from instantaneous markers.
+type SpanKind uint8
+
+const (
+	// KindSpan is a duration span with distinct start and end times.
+	KindSpan SpanKind = iota
+	// KindInstant is a zero-duration marker (a retry, a fallback, a
+	// breaker transition).
+	KindInstant
+)
+
+// Attr is one key/value label on a span: either a string or a number.
+type Attr struct {
+	Key   string
+	Str   string
+	Num   float64
+	IsNum bool
+}
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Str: value} }
+
+// Num builds a numeric attribute.
+func Num(key string, value float64) Attr { return Attr{Key: key, Num: value, IsNum: true} }
+
+// GridPoint is the objective value at one α of the scheduler's grid
+// search.
+type GridPoint struct {
+	Alpha     float64
+	Objective float64
+}
+
+// Explain is the decision audit attached to an alpha-search span: the
+// full evidence behind one α choice (the paper's eqs. 1-4 evaluated on
+// this invocation's online profile).
+type Explain struct {
+	// RC and RG are the measured combined-mode throughputs (items/s).
+	RC, RG float64
+	// Category is the chosen workload class key (e.g. "mem-cpuS-gpuL").
+	Category string
+	// CurveID identifies the fitted P(α) curve the search evaluated.
+	CurveID string
+	// AlphaStep is the grid granularity searched.
+	AlphaStep float64
+	// Grid is the objective value at each grid point.
+	Grid []GridPoint
+	// Alpha and Objective are the winning ratio and its objective value
+	// (after refinement when Refined).
+	Alpha, Objective float64
+	// Refined is true when a golden-section pass polished the grid
+	// winner.
+	Refined bool
+}
+
+// Span is one completed trace record. IDs are process-unique and
+// monotonic; Parent is zero for invocation roots.
+type Span struct {
+	ID         uint64
+	Parent     uint64
+	Invocation uint64
+	Kind       SpanKind
+	Name       string
+	Kernel     string
+	Start, End time.Time
+	Attrs      []Attr
+	Explain    *Explain
+}
+
+// Sink receives completed spans. Implementations must be safe for
+// concurrent use; Emit must not retain references into the span's
+// slices beyond the call unless it owns them (the runtime hands over
+// ownership of Attrs and Explain on emission).
+type Sink interface {
+	Emit(sp Span)
+}
+
+// Observer is the root of the observability layer: it owns the sink
+// spans flow into and the registry metrics flow into, and hands out
+// per-invocation Scopes. All methods are nil-receiver-safe, so
+// instrumented code holds a possibly-nil *Observer and calls through
+// unconditionally; the disabled path is a pointer test.
+type Observer struct {
+	sink    Sink
+	reg     *Registry
+	spanIDs atomic.Uint64
+	invSeq  atomic.Uint64
+
+	// Pre-resolved instruments: resolved once at construction so the
+	// per-invocation path never touches the registry's map.
+	invocations   *Counter
+	latency       *Histogram
+	profileLat    *Histogram
+	alphaDist     *Histogram
+	retries       *Counter
+	profiled      *Counter
+	profileSteps  *Counter
+	quarantined   *Counter
+	sanitized     *Counter
+	meterRejected *Counter
+	fallbacks     map[string]*Counter
+	fallbackOther *Counter
+	breakerState  *Gauge
+	breakerTrans  *Counter
+}
+
+// Fallback reason keys the runtime reports (mirrors the public
+// FallbackReason values; "" means the invocation ran as scheduled).
+var fallbackReasons = []string{"gpu-busy", "enqueue-error", "gpu-timeout", "breaker-open"}
+
+// DefBuckets are the invocation-latency histogram bounds in seconds:
+// three decades around the sub-millisecond scheduling decisions and the
+// millisecond-to-second functional executions.
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// AlphaBuckets bound the α-distribution histogram: one bucket per 0.1
+// step of the paper's grid.
+var AlphaBuckets = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+
+// New builds an observer emitting spans into sink (nil keeps metrics
+// only) and metrics into reg (nil allocates a fresh Registry).
+func New(sink Sink, reg *Registry) *Observer {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	o := &Observer{
+		sink: sink,
+		reg:  reg,
+		invocations: reg.Counter("eas_invocations_total",
+			"ParallelFor invocations completed."),
+		latency: reg.Histogram("eas_invocation_seconds",
+			"Wall-clock invocation latency (scheduling plus functional execution).", DefBuckets),
+		profileLat: reg.Histogram("eas_profile_seconds",
+			"Online-profiling overhead per profiled invocation (simulated seconds).", DefBuckets),
+		alphaDist: reg.Histogram("eas_alpha",
+			"Distribution of chosen GPU offload ratios.", AlphaBuckets),
+		retries: reg.Counter("eas_gpu_retries_total",
+			"GPU dispatch/enqueue attempts that found the device busy."),
+		profiled: reg.Counter("eas_invocations_profiled_total",
+			"Invocations that ran online profiling."),
+		profileSteps: reg.Counter("eas_profile_steps_total",
+			"Repeated online-profiling steps executed."),
+		quarantined: reg.Counter("eas_profiles_quarantined_total",
+			"Online profiles rejected as physically impossible."),
+		sanitized: reg.Counter("eas_profiles_sanitized_total",
+			"Online profiles clamped to the platform envelope."),
+		meterRejected: reg.Counter("eas_meter_samples_rejected_total",
+			"MSR energy samples the robust meter rejected and substituted."),
+		fallbackOther: reg.Counter(`eas_fallbacks_total{reason="other"}`,
+			"Invocations that deviated from the planned split."),
+		breakerState: reg.Gauge("eas_breaker_state",
+			"GPU circuit breaker position (0=closed, 1=open, 2=half-open)."),
+		breakerTrans: reg.Counter("eas_breaker_transitions_total",
+			"GPU circuit breaker state transitions."),
+	}
+	o.fallbacks = make(map[string]*Counter, len(fallbackReasons))
+	for _, r := range fallbackReasons {
+		o.fallbacks[r] = reg.Counter(`eas_fallbacks_total{reason="`+r+`"}`,
+			"Invocations that deviated from the planned split.")
+	}
+	return o
+}
+
+// Registry returns the observer's metrics registry (nil for a nil
+// observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Enabled reports whether the observer is live. Instrumented code must
+// guard any attribute construction (string building, variadic attrs)
+// behind this so the disabled path stays allocation-free.
+func (o *Observer) Enabled() bool { return o != nil }
+
+func (o *Observer) emit(sp Span) {
+	if o.sink != nil {
+		o.sink.Emit(sp)
+	}
+}
+
+// NextInvocationID allocates the next id from the observer's monotonic
+// invocation sequence. Sharing one observer between several schedulers
+// or runtimes keeps ids (and therefore trace tracks) unique across all
+// of them; a nil observer returns 0.
+func (o *Observer) NextInvocationID() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.invSeq.Add(1)
+}
+
+// BeginInvocation opens the root span of one invocation's trace. The
+// invocation id comes from the caller (the runtime's monotonic
+// sequence, which also lands in the public Report), so traces, logs,
+// and metrics correlate. The zero Scope of a nil observer is inert.
+func (o *Observer) BeginInvocation(inv uint64, kernel string) Scope {
+	if o == nil {
+		return Scope{}
+	}
+	return Scope{
+		obs:    o,
+		inv:    inv,
+		root:   o.spanIDs.Add(1),
+		kernel: kernel,
+		start:  time.Now(),
+	}
+}
+
+// InvocationStats is the per-invocation summary the scope owner feeds
+// the metrics registry once, when the invocation completes.
+type InvocationStats struct {
+	// Seconds is the invocation's wall-clock latency.
+	Seconds float64
+	// ProfileSeconds is the wall-clock profiling overhead (0 when the
+	// invocation replayed a remembered α).
+	ProfileSeconds float64
+	// Alpha is the applied offload ratio.
+	Alpha float64
+	// Retries counts busy GPU dispatch/enqueue attempts.
+	Retries int
+	// Profiled is true when online profiling ran; ProfileSteps counts
+	// its repetitions.
+	Profiled     bool
+	ProfileSteps int
+	// Fallback is the fallback reason key ("" when the run went as
+	// scheduled).
+	Fallback string
+	// MeterRejected counts robust-meter sample rejections.
+	MeterRejected int
+	// Quarantined / Sanitized flag profile-validation outcomes.
+	Quarantined, Sanitized bool
+	// BreakerState is the breaker position after the invocation
+	// (0=closed, 1=open, 2=half-open); negative skips the gauge.
+	BreakerState int
+}
+
+// RecordInvocation folds one completed invocation into the registry.
+// Exactly one layer calls it per invocation: whoever opened the scope.
+func (o *Observer) RecordInvocation(st InvocationStats) {
+	if o == nil {
+		return
+	}
+	o.invocations.Inc()
+	o.latency.Observe(st.Seconds)
+	o.alphaDist.Observe(st.Alpha)
+	if st.Retries > 0 {
+		o.retries.Add(uint64(st.Retries))
+	}
+	if st.Profiled {
+		o.profiled.Inc()
+		o.profileSteps.Add(uint64(st.ProfileSteps))
+		o.profileLat.Observe(st.ProfileSeconds)
+	}
+	if st.Fallback != "" {
+		c, ok := o.fallbacks[st.Fallback]
+		if !ok {
+			c = o.fallbackOther
+		}
+		c.Inc()
+	}
+	if st.MeterRejected > 0 {
+		o.meterRejected.Add(uint64(st.MeterRejected))
+	}
+	if st.Quarantined {
+		o.quarantined.Inc()
+	}
+	if st.Sanitized {
+		o.sanitized.Inc()
+	}
+	if st.BreakerState >= 0 {
+		o.breakerState.Set(float64(st.BreakerState))
+	}
+}
+
+// RecordBreakerTransition notes one circuit-breaker state change
+// (states encoded 0=closed, 1=open, 2=half-open).
+func (o *Observer) RecordBreakerTransition(to int) {
+	if o == nil {
+		return
+	}
+	o.breakerTrans.Inc()
+	o.breakerState.Set(float64(to))
+}
+
+// Scope is one invocation's trace context: the root span plus the ids
+// child spans hang off. It is a small value; the zero Scope (from a
+// nil observer) makes every method a no-op.
+type Scope struct {
+	obs    *Observer
+	inv    uint64
+	root   uint64
+	kernel string
+	start  time.Time
+}
+
+// Enabled reports whether the scope is live. Call sites must guard
+// attribute construction behind it (see Observer.Enabled).
+func (sc Scope) Enabled() bool { return sc.obs != nil }
+
+// InvocationID returns the invocation id the scope was opened with.
+func (sc Scope) InvocationID() uint64 { return sc.inv }
+
+// Elapsed is the wall-clock time since the scope opened (0 for an
+// inert scope).
+func (sc Scope) Elapsed() time.Duration {
+	if sc.obs == nil {
+		return 0
+	}
+	return time.Since(sc.start)
+}
+
+// End closes and emits the root invocation span.
+func (sc Scope) End(attrs ...Attr) {
+	if sc.obs == nil {
+		return
+	}
+	sc.obs.emit(Span{
+		ID:         sc.root,
+		Invocation: sc.inv,
+		Name:       "invocation",
+		Kernel:     sc.kernel,
+		Start:      sc.start,
+		End:        time.Now(),
+		Attrs:      attrs,
+	})
+}
+
+// Span opens a child span under the invocation root.
+func (sc Scope) Span(name string) Timed {
+	if sc.obs == nil {
+		return Timed{}
+	}
+	return Timed{
+		obs:    sc.obs,
+		inv:    sc.inv,
+		parent: sc.root,
+		id:     sc.obs.spanIDs.Add(1),
+		kernel: sc.kernel,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Event emits an instant marker under the invocation root.
+func (sc Scope) Event(name string, attrs ...Attr) {
+	if sc.obs == nil {
+		return
+	}
+	now := time.Now()
+	sc.obs.emit(Span{
+		ID:         sc.obs.spanIDs.Add(1),
+		Parent:     sc.root,
+		Invocation: sc.inv,
+		Kind:       KindInstant,
+		Name:       name,
+		Kernel:     sc.kernel,
+		Start:      now,
+		End:        now,
+		Attrs:      attrs,
+	})
+}
+
+// Timed is an open child span. The zero Timed is inert.
+type Timed struct {
+	obs    *Observer
+	inv    uint64
+	parent uint64
+	id     uint64
+	kernel string
+	name   string
+	start  time.Time
+}
+
+// Enabled reports whether the span is live.
+func (t Timed) Enabled() bool { return t.obs != nil }
+
+// End closes and emits the span.
+func (t Timed) End(attrs ...Attr) { t.end(nil, attrs) }
+
+// EndExplain closes the span carrying a decision-audit record.
+func (t Timed) EndExplain(ex *Explain, attrs ...Attr) { t.end(ex, attrs) }
+
+func (t Timed) end(ex *Explain, attrs []Attr) {
+	if t.obs == nil {
+		return
+	}
+	t.obs.emit(Span{
+		ID:         t.id,
+		Parent:     t.parent,
+		Invocation: t.inv,
+		Name:       t.name,
+		Kernel:     t.kernel,
+		Start:      t.start,
+		End:        time.Now(),
+		Attrs:      attrs,
+		Explain:    ex,
+	})
+}
+
+// Child opens a nested span under this one.
+func (t Timed) Child(name string) Timed {
+	if t.obs == nil {
+		return Timed{}
+	}
+	return Timed{
+		obs:    t.obs,
+		inv:    t.inv,
+		parent: t.id,
+		id:     t.obs.spanIDs.Add(1),
+		kernel: t.kernel,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Event emits an instant marker under this span.
+func (t Timed) Event(name string, attrs ...Attr) {
+	if t.obs == nil {
+		return
+	}
+	now := time.Now()
+	t.obs.emit(Span{
+		ID:         t.obs.spanIDs.Add(1),
+		Parent:     t.id,
+		Invocation: t.inv,
+		Kind:       KindInstant,
+		Name:       name,
+		Kernel:     t.kernel,
+		Start:      now,
+		End:        now,
+		Attrs:      attrs,
+	})
+}

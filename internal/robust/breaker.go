@@ -52,6 +52,31 @@ type Breaker struct {
 	consecutive int // consecutive fallbacks while closed
 	suppressed  int // invocations suppressed while open
 	trips       int // lifetime open transitions
+
+	onTransition func(from, to BreakerState)
+}
+
+// SetOnTransition installs a callback invoked on every state change
+// (closed→open, open→half-open, half-open→closed, half-open→open).
+// The callback runs with the breaker's lock held, so it must be fast
+// and must not call back into the breaker. A nil breaker ignores the
+// call; a nil fn clears the hook.
+func (b *Breaker) SetOnTransition(fn func(from, to BreakerState)) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.onTransition = fn
+	b.mu.Unlock()
+}
+
+// transition moves to state `to` and fires the hook; callers hold b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.onTransition != nil && from != to {
+		b.onTransition(from, to)
+	}
 }
 
 // NewBreaker returns a breaker that opens after `threshold`
@@ -84,7 +109,7 @@ func (b *Breaker) Allow() bool {
 	default: // BreakerOpen
 		b.suppressed++
 		if b.suppressed >= b.probeAfter {
-			b.state = BreakerHalfOpen
+			b.transition(BreakerHalfOpen)
 			return true
 		}
 		return false
@@ -101,7 +126,7 @@ func (b *Breaker) RecordSuccess() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == BreakerHalfOpen {
-		b.state = BreakerClosed
+		b.transition(BreakerClosed)
 		b.suppressed = 0
 	}
 	b.consecutive = 0
@@ -129,7 +154,7 @@ func (b *Breaker) RecordFallback() {
 
 // open transitions to BreakerOpen; callers hold b.mu.
 func (b *Breaker) open() {
-	b.state = BreakerOpen
+	b.transition(BreakerOpen)
 	b.consecutive = 0
 	b.suppressed = 0
 	b.trips++

@@ -33,12 +33,24 @@ func NewSeries(name, unit string) *Series {
 
 // Append adds a sample. Samples are expected in non-decreasing time
 // order; Append panics otherwise since the simulation only moves
-// forward.
+// forward. Runtime producers feeding a series from data they do not
+// control should use TryAppend instead.
 func (s *Series) Append(t time.Duration, v float64) {
+	if err := s.TryAppend(t, v); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryAppend adds a sample, returning an error (and appending nothing)
+// when t precedes the last sample's time. It is the non-panicking
+// Append for producers whose timestamps come from external or
+// reconstructed data rather than the forward-only simulation clock.
+func (s *Series) TryAppend(t time.Duration, v float64) error {
 	if n := len(s.Samples); n > 0 && t < s.Samples[n-1].T {
-		panic(fmt.Sprintf("trace: time went backwards: %v after %v", t, s.Samples[n-1].T))
+		return fmt.Errorf("trace: time went backwards: %v after %v", t, s.Samples[n-1].T)
 	}
 	s.Samples = append(s.Samples, Sample{T: t, V: v})
+	return nil
 }
 
 // Len returns the number of samples.

@@ -61,6 +61,29 @@ func TestAppendMonotonicPanics(t *testing.T) {
 	s.Append(ms(4), 1)
 }
 
+func TestTryAppendRejectsRegression(t *testing.T) {
+	s := NewSeries("t", "W")
+	if err := s.TryAppend(ms(5), 1); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := s.TryAppend(ms(5), 2); err != nil {
+		t.Fatalf("equal-time append must be allowed: %v", err)
+	}
+	if err := s.TryAppend(ms(4), 3); err == nil {
+		t.Fatal("expected error on time going backwards")
+	}
+	// The failed append must not have modified the series.
+	if s.Len() != 2 || s.Samples[1].V != 2 {
+		t.Fatalf("series modified by failed append: %+v", s.Samples)
+	}
+	if err := s.TryAppend(ms(6), 4); err != nil {
+		t.Fatalf("append after rejected sample: %v", err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+}
+
 func TestMinMaxDuration(t *testing.T) {
 	s := uniform(3, -2, 8, 0)
 	if s.Min() != -2 || s.Max() != 8 {

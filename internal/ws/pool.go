@@ -44,6 +44,36 @@ func (e *PanicError) Error() string {
 type Pool struct {
 	workers int
 	idle    parker
+
+	// Observability counters (lifetime, monotonic). They sit off the
+	// per-item hot loop — steals are per-chunk, parks per idle episode —
+	// so keeping them always-on costs a few uncontended atomic adds per
+	// loop, not per iteration.
+	steals atomic.Uint64 // chunks claimed from another worker's deque
+	parks  atomic.Uint64 // times a worker blocked on the idle semaphore
+	wakes  atomic.Uint64 // wakeups delivered to parked workers
+}
+
+// PoolStats is a snapshot of the pool's lifetime activity counters.
+type PoolStats struct {
+	// Steals counts chunks executed by a worker other than the one
+	// whose deque they were seeded into.
+	Steals uint64
+	// Parks counts idle episodes that exhausted the spin budget and
+	// blocked on the pool semaphore.
+	Parks uint64
+	// Wakes counts wakeups delivered to parked workers.
+	Wakes uint64
+}
+
+// Stats returns a snapshot of the pool's activity counters. It is safe
+// to call from any goroutine, including while loops are in flight.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Steals: p.steals.Load(),
+		Parks:  p.parks.Load(),
+		Wakes:  p.wakes.Load(),
+	}
 }
 
 // NewPool returns a pool of n workers; n <= 0 selects GOMAXPROCS.
@@ -91,24 +121,42 @@ func (p *parker) cancel(ch chan struct{}) {
 	}
 }
 
-// wakeOne unparks the longest-parked worker, if any.
-func (p *parker) wakeOne() {
+// wakeOne unparks the longest-parked worker, reporting whether one was
+// waiting.
+func (p *parker) wakeOne() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.waiters) > 0 {
 		close(p.waiters[0])
 		p.waiters = p.waiters[1:]
+		return true
 	}
+	return false
 }
 
-// wakeAll unparks every parked worker.
-func (p *parker) wakeAll() {
+// wakeAll unparks every parked worker, returning how many there were.
+func (p *parker) wakeAll() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	n := len(p.waiters)
 	for _, c := range p.waiters {
 		close(c)
 	}
 	p.waiters = nil
+	return n
+}
+
+// wakeOne/wakeAll wrappers that keep the wake counter honest.
+func (p *Pool) wakeOne() {
+	if p.idle.wakeOne() {
+		p.wakes.Add(1)
+	}
+}
+
+func (p *Pool) wakeAll() {
+	if n := p.idle.wakeAll(); n > 0 {
+		p.wakes.Add(uint64(n))
+	}
 }
 
 // Workers returns the pool's worker count.
@@ -289,25 +337,29 @@ func (p *Pool) run(ctx context.Context, n int, grain int, exec func(r Range) err
 					if stop.Load() || remaining.Load() <= 0 || anyQueued() {
 						p.idle.cancel(wake)
 					} else {
+						p.parks.Add(1)
 						<-wake
 					}
 					idle = 0
 					continue
 				}
 				idle = 0
+				if src != self {
+					p.steals.Add(1)
+				}
 				// Work propagation: the deque we claimed from still has
 				// chunks, so a parked peer could be helping.
 				if deques[src].Size() > 0 {
-					p.idle.wakeOne()
+					p.wakeOne()
 				}
 				if err := exec(r); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					stop.Store(true)
-					p.idle.wakeAll()
+					p.wakeAll()
 					return
 				}
 				if remaining.Add(int64(-r.Len())) <= 0 {
-					p.idle.wakeAll()
+					p.wakeAll()
 					return
 				}
 			}
@@ -325,7 +377,7 @@ func (p *Pool) run(ctx context.Context, n int, grain int, exec func(r Range) err
 		// Return promptly; workers observe stop at their next chunk
 		// boundary and drain in the background.
 		stop.Store(true)
-		p.idle.wakeAll()
+		p.wakeAll()
 		select {
 		case <-finished:
 			// Workers happened to finish anyway; fall through to report

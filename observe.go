@@ -1,0 +1,192 @@
+package eas
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/hetsched/eas/internal/obs"
+)
+
+// Observer collects end-to-end observability data from every runtime
+// it is attached to (via Config.Observer): a per-invocation span trace
+// kept in a bounded in-memory ring, a decision-audit record for every
+// α search, and a registry of runtime metrics. One Observer may be
+// shared by any number of Runtimes — invocation ids stay unique across
+// all of them, so a multi-tenant process renders as one coherent
+// timeline.
+//
+// Everything here is optional and near-free when absent: a Runtime
+// whose Config.Observer is nil runs the exact historical code path and
+// allocates nothing extra.
+type Observer struct {
+	inner *obs.Observer
+	ring  *obs.RingSink
+	reg   *obs.Registry
+}
+
+// ObserverOptions tunes a new Observer. The zero value is a good
+// default.
+type ObserverOptions struct {
+	// RingCapacity bounds the span ring buffer (default 8192 spans ≈
+	// the last ~1500 invocations); older spans are overwritten.
+	RingCapacity int
+}
+
+// NewObserver builds an observer with a bounded span ring and a fresh
+// metrics registry.
+func NewObserver(opts ObserverOptions) *Observer {
+	capacity := opts.RingCapacity
+	if capacity <= 0 {
+		capacity = obs.DefaultRingCapacity
+	}
+	ring := obs.NewRingSink(capacity)
+	reg := obs.NewRegistry()
+	return &Observer{inner: obs.New(ring, reg), ring: ring, reg: reg}
+}
+
+// internal returns the wrapped observer (nil for a nil Observer), the
+// form Config plumbing hands to the scheduler core.
+func (o *Observer) internal() *obs.Observer {
+	if o == nil {
+		return nil
+	}
+	return o.inner
+}
+
+// WriteChromeTrace renders the ring's current span snapshot as Chrome
+// trace-event JSON, loadable directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Each invocation is
+// one track; the alpha-search span's args carry the full decision
+// audit (measured throughputs, workload category, fitted curve, and
+// the objective at every α grid point).
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	if o == nil {
+		return errors.New("eas: nil observer")
+	}
+	return obs.WriteChromeTrace(w, o.ring.Snapshot())
+}
+
+// WriteMetrics writes the metrics registry in Prometheus text
+// exposition format (version 0.0.4).
+func (o *Observer) WriteMetrics(w io.Writer) error {
+	if o == nil {
+		return errors.New("eas: nil observer")
+	}
+	return o.reg.WritePrometheus(w)
+}
+
+// Handler returns an http.Handler serving /metrics (Prometheus text)
+// and /debug/trace (Chrome trace JSON of the current ring snapshot).
+func (o *Observer) Handler() http.Handler {
+	if o == nil {
+		return http.NotFoundHandler()
+	}
+	return obs.NewHTTPHandler(o.reg, o.ring)
+}
+
+// Serve starts an HTTP server for Handler on addr (e.g.
+// "localhost:9190"; a ":0" port picks a free one — read the bound
+// address back from ObserverServer.Addr). The server runs until
+// Close.
+func (o *Observer) Serve(addr string) (*ObserverServer, error) {
+	if o == nil {
+		return nil, errors.New("eas: nil observer")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("eas: observer listen: %w", err)
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	s := &ObserverServer{Addr: ln.Addr().String(), srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// ObserverServer is a running metrics/trace HTTP endpoint.
+type ObserverServer struct {
+	// Addr is the bound listen address (host:port).
+	Addr string
+
+	srv       *http.Server
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Close shuts the endpoint down. Idempotent.
+func (s *ObserverServer) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.srv.Close() })
+	return s.closeErr
+}
+
+// registerRuntimeCollectors wires a runtime's always-on component
+// counters (work-stealing pool, GPU command queue) into the observer's
+// registry as pull-style metrics: a collector snapshots the component
+// stats at scrape time and folds the delta since the previous scrape
+// into shared counters, so several runtimes on one observer sum
+// cleanly.
+func (o *Observer) registerRuntimeCollectors(r *Runtime) {
+	if o == nil {
+		return
+	}
+	steals := o.reg.Counter("eas_ws_steals_total",
+		"Work-stealing chunks executed by a worker other than their owner.")
+	parks := o.reg.Counter("eas_ws_parks_total",
+		"Idle episodes in which a pool worker parked on the semaphore.")
+	wakes := o.reg.Counter("eas_ws_wakes_total",
+		"Wakeups delivered to parked pool workers.")
+	enqueues := o.reg.Counter("eas_cl_enqueues_total",
+		"Functional GPU NDRange enqueues attempted.")
+	busy := o.reg.Counter("eas_cl_enqueue_busy_total",
+		"Functional GPU enqueues transiently rejected as device-busy.")
+	lastPool := r.pool.Stats()
+	lastQ := r.queue.Stats()
+	o.reg.RegisterCollector(func() {
+		p := r.pool.Stats()
+		steals.Add(p.Steals - lastPool.Steals)
+		parks.Add(p.Parks - lastPool.Parks)
+		wakes.Add(p.Wakes - lastPool.Wakes)
+		lastPool = p
+		q := r.queue.Stats()
+		enqueues.Add(q.Enqueues - lastQ.Enqueues)
+		busy.Add(q.Busy - lastQ.Busy)
+		lastQ = q
+	})
+}
+
+// invocationAttrs builds the root-span closing attributes for a
+// completed invocation (only called on enabled scopes).
+func invocationAttrs(out *Report) []obs.Attr {
+	attrs := []obs.Attr{
+		obs.Num("alpha", out.Alpha),
+		obs.Num("energy_j", out.EnergyJ),
+		obs.Num("duration_us", float64(out.Duration.Microseconds())),
+	}
+	if out.FallbackReason != FallbackNone {
+		attrs = append(attrs, obs.Str("fallback", string(out.FallbackReason)))
+	}
+	return attrs
+}
+
+// finishScope closes an invocation's root span and records its metric
+// deltas — the eas layer owns the scope, so it records exactly once,
+// amending the core's fallback reason with the functional layer's more
+// specific one (enqueue-error, gpu-timeout) when the degradation
+// happened there.
+func (r *Runtime) finishScope(sc obs.Scope, st obs.InvocationStats, out *Report, started time.Time) {
+	if !sc.Enabled() {
+		return
+	}
+	st.Seconds = time.Since(started).Seconds()
+	st.Alpha = out.Alpha
+	st.Retries = out.Retries
+	if out.FallbackReason != FallbackNone {
+		st.Fallback = string(out.FallbackReason)
+	}
+	sc.End(invocationAttrs(out)...)
+	r.obsv.RecordInvocation(st)
+}
