@@ -1,0 +1,209 @@
+package eas
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/hetsched/eas/internal/core"
+)
+
+// This file is the public surface of the overload-resilient admission
+// controller (internal/core/tiered.go): multi-tenant quotas, priority
+// classes, deadline budgets, load shedding, and the runtime watchdog.
+// Everything is opt-in via Config.Admission — with the zero policy the
+// runtime keeps the legacy fair-FIFO gate, byte-identical and
+// allocation-free.
+
+// Class is an invocation's priority class at the admission gate; lower
+// is more urgent. Attach it per invocation with WithClass.
+type Class int
+
+// Priority classes, most to least urgent.
+const (
+	// ClassInteractive is latency-sensitive foreground work (the
+	// default for requests that never call WithClass).
+	ClassInteractive Class = Class(core.ClassInteractive)
+	// ClassBatch is throughput-oriented work that tolerates queueing.
+	ClassBatch Class = Class(core.ClassBatch)
+	// ClassBackground is best-effort work admitted when nothing more
+	// urgent waits (aging still guarantees it is never starved forever).
+	ClassBackground Class = Class(core.ClassBackground)
+)
+
+// String returns the class's metrics label ("interactive", "batch",
+// "background").
+func (c Class) String() string { return core.Class(c).String() }
+
+// TenantQuota is one tenant's admission-rate override.
+type TenantQuota struct {
+	// Rate is the sustained admission quota in invocations/second;
+	// <= 0 exempts the tenant from quota enforcement.
+	Rate float64
+	// Burst is the token-bucket depth — how many invocations the tenant
+	// may burst above the sustained rate (default 1).
+	Burst float64
+}
+
+// AdmissionPolicy configures the tiered admission controller. The zero
+// value disables it entirely: the runtime keeps the legacy fair-FIFO
+// gate and scheduling behaviour is byte-identical to earlier releases.
+// Setting Enabled (or any other field) switches the gate to tiered
+// mode: priority-classed bounded queues with starvation-proof aging,
+// per-tenant token-bucket quotas, deadline-aware load shedding, and an
+// optional hold-time watchdog.
+type AdmissionPolicy struct {
+	// Enabled turns the tiered controller on even when every other
+	// field keeps its default.
+	Enabled bool
+	// TenantRate and TenantBurst are the default per-tenant quota
+	// (invocations/second and bucket depth); Rate 0 leaves tenants
+	// unlimited. Override per tenant with TenantQuotas or
+	// Runtime.SetTenantQuota.
+	TenantRate  float64
+	TenantBurst float64
+	// QueueDepth bounds each class's waiting queue; arrivals beyond it
+	// are shed with ErrOverloaded instead of queueing forever. 0 is
+	// unbounded.
+	QueueDepth int
+	// AgingStep is the starvation-proofing rate: a waiter's effective
+	// priority improves by one class per AgingStep waited (default
+	// 100ms), bounding how long background work can be overtaken.
+	AgingStep time.Duration
+	// Watchdog force-releases the admission gate when one invocation
+	// holds it longer than this bound: the holder's context is
+	// cancelled, the stall is recorded as a degradation instant, and
+	// the next waiter is admitted. 0 disables the watchdog.
+	Watchdog time.Duration
+	// TenantQuotas overrides the default quota per tenant name.
+	TenantQuotas map[string]TenantQuota
+}
+
+// enabled reports whether any field asks for the tiered controller.
+func (p AdmissionPolicy) enabled() bool {
+	return p.Enabled || p.TenantRate != 0 || p.TenantBurst != 0 ||
+		p.QueueDepth != 0 || p.AgingStep != 0 || p.Watchdog != 0 ||
+		len(p.TenantQuotas) > 0
+}
+
+// WithTenant attaches a tenant identity to a context for per-tenant
+// quota accounting at the admission gate. The empty string (and any
+// context never passed through WithTenant) is the shared anonymous
+// tenant.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	req := core.RequestFromContext(ctx)
+	req.Tenant = tenant
+	return core.WithRequest(ctx, req)
+}
+
+// WithClass attaches a priority class to a context; invocations
+// default to ClassInteractive.
+func WithClass(ctx context.Context, c Class) context.Context {
+	req := core.RequestFromContext(ctx)
+	req.Class = core.Class(c)
+	return core.WithRequest(ctx, req)
+}
+
+// WithDeadlineBudget attaches the admission-latency budget the
+// invocation can absorb and still meet its deadline. When the gate's
+// estimated wait exceeds the budget the invocation is shed immediately
+// with ErrOverloaded (reason "deadline") instead of wasting a slot on
+// a guaranteed miss; a queued invocation whose budget expires before
+// it is granted is shed at grant time. 0 (the default) means no
+// deadline.
+func WithDeadlineBudget(ctx context.Context, d time.Duration) context.Context {
+	req := core.RequestFromContext(ctx)
+	req.DeadlineBudget = d
+	return core.WithRequest(ctx, req)
+}
+
+// ErrOverloaded is the typed load-shedding rejection from the tiered
+// admission controller: the invocation was refused before touching the
+// engine or the α table. Check with errors.As:
+//
+//	var ov *eas.ErrOverloaded
+//	if errors.As(err, &ov) {
+//		time.Sleep(ov.RetryAfter)
+//		// retry
+//	}
+type ErrOverloaded struct {
+	// Tenant and Class echo the rejected request.
+	Tenant string
+	Class  Class
+	// Reason is "tenant-quota" (token bucket empty), "queue-full"
+	// (class queue at capacity) or "deadline" (the invocation could not
+	// meet its deadline budget).
+	Reason string
+	// RetryAfter is the gate's best-effort estimate of when an
+	// identical request could be admitted. It is advisory — a hint, not
+	// a reservation; zero means "no estimate".
+	RetryAfter time.Duration
+}
+
+func (e *ErrOverloaded) Error() string {
+	return fmt.Sprintf("eas: overloaded (%s): tenant %q class %s shed, retry after %v",
+		e.Reason, e.Tenant, e.Class, e.RetryAfter)
+}
+
+// ErrAdmissionRevoked reports that the runtime watchdog force-released
+// an invocation that held the admission gate past the configured
+// bound; the invocation's result was discarded because another tenant
+// may have driven the engine after the revocation.
+var ErrAdmissionRevoked = core.ErrAdmissionRevoked
+
+// AdmissionStats is a point-in-time snapshot of admission-gate
+// pressure. Counters are cumulative since runtime construction; queue
+// depths are instantaneous.
+type AdmissionStats struct {
+	// Tiered reports whether the tiered controller is active; when
+	// false only Waiters is meaningful.
+	Tiered bool
+	// Waiters is the total number of queued invocations.
+	Waiters int
+	// Admitted counts grants per class (index by Class).
+	Admitted [core.NumClasses]uint64
+	// ShedQuota, ShedQueueFull and ShedDeadline count load-shedding
+	// rejections by reason.
+	ShedQuota, ShedQueueFull, ShedDeadline uint64
+	// AgingPromotions counts grants in which aging let a lower-priority
+	// waiter overtake a still-queued higher class.
+	AgingPromotions uint64
+	// WatchdogStalls counts watchdog force-releases; LateReleases
+	// counts wedged holders that eventually woke after revocation.
+	WatchdogStalls, LateReleases uint64
+	// QueueDepth is the current number of waiters per class.
+	QueueDepth [core.NumClasses]int
+	// AvgHold is the smoothed gate hold time behind RetryAfter
+	// estimates.
+	AvgHold time.Duration
+}
+
+// Shed returns total rejections across all reasons.
+func (s AdmissionStats) Shed() uint64 {
+	return s.ShedQuota + s.ShedQueueFull + s.ShedDeadline
+}
+
+// AdmissionStats snapshots the runtime's admission-gate pressure.
+func (r *Runtime) AdmissionStats() AdmissionStats {
+	adm := r.sched.Admission()
+	out := AdmissionStats{Waiters: adm.Waiters()}
+	if st, ok := adm.TieredStats(); ok {
+		out.Tiered = true
+		out.Admitted = st.Admitted
+		out.ShedQuota = st.ShedQuota
+		out.ShedQueueFull = st.ShedQueueFull
+		out.ShedDeadline = st.ShedDeadline
+		out.AgingPromotions = st.AgingPromotions
+		out.WatchdogStalls = st.WatchdogStalls
+		out.LateReleases = st.LateReleases
+		out.QueueDepth = st.QueueDepth
+		out.AvgHold = st.AvgHold
+	}
+	return out
+}
+
+// SetTenantQuota overrides one tenant's admission quota at runtime
+// (no-op unless Config.Admission enabled the tiered controller).
+func (r *Runtime) SetTenantQuota(tenant string, q TenantQuota) {
+	r.sched.SetTenantQuota(tenant, q.Rate, q.Burst)
+}

@@ -39,6 +39,12 @@ func main() {
 	contention := flag.String("contention", "", "run the GPU-contention study for this workload abbreviation")
 	dynOracle := flag.Bool("dyn-oracle", false, "run the dynamic per-invocation oracle study")
 	concurrent := flag.Int("concurrent", 0, "run the multi-tenant throughput demo with this many concurrent tenants")
+	overload := flag.Float64("overload", 0, "run the open-loop overload soak at this multiple of measured capacity (e.g. 4)")
+	overloadTenants := flag.Int("overload-tenants", 6, "tenant identities for -overload")
+	overloadDuration := flag.Duration("overload-duration", 2*time.Second, "arrival-generation window for -overload")
+	overloadOut := flag.String("overload-out", "", "write the -overload soak summary as JSON to this file")
+	overloadAssert := flag.Bool("overload-assert", false, "fail unless the -overload run drains fully, sheds nonzero, and keeps interactive p99 bounded")
+	overloadP99 := flag.Duration("overload-p99", 250*time.Millisecond, "interactive p99 bound for -overload-assert")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (pprof evidence for perf work)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	modelCache := flag.String("model-cache", "", "JSON file persisting characterization models across invocations (loaded at start, saved on exit)")
@@ -112,8 +118,10 @@ func main() {
 		}
 	}
 	if *modelCache != "" {
-		if err := powerchar.DefaultCache.LoadFile(*modelCache); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if st, err := powerchar.DefaultCache.LoadFile(*modelCache); err != nil && !errors.Is(err, os.ErrNotExist) {
 			fmt.Fprintln(os.Stderr, "easbench: model cache:", err)
+		} else if st.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "easbench: model cache: skipped %d corrupt or incomplete entries\n", st.Skipped)
 		}
 		defer func() {
 			if err := powerchar.DefaultCache.SaveFile(*modelCache); err != nil {
@@ -135,6 +143,22 @@ func main() {
 
 	if *concurrent > 0 {
 		if err := runConcurrent(*concurrent, observer); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *overload > 0 {
+		err := runOverload(overloadConfig{
+			Multiplier: *overload,
+			Tenants:    *overloadTenants,
+			Duration:   *overloadDuration,
+			Seed:       *seed,
+			P99Bound:   *overloadP99,
+			Assert:     *overloadAssert,
+			Out:        *overloadOut,
+		}, observer)
+		if err != nil {
 			fail(err)
 		}
 		return

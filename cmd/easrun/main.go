@@ -80,8 +80,10 @@ func main() {
 
 	if *modelCache != "" {
 		// Best-effort load: a missing file just means first run.
-		if err := powerchar.DefaultCache.LoadFile(*modelCache); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if st, err := powerchar.DefaultCache.LoadFile(*modelCache); err != nil && !errors.Is(err, os.ErrNotExist) {
 			fmt.Fprintln(os.Stderr, "easrun: model cache:", err)
+		} else if st.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "easrun: model cache: skipped %d corrupt or incomplete entries\n", st.Skipped)
 		}
 		defer func() {
 			if err := powerchar.DefaultCache.SaveFile(*modelCache); err != nil {

@@ -57,8 +57,10 @@ func main() {
 		return
 	}
 	if *modelCache != "" {
-		if err := powerchar.DefaultCache.LoadFile(*modelCache); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if st, err := powerchar.DefaultCache.LoadFile(*modelCache); err != nil && !errors.Is(err, os.ErrNotExist) {
 			fmt.Fprintln(os.Stderr, "powerchar: model cache:", err)
+		} else if st.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "powerchar: model cache: skipped %d corrupt or incomplete entries\n", st.Skipped)
 		}
 	}
 	fmt.Printf("characterizing %s (figures %s of the paper)…\n\n",

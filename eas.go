@@ -142,6 +142,12 @@ type Config struct {
 	// Robustness tunes the telemetry-hardening layer. The zero value
 	// disables it entirely.
 	Robustness Robustness
+	// Admission configures the overload-resilient admission controller:
+	// per-tenant quotas, priority classes, bounded queues with load
+	// shedding, deadline budgets, and a hold-time watchdog. The zero
+	// value keeps the legacy fair-FIFO gate, byte-identical to earlier
+	// releases.
+	Admission AdmissionPolicy
 	// Observer, when non-nil, receives a span trace, a decision-audit
 	// record, and runtime metrics for every invocation (see NewObserver).
 	// One Observer may be shared by several Runtimes. Nil — the default —
@@ -333,14 +339,23 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 			HampelK:            cfg.Robustness.HampelK,
 			StuckReads:         cfg.Robustness.StuckReads,
 		},
-		ValidateProfiles:   cfg.Robustness.ValidateProfiles,
-		CategoryHysteresis: cfg.Robustness.CategoryHysteresis,
-		BreakerThreshold:   cfg.BreakerThreshold,
-		BreakerProbeAfter:  cfg.BreakerProbeAfter,
-		Observer:           cfg.Observer.internal(),
+		ValidateProfiles:     cfg.Robustness.ValidateProfiles,
+		CategoryHysteresis:   cfg.Robustness.CategoryHysteresis,
+		BreakerThreshold:     cfg.BreakerThreshold,
+		BreakerProbeAfter:    cfg.BreakerProbeAfter,
+		Observer:             cfg.Observer.internal(),
+		AdmissionTiered:      cfg.Admission.enabled(),
+		AdmissionTenantRate:  cfg.Admission.TenantRate,
+		AdmissionTenantBurst: cfg.Admission.TenantBurst,
+		AdmissionQueueDepth:  cfg.Admission.QueueDepth,
+		AdmissionAgingStep:   cfg.Admission.AgingStep,
+		AdmissionWatchdog:    cfg.Admission.Watchdog,
 	})
 	if err != nil {
 		return nil, err
+	}
+	for tenant, q := range cfg.Admission.TenantQuotas {
+		sched.SetTenantQuota(tenant, q.Rate, q.Burst)
 	}
 	ctx := cl.NewContext(p.inner)
 	if cfg.Faults != nil {
@@ -418,6 +433,17 @@ func (r *Runtime) ParallelForCtx(ctx context.Context, k Kernel, n int) (*Report,
 	ek := k.toEngine()
 	rep, err := r.sched.ParallelForScoped(ctx, ek, n, sc)
 	if err != nil {
+		// Surface core's load-shedding rejection as the public typed
+		// error so callers can errors.As for the RetryAfter hint.
+		var ov *core.ErrOverloaded
+		if errors.As(err, &ov) {
+			err = &ErrOverloaded{
+				Tenant:     ov.Tenant,
+				Class:      Class(ov.Class),
+				Reason:     ov.Reason,
+				RetryAfter: ov.RetryAfter,
+			}
+		}
 		if sc.Enabled() {
 			sc.End(obs.Str("error", err.Error()))
 		}

@@ -145,6 +145,13 @@ func (f *FaultPlan) EnqueueErrorProb(p float64) { f.inner.EnqueueErrorProb(p) }
 // it; useful in tests that inject hangs without configuring a timeout.
 func (f *FaultPlan) ReleaseHangs() { f.inner.ReleaseHangs() }
 
+// HoldAdmission scripts the next k admitted invocations to wedge for d
+// of wall-clock time while holding the admission gate — the
+// slow-tenant fault. Only a tiered admission controller
+// (Config.Admission) consumes it; with a watchdog configured, the hold
+// is what the watchdog force-releases.
+func (f *FaultPlan) HoldAdmission(d time.Duration, k int) { f.inner.HoldAdmissionFor(d, k) }
+
 // Sensor faults degrade what the runtime *observes* — the package
 // energy MSR, the hardware counters, the online profile — never the
 // simulated machine itself. They compose freely with the GPU faults
@@ -193,6 +200,8 @@ type FaultStats struct {
 	// Sensor faults.
 	StuckMSRReads, NoisyMSRReads, WrapGaps int
 	HWCDrops, HWCCorruptions, ProfileLies  int
+	// Scheduling faults.
+	AdmissionHolds int
 }
 
 // Stats returns a snapshot of delivered faults.
@@ -209,6 +218,7 @@ func (f *FaultPlan) Stats() FaultStats {
 		HWCDrops:       s.HWCDrops,
 		HWCCorruptions: s.HWCCorruptions,
 		ProfileLies:    s.ProfileLies,
+		AdmissionHolds: s.AdmissionHolds,
 	}
 }
 
@@ -225,6 +235,8 @@ func (f *FaultPlan) Stats() FaultStats {
 //	hwcdrop=K     next K counter snapshots freeze
 //	hwccorrupt=K  next K counter snapshots return NaN
 //	lie=FxK       next K profiles report F× GPU throughput
+//	hold=MSxK     next K admitted invocations wedge MS milliseconds
+//	              holding the admission gate (e.g. hold=250x3)
 //
 // Example: "stuck=6,noise=0.5,lie=0.1x2". An empty spec returns an
 // empty (fault-free) plan; seed drives the probabilistic modes.
@@ -337,6 +349,12 @@ func (f *FaultPlan) Script(spec string) error {
 				return err
 			}
 			plan.LieProfile(factor, k)
+		case "hold":
+			ms, k, err := parseFactorCount()
+			if err != nil {
+				return err
+			}
+			plan.HoldAdmission(time.Duration(ms*float64(time.Millisecond)), k)
 		default:
 			return fmt.Errorf("eas: unknown fault %q", key)
 		}

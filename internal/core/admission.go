@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sync"
+	"time"
 )
 
 // Admission is the scheduler's admission gate: a fair FIFO mutex that
@@ -24,10 +25,16 @@ import (
 // only the wait.
 //
 // The zero value is ready to use.
+//
+// The zero-value gate is the legacy fair FIFO above, byte-for-byte.
+// Configure (tiered.go) opts the gate into the overload-resilient
+// tiered controller — quotas, priority classes, shedding, watchdog;
+// until then t stays nil and no tiered code runs.
 type Admission struct {
 	mu    sync.Mutex
 	busy  bool
 	queue []chan struct{} // FIFO of parked waiters; closed to grant
+	t     *tiered         // nil = legacy FIFO semantics (tiered.go)
 }
 
 // Acquire admits the caller, blocking behind earlier callers in FIFO
@@ -87,13 +94,26 @@ func (a *Admission) Release() {
 		close(grant) // direct handoff: busy stays true for the new owner
 		return
 	}
+	if a.t != nil {
+		// Mixed use on a tiered gate: a legacy holder hands off to the
+		// classed queues once the legacy queue drains.
+		a.handoffLocked(time.Now())
+		return
+	}
 	a.busy = false
 }
 
-// Waiters returns the number of callers currently queued (diagnostic;
+// Waiters returns the number of callers currently queued across the
+// legacy FIFO and, on a tiered gate, every class queue (diagnostic;
 // the value is stale the moment it is read).
 func (a *Admission) Waiters() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.queue)
+	n := len(a.queue)
+	if a.t != nil {
+		for c := range a.t.queues {
+			n += len(a.t.queues[c])
+		}
+	}
+	return n
 }

@@ -128,6 +128,37 @@ type Options struct {
 	// instrumentation: every hook degrades to a nil-check and the hot
 	// path allocates nothing. A pointer keeps Options comparable.
 	Observer *obs.Observer
+
+	// Overload-resilience knobs (tiered.go). With every field zero the
+	// gate is the legacy fair FIFO, byte-identical and allocation-free;
+	// any nonzero field (or AdmissionTiered) switches the gate to the
+	// tiered controller. Per-tenant quota overrides are a map and so
+	// live outside Options (Scheduler.SetTenantQuota) to keep Options
+	// comparable.
+
+	// AdmissionTiered enables the tiered controller even when every
+	// numeric knob below keeps its default.
+	AdmissionTiered bool
+	// AdmissionTenantRate / AdmissionTenantBurst are the default
+	// per-tenant token-bucket quota (admissions/sec, bucket depth).
+	AdmissionTenantRate  float64
+	AdmissionTenantBurst float64
+	// AdmissionQueueDepth bounds each class queue; arrivals beyond it
+	// are shed with ErrOverloaded.
+	AdmissionQueueDepth int
+	// AdmissionAgingStep is the starvation-proofing rate (default 100ms
+	// once tiering is on).
+	AdmissionAgingStep time.Duration
+	// AdmissionWatchdog force-releases the gate when one invocation
+	// holds it longer than this bound.
+	AdmissionWatchdog time.Duration
+}
+
+// admissionTiered reports whether any overload knob asks for the
+// tiered admission controller.
+func (o Options) admissionTiered() bool {
+	return o.AdmissionTiered || o.AdmissionTenantRate != 0 || o.AdmissionTenantBurst != 0 ||
+		o.AdmissionQueueDepth != 0 || o.AdmissionAgingStep != 0 || o.AdmissionWatchdog != 0
 }
 
 func (o Options) withDefaults() Options {
@@ -304,7 +335,33 @@ func New(eng *engine.Engine, model *powerchar.Model, metric metrics.Metric, opts
 			o.RecordBreakerTransition(int(to))
 		})
 	}
+	if s.opts.admissionTiered() {
+		topts := TieredOptions{
+			TenantRate:  s.opts.AdmissionTenantRate,
+			TenantBurst: s.opts.AdmissionTenantBurst,
+			QueueDepth:  s.opts.AdmissionQueueDepth,
+			AgingStep:   s.opts.AdmissionAgingStep,
+			Watchdog:    s.opts.AdmissionWatchdog,
+		}
+		if o := s.opts.Observer; o.Enabled() {
+			topts.OnStall = func(tenant string, held time.Duration) {
+				o.RecordWatchdogStall(tenant, held)
+			}
+		}
+		s.adm.Configure(topts)
+	}
 	return s, nil
+}
+
+// Admission returns the scheduler's admission gate, for queue-pressure
+// gauges (Waiters, QueueDepths) and tiered-controller statistics.
+func (s *Scheduler) Admission() *Admission { return &s.adm }
+
+// SetTenantQuota overrides the admission token-bucket rate for one
+// tenant (no-op on a legacy, non-tiered gate). rate <= 0 exempts the
+// tenant from quota enforcement.
+func (s *Scheduler) SetTenantQuota(tenant string, rate, burst float64) {
+	s.adm.SetTenantQuota(tenant, rate, burst)
 }
 
 // Breaker returns the GPU circuit breaker (nil when disabled). The
@@ -399,6 +456,9 @@ func (s *Scheduler) ParallelForScoped(ctx context.Context, k engine.Kernel, n in
 	if n <= 0 {
 		return Report{}, fmt.Errorf("core: non-positive iteration count %d for kernel %q", n, k.Name)
 	}
+	if s.adm.t != nil {
+		return s.parallelForTiered(ctx, k, n, sc)
+	}
 	if sc.Enabled() {
 		wait := sc.Span("admission-wait")
 		if err := s.adm.Acquire(ctx); err != nil {
@@ -410,7 +470,74 @@ func (s *Scheduler) ParallelForScoped(ctx context.Context, k engine.Kernel, n in
 		return Report{}, err
 	}
 	defer s.adm.Release()
+	return s.runAdmitted(k, n, sc)
+}
 
+// parallelForTiered is the ParallelForScoped body behind the tiered
+// admission controller: it reads the invocation's admission attributes
+// (tenant, class, deadline budget) from the context, may be shed with
+// ErrOverloaded before touching anything, and runs under watchdog
+// supervision — a force-released invocation returns
+// ErrAdmissionRevoked instead of its report, because a revoked gate
+// means another tenant may have driven the engine concurrently.
+func (s *Scheduler) parallelForTiered(ctx context.Context, k engine.Kernel, n int, sc obs.Scope) (Report, error) {
+	req := RequestFromContext(ctx)
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if s.adm.WatchdogEnabled() {
+		// The watchdog revokes by cancelling this derived context; the
+		// deferred cancel releases the timer resources on normal return.
+		runCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+	var ticket uint64
+	var err error
+	if sc.Enabled() {
+		wait := sc.Span("admission-wait")
+		ticket, err = s.adm.AcquireTiered(ctx, req, cancel)
+		if err != nil {
+			wait.End(obs.Str("error", err.Error()))
+			return Report{}, err
+		}
+		wait.End(obs.Str("class", req.Class.String()))
+	} else if ticket, err = s.adm.AcquireTiered(ctx, req, cancel); err != nil {
+		return Report{}, err
+	}
+	defer s.adm.ReleaseTiered(ticket)
+
+	// Fault injection: a scripted slow-tenant hold wedges this
+	// invocation, wall-clock, while it owns the gate — exactly the
+	// failure the watchdog exists for. The stall is interruptible by
+	// watchdog revocation (runCtx cancellation) or the caller's own
+	// cancel.
+	if d := s.eng.FaultPlan().TakeAdmissionHold(); d > 0 {
+		if sc.Enabled() {
+			sc.Event("admission-hold", obs.Num("hold_ms", float64(d.Milliseconds())))
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-runCtx.Done():
+			timer.Stop()
+		}
+	}
+	if s.adm.Revoked(ticket) {
+		return Report{}, ErrAdmissionRevoked
+	}
+	rep, err := s.runAdmitted(k, n, sc)
+	if err != nil {
+		return Report{}, err
+	}
+	if s.adm.Revoked(ticket) {
+		return Report{}, ErrAdmissionRevoked
+	}
+	return rep, nil
+}
+
+// runAdmitted is the admission critical section shared by the legacy
+// and tiered gates: the caller holds the gate; energy meters span the
+// whole invocation so the deltas belong to this tenant alone.
+func (s *Scheduler) runAdmitted(k engine.Kernel, n int, sc obs.Scope) (Report, error) {
 	// The per-domain RAPL meters span the whole invocation; they live
 	// inside the critical section so the deltas belong to this tenant
 	// alone.

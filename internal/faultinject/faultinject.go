@@ -31,6 +31,7 @@ package faultinject
 import (
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // knob is one fault class: a scripted remaining count plus an optional
@@ -77,6 +78,10 @@ type Stats struct {
 	// ProfileLies is the number of profiling observations whose
 	// measured GPU throughput was scaled by the lie factor.
 	ProfileLies int
+	// AdmissionHolds is the number of invocations that stalled
+	// (wall-clock) while holding the admission gate — the slow-tenant
+	// fault the runtime watchdog exists to break.
+	AdmissionHolds int
 }
 
 // Plan is a scripted set of device faults. It is safe for concurrent
@@ -104,6 +109,10 @@ type Plan struct {
 	hwcCorrupt       knob
 	profileLie       knob
 	profileLieFactor float64
+
+	// Scheduling faults.
+	admissionHold    knob
+	admissionHoldDur time.Duration
 }
 
 // New returns an empty plan whose probabilistic faults draw from a
@@ -398,6 +407,44 @@ func (p *Plan) TakeProfileLie() float64 {
 		return p.profileLieFactor
 	}
 	return 1
+}
+
+// HoldAdmissionFor scripts the next k admitted invocations to wedge
+// for d of wall-clock time while holding the admission gate — the
+// slow-tenant fault. Unlike every other fault it stalls real time, not
+// the simulated clock, because the admission gate (and the watchdog
+// supervising it) lives in wall time.
+func (p *Plan) HoldAdmissionFor(d time.Duration, k int) {
+	if d <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.admissionHold.remaining += k
+	p.admissionHoldDur = d
+}
+
+// AdmissionHoldProb sets a per-admission probability of wedging for
+// the duration last set by HoldAdmissionFor.
+func (p *Plan) AdmissionHoldProb(prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.admissionHold.prob = prob
+}
+
+// TakeAdmissionHold returns how long the current admitted invocation
+// should wedge while holding the gate (0 when healthy).
+func (p *Plan) TakeAdmissionHold() time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.admissionHold.take(p.rng) && p.admissionHoldDur > 0 {
+		p.stats.AdmissionHolds++
+		return p.admissionHoldDur
+	}
+	return 0
 }
 
 // Stats returns a snapshot of the faults delivered so far.

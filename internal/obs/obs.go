@@ -136,6 +136,7 @@ type Observer struct {
 	fallbackOther *Counter
 	breakerState  *Gauge
 	breakerTrans  *Counter
+	watchdogStall *Counter
 }
 
 // Fallback reason keys the runtime reports (mirrors the public
@@ -190,6 +191,8 @@ func New(sink Sink, reg *Registry) *Observer {
 			"GPU circuit breaker position (0=closed, 1=open, 2=half-open)."),
 		breakerTrans: reg.Counter("eas_breaker_transitions_total",
 			"GPU circuit breaker state transitions."),
+		watchdogStall: reg.Counter("eas_watchdog_stalls_total",
+			"Admission holds force-released by the runtime watchdog."),
 	}
 	o.fallbacks = make(map[string]*Counter, len(fallbackReasons))
 	for _, r := range fallbackReasons {
@@ -311,6 +314,28 @@ func (o *Observer) RecordInvocation(st InvocationStats) {
 	if st.BreakerState >= 0 {
 		o.breakerState.Set(float64(st.BreakerState))
 	}
+}
+
+// RecordWatchdogStall notes one watchdog force-release of the
+// admission gate: the stall counter increments and a degradation
+// instant (Name "watchdog-stall", Kernel = the wedged tenant) lands in
+// the trace so overload incidents are visible on the Perfetto
+// timeline, not only in counters.
+func (o *Observer) RecordWatchdogStall(tenant string, held time.Duration) {
+	if o == nil {
+		return
+	}
+	o.watchdogStall.Inc()
+	now := time.Now()
+	o.emit(Span{
+		ID:     o.spanIDs.Add(1),
+		Kind:   KindInstant,
+		Name:   "watchdog-stall",
+		Kernel: tenant,
+		Start:  now,
+		End:    now,
+		Attrs:  []Attr{Str("tenant", tenant), Num("held_ms", float64(held.Milliseconds()))},
+	})
 }
 
 // RecordBreakerTransition notes one circuit-breaker state change

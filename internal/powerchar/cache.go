@@ -1,11 +1,13 @@
 package powerchar
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"github.com/hetsched/eas/internal/platform"
@@ -142,46 +144,139 @@ func (c *Cache) Stats() (hits, misses int) {
 	return c.hits, c.misses
 }
 
-// SaveFile persists every resolved model as a JSON map of fingerprint →
-// model, so CLI invocations can skip re-characterization across
-// processes ("computed once per processor", now literally).
+// cacheFile is the persisted cache envelope: versioned, with a
+// per-entry SHA-256 over the model's canonical JSON so a truncated or
+// bit-flipped entry is detected at load instead of poisoning lookups.
+type cacheFile struct {
+	Version int                    `json:"version"`
+	Entries map[string]cacheRecord `json:"entries"`
+}
+
+type cacheRecord struct {
+	// SHA256 is the hex digest of the Model bytes below.
+	SHA256 string          `json:"sha256"`
+	Model  json.RawMessage `json:"model"`
+}
+
+// cacheFileVersion is the current envelope format.
+const cacheFileVersion = 1
+
+// SaveFile persists every resolved model so CLI invocations can skip
+// re-characterization across processes ("computed once per processor",
+// now literally). The write is crash-safe: the envelope — fingerprint →
+// {sha256, model} — goes to a temporary file in the destination
+// directory first and is atomically renamed into place, so a reader (or
+// a restart) never observes a half-written cache; the per-entry
+// checksums let LoadFile reject any corruption that slips past the
+// filesystem anyway.
 func (c *Cache) SaveFile(path string) error {
 	c.mu.Lock()
-	out := make(map[string]*Model, len(c.entries))
+	models := make(map[string]*Model, len(c.entries))
 	for key, e := range c.entries {
 		if e.model != nil {
-			out[key] = e.model
+			models[key] = e.model
 		}
 	}
 	c.mu.Unlock()
+
+	out := cacheFile{Version: cacheFileVersion, Entries: make(map[string]cacheRecord, len(models))}
+	for key, m := range models {
+		raw, err := json.Marshal(m)
+		if err != nil {
+			return fmt.Errorf("powerchar: encoding model %s: %w", key, err)
+		}
+		out.Entries[key] = cacheRecord{
+			SHA256: fmt.Sprintf("%x", sha256.Sum256(raw)),
+			Model:  raw,
+		}
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return fmt.Errorf("powerchar: encoding model cache: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("powerchar: creating temp cache file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("powerchar: writing model cache: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("powerchar: setting cache permissions: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("powerchar: closing temp cache file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("powerchar: committing model cache: %w", err)
+	}
+	return nil
 }
 
-// LoadFile merges a cache saved with SaveFile into c. Incomplete models
-// are skipped rather than poisoning lookups; unknown keys are kept
-// verbatim (the fingerprint algorithm is stable for a given spec JSON).
-func (c *Cache) LoadFile(path string) error {
+// LoadStats reports the outcome of a LoadFile: how many models merged
+// cleanly and how many entries were skipped as corrupt (checksum
+// mismatch, truncated/undecodable JSON) or incomplete.
+type LoadStats struct {
+	Loaded  int
+	Skipped int
+}
+
+// LoadFile merges a cache saved with SaveFile into c. Entries that
+// fail their checksum, do not decode, or carry incomplete models are
+// skipped — and counted in LoadStats — instead of failing the whole
+// load, so one corrupt entry (a crash mid-save on an old non-atomic
+// writer, a torn disk block) can never poison the rest of the cache.
+// Files in the pre-envelope format (a plain fingerprint → model map)
+// load with the same per-entry tolerance, minus checksum verification.
+func (c *Cache) LoadFile(path string) (LoadStats, error) {
+	var st LoadStats
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("powerchar: reading model cache: %w", err)
+		return st, fmt.Errorf("powerchar: reading model cache: %w", err)
 	}
 	var in map[string]*Model
-	if err := json.Unmarshal(data, &in); err != nil {
-		return fmt.Errorf("powerchar: decoding model cache %s: %w", path, err)
+	var env cacheFile
+	if err := json.Unmarshal(data, &env); err == nil && env.Version >= 1 && env.Entries != nil {
+		in = make(map[string]*Model, len(env.Entries))
+		for key, rec := range env.Entries {
+			// The digest covers the model's compact encoding; compacting
+			// before hashing makes it indentation-invariant (MarshalIndent
+			// re-indents embedded raw JSON on save).
+			var compact bytes.Buffer
+			if err := json.Compact(&compact, rec.Model); err != nil {
+				st.Skipped++
+				continue
+			}
+			if fmt.Sprintf("%x", sha256.Sum256(compact.Bytes())) != rec.SHA256 {
+				st.Skipped++
+				continue
+			}
+			var m *Model
+			if err := json.Unmarshal(rec.Model, &m); err != nil {
+				st.Skipped++
+				continue
+			}
+			in[key] = m
+		}
+	} else if err := json.Unmarshal(data, &in); err != nil {
+		return st, fmt.Errorf("powerchar: decoding model cache %s: %w", path, err)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for key, m := range in {
 		if m == nil || !m.Complete() {
+			st.Skipped++
 			continue
 		}
 		e := &cacheEntry{model: m}
 		e.once.Do(func() {})
 		c.entries[key] = e
+		st.Loaded++
 	}
-	return nil
+	return st, nil
 }

@@ -2,7 +2,10 @@ package powerchar
 
 import (
 	"context"
+	"encoding/json"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/hetsched/eas/internal/platform"
@@ -155,8 +158,12 @@ func TestCacheSaveLoadFile(t *testing.T) {
 	}
 
 	fresh := NewCache()
-	if err := fresh.LoadFile(path); err != nil {
+	st, err := fresh.LoadFile(path)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if st.Loaded != 1 || st.Skipped != 0 {
+		t.Fatalf("LoadFile stats = %+v, want 1 loaded, 0 skipped", st)
 	}
 	if fresh.Len() != 1 {
 		t.Fatalf("loaded cache holds %d entries, want 1", fresh.Len())
@@ -183,7 +190,7 @@ func TestCacheSaveLoadFile(t *testing.T) {
 
 func TestCacheLoadFileMissing(t *testing.T) {
 	c := NewCache()
-	if err := c.LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+	if _, err := c.LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
 		t.Error("missing file should surface an error for the caller to classify")
 	}
 }
@@ -201,5 +208,134 @@ func TestCachePut(t *testing.T) {
 	}
 	if got != m {
 		t.Error("Put model should satisfy the next Characterize")
+	}
+}
+
+// saveOneModel characterizes a cheap model and saves it, returning the
+// cache file path and the expected fingerprint count.
+func saveOneModel(t *testing.T) string {
+	t.Helper()
+	c := NewCache()
+	spec := platform.DesktopSpec()
+	if _, err := c.Characterize(context.Background(), spec, fastOpts()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCacheSaveFileLeavesNoTemp(t *testing.T) {
+	// The atomic-rename protocol must not litter the directory with
+	// temp files on the success path.
+	path := saveOneModel(t)
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != filepath.Base(path) {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("cache dir holds %v, want only %s", names, filepath.Base(path))
+	}
+}
+
+func TestCacheLoadFileSkipsCorruptEntry(t *testing.T) {
+	// Flip bits inside one entry's model payload: the checksum must
+	// catch it, the entry is skipped and reported, and the load does
+	// not fail as a whole.
+	path := saveOneModel(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env cacheFile
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Entries) != 1 {
+		t.Fatalf("saved %d entries, want 1", len(env.Entries))
+	}
+	for key, rec := range env.Entries {
+		rec.Model = []byte(strings.Replace(string(rec.Model), `"platform"`, `"plotform"`, 1))
+		env.Entries[key] = rec
+	}
+	mut, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewCache()
+	st, err := fresh.LoadFile(path)
+	if err != nil {
+		t.Fatalf("corrupt entry must be skipped, not fail the load: %v", err)
+	}
+	if st.Loaded != 0 || st.Skipped != 1 {
+		t.Fatalf("LoadFile stats = %+v, want 0 loaded, 1 skipped", st)
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("corrupt entry reached the cache (len %d)", fresh.Len())
+	}
+}
+
+func TestCacheLoadFileTruncated(t *testing.T) {
+	// A file truncated mid-write (the failure the atomic rename
+	// prevents, but an old cache may still carry) must error cleanly,
+	// not panic or half-load.
+	path := saveOneModel(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCache()
+	if _, err := fresh.LoadFile(path); err == nil {
+		t.Fatal("truncated cache file should surface a decode error")
+	}
+	if fresh.Len() != 0 {
+		t.Fatal("truncated load must not leave partial entries")
+	}
+}
+
+func TestCacheLoadFileLegacyFormat(t *testing.T) {
+	// Pre-envelope caches (plain fingerprint → model maps) must keep
+	// loading so an upgrade does not force re-characterization.
+	c := NewCache()
+	spec := platform.DesktopSpec()
+	model, err := c.Characterize(context.Background(), spec, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := Key(spec, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := json.Marshal(map[string]*Model{key: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCache()
+	st, err := fresh.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loaded != 1 || st.Skipped != 0 {
+		t.Fatalf("legacy LoadFile stats = %+v, want 1 loaded", st)
+	}
+	if fresh.Len() != 1 {
+		t.Fatalf("legacy cache loaded %d models, want 1", fresh.Len())
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hetsched/eas/internal/core"
 	"github.com/hetsched/eas/internal/obs"
 )
 
@@ -155,6 +156,63 @@ func (o *Observer) registerRuntimeCollectors(r *Runtime) {
 		enqueues.Add(q.Enqueues - lastQ.Enqueues)
 		busy.Add(q.Busy - lastQ.Busy)
 		lastQ = q
+	})
+	o.registerAdmissionCollectors(r)
+}
+
+// registerAdmissionCollectors exposes admission-gate pressure on
+// /metrics: total queued waiters always, and — when the tiered
+// controller is active — per-class queue depths, per-class admission
+// counters, shed counters by reason, aging promotions, and
+// late-release counts. Deltas fold at scrape time like the other
+// pull-style collectors, so several runtimes on one observer sum
+// cleanly. (Watchdog stalls are push-style — see RecordWatchdogStall —
+// because each one also lands in the trace as a degradation instant.)
+func (o *Observer) registerAdmissionCollectors(r *Runtime) {
+	adm := r.sched.Admission()
+	waiters := o.reg.Gauge("eas_admission_waiters",
+		"Invocations currently queued at the admission gate.")
+	if !adm.Tiered() {
+		o.reg.RegisterCollector(func() {
+			waiters.Set(float64(adm.Waiters()))
+		})
+		return
+	}
+	var depth [core.NumClasses]*obs.Gauge
+	var admittedC [core.NumClasses]*obs.Counter
+	for c := core.Class(0); c < core.NumClasses; c++ {
+		depth[c] = o.reg.Gauge(
+			`eas_admission_queue_depth{class="`+c.String()+`"}`,
+			"Invocations queued at the admission gate, by priority class.")
+		admittedC[c] = o.reg.Counter(
+			`eas_admission_admitted_total{class="`+c.String()+`"}`,
+			"Invocations admitted through the tiered gate, by priority class.")
+	}
+	shedHelp := "Invocations shed at the admission gate, by reason."
+	shedQuota := o.reg.Counter(`eas_admission_shed_total{reason="tenant-quota"}`, shedHelp)
+	shedQueue := o.reg.Counter(`eas_admission_shed_total{reason="queue-full"}`, shedHelp)
+	shedDeadline := o.reg.Counter(`eas_admission_shed_total{reason="deadline"}`, shedHelp)
+	aging := o.reg.Counter("eas_admission_aging_promotions_total",
+		"Grants in which aging let a lower-priority waiter overtake a queued higher class.")
+	late := o.reg.Counter("eas_admission_late_releases_total",
+		"Releases arriving after the watchdog had already revoked the holder's ticket.")
+	var last core.AdmissionStats
+	o.reg.RegisterCollector(func() {
+		waiters.Set(float64(adm.Waiters()))
+		st, ok := adm.TieredStats()
+		if !ok {
+			return
+		}
+		for c := 0; c < core.NumClasses; c++ {
+			depth[c].Set(float64(st.QueueDepth[c]))
+			admittedC[c].Add(st.Admitted[c] - last.Admitted[c])
+		}
+		shedQuota.Add(st.ShedQuota - last.ShedQuota)
+		shedQueue.Add(st.ShedQueueFull - last.ShedQueueFull)
+		shedDeadline.Add(st.ShedDeadline - last.ShedDeadline)
+		aging.Add(st.AgingPromotions - last.AgingPromotions)
+		late.Add(st.LateReleases - last.LateReleases)
+		last = st
 	})
 }
 
