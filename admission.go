@@ -75,6 +75,14 @@ type AdmissionPolicy struct {
 	// cancelled, the stall is recorded as a degradation instant, and
 	// the next waiter is admitted. 0 disables the watchdog.
 	Watchdog time.Duration
+	// RetryAfterFloor is the minimum RetryAfter attached to
+	// backlog-estimate sheds. Before any hold completes the estimator
+	// reads zero, and a zero RetryAfter invites every shed client to
+	// retry immediately — a thundering herd at the worst moment.
+	// Default 1ms once the controller is on; negative disables the
+	// floor. Exact token-refill estimates (quota sheds) are not
+	// floored.
+	RetryAfterFloor time.Duration
 	// TenantQuotas overrides the default quota per tenant name.
 	TenantQuotas map[string]TenantQuota
 }
@@ -83,7 +91,7 @@ type AdmissionPolicy struct {
 func (p AdmissionPolicy) enabled() bool {
 	return p.Enabled || p.TenantRate != 0 || p.TenantBurst != 0 ||
 		p.QueueDepth != 0 || p.AgingStep != 0 || p.Watchdog != 0 ||
-		len(p.TenantQuotas) > 0
+		p.RetryAfterFloor != 0 || len(p.TenantQuotas) > 0
 }
 
 // WithTenant attaches a tenant identity to a context for per-tenant

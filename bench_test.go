@@ -18,6 +18,7 @@ import (
 
 	"github.com/hetsched/eas"
 	"github.com/hetsched/eas/internal/core"
+	"github.com/hetsched/eas/internal/device"
 	"github.com/hetsched/eas/internal/engine"
 	"github.com/hetsched/eas/internal/metrics"
 	"github.com/hetsched/eas/internal/microbench"
@@ -389,6 +390,68 @@ func BenchmarkAdmissionContended(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
 		})
+	}
+}
+
+// BenchmarkDecisionPath measures the batched decision path at the core
+// layer: same-kernel tenants hammering one scheduler whose records are
+// forced to re-profile every invocation (ReprofileEvery=1) on a fine α
+// grid, so the decision itself — profile + α search — dominates the
+// invocation. "solo" pays one full decision per invocation;
+// "coalesced" deduplicates concurrent decisions into one leader
+// flight; "fastpath" skips the periodic re-profile entirely while the
+// record is fresh and confident. The numbers baseline
+// BENCH_decision.json.
+func BenchmarkDecisionPath(b *testing.B) {
+	model, err := powerchar.Cached(context.Background(), platform.DesktopSpec(), powerchar.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kernel := engine.Kernel{
+		Name: "decision-bench",
+		Cost: device.CostProfile{FLOPs: 20000, MemOps: 20, L3MissRatio: 0.02, Instructions: 3000},
+	}
+	const (
+		n     = 5000   // just past the profile threshold: decision-heavy
+		aStep = 0.0005 // fine grid, the regime where decision cost hurts
+	)
+	for _, mode := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"solo", core.Options{ReprofileEvery: 1, AlphaStep: aStep}},
+		{"coalesced", core.Options{ReprofileEvery: 1, AlphaStep: aStep, CoalesceDecisions: true}},
+		{"fastpath", core.Options{ReprofileEvery: 1, AlphaStep: aStep, TableTTL: time.Hour, MinConfidence: 1}},
+	} {
+		for _, tenants := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/tenants=%d", mode.name, tenants), func(b *testing.B) {
+				s, err := core.New(engine.New(platform.Desktop()), model, metrics.EDP, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Warm the table so fastpath measures replay, not first touch.
+				if _, err := s.ParallelFor(kernel, n); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for g := 0; g < tenants; g++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							if _, err := s.ParallelFor(kernel, n); err != nil {
+								b.Error(err)
+							}
+						}()
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				decisions := float64(tenants) * float64(b.N)
+				b.ReportMetric(decisions/b.Elapsed().Seconds(), "decisions/s")
+			})
+		}
 	}
 }
 

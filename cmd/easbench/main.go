@@ -39,6 +39,10 @@ func main() {
 	contention := flag.String("contention", "", "run the GPU-contention study for this workload abbreviation")
 	dynOracle := flag.Bool("dyn-oracle", false, "run the dynamic per-invocation oracle study")
 	concurrent := flag.Int("concurrent", 0, "run the multi-tenant throughput demo with this many concurrent tenants")
+	coalesce := flag.Bool("coalesce", false, "coalesce concurrent same-kernel scheduling decisions in the -concurrent demo")
+	tableTTL := flag.Duration("table-ttl", 0, "re-profile alpha-table records older than this (0 = never; enables the fresh-entry fast path)")
+	minConfidence := flag.Int("min-confidence", 0, "recorded invocations a record needs before the fast path may skip a periodic re-profile")
+	shardDevices := flag.Bool("shard-devices", false, "shard the admission gate per device (CPU/GPU) in the -concurrent demo")
 	overload := flag.Float64("overload", 0, "run the open-loop overload soak at this multiple of measured capacity (e.g. 4)")
 	overloadTenants := flag.Int("overload-tenants", 6, "tenant identities for -overload")
 	overloadDuration := flag.Duration("overload-duration", 2*time.Second, "arrival-generation window for -overload")
@@ -142,7 +146,13 @@ func main() {
 	}
 
 	if *concurrent > 0 {
-		if err := runConcurrent(*concurrent, observer); err != nil {
+		decision := eas.DecisionPolicy{
+			Coalesce:       *coalesce,
+			TableTTL:       *tableTTL,
+			MinConfidence:  *minConfidence,
+			ShardPerDevice: *shardDevices,
+		}
+		if err := runConcurrent(*concurrent, decision, observer); err != nil {
 			fail(err)
 		}
 		return
@@ -307,12 +317,14 @@ func runAblations() {
 // The admission gate serializes the scheduling decisions FIFO while the
 // functional work runs on the shared pool, so per-tenant α and energy
 // stay honest however many tenants contend.
-func runConcurrent(tenants int, observer *eas.Observer) error {
+func runConcurrent(tenants int, decision eas.DecisionPolicy, observer *eas.Observer) error {
 	model, err := eas.Characterize(eas.DesktopPlatform())
 	if err != nil {
 		return err
 	}
-	rt, err := eas.NewRuntime(eas.DesktopPlatform(), eas.Config{Metric: eas.EDP, Model: model, Observer: observer})
+	rt, err := eas.NewRuntime(eas.DesktopPlatform(), eas.Config{
+		Metric: eas.EDP, Model: model, Decision: decision, Observer: observer,
+	})
 	if err != nil {
 		return err
 	}
@@ -323,10 +335,12 @@ func runConcurrent(tenants int, observer *eas.Observer) error {
 		n        = 100000
 	)
 	type tenantStat struct {
-		name    string
-		alpha   float64
-		energyJ float64
-		simTime time.Duration
+		name      string
+		alpha     float64
+		energyJ   float64
+		simTime   time.Duration
+		coalesced int
+		fastPath  int
 	}
 	stats := make([]tenantStat, tenants)
 	var wg sync.WaitGroup
@@ -354,6 +368,12 @@ func runConcurrent(tenants int, observer *eas.Observer) error {
 				st.alpha = rep.Alpha
 				st.energyJ += rep.EnergyJ
 				st.simTime += rep.Duration
+				if rep.Coalesced {
+					st.coalesced++
+				}
+				if rep.FastPath {
+					st.fastPath++
+				}
 			}
 			stats[g] = st
 		}(g)
@@ -370,6 +390,15 @@ func runConcurrent(tenants int, observer *eas.Observer) error {
 	fmt.Printf("\n%d invocations admitted FIFO in %v wall time (%.0f invocations/s)\n",
 		tenants*runsEach, wall.Round(time.Microsecond),
 		float64(tenants*runsEach)/wall.Seconds())
+	if decision != (eas.DecisionPolicy{}) {
+		coalesced, fastPath := 0, 0
+		for _, st := range stats {
+			coalesced += st.coalesced
+			fastPath += st.fastPath
+		}
+		fmt.Printf("decision path: %d coalesced, %d fast-path of %d invocations\n",
+			coalesced, fastPath, tenants*runsEach)
+	}
 	return nil
 }
 

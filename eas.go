@@ -148,6 +148,11 @@ type Config struct {
 	// value keeps the legacy fair-FIFO gate, byte-identical to earlier
 	// releases.
 	Admission AdmissionPolicy
+	// Decision tunes the batched decision path: coalesced concurrent
+	// decisions, the fresh-entry fast path, and per-device gate
+	// sharding. The zero value keeps the decision path byte-identical
+	// to earlier releases.
+	Decision DecisionPolicy
 	// Observer, when non-nil, receives a span trace, a decision-audit
 	// record, and runtime metrics for every invocation (see NewObserver).
 	// One Observer may be shared by several Runtimes. Nil — the default —
@@ -249,6 +254,12 @@ type Report struct {
 	// invocation ("closed", "open", "half-open"); empty when the
 	// breaker is disabled.
 	BreakerState string
+	// Coalesced is true when this invocation executed another
+	// invocation's published decision instead of deciding itself
+	// (Config.Decision.Coalesce); FastPath when a fresh,
+	// high-confidence table record let it skip a periodic re-profile
+	// (Config.Decision.TableTTL / MinConfidence).
+	Coalesced, FastPath bool
 }
 
 // Runtime is the energy-aware scheduling runtime bound to one platform.
@@ -350,6 +361,11 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 		AdmissionQueueDepth:  cfg.Admission.QueueDepth,
 		AdmissionAgingStep:   cfg.Admission.AgingStep,
 		AdmissionWatchdog:    cfg.Admission.Watchdog,
+		AdmissionRetryFloor:  cfg.Admission.RetryAfterFloor,
+		CoalesceDecisions:    cfg.Decision.Coalesce,
+		TableTTL:             cfg.Decision.TableTTL,
+		MinConfidence:        cfg.Decision.MinConfidence,
+		ShardGatePerDevice:   cfg.Decision.ShardPerDevice,
 	})
 	if err != nil {
 		return nil, err
@@ -465,6 +481,8 @@ func (r *Runtime) ParallelForCtx(ctx context.Context, k Kernel, n int) (*Report,
 		MetricValue:     r.metric.inner.EvalEnergy(rep.EnergyJ, rep.Duration.Seconds()),
 		CPUItems:        rep.CPUItems,
 		GPUItems:        rep.GPUItems,
+		Coalesced:       rep.Coalesced,
+		FastPath:        rep.FastPath,
 	}
 	if rep.Profiled {
 		out.Category = rep.Category.Key()

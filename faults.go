@@ -152,6 +152,12 @@ func (f *FaultPlan) ReleaseHangs() { f.inner.ReleaseHangs() }
 // is what the watchdog force-releases.
 func (f *FaultPlan) HoldAdmission(d time.Duration, k int) { f.inner.HoldAdmissionFor(d, k) }
 
+// FailCoalesceLeader scripts the next k coalesced decision flights
+// (Config.Decision.Coalesce) to lose their leader at the publish
+// point: the leader's invocation completes normally but never
+// publishes, and the flight's followers fall back to solo decisions.
+func (f *FaultPlan) FailCoalesceLeader(k int) { f.inner.FailCoalesceLeaders(k) }
+
 // Sensor faults degrade what the runtime *observes* — the package
 // energy MSR, the hardware counters, the online profile — never the
 // simulated machine itself. They compose freely with the GPU faults
@@ -201,24 +207,26 @@ type FaultStats struct {
 	StuckMSRReads, NoisyMSRReads, WrapGaps int
 	HWCDrops, HWCCorruptions, ProfileLies  int
 	// Scheduling faults.
-	AdmissionHolds int
+	AdmissionHolds      int
+	CoalesceLeaderFails int
 }
 
 // Stats returns a snapshot of delivered faults.
 func (f *FaultPlan) Stats() FaultStats {
 	s := f.inner.Stats()
 	return FaultStats{
-		GPUBusy:        s.GPUBusy,
-		KernelHangs:    s.KernelHangs,
-		EnqueueErrors:  s.EnqueueErrors,
-		SlowDispatches: s.SlowDispatches,
-		StuckMSRReads:  s.StuckMSRReads,
-		NoisyMSRReads:  s.NoisyMSRReads,
-		WrapGaps:       s.WrapGaps,
-		HWCDrops:       s.HWCDrops,
-		HWCCorruptions: s.HWCCorruptions,
-		ProfileLies:    s.ProfileLies,
-		AdmissionHolds: s.AdmissionHolds,
+		GPUBusy:             s.GPUBusy,
+		KernelHangs:         s.KernelHangs,
+		EnqueueErrors:       s.EnqueueErrors,
+		SlowDispatches:      s.SlowDispatches,
+		StuckMSRReads:       s.StuckMSRReads,
+		NoisyMSRReads:       s.NoisyMSRReads,
+		WrapGaps:            s.WrapGaps,
+		HWCDrops:            s.HWCDrops,
+		HWCCorruptions:      s.HWCCorruptions,
+		ProfileLies:         s.ProfileLies,
+		AdmissionHolds:      s.AdmissionHolds,
+		CoalesceLeaderFails: s.CoalesceLeaderFails,
 	}
 }
 
@@ -237,6 +245,8 @@ func (f *FaultPlan) Stats() FaultStats {
 //	lie=FxK       next K profiles report F× GPU throughput
 //	hold=MSxK     next K admitted invocations wedge MS milliseconds
 //	              holding the admission gate (e.g. hold=250x3)
+//	leaderfail=K  next K coalesced decision flights lose their leader
+//	              before publishing (followers decide solo)
 //
 // Example: "stuck=6,noise=0.5,lie=0.1x2". An empty spec returns an
 // empty (fault-free) plan; seed drives the probabilistic modes.
@@ -355,6 +365,12 @@ func (f *FaultPlan) Script(spec string) error {
 				return err
 			}
 			plan.HoldAdmission(time.Duration(ms*float64(time.Millisecond)), k)
+		case "leaderfail":
+			k, err := parseCount()
+			if err != nil {
+				return err
+			}
+			plan.FailCoalesceLeader(k)
 		default:
 			return fmt.Errorf("eas: unknown fault %q", key)
 		}

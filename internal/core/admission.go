@@ -103,6 +103,155 @@ func (a *Admission) Release() {
 	a.busy = false
 }
 
+// DeviceMask names the simulated executors an invocation needs
+// exclusive scheduling access to. Masks compose with bitwise-or.
+type DeviceMask uint8
+
+const (
+	// DeviceCPU is the worker-pool side of the platform.
+	DeviceCPU DeviceMask = 1 << iota
+	// DeviceGPU is the iGPU side of the platform.
+	DeviceGPU
+	// DeviceAll claims both executors (the legacy whole-runtime gate).
+	DeviceAll = DeviceCPU | DeviceGPU
+)
+
+// DeviceGates is the per-device sharded admission gate
+// (Options.ShardGatePerDevice): instead of one runtime-wide mutex, each
+// simulated executor is a resource, and an invocation is admitted once
+// every device in its mask is free. Two invocations whose masks are
+// disjoint — an α=0 CPU-only replay next to an α=1 GPU-only replay —
+// proceed concurrently; profiling and mixed-α invocations claim
+// DeviceAll and remain exclusive.
+//
+// Grants are FIFO with no overtaking of a conflicting elder: a waiter
+// is admitted only if its mask is disjoint from the held set AND from
+// every older waiter's mask. A younger CPU-only arrival therefore
+// cannot starve an older DeviceAll waiter by slipping past it, but may
+// overtake elders it shares no device with (work conservation without
+// starvation).
+//
+// Masks are conservative pre-admission estimates, not contracts:
+// degraded paths (a GPU-busy fallback re-running on the CPU) may touch
+// a device outside the declared mask. The engine serializes phases
+// internally, so such an excursion is race-free; its only cost is
+// cross-tenant interference in the per-domain energy split, which is
+// the documented trade of opting into sharding.
+//
+// The zero value is ready to use.
+type DeviceGates struct {
+	mu    sync.Mutex
+	held  DeviceMask
+	queue []*gateWaiter
+}
+
+type gateWaiter struct {
+	mask  DeviceMask
+	grant chan struct{} // closed to admit; the closer transfers mask ownership
+}
+
+// Acquire admits the caller once every device in mask is free and no
+// older waiter conflicts, blocking otherwise. A zero mask claims
+// DeviceAll. It returns ctx.Err() if the context is cancelled while
+// queued; on a nil return the caller owns mask and must Release it.
+func (g *DeviceGates) Acquire(ctx context.Context, mask DeviceMask) error {
+	if mask == 0 {
+		mask = DeviceAll
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	if g.held&mask == 0 && !g.conflictsQueuedLocked(mask) {
+		g.held |= mask
+		g.mu.Unlock()
+		return nil
+	}
+	w := &gateWaiter{mask: mask, grant: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		// Grants close under g.mu, so holding it makes the race
+		// determinate: either we already own the devices (and must pass
+		// them on), or we are still queued and can leave.
+		select {
+		case <-w.grant:
+			g.mu.Unlock()
+			g.Release(mask)
+		default:
+			for i, q := range g.queue {
+				if q == w {
+					g.queue = append(g.queue[:i], g.queue[i+1:]...)
+					break
+				}
+			}
+			g.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// conflictsQueuedLocked reports whether any queued waiter's mask
+// overlaps mask (callers must hold g.mu).
+func (g *DeviceGates) conflictsQueuedLocked(mask DeviceMask) bool {
+	for _, w := range g.queue {
+		if w.mask&mask != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Release frees the caller's devices and admits every waiter that can
+// now run, scanning in FIFO order: each admissible waiter is granted
+// in place; each still-blocked waiter adds its mask to the blocked set
+// so no younger waiter overtakes a conflicting elder. Releasing
+// devices the caller does not hold panics.
+func (g *DeviceGates) Release(mask DeviceMask) {
+	if mask == 0 {
+		mask = DeviceAll
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.held&mask != mask {
+		panic("core: DeviceGates.Release without holding")
+	}
+	g.held &^= mask
+	blocked := g.held
+	for i := 0; i < len(g.queue); {
+		w := g.queue[i]
+		if w.mask&blocked == 0 {
+			g.held |= w.mask
+			blocked |= w.mask
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			close(w.grant)
+			continue
+		}
+		blocked |= w.mask
+		i++
+	}
+}
+
+// GateWaiters returns the number of invocations queued at the sharded
+// gate (diagnostic; stale the moment it is read).
+func (g *DeviceGates) GateWaiters() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.queue)
+}
+
+// Held returns the currently-claimed device set (diagnostic).
+func (g *DeviceGates) Held() DeviceMask {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.held
+}
+
 // Waiters returns the number of callers currently queued across the
 // legacy FIFO and, on a tiered gate, every class queue (diagnostic;
 // the value is stale the moment it is read).

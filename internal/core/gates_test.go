@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/hetsched/eas/internal/engine"
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/platform"
+)
+
+func TestDeviceGatesDisjointRunConcurrently(t *testing.T) {
+	g := &DeviceGates{}
+	ctx := context.Background()
+	if err := g.Acquire(ctx, DeviceCPU); err != nil {
+		t.Fatal(err)
+	}
+	// A disjoint mask must not block behind the CPU holder.
+	if err := g.Acquire(ctx, DeviceGPU); err != nil {
+		t.Fatal(err)
+	}
+	if g.Held() != DeviceAll {
+		t.Fatalf("held = %b, want both devices", g.Held())
+	}
+	g.Release(DeviceCPU)
+	g.Release(DeviceGPU)
+	if g.Held() != 0 {
+		t.Fatalf("held = %b after releases, want 0", g.Held())
+	}
+}
+
+// FIFO without overtaking a conflicting elder: with CPU held, a queued
+// DeviceAll waiter must block a later GPU-only arrival even though the
+// GPU itself is free — otherwise a stream of narrow acquirers starves
+// wide ones forever.
+func TestDeviceGatesNoOvertakeConflictingElder(t *testing.T) {
+	g := &DeviceGates{}
+	ctx := context.Background()
+	if err := g.Acquire(ctx, DeviceCPU); err != nil {
+		t.Fatal(err)
+	}
+
+	bIn, cIn := make(chan struct{}), make(chan struct{})
+	go func() {
+		g.Acquire(ctx, DeviceAll)
+		close(bIn)
+	}()
+	waitUntil(t, "wide waiter to queue", func() bool { return g.GateWaiters() == 1 })
+	go func() {
+		g.Acquire(ctx, DeviceGPU)
+		close(cIn)
+	}()
+	waitUntil(t, "GPU waiter to queue behind its elder", func() bool { return g.GateWaiters() == 2 })
+
+	select {
+	case <-bIn:
+		t.Fatal("DeviceAll granted while CPU still held")
+	case <-cIn:
+		t.Fatal("GPU acquirer overtook a conflicting elder")
+	default:
+	}
+
+	g.Release(DeviceCPU)
+	<-bIn // the elder goes first
+	select {
+	case <-cIn:
+		t.Fatal("GPU granted while DeviceAll held")
+	default:
+	}
+	g.Release(DeviceAll)
+	<-cIn
+	g.Release(DeviceGPU)
+}
+
+func TestDeviceGatesCancelWhileQueued(t *testing.T) {
+	g := &DeviceGates{}
+	if err := g.Acquire(context.Background(), DeviceAll); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.Acquire(ctx, DeviceCPU) }()
+	waitUntil(t, "waiter to queue", func() bool { return g.GateWaiters() == 1 })
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled Acquire returned nil")
+	}
+	waitUntil(t, "cancelled waiter to leave the queue", func() bool { return g.GateWaiters() == 0 })
+	// The gate must still be fully usable after the abandoned wait.
+	g.Release(DeviceAll)
+	if err := g.Acquire(context.Background(), DeviceAll); err != nil {
+		t.Fatal(err)
+	}
+	g.Release(DeviceAll)
+}
+
+func TestDeviceGatesReleaseWithoutHoldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Release of an unheld mask should panic")
+		}
+	}()
+	g := &DeviceGates{}
+	g.Release(DeviceGPU)
+}
+
+func TestShardGateValidation(t *testing.T) {
+	eng := engine.New(platform.Desktop())
+	model := desktopModel(t)
+	_, err := New(eng, model, metrics.EDP, Options{ShardGatePerDevice: true, AdmissionTiered: true})
+	if err == nil || !strings.Contains(err.Error(), "tiered") {
+		t.Errorf("sharded gate + tiered admission: err = %v, want tiered-incompatibility error", err)
+	}
+	_, err = New(eng, model, metrics.EDP, Options{ShardGatePerDevice: true, RobustMeter: true})
+	if err == nil || !strings.Contains(err.Error(), "RobustMeter") {
+		t.Errorf("sharded gate + robust meter: err = %v, want meter-incompatibility error", err)
+	}
+	if _, err := New(eng, model, metrics.EDP, Options{ShardGatePerDevice: true, CoalesceDecisions: true}); err != nil {
+		t.Errorf("sharded gate + coalescing should compose: %v", err)
+	}
+}
+
+// Smoke the sharded scheduler under real concurrency (-race): mixed
+// kernels and sizes, every invocation must complete with its full item
+// count and the gate must drain back to idle.
+func TestShardedSchedulerConcurrent(t *testing.T) {
+	s := newEAS(t, metrics.EDP, Options{ShardGatePerDevice: true})
+	// Warm the table so replays exercise the narrow masks.
+	if _, err := s.ParallelFor(compKernel(), 200000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ParallelFor(memKernel(), 200000); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		k, n := compKernel(), 50000
+		if i%3 == 0 {
+			k, n = memKernel(), 200000
+		}
+		wg.Add(1)
+		go func(k engine.Kernel, n int) {
+			defer wg.Done()
+			rep, err := s.ParallelFor(k, n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got := rep.CPUItems + rep.GPUItems; math.Abs(got-float64(n)) > 0.5 {
+				t.Errorf("%s: scheduled %v items, want %d", k.Name, rep.CPUItems+rep.GPUItems, n)
+			}
+		}(k, n)
+	}
+	wg.Wait()
+	if g := s.gates; g.Held() != 0 || g.GateWaiters() != 0 {
+		t.Errorf("gate not idle after drain: held=%b waiters=%d", g.Held(), g.GateWaiters())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"github.com/hetsched/eas/internal/engine"
@@ -152,13 +153,52 @@ type Options struct {
 	// AdmissionWatchdog force-releases the gate when one invocation
 	// holds it longer than this bound.
 	AdmissionWatchdog time.Duration
+	// AdmissionRetryFloor is the minimum RetryAfter attached to
+	// backlog-estimate sheds (default 1ms once tiering is on; negative
+	// disables the floor). Setting it alone enables the tiered
+	// controller.
+	AdmissionRetryFloor time.Duration
+
+	// Batched decision-path knobs (coalesce.go). Every zero value keeps
+	// the decision path byte-identical to the legacy behaviour.
+
+	// CoalesceDecisions deduplicates concurrent scheduling decisions:
+	// invocations of the same kernel that would profile join a single
+	// flight whose leader runs the one online profile + α search, and
+	// followers execute their full iteration count at the published α
+	// (Report.Coalesced) instead of queueing for their own profile.
+	CoalesceDecisions bool
+	// TableTTL bounds the age of a table record the scheduler will
+	// replay: a record older than the TTL is re-profiled even when
+	// nothing else asks for it. Together with MinConfidence it also
+	// enables the fresh-entry fast path — a periodic re-profile
+	// (ReprofileEvery) is skipped while the record is younger than the
+	// TTL and confident enough (Report.FastPath). 0 disables age
+	// checks.
+	TableTTL time.Duration
+	// MinConfidence is the number of recorded invocations a record
+	// needs before the fast path may skip a periodic re-profile. 0
+	// disables the confidence gate (the fast path then needs TableTTL).
+	MinConfidence int
+	// ShardGatePerDevice shards the admission gate per device (CPU,
+	// GPU) instead of per runtime: invocations whose conservative
+	// pre-admission device masks are disjoint — an α=0 CPU-only replay
+	// next to an α=1 GPU-only replay — run concurrently. Profiling and
+	// mixed-α invocations still claim both devices. The engine
+	// serializes phases internally so concurrency is race-free; the
+	// trade is that the per-domain energy split (CPUEnergyJ/GPUEnergyJ/
+	// DRAMEnergyJ) spans the whole invocation and may include a
+	// concurrent tenant's activity. Incompatible with the tiered
+	// admission controller and with RobustMeter.
+	ShardGatePerDevice bool
 }
 
 // admissionTiered reports whether any overload knob asks for the
 // tiered admission controller.
 func (o Options) admissionTiered() bool {
 	return o.AdmissionTiered || o.AdmissionTenantRate != 0 || o.AdmissionTenantBurst != 0 ||
-		o.AdmissionQueueDepth != 0 || o.AdmissionAgingStep != 0 || o.AdmissionWatchdog != 0
+		o.AdmissionQueueDepth != 0 || o.AdmissionAgingStep != 0 || o.AdmissionWatchdog != 0 ||
+		o.AdmissionRetryFloor != 0
 }
 
 func (o Options) withDefaults() Options {
@@ -197,6 +237,9 @@ type record struct {
 	// consecutive profiles have agreed on it.
 	pendingCat wclass.Category
 	pendingN   int
+	// updatedAt is when the record last accumulated an observation —
+	// the age side of the fast path's TTL/confidence check.
+	updatedAt time.Time
 }
 
 // Report describes one ParallelFor invocation as executed by EAS.
@@ -254,6 +297,12 @@ type Report struct {
 	// position after the invocation (BreakerClosed when disabled).
 	BreakerOpen  bool
 	BreakerState robust.BreakerState
+	// Coalesced is true when this invocation executed another
+	// invocation's published decision instead of deciding itself
+	// (Options.CoalesceDecisions); FastPath when a fresh,
+	// high-confidence table record let it skip a periodic re-profile
+	// (Options.TableTTL / MinConfidence).
+	Coalesced, FastPath bool
 }
 
 // MetricValue evaluates a metric over the invocation's measurements.
@@ -281,8 +330,13 @@ type Scheduler struct {
 	// invPredW is the model's predicted power for the in-flight
 	// invocation — the substitution value when a meter sample is
 	// rejected. Invocation-scoped: the admission gate serializes
-	// access, so no lock is needed.
+	// access, so no lock is needed (and ShardGatePerDevice, which
+	// breaks that serialization, is rejected alongside RobustMeter).
 	invPredW float64
+
+	// Batched decision-path state (nil when the knobs are off).
+	coal  *coalescer   // decision singleflight (CoalesceDecisions)
+	gates *DeviceGates // per-device sharded gate (ShardGatePerDevice)
 }
 
 // New builds an EAS scheduler over an engine, a platform power
@@ -335,13 +389,26 @@ func New(eng *engine.Engine, model *powerchar.Model, metric metrics.Metric, opts
 			o.RecordBreakerTransition(int(to))
 		})
 	}
+	if s.opts.CoalesceDecisions {
+		s.coal = newCoalescer()
+	}
+	if s.opts.ShardGatePerDevice {
+		if s.opts.admissionTiered() {
+			return nil, fmt.Errorf("core: ShardGatePerDevice is incompatible with the tiered admission controller (the classed queues assume one gate)")
+		}
+		if s.opts.RobustMeter {
+			return nil, fmt.Errorf("core: ShardGatePerDevice is incompatible with RobustMeter (the meter's substitution state is serialized by the whole-runtime gate)")
+		}
+		s.gates = &DeviceGates{}
+	}
 	if s.opts.admissionTiered() {
 		topts := TieredOptions{
-			TenantRate:  s.opts.AdmissionTenantRate,
-			TenantBurst: s.opts.AdmissionTenantBurst,
-			QueueDepth:  s.opts.AdmissionQueueDepth,
-			AgingStep:   s.opts.AdmissionAgingStep,
-			Watchdog:    s.opts.AdmissionWatchdog,
+			TenantRate:      s.opts.AdmissionTenantRate,
+			TenantBurst:     s.opts.AdmissionTenantBurst,
+			QueueDepth:      s.opts.AdmissionQueueDepth,
+			AgingStep:       s.opts.AdmissionAgingStep,
+			Watchdog:        s.opts.AdmissionWatchdog,
+			RetryAfterFloor: s.opts.AdmissionRetryFloor,
 		}
 		if o := s.opts.Observer; o.Enabled() {
 			topts.OnStall = func(tenant string, held time.Duration) {
@@ -435,6 +502,8 @@ func StatsFor(rep Report) obs.InvocationStats {
 		Quarantined:    rep.ProfileQuarantined,
 		Sanitized:      rep.ProfileSanitized,
 		BreakerState:   int(rep.BreakerState),
+		Coalesced:      rep.Coalesced,
+		FastPath:       rep.FastPath,
 	}
 	switch {
 	case rep.BreakerOpen:
@@ -456,8 +525,18 @@ func (s *Scheduler) ParallelForScoped(ctx context.Context, k engine.Kernel, n in
 	if n <= 0 {
 		return Report{}, fmt.Errorf("core: non-positive iteration count %d for kernel %q", n, k.Name)
 	}
+	var plan invPlan
+	if s.coal != nil {
+		var err error
+		if plan, err = s.joinCoalesce(ctx, k, n, sc); err != nil {
+			return Report{}, err
+		}
+	}
+	if s.gates != nil {
+		return s.parallelForSharded(ctx, k, n, sc, plan)
+	}
 	if s.adm.t != nil {
-		return s.parallelForTiered(ctx, k, n, sc)
+		return s.parallelForTiered(ctx, k, n, sc, plan)
 	}
 	if sc.Enabled() {
 		wait := sc.Span("admission-wait")
@@ -470,7 +549,146 @@ func (s *Scheduler) ParallelForScoped(ctx context.Context, k engine.Kernel, n in
 		return Report{}, err
 	}
 	defer s.adm.Release()
-	return s.runAdmitted(k, n, sc)
+	return s.runAdmitted(k, n, sc, plan)
+}
+
+// joinCoalesce decides this invocation's role in the decision
+// singleflight. An invocation that would not profile (replay, small-N)
+// stays solo. Otherwise it joins the kernel's flight: the creator
+// leads — it proceeds to the gate and runs the one profile + α search,
+// resolving the flight on the way out — and everyone else parks here,
+// *before* queueing at the admission gate (the leader holds the gate
+// for its whole invocation, so waiting after Acquire would deadlock),
+// until the leader publishes or aborts.
+func (s *Scheduler) joinCoalesce(ctx context.Context, k engine.Kernel, n int, sc obs.Scope) (invPlan, error) {
+	if float64(n) < float64(s.eng.Platform().GPUProfileSize()) || !s.wouldProfile(k.Name) {
+		return invPlan{}, nil
+	}
+	f, leader := s.coal.join(k.Name)
+	if leader {
+		// The join window: yield once so concurrently-arriving
+		// same-kernel invocations get scheduled, join the flight and
+		// park before the leader claims the gate. On a saturated (or
+		// single-P) runtime the arrivals are runnable but would
+		// otherwise only run after the leader's entire decision, and
+		// every invocation would lead its own flight; on an idle
+		// multi-core runtime the yield is a few nanoseconds.
+		runtime.Gosched()
+		return invPlan{flight: f}, nil
+	}
+	var wait obs.Timed
+	if sc.Enabled() {
+		wait = sc.Span("coalesce-wait")
+	}
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		if wait.Enabled() {
+			wait.End(obs.Str("error", ctx.Err().Error()))
+		}
+		return invPlan{}, ctx.Err()
+	}
+	if dec, ok := f.result(); ok {
+		if wait.Enabled() {
+			wait.End(obs.Num("alpha", dec.Alpha))
+		}
+		return invPlan{forced: &dec}, nil
+	}
+	// The leader exited without a decision: fall back to a fully solo
+	// invocation rather than re-joining — re-joins behind a persistently
+	// failing leader would livelock the population.
+	if wait.Enabled() {
+		wait.End(obs.Str("outcome", "aborted"))
+	}
+	return invPlan{}, nil
+}
+
+// wouldProfile mirrors parallelFor's needProfile decision from outside
+// the admission gate — the coalesce-eligibility and device-mask
+// pre-checks. It may race with a concurrent accumulate; a stale answer
+// only costs a redundant flight or a conservative mask, never
+// correctness.
+func (s *Scheduler) wouldProfile(name string) bool {
+	rec, ok := s.table.lookup(name)
+	if !ok || !rec.profiled || rec.reprofile {
+		return true
+	}
+	if s.tableStale(rec) {
+		return true
+	}
+	if s.opts.ReprofileEvery > 0 && (rec.invocations+1)%s.opts.ReprofileEvery == 0 {
+		return !s.fastFresh(rec)
+	}
+	return false
+}
+
+// tableStale reports whether the record's α has outlived Options.TableTTL.
+func (s *Scheduler) tableStale(rec record) bool {
+	return s.opts.TableTTL > 0 && !rec.updatedAt.IsZero() &&
+		time.Since(rec.updatedAt) > s.opts.TableTTL
+}
+
+// fastFresh reports whether the record is confident enough for the
+// fast path to skip a periodic re-profile. With both knobs zero it is
+// always false (the legacy path, byte-identical); freshness itself is
+// tableStale's job — callers check it first.
+func (s *Scheduler) fastFresh(rec record) bool {
+	if s.opts.TableTTL == 0 && s.opts.MinConfidence == 0 {
+		return false
+	}
+	return s.opts.MinConfidence <= 0 || rec.invocations >= s.opts.MinConfidence
+}
+
+// parallelForSharded is the ParallelForScoped body behind the
+// per-device sharded gate: the invocation claims only the devices its
+// conservative pre-admission estimate says it needs, so disjoint
+// invocations overlap.
+func (s *Scheduler) parallelForSharded(ctx context.Context, k engine.Kernel, n int, sc obs.Scope, plan invPlan) (Report, error) {
+	mask := s.deviceMaskFor(k, n, plan)
+	if sc.Enabled() {
+		wait := sc.Span("admission-wait")
+		if err := s.gates.Acquire(ctx, mask); err != nil {
+			wait.End(obs.Str("error", err.Error()))
+			return Report{}, err
+		}
+		wait.End(obs.Num("device_mask", float64(mask)))
+	} else if err := s.gates.Acquire(ctx, mask); err != nil {
+		return Report{}, err
+	}
+	defer s.gates.Release(mask)
+	return s.runAdmitted(k, n, sc, plan)
+}
+
+// deviceMaskFor estimates which devices an invocation will drive,
+// before it is admitted. Only decisions that are stable by
+// construction narrow the mask — a coalesced follower's forced α, a
+// small-N CPU-only run, or a replayed α pinned at exactly 0 or 1;
+// anything that will (or might) profile claims both devices. The mask
+// is conservative, not a contract: see DeviceGates.
+func (s *Scheduler) deviceMaskFor(k engine.Kernel, n int, plan invPlan) DeviceMask {
+	var alpha float64
+	switch {
+	case plan.flight != nil:
+		return DeviceAll // leads a flight: will profile on both devices
+	case plan.forced != nil:
+		alpha = plan.forced.Alpha
+	default:
+		if float64(n) < float64(s.eng.Platform().GPUProfileSize()) {
+			return DeviceCPU
+		}
+		rec, ok := s.table.lookup(k.Name)
+		if !ok || !rec.profiled || s.wouldProfile(k.Name) {
+			return DeviceAll
+		}
+		alpha = rec.alpha
+	}
+	switch {
+	case alpha <= 0:
+		return DeviceCPU
+	case alpha >= 1:
+		return DeviceGPU
+	}
+	return DeviceAll
 }
 
 // parallelForTiered is the ParallelForScoped body behind the tiered
@@ -480,7 +698,7 @@ func (s *Scheduler) ParallelForScoped(ctx context.Context, k engine.Kernel, n in
 // supervision — a force-released invocation returns
 // ErrAdmissionRevoked instead of its report, because a revoked gate
 // means another tenant may have driven the engine concurrently.
-func (s *Scheduler) parallelForTiered(ctx context.Context, k engine.Kernel, n int, sc obs.Scope) (Report, error) {
+func (s *Scheduler) parallelForTiered(ctx context.Context, k engine.Kernel, n int, sc obs.Scope, plan invPlan) (Report, error) {
 	req := RequestFromContext(ctx)
 	runCtx := ctx
 	var cancel context.CancelFunc
@@ -524,7 +742,7 @@ func (s *Scheduler) parallelForTiered(ctx context.Context, k engine.Kernel, n in
 	if s.adm.Revoked(ticket) {
 		return Report{}, ErrAdmissionRevoked
 	}
-	rep, err := s.runAdmitted(k, n, sc)
+	rep, err := s.runAdmitted(k, n, sc, plan)
 	if err != nil {
 		return Report{}, err
 	}
@@ -537,7 +755,7 @@ func (s *Scheduler) parallelForTiered(ctx context.Context, k engine.Kernel, n in
 // runAdmitted is the admission critical section shared by the legacy
 // and tiered gates: the caller holds the gate; energy meters span the
 // whole invocation so the deltas belong to this tenant alone.
-func (s *Scheduler) runAdmitted(k engine.Kernel, n int, sc obs.Scope) (Report, error) {
+func (s *Scheduler) runAdmitted(k engine.Kernel, n int, sc obs.Scope, plan invPlan) (Report, error) {
 	// The per-domain RAPL meters span the whole invocation; they live
 	// inside the critical section so the deltas belong to this tenant
 	// alone.
@@ -553,7 +771,7 @@ func (s *Scheduler) runAdmitted(k engine.Kernel, n int, sc obs.Scope) (Report, e
 		pre = s.rmeter.Stats()
 		s.invPredW = 0
 	}
-	rep, err := s.parallelFor(k, n, sc)
+	rep, err := s.parallelFor(k, n, sc, plan)
 	if err != nil {
 		return Report{}, err
 	}
@@ -581,7 +799,26 @@ func (s *Scheduler) runAdmitted(k engine.Kernel, n int, sc obs.Scope) (Report, e
 
 // parallelFor is the EAS algorithm proper; the caller holds the
 // admission gate.
-func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope) (Report, error) {
+func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPlan) (Report, error) {
+	if plan.flight != nil {
+		// This invocation leads a coalesced flight and must resolve it
+		// exactly once. Publishing happens inline at the decision points
+		// below; every other exit — error, fallback, quarantine,
+		// injected leader failure — reaches this deferred abort, which
+		// sends the flight's followers to solo decisions. The flight
+		// only leaves the map here, after the table is updated, so a
+		// late same-kernel arrival shares the decision instead of
+		// profiling again.
+		defer func() {
+			if plan.flight.abort() {
+				s.coal.recordAbort()
+				if o := s.opts.Observer; o.Enabled() {
+					o.RecordCoalesceAbort()
+				}
+			}
+			s.coal.finish(k.Name, plan.flight)
+		}()
+	}
 	// GPU owned by another application (the A26 check): CPU-only run,
 	// nothing recorded. The breaker counts it like any other
 	// GPU-unavailable fallback.
@@ -634,9 +871,36 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope) (Report, e
 	// quarantined profile also forces a re-profile (rec.reprofile).
 	needProfile := !known || rec.reprofile ||
 		(s.opts.ReprofileEvery > 0 && (rec.invocations+1)%s.opts.ReprofileEvery == 0)
+	if known && !rec.reprofile {
+		if s.tableStale(rec) {
+			// The remembered α outlived its TTL: too old to trust, even
+			// if no periodic re-profile was due.
+			needProfile = true
+		} else if needProfile && s.fastFresh(rec) {
+			// Fresh-entry fast path: the record is young and confident
+			// enough that the periodic re-profile would just re-measure
+			// what the table already knows.
+			needProfile = false
+			rep.FastPath = true
+		}
+	}
 
 	quarantined := false
-	if known && !needProfile {
+	if plan.forced != nil {
+		// Coalesced follower: execute the full iteration count at the
+		// leader's published α — no profiling, no search.
+		dec := *plan.forced
+		alpha = dec.Alpha
+		rep.Category = dec.Category
+		rep.Coalesced = true
+		rep.PredictedPower = dec.PredictedPower
+		rep.PredictedTime = dec.PredictedTime
+		if s.rmeter != nil {
+			if curve, ok := s.model.Curve(dec.Category); ok {
+				s.invPredW = curve.Power(dec.Alpha)
+			}
+		}
+	} else if known && !needProfile {
 		// Fig. 7 steps 2-4: reuse the accumulated α.
 		alpha = rec.alpha
 		rep.Category = rec.category
@@ -644,6 +908,13 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope) (Report, e
 			if curve, ok := s.model.Curve(rec.category); ok {
 				s.invPredW = curve.Power(rec.alpha)
 			}
+		}
+		if plan.flight != nil {
+			// A leader that landed on the replay path (another
+			// invocation filled the table between join and admission)
+			// still publishes, so its followers replay the same α
+			// instead of stalling until the deferred abort.
+			plan.flight.publish(Decision{Alpha: alpha, Category: rec.category})
 		}
 	} else {
 		// Fig. 7 steps 11-22: repeated online profiling over the first
@@ -777,6 +1048,26 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope) (Report, e
 			rep.PredictedTime = tm.Time(alpha, searchN)
 			rep.PredictedPower = curve.Power(alpha)
 			s.invPredW = rep.PredictedPower
+			if plan.flight != nil {
+				if s.eng.FaultPlan().TakeCoalesceLeaderFail() {
+					// Injected leader failure: the decision is ready but
+					// never published — the deferred abort wakes the
+					// followers into their solo fallback. The leader's
+					// own invocation continues unharmed.
+					if sc.Enabled() {
+						sc.Event("coalesce-leader-fail")
+					}
+				} else {
+					plan.flight.publish(Decision{
+						Alpha:          alpha,
+						Category:       rep.Category,
+						RC:             tm.RC,
+						RG:             tm.RG,
+						PredictedPower: rep.PredictedPower,
+						PredictedTime:  rep.PredictedTime,
+					})
+				}
+			}
 		}
 	}
 	rep.Alpha = alpha

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"math"
 	"sync"
+	"time"
 
 	"github.com/hetsched/eas/internal/wclass"
 )
@@ -66,12 +68,20 @@ func (t *alphaTable) lookup(name string) (record, bool) {
 // the power curve future invocations replay. hysteresis ≤ 1 keeps the
 // historical last-writer-wins behaviour.
 func (t *alphaTable) accumulate(name string, alpha, items float64, cat wclass.Category, hysteresis int) {
+	// A record backed by zero samples must never land: an items <= 0 (or
+	// NaN) observation carries no evidence, yet would still create or
+	// touch a record with profiled=true — and the fast path would then
+	// happily replay an α that nothing supports. Likewise a NaN α would
+	// poison the sample-weighted mean forever. Reject both up front.
+	if !(items > 0) || math.IsNaN(alpha) {
+		return
+	}
 	s := t.shard(name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.m[name]
 	if !ok {
-		s.m[name] = record{alpha: alpha, weight: items, category: cat, invocations: 1, profiled: true}
+		s.m[name] = record{alpha: alpha, weight: items, category: cat, invocations: 1, profiled: true, updatedAt: time.Now()}
 		return
 	}
 	total := rec.weight + items
@@ -79,6 +89,7 @@ func (t *alphaTable) accumulate(name string, alpha, items float64, cat wclass.Ca
 		rec.alpha = (rec.alpha*rec.weight + alpha*items) / total
 	}
 	rec.weight = total
+	rec.updatedAt = time.Now()
 	if hysteresis >= 2 && rec.profiled {
 		if cat == rec.category {
 			rec.pendingN = 0

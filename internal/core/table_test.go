@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"github.com/hetsched/eas/internal/wclass"
+)
+
+func TestAccumulateRejectsEvidencelessSamples(t *testing.T) {
+	tbl := newAlphaTable()
+	cat := wclass.Category{}
+	for _, items := range []float64{0, -5, math.NaN()} {
+		tbl.accumulate("k", 0.5, items, cat, 0)
+	}
+	tbl.accumulate("k", math.NaN(), 1000, cat, 0)
+	if tbl.Len() != 0 {
+		t.Fatalf("rejected samples created %d records, want 0", tbl.Len())
+	}
+	if _, ok := tbl.lookup("k"); ok {
+		t.Fatal("evidenceless sample landed in the table")
+	}
+
+	// A valid record must survive later bad samples unchanged.
+	tbl.accumulate("k", 0.5, 1000, cat, 0)
+	want, _ := tbl.lookup("k")
+	tbl.accumulate("k", 0.9, 0, cat, 0)
+	tbl.accumulate("k", 0.9, math.NaN(), cat, 0)
+	tbl.accumulate("k", math.NaN(), 1000, cat, 0)
+	got, ok := tbl.lookup("k")
+	if !ok || got != want {
+		t.Errorf("bad samples mutated an existing record:\n got %+v\nwant %+v", got, want)
+	}
+	if got.alpha != 0.5 || got.weight != 1000 || got.invocations != 1 {
+		t.Errorf("record = %+v, want alpha=0.5 weight=1000 invocations=1", got)
+	}
+}
+
+// The shard function is pinned to FNV-1a so the layout is deterministic
+// across processes and Go releases — tests (and on-disk tooling) may
+// reason about which shard a kernel lands in.
+func TestTableShardLayoutIsFNV1a(t *testing.T) {
+	tbl := newAlphaTable()
+	names := []string{"", "compbench", "membench", "a", "ab", "ba", "kernel-42"}
+	for i := 0; i < 1000; i++ {
+		names = append(names, fmt.Sprintf("kern-%d", i))
+	}
+	var hits [tableShards]int
+	for _, name := range names {
+		h := fnv.New32a()
+		h.Write([]byte(name))
+		idx := h.Sum32() % tableShards
+		if got := tbl.shard(name); got != &tbl.shards[idx] {
+			t.Errorf("shard(%q) does not match FNV-1a %% %d (want shard %d)", name, tableShards, idx)
+		}
+		hits[idx]++
+	}
+	for i, n := range hits {
+		if n == 0 {
+			t.Errorf("shard %d never hit across %d names — distribution is broken", i, len(names))
+		}
+	}
+}

@@ -177,6 +177,13 @@ type TieredOptions struct {
 	// before it is presumed wedged and force-released. 0 disables the
 	// watchdog.
 	Watchdog time.Duration
+	// RetryAfterFloor is the minimum RetryAfter attached to backlog- and
+	// estimate-based sheds. Before any hold completes the backlog
+	// estimator reads zero, and a zero RetryAfter tells every shed
+	// client to retry immediately — a thundering herd exactly when the
+	// gate is saturated. Default 1ms; negative disables the floor.
+	// Token-refill estimates (quota sheds) are exact and not floored.
+	RetryAfterFloor time.Duration
 	// OnStall, when non-nil, is called (outside the gate's lock) after
 	// every watchdog force-release with the wedged holder's tenant and
 	// hold duration — the hook the observer records degradation
@@ -190,6 +197,9 @@ func (o TieredOptions) withDefaults() TieredOptions {
 	}
 	if o.TenantBurst <= 0 {
 		o.TenantBurst = 1
+	}
+	if o.RetryAfterFloor == 0 {
+		o.RetryAfterFloor = time.Millisecond
 	}
 	return o
 }
@@ -388,7 +398,8 @@ func (a *Admission) estimatedWaitLocked() time.Duration {
 	return time.Duration(t.avgHoldNs * float64(ahead))
 }
 
-// recordHoldLocked folds one completed hold into the EWMA estimator.
+// recordHoldLocked folds one completed clean hold into the EWMA
+// estimator.
 func (t *tiered) recordHoldLocked(h time.Duration) {
 	if h < 0 {
 		return
@@ -399,6 +410,33 @@ func (t *tiered) recordHoldLocked(h time.Duration) {
 	}
 	const alpha = 0.2
 	t.avgHoldNs = (1-alpha)*t.avgHoldNs + alpha*float64(h)
+}
+
+// recordRevokedHoldLocked folds a watchdog-revoked hold into the EWMA
+// at half the clean-hold weight. A revoked hold's duration is bounded
+// by the watchdog, not by the work it did, so a stall burst folded in
+// at full weight would drag the backlog estimate toward the watchdog
+// bound and keep overestimating waits long after the burst ends — but
+// ignoring stalls entirely would leave the estimator blind to a gate
+// that really is being held that long.
+func (t *tiered) recordRevokedHoldLocked(h time.Duration) {
+	if h < 0 {
+		return
+	}
+	if t.avgHoldNs == 0 {
+		t.avgHoldNs = float64(h)
+		return
+	}
+	const alpha = 0.1 // half of recordHoldLocked's 0.2
+	t.avgHoldNs = (1-alpha)*t.avgHoldNs + alpha*float64(h)
+}
+
+// floorRetry applies RetryAfterFloor to an estimate-based RetryAfter.
+func (t *tiered) floorRetry(d time.Duration) time.Duration {
+	if f := t.opts.RetryAfterFloor; f > 0 && d < f {
+		return f
+	}
+	return d
 }
 
 // grantLocked installs a new holder and arms the watchdog. Caller
@@ -454,8 +492,9 @@ func (a *Admission) AcquireTiered(ctx context.Context, req AdmitRequest, cancel 
 	if req.DeadlineBudget > 0 {
 		if est := a.estimatedWaitLocked(); est > req.DeadlineBudget {
 			t.shedDeadline++
+			retry := t.floorRetry(est)
 			a.mu.Unlock()
-			return 0, &ErrOverloaded{Tenant: req.Tenant, Class: req.Class, Reason: ShedDeadline, RetryAfter: est}
+			return 0, &ErrOverloaded{Tenant: req.Tenant, Class: req.Class, Reason: ShedDeadline, RetryAfter: retry}
 		}
 	}
 
@@ -471,7 +510,7 @@ func (a *Admission) AcquireTiered(ctx context.Context, req AdmitRequest, cancel 
 	// forever. RetryAfter is the backlog-drain estimate.
 	if t.opts.QueueDepth > 0 && len(t.queues[req.Class]) >= t.opts.QueueDepth {
 		t.shedQueueFull++
-		retry := a.estimatedWaitLocked()
+		retry := t.floorRetry(a.estimatedWaitLocked())
 		a.mu.Unlock()
 		return 0, &ErrOverloaded{Tenant: req.Tenant, Class: req.Class, Reason: ShedQueueFull, RetryAfter: retry}
 	}
@@ -504,8 +543,10 @@ func (a *Admission) AcquireTiered(ctx context.Context, req AdmitRequest, cancel 
 				a.mu.Unlock()
 				return 0, w.shed
 			}
-			// Granted while cancelling: pass the gate straight on.
-			a.releaseTieredLocked(w.ticket, time.Now())
+			// Granted while cancelling: pass the gate straight on. The
+			// ~0ns pass-on is not a real hold — recording it would drag
+			// the EWMA toward zero and understate the backlog.
+			a.releaseTieredLocked(w.ticket, time.Now(), false)
 			a.mu.Unlock()
 		default:
 			q := t.queues[w.class]
@@ -533,12 +574,14 @@ func (a *Admission) ReleaseTiered(ticket uint64) {
 		return
 	}
 	a.mu.Lock()
-	a.releaseTieredLocked(ticket, time.Now())
+	a.releaseTieredLocked(ticket, time.Now(), true)
 	a.mu.Unlock()
 }
 
-// releaseTieredLocked is ReleaseTiered under a.mu.
-func (a *Admission) releaseTieredLocked(ticket uint64, now time.Time) {
+// releaseTieredLocked is ReleaseTiered under a.mu. record=false skips
+// the EWMA update for releases that are not representative holds (a
+// grant passed straight on by a cancelling waiter).
+func (a *Admission) releaseTieredLocked(ticket uint64, now time.Time, record bool) {
 	t := a.t
 	if _, ok := t.revoked[ticket]; ok {
 		delete(t.revoked, ticket)
@@ -551,7 +594,9 @@ func (a *Admission) releaseTieredLocked(ticket uint64, now time.Time) {
 	if t.holder.timer != nil {
 		t.holder.timer.Stop()
 	}
-	t.recordHoldLocked(now.Sub(t.holder.start))
+	if record {
+		t.recordHoldLocked(now.Sub(t.holder.start))
+	}
 	t.holderOn = false
 	// Serve any legacy-FIFO waiters first (mixed use is rare but legal:
 	// the legacy queue predates class accounting, so it keeps strict
@@ -603,7 +648,8 @@ func (a *Admission) handoffLocked(now time.Time) {
 			// The budget burned away in the queue: shed at grant time
 			// instead of wasting the slot on a guaranteed deadline miss.
 			t.shedDeadline++
-			w.shed = &ErrOverloaded{Tenant: w.tenant, Class: w.class, Reason: ShedDeadline}
+			w.shed = &ErrOverloaded{Tenant: w.tenant, Class: w.class, Reason: ShedDeadline,
+				RetryAfter: t.floorRetry(a.estimatedWaitLocked())}
 			close(w.grant)
 			continue
 		}
@@ -651,6 +697,7 @@ func (a *Admission) watchdogFire(ticket uint64) {
 		// context wakes, observes the revocation, and stands down.
 		t.holder.cancel()
 	}
+	t.recordRevokedHoldLocked(held)
 	t.holderOn = false
 	if len(a.queue) > 0 {
 		grant := a.queue[0]

@@ -619,3 +619,165 @@ func TestTieredNoInversionBeyondAgingBound(t *testing.T) {
 		t.Errorf("AgingPromotions = %d with an hour-long AgingStep, want 0", st.AgingPromotions)
 	}
 }
+
+// Cold-start sheds must never advertise RetryAfter 0: before the first
+// release seeds the hold estimator the backlog estimate reads zero, and
+// a zero RetryAfter invites every shed client to retry immediately — a
+// thundering herd against a gate that is already overloaded. The floor
+// (default 1ms) backstops both estimate-based shed sites.
+func TestColdStartShedRetryAfterFloored(t *testing.T) {
+	ctx := context.Background()
+
+	// Queue-full shed with a never-released holder: AvgHold is still 0.
+	a := tieredGate(TieredOptions{QueueDepth: 1})
+	tk, err := a.AcquireTiered(ctx, AdmitRequest{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wtk, werr := a.AcquireTiered(ctx, AdmitRequest{}, nil)
+		if werr == nil {
+			a.ReleaseTiered(wtk)
+		}
+	}()
+	waitForWaiters(t, a, 1)
+	_, err = a.AcquireTiered(ctx, AdmitRequest{}, nil)
+	var ov *ErrOverloaded
+	if !errors.As(err, &ov) || ov.Reason != ShedQueueFull {
+		t.Fatalf("expected queue-full shed, got %v", err)
+	}
+	if ov.RetryAfter < time.Millisecond {
+		t.Errorf("cold-start queue-full RetryAfter = %v, want >= 1ms floor", ov.RetryAfter)
+	}
+	a.ReleaseTiered(tk)
+	wg.Wait()
+
+	// Grant-time deadline shed: the waiter's budget burns away in the
+	// queue while the estimator still reads zero.
+	b := tieredGate(TieredOptions{})
+	tk, err = b.AcquireTiered(ctx, AdmitRequest{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed := make(chan error, 1)
+	go func() {
+		_, werr := b.AcquireTiered(ctx, AdmitRequest{DeadlineBudget: 2 * time.Millisecond}, nil)
+		shed <- werr
+	}()
+	waitForWaiters(t, b, 1)
+	time.Sleep(10 * time.Millisecond)
+	b.ReleaseTiered(tk)
+	if err := <-shed; !errors.As(err, &ov) || ov.Reason != ShedDeadline {
+		t.Fatalf("expected grant-time deadline shed, got %v", err)
+	} else if ov.RetryAfter < time.Millisecond {
+		t.Errorf("cold-start deadline RetryAfter = %v, want >= 1ms floor", ov.RetryAfter)
+	}
+}
+
+// A negative RetryAfterFloor disables the floor for operators who want
+// the raw estimate, zero and all.
+func TestRetryAfterFloorDisabled(t *testing.T) {
+	ctx := context.Background()
+	a := tieredGate(TieredOptions{QueueDepth: 1, RetryAfterFloor: -1})
+	tk, err := a.AcquireTiered(ctx, AdmitRequest{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wtk, werr := a.AcquireTiered(ctx, AdmitRequest{}, nil)
+		if werr == nil {
+			a.ReleaseTiered(wtk)
+		}
+	}()
+	waitForWaiters(t, a, 1)
+	_, err = a.AcquireTiered(ctx, AdmitRequest{}, nil)
+	var ov *ErrOverloaded
+	if !errors.As(err, &ov) || ov.Reason != ShedQueueFull {
+		t.Fatalf("expected queue-full shed, got %v", err)
+	}
+	if ov.RetryAfter != 0 {
+		t.Errorf("disabled floor: RetryAfter = %v, want raw 0 estimate", ov.RetryAfter)
+	}
+	a.ReleaseTiered(tk)
+	wg.Wait()
+}
+
+// Watchdog-revoked holds fold into the hold estimator at half the
+// clean-hold weight: visible enough that a genuinely slow population
+// raises the backlog estimate, damped enough that a stall burst does
+// not drag it to the watchdog bound.
+func TestRevokedHoldDownWeighted(t *testing.T) {
+	a := tieredGate(TieredOptions{})
+	a.mu.Lock()
+	a.t.recordHoldLocked(10 * time.Millisecond)
+	a.t.recordRevokedHoldLocked(100 * time.Millisecond)
+	a.mu.Unlock()
+	st, _ := a.TieredStats()
+	want := time.Duration(0.9*float64(10*time.Millisecond) + 0.1*float64(100*time.Millisecond))
+	if st.AvgHold != want {
+		t.Errorf("AvgHold = %v after down-weighted revoked hold, want %v", st.AvgHold, want)
+	}
+	fullWeight := time.Duration(0.8*float64(10*time.Millisecond) + 0.2*float64(100*time.Millisecond))
+	if st.AvgHold >= fullWeight {
+		t.Errorf("revoked hold folded at clean weight: AvgHold = %v, want < %v", st.AvgHold, fullWeight)
+	}
+
+	// Cold start: a revoked hold seeds the estimator outright — some
+	// estimate beats none.
+	b := tieredGate(TieredOptions{})
+	b.mu.Lock()
+	b.t.recordRevokedHoldLocked(50 * time.Millisecond)
+	b.mu.Unlock()
+	if st, _ := b.TieredStats(); st.AvgHold != 50*time.Millisecond {
+		t.Errorf("cold-start revoked hold: AvgHold = %v, want 50ms seed", st.AvgHold)
+	}
+}
+
+// A grant passed on because the grantee's context was already cancelled
+// never ran anything: folding its ~0ns "hold" into the estimator would
+// deflate the backlog estimate. The pass-on release must skip the
+// recording.
+func TestCancelPassOnHoldNotRecorded(t *testing.T) {
+	a := tieredGate(TieredOptions{})
+	tk, err := a.AcquireTiered(context.Background(), AdmitRequest{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	a.releaseTieredLocked(tk, time.Now(), false)
+	a.mu.Unlock()
+	if st, _ := a.TieredStats(); st.AvgHold != 0 {
+		t.Errorf("pass-on release recorded a hold: AvgHold = %v, want 0", st.AvgHold)
+	}
+}
+
+// End to end: a watchdog revocation leaves the estimator seeded, so the
+// very next shed already carries a non-zero backlog estimate.
+func TestWatchdogRevocationSeedsEstimator(t *testing.T) {
+	a := tieredGate(TieredOptions{Watchdog: 5 * time.Millisecond})
+	tk, err := a.AcquireTiered(context.Background(), AdmitRequest{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := a.TieredStats()
+		if st.WatchdogStalls >= 1 {
+			if st.AvgHold <= 0 {
+				t.Errorf("AvgHold = %v after watchdog revocation, want > 0", st.AvgHold)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.ReleaseTiered(tk) // late release of the revoked ticket
+}

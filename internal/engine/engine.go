@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/hetsched/eas/internal/device"
@@ -139,11 +140,16 @@ func (r Result) GPUThroughput() float64 {
 	return r.GPUItems / s
 }
 
-// Engine drives one platform. Not safe for concurrent use: callers
-// must serialize phases externally — core.Scheduler does so with its
-// FIFO admission gate, which is why one Engine can back a runtime that
-// many goroutines invoke concurrently.
+// Engine drives one platform. Phases are serialized internally by a
+// mutex, so concurrent Run/RunIdle calls are race-free — but they
+// interleave at phase granularity on the one shared virtual clock, so
+// callers that need whole-invocation exclusivity (honest per-tenant
+// energy attribution) must still serialize externally. core.Scheduler
+// does so with its admission gate; its opt-in per-device sharded gate
+// deliberately relaxes that to phase-level interleaving for
+// disjoint-device invocations.
 type Engine struct {
+	mu     sync.Mutex // serializes simulated phases on the shared clock/PCU/MSRs
 	p      *platform.Platform
 	faults *faultinject.Plan
 }
@@ -170,6 +176,8 @@ func (e *Engine) FaultPlan() *faultinject.Plan { return e.faults }
 
 // Run simulates one phase to completion.
 func (e *Engine) Run(ph Phase) (Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if err := ph.Kernel.Cost.Validate(); err != nil {
 		return Result{}, fmt.Errorf("engine: kernel %q: %w", ph.Kernel.Name, err)
 	}
@@ -354,6 +362,8 @@ func (e *Engine) RunIdle(d time.Duration, tr *trace.Set) {
 	if d <= 0 {
 		return
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	tick := e.p.Spec().Tick
 	for elapsed := time.Duration(0); elapsed < d; elapsed += tick {
 		step := tick

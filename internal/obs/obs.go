@@ -137,6 +137,9 @@ type Observer struct {
 	breakerState  *Gauge
 	breakerTrans  *Counter
 	watchdogStall *Counter
+	coalesced     *Counter
+	fastPath      *Counter
+	coalesceAbort *Counter
 }
 
 // Fallback reason keys the runtime reports (mirrors the public
@@ -193,6 +196,12 @@ func New(sink Sink, reg *Registry) *Observer {
 			"GPU circuit breaker state transitions."),
 		watchdogStall: reg.Counter("eas_watchdog_stalls_total",
 			"Admission holds force-released by the runtime watchdog."),
+		coalesced: reg.Counter("eas_decisions_coalesced_total",
+			"Invocations that executed a leader's coalesced α decision."),
+		fastPath: reg.Counter("eas_decisions_fastpath_total",
+			"Invocations whose fresh, high-confidence α skipped a periodic re-profile."),
+		coalesceAbort: reg.Counter("eas_coalesce_aborts_total",
+			"Coalesced decision flights aborted by their leader (followers fell back to solo)."),
 	}
 	o.fallbacks = make(map[string]*Counter, len(fallbackReasons))
 	for _, r := range fallbackReasons {
@@ -276,6 +285,10 @@ type InvocationStats struct {
 	// BreakerState is the breaker position after the invocation
 	// (0=closed, 1=open, 2=half-open); negative skips the gauge.
 	BreakerState int
+	// Coalesced marks an invocation that executed another invocation's
+	// published decision; FastPath one whose fresh table record skipped
+	// a periodic re-profile.
+	Coalesced, FastPath bool
 }
 
 // RecordInvocation folds one completed invocation into the registry.
@@ -314,6 +327,22 @@ func (o *Observer) RecordInvocation(st InvocationStats) {
 	if st.BreakerState >= 0 {
 		o.breakerState.Set(float64(st.BreakerState))
 	}
+	if st.Coalesced {
+		o.coalesced.Inc()
+	}
+	if st.FastPath {
+		o.fastPath.Inc()
+	}
+}
+
+// RecordCoalesceAbort notes one coalesced decision flight whose leader
+// exited without publishing: its followers fell back to solo
+// decisions.
+func (o *Observer) RecordCoalesceAbort() {
+	if o == nil {
+		return
+	}
+	o.coalesceAbort.Inc()
 }
 
 // RecordWatchdogStall notes one watchdog force-release of the
