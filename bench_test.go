@@ -22,6 +22,7 @@ import (
 	"github.com/hetsched/eas/internal/engine"
 	"github.com/hetsched/eas/internal/metrics"
 	"github.com/hetsched/eas/internal/microbench"
+	"github.com/hetsched/eas/internal/obs"
 	"github.com/hetsched/eas/internal/platform"
 	"github.com/hetsched/eas/internal/powerchar"
 	"github.com/hetsched/eas/internal/profile"
@@ -451,6 +452,79 @@ func BenchmarkDecisionPath(b *testing.B) {
 				decisions := float64(tenants) * float64(b.N)
 				b.ReportMetric(decisions/b.Elapsed().Seconds(), "decisions/s")
 			})
+		}
+	}
+}
+
+// BenchmarkHotPath measures the steady-state invocation hot path with
+// the memory-reuse arena on (Options.Reuse): the same decision-heavy
+// regime as BenchmarkDecisionPath — ReprofileEvery=1, fine α grid —
+// but with interned table entries, the hoisted α search, and pooled
+// per-invocation state carrying the load. Each mode runs observer-off
+// ("solo") and with a ring-sink observer attached ("solo-obs"), whose
+// decision-audit records recycle through the arena. The numbers
+// baseline BENCH_hotpath.json; ci/check-bench-regression.sh fails the
+// build on a >20% decisions/sec regression against it.
+func BenchmarkHotPath(b *testing.B) {
+	model, err := powerchar.Cached(context.Background(), platform.DesktopSpec(), powerchar.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kernel := engine.Kernel{
+		Name: "hotpath-bench",
+		Cost: device.CostProfile{FLOPs: 20000, MemOps: 20, L3MissRatio: 0.02, Instructions: 3000},
+	}
+	const (
+		n     = 5000
+		aStep = 0.0005
+	)
+	base := []struct {
+		name string
+		opts core.Options
+	}{
+		{"solo", core.Options{ReprofileEvery: 1, AlphaStep: aStep, Reuse: true}},
+		{"coalesced", core.Options{ReprofileEvery: 1, AlphaStep: aStep, Reuse: true, CoalesceDecisions: true}},
+		{"fastpath", core.Options{ReprofileEvery: 1, AlphaStep: aStep, Reuse: true, TableTTL: time.Hour, MinConfidence: 1}},
+	}
+	for _, withObs := range []bool{false, true} {
+		for _, mode := range base {
+			name := mode.name
+			if withObs {
+				name += "-obs"
+			}
+			for _, tenants := range []int{1, 4, 16} {
+				b.Run(fmt.Sprintf("%s/tenants=%d", name, tenants), func(b *testing.B) {
+					opts := mode.opts
+					if withObs {
+						opts.Observer = obs.New(obs.NewRingSink(obs.DefaultRingCapacity), obs.NewRegistry())
+					}
+					s, err := core.New(engine.New(platform.Desktop()), model, metrics.EDP, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := s.ParallelFor(kernel, n); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						var wg sync.WaitGroup
+						for g := 0; g < tenants; g++ {
+							wg.Add(1)
+							go func() {
+								defer wg.Done()
+								if _, err := s.ParallelFor(kernel, n); err != nil {
+									b.Error(err)
+								}
+							}()
+						}
+						wg.Wait()
+					}
+					b.StopTimer()
+					decisions := float64(tenants) * float64(b.N)
+					b.ReportMetric(decisions/b.Elapsed().Seconds(), "decisions/s")
+				})
+			}
 		}
 	}
 }

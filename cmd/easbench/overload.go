@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -72,6 +73,30 @@ type overloadResult struct {
 	WallMS         float64                 `json:"wall_ms"`
 	Classes        map[string]classSummary `json:"classes"`
 	Admission      eas.AdmissionStats      `json:"admission"`
+	Mem            memSummary              `json:"mem"`
+}
+
+// memSummary snapshots the process's allocation behaviour at the end of
+// the soak (runtime.MemStats), so the artifact tracks GC pressure
+// alongside the latency percentiles run over run.
+type memSummary struct {
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	NumGC           uint32 `json:"num_gc"`
+	GCPauseTotalNS  uint64 `json:"gc_pause_total_ns"`
+}
+
+func readMemSummary() memSummary {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memSummary{
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		NumGC:           ms.NumGC,
+		GCPauseTotalNS:  ms.PauseTotalNs,
+	}
 }
 
 // runOverload drives the open-loop soak and, with cfg.Assert, returns
@@ -263,6 +288,7 @@ func runOverload(cfg overloadConfig, observer *eas.Observer) error {
 		ShedByReason:        map[string]int{},
 		Classes:             map[string]classSummary{},
 		Admission:           rt.AdmissionStats(),
+		Mem:                 readMemSummary(),
 	}
 	latencies := map[eas.Class][]time.Duration{}
 	mu.Lock()

@@ -85,6 +85,7 @@ func main() {
 		fmt.Printf("%s  (R² = %.4f)\n", key, curve.R2)
 		fmt.Printf("  y = %s\n", curve.Poly().String())
 		s := trace.NewSeries("P(α) "+key, "W")
+		s.Grow(len(curve.Samples))
 		for _, pt := range curve.Samples {
 			// Map α∈[0,1] onto a nominal time axis so the trace
 			// renderer can draw the sweep. Sample order comes from the

@@ -158,6 +158,15 @@ type Config struct {
 	// One Observer may be shared by several Runtimes. Nil — the default —
 	// disables all instrumentation at zero cost on the scheduling path.
 	Observer *Observer
+	// Reuse enables the steady-state memory-reuse arena: Reports,
+	// decision-audit records, and their α-grid buffers are pooled and
+	// recycled across invocations instead of allocated fresh, cutting
+	// steady-state allocation (and hence GC pressure) on the hot path.
+	// Callers may return finished Reports with Runtime.ReleaseReport; a
+	// released Report must not be read afterwards. The zero value keeps
+	// the historical allocate-per-invocation behaviour, byte-identical
+	// to earlier releases. See DESIGN.md §14 for the ownership rules.
+	Reuse bool
 }
 
 // Robustness tunes how skeptically the runtime treats its sensors.
@@ -288,6 +297,33 @@ type Runtime struct {
 	obsv      *obs.Observer
 	invSeq    atomic.Uint64 // invocation ids when no observer is attached
 	closeOnce sync.Once
+	reuse     bool      // Config.Reuse: pool Reports across invocations
+	reports   sync.Pool // holds *Report when reuse is on
+}
+
+// getReport returns the Report an invocation will fill in: recycled
+// from the pool under Config.Reuse (the caller overwrites every field),
+// freshly allocated otherwise.
+func (r *Runtime) getReport() *Report {
+	if r.reuse {
+		if rep, _ := r.reports.Get().(*Report); rep != nil {
+			r.obsv.RecordPoolReuse()
+			return rep
+		}
+	}
+	return new(Report)
+}
+
+// ReleaseReport returns a finished Report to the runtime's pool so a
+// later invocation can reuse it. Call it only once per Report and only
+// when no reference into it survives — a released Report is overwritten
+// by a future invocation. Without Config.Reuse it is a no-op, so
+// callers may release unconditionally.
+func (r *Runtime) ReleaseReport(rep *Report) {
+	if !r.reuse || rep == nil {
+		return
+	}
+	r.reports.Put(rep)
 }
 
 // nextInvocation allocates this invocation's id: from the shared
@@ -366,6 +402,7 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 		TableTTL:             cfg.Decision.TableTTL,
 		MinConfidence:        cfg.Decision.MinConfidence,
 		ShardGatePerDevice:   cfg.Decision.ShardPerDevice,
+		Reuse:                cfg.Reuse,
 	})
 	if err != nil {
 		return nil, err
@@ -390,6 +427,7 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 		robustOn:  cfg.Robustness.Meter || cfg.Robustness.ValidateProfiles,
 		breakerOn: cfg.BreakerThreshold > 0,
 		obsv:      cfg.Observer.internal(),
+		reuse:     cfg.Reuse,
 	}
 	cfg.Observer.registerRuntimeCollectors(rt)
 	return rt, nil
@@ -465,7 +503,8 @@ func (r *Runtime) ParallelForCtx(ctx context.Context, k Kernel, n int) (*Report,
 		}
 		return nil, err
 	}
-	out := &Report{
+	out := r.getReport()
+	*out = Report{
 		InvocationID:    inv,
 		Started:         started,
 		CPUEnergyJ:      rep.CPUEnergyJ,

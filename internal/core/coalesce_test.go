@@ -49,6 +49,9 @@ func TestDecisionZeroKnobsByteIdentical(t *testing.T) {
 		"coalesce":  {CoalesceDecisions: true},
 		"fast-path": {TableTTL: time.Hour, MinConfidence: 2},
 		"sharded":   {ShardGatePerDevice: true},
+		// Reuse only changes where per-invocation state is allocated,
+		// never what the scheduler decides — reports must match exactly.
+		"reuse": {Reuse: true},
 	} {
 		if got := run(opts); !reflect.DeepEqual(got, legacy) {
 			t.Errorf("%s: serial reports diverged from legacy:\n got %+v\nwant %+v", name, got, legacy)

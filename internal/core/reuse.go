@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/hetsched/eas/internal/obs"
+)
+
+// reuseState is the scheduler's per-invocation state arena, enabled by
+// Options.Reuse. It pools the decision-audit obs.Explain records (and
+// the α-grid buffers inside them) that the enabled-observer path would
+// otherwise allocate fresh on every profiled decision, and wires the
+// observer's ring sink to return them when their span is evicted.
+//
+// Ownership invariants (see DESIGN.md §14):
+//   - An Explain belongs to exactly one owner at a time: the scheduler
+//     between getExplain and EndExplain, the sink after emission, the
+//     pool after eviction.
+//   - Only a sink that owns its spans' lifetime (RingSink) refills the
+//     pool; with any other sink the pool stays empty and getExplain
+//     degrades to plain allocation — never incorrect, just unpooled.
+//   - RingSink.Snapshot deep-copies Explains while recycling is on, so
+//     snapshot holders never alias a recycled buffer.
+type reuseState struct {
+	explains sync.Pool // holds *obs.Explain with retained Grid capacity
+	obsv     *obs.Observer
+}
+
+func newReuseState(o *obs.Observer) *reuseState {
+	r := &reuseState{obsv: o}
+	if o.Enabled() {
+		o.SetExplainRecycler(r.putExplain)
+	}
+	return r
+}
+
+// getExplain returns an Explain whose Grid has length 0 and capacity of
+// at least gridCap, reusing a recycled record when one is available.
+// All other fields are zeroed. Nil-receiver-safe: without Reuse the
+// caller allocates directly.
+func (r *reuseState) getExplain(gridCap int) *obs.Explain {
+	if r == nil {
+		return &obs.Explain{Grid: make([]obs.GridPoint, 0, gridCap)}
+	}
+	if e, _ := r.explains.Get().(*obs.Explain); e != nil {
+		grid := e.Grid[:0]
+		if cap(grid) < gridCap {
+			grid = make([]obs.GridPoint, 0, gridCap)
+		}
+		*e = obs.Explain{Grid: grid}
+		r.obsv.RecordPoolReuse()
+		return e
+	}
+	return &obs.Explain{Grid: make([]obs.GridPoint, 0, gridCap)}
+}
+
+// putExplain accepts an Explain the sink evicted. The record and its
+// Grid are owned scratch from here on.
+func (r *reuseState) putExplain(e *obs.Explain) {
+	if r == nil || e == nil {
+		return
+	}
+	r.explains.Put(e)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"github.com/hetsched/eas/internal/metrics"
+	"github.com/hetsched/eas/internal/obs"
+)
+
+// TestEnabledObserverAllocBudget pins the steady-state allocation cost
+// of the enabled-observer path, complementing TestNilObserverZeroAlloc:
+// with a ring-sink observer attached, a warm invocation (kernel
+// profiled, α cached) must stay within two heap allocations — the span
+// tree the sink retains. Anything above that means an attribute slice
+// or scratch buffer escaped onto the hot path.
+func TestEnabledObserverAllocBudget(t *testing.T) {
+	for _, reuse := range []bool{false, true} {
+		o := obs.New(obs.NewRingSink(64), obs.NewRegistry())
+		s := newEAS(t, metrics.EDP, Options{Observer: o, Reuse: reuse})
+		k := memKernel()
+		if _, err := s.ParallelFor(k, 200000); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			if _, err := s.ParallelFor(k, 200000); err != nil {
+				t.Fatal(err)
+			}
+		}); n > 2 {
+			t.Errorf("reuse=%v: steady-state ParallelFor with enabled observer allocates %.1f objects/op, want <= 2", reuse, n)
+		}
+	}
+}
+
+// TestCoalescedPathZeroAlloc pins the coalesced decision path's
+// steady state to zero allocations per invocation, with and without
+// the reuse arena: once a kernel's decision is cached, followers and
+// solo repeats alike must not allocate.
+func TestCoalescedPathZeroAlloc(t *testing.T) {
+	for _, reuse := range []bool{false, true} {
+		s := newEAS(t, metrics.EDP, Options{CoalesceDecisions: true, Reuse: reuse})
+		k := memKernel()
+		if _, err := s.ParallelFor(k, 200000); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			if _, err := s.ParallelFor(k, 200000); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("reuse=%v: steady-state coalesced ParallelFor allocates %.1f objects/op, want 0", reuse, n)
+		}
+	}
+}
+
+// TestReuseRecyclesExplains drives the reprofile-every-invocation path
+// (each invocation emits a decision-audit Explain with its α grid) long
+// enough to wrap a small ring sink, and asserts the arena actually
+// recycles: the eas_pool_reuse_total counter must advance, and the
+// audit record of the latest span must still carry a populated grid —
+// recycled buffers are reused, never handed out dirty or lost.
+func TestReuseRecyclesExplains(t *testing.T) {
+	reg := obs.NewRegistry()
+	ring := obs.NewRingSink(8)
+	o := obs.New(ring, reg)
+	s := newEAS(t, metrics.EDP, Options{Observer: o, Reuse: true, ReprofileEvery: 1})
+	k := memKernel()
+	for i := 0; i < 64; i++ {
+		if _, err := s.ParallelFor(k, 200000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?m)^eas_pool_reuse_total (\S+)$`).FindSubmatch(buf.Bytes())
+	if m == nil {
+		t.Fatalf("eas_pool_reuse_total not exported:\n%s", buf.String())
+	}
+	reused, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused <= 0 {
+		t.Errorf("eas_pool_reuse_total = %v after wrapping the ring 8x, want > 0", reused)
+	}
+	spans := ring.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("ring snapshot empty")
+	}
+	// The audit record rides on the α-search span; find the newest one.
+	found := false
+	for i := len(spans) - 1; i >= 0 && !found; i-- {
+		if ex := spans[i].Explain; ex != nil {
+			found = true
+			if len(ex.Grid) == 0 {
+				t.Errorf("retained Explain has an empty grid: %+v", ex)
+			}
+		}
+	}
+	if !found {
+		t.Error("no span in the ring carries an Explain despite per-invocation reprofiling")
+	}
+}

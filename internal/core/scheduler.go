@@ -130,6 +130,14 @@ type Options struct {
 	// path allocates nothing. A pointer keeps Options comparable.
 	Observer *obs.Observer
 
+	// Reuse pools per-invocation state: decision-audit Explain records
+	// and their α-grid buffers are drawn from a sync.Pool and recycled
+	// when the observer's ring sink evicts the span that owns them.
+	// Scheduling decisions, reports, and observer payloads are
+	// unaffected — only allocation behaviour changes; the zero value
+	// keeps the historical allocate-per-decision behaviour.
+	Reuse bool
+
 	// Overload-resilience knobs (tiered.go). With every field zero the
 	// gate is the legacy fair FIFO, byte-identical and allocation-free;
 	// any nonzero field (or AdmissionTiered) switches the gate to the
@@ -323,6 +331,16 @@ type Scheduler struct {
 	adm    Admission   // serializes invocations onto the engine
 	table  *alphaTable // the paper's global table G
 
+	// curves is the model's curve set resolved to a dense array at
+	// construction, so hot-path curve lookups are an index instead of a
+	// map probe on a freshly built key string.
+	curves  [wclass.NumCategories]powerchar.Curve
+	curveOK [wclass.NumCategories]bool
+
+	// reuse holds the pooled per-invocation state enabled by
+	// Options.Reuse (nil otherwise).
+	reuse *reuseState
+
 	// Telemetry-robustness state (nil / zero when the knobs are off).
 	rmeter  *robust.EnergyMeter // robust package-energy reader
 	breaker *robust.Breaker     // GPU circuit breaker
@@ -357,6 +375,10 @@ func New(eng *engine.Engine, model *powerchar.Model, metric metrics.Metric, opts
 		metric: metric,
 		opts:   opts.withDefaults(),
 		table:  newAlphaTable(),
+	}
+	s.curves, s.curveOK = model.CurveTable()
+	if s.opts.Reuse {
+		s.reuse = newReuseState(s.opts.Observer)
 	}
 	s.breaker = robust.NewBreaker(s.opts.BreakerThreshold, s.opts.BreakerProbeAfter)
 	spec := eng.Platform().Spec()
@@ -439,6 +461,14 @@ func (s *Scheduler) Breaker() *robust.Breaker { return s.breaker }
 
 // Metric returns the objective the scheduler optimizes.
 func (s *Scheduler) Metric() metrics.Metric { return s.metric }
+
+// curve returns the characterization curve for a category from the
+// dense table resolved at construction — an array index instead of
+// building a key string and probing the model's map on every decision.
+func (s *Scheduler) curve(cat wclass.Category) (powerchar.Curve, bool) {
+	i := cat.Index()
+	return s.curves[i], s.curveOK[i]
+}
 
 // Alpha returns the accumulated offload ratio remembered for a kernel,
 // with ok=false for never-seen kernels. It is safe to call from any
@@ -525,18 +555,41 @@ func (s *Scheduler) ParallelForScoped(ctx context.Context, k engine.Kernel, n in
 	if n <= 0 {
 		return Report{}, fmt.Errorf("core: non-positive iteration count %d for kernel %q", n, k.Name)
 	}
+	// Resolve the kernel's interned table entry once; every table touch
+	// on the invocation's hot path is a pointer dereference from here on.
+	ent := s.table.intern(k.Name)
 	var plan invPlan
 	if s.coal != nil {
 		var err error
-		if plan, err = s.joinCoalesce(ctx, k, n, sc); err != nil {
+		if plan, err = s.joinCoalesce(ctx, k, n, sc, ent); err != nil {
 			return Report{}, err
+		}
+		if plan.flight != nil {
+			// This invocation leads a coalesced flight and must resolve
+			// it exactly once, on every exit — including a cancelled
+			// admission Acquire or a tiered-gate shed that never reaches
+			// the decision body. Publishing happens inline at the
+			// decision points in parallelFor; any other exit reaches
+			// this deferred abort, which sends the flight's followers to
+			// solo decisions. The flight only leaves the map here, after
+			// the table is updated, so a late same-kernel arrival shares
+			// the decision instead of profiling again.
+			defer func() {
+				if plan.flight.abort() {
+					s.coal.recordAbort()
+					if o := s.opts.Observer; o.Enabled() {
+						o.RecordCoalesceAbort()
+					}
+				}
+				s.coal.finish(k.Name, plan.flight)
+			}()
 		}
 	}
 	if s.gates != nil {
-		return s.parallelForSharded(ctx, k, n, sc, plan)
+		return s.parallelForSharded(ctx, k, n, sc, plan, ent)
 	}
 	if s.adm.t != nil {
-		return s.parallelForTiered(ctx, k, n, sc, plan)
+		return s.parallelForTiered(ctx, k, n, sc, plan, ent)
 	}
 	if sc.Enabled() {
 		wait := sc.Span("admission-wait")
@@ -549,7 +602,7 @@ func (s *Scheduler) ParallelForScoped(ctx context.Context, k engine.Kernel, n in
 		return Report{}, err
 	}
 	defer s.adm.Release()
-	return s.runAdmitted(k, n, sc, plan)
+	return s.runAdmitted(k, n, sc, plan, ent)
 }
 
 // joinCoalesce decides this invocation's role in the decision
@@ -560,8 +613,8 @@ func (s *Scheduler) ParallelForScoped(ctx context.Context, k engine.Kernel, n in
 // *before* queueing at the admission gate (the leader holds the gate
 // for its whole invocation, so waiting after Acquire would deadlock),
 // until the leader publishes or aborts.
-func (s *Scheduler) joinCoalesce(ctx context.Context, k engine.Kernel, n int, sc obs.Scope) (invPlan, error) {
-	if float64(n) < float64(s.eng.Platform().GPUProfileSize()) || !s.wouldProfile(k.Name) {
+func (s *Scheduler) joinCoalesce(ctx context.Context, k engine.Kernel, n int, sc obs.Scope, ent *kernelEntry) (invPlan, error) {
+	if float64(n) < float64(s.eng.Platform().GPUProfileSize()) || !s.wouldProfile(ent) {
 		return invPlan{}, nil
 	}
 	f, leader := s.coal.join(k.Name)
@@ -608,9 +661,9 @@ func (s *Scheduler) joinCoalesce(ctx context.Context, k engine.Kernel, n int, sc
 // pre-checks. It may race with a concurrent accumulate; a stale answer
 // only costs a redundant flight or a conservative mask, never
 // correctness.
-func (s *Scheduler) wouldProfile(name string) bool {
-	rec, ok := s.table.lookup(name)
-	if !ok || !rec.profiled || rec.reprofile {
+func (s *Scheduler) wouldProfile(ent *kernelEntry) bool {
+	var rec record
+	if !ent.snapshot(&rec) || !rec.profiled || rec.reprofile {
 		return true
 	}
 	if s.tableStale(rec) {
@@ -643,8 +696,8 @@ func (s *Scheduler) fastFresh(rec record) bool {
 // per-device sharded gate: the invocation claims only the devices its
 // conservative pre-admission estimate says it needs, so disjoint
 // invocations overlap.
-func (s *Scheduler) parallelForSharded(ctx context.Context, k engine.Kernel, n int, sc obs.Scope, plan invPlan) (Report, error) {
-	mask := s.deviceMaskFor(k, n, plan)
+func (s *Scheduler) parallelForSharded(ctx context.Context, k engine.Kernel, n int, sc obs.Scope, plan invPlan, ent *kernelEntry) (Report, error) {
+	mask := s.deviceMaskFor(k, n, plan, ent)
 	if sc.Enabled() {
 		wait := sc.Span("admission-wait")
 		if err := s.gates.Acquire(ctx, mask); err != nil {
@@ -656,7 +709,7 @@ func (s *Scheduler) parallelForSharded(ctx context.Context, k engine.Kernel, n i
 		return Report{}, err
 	}
 	defer s.gates.Release(mask)
-	return s.runAdmitted(k, n, sc, plan)
+	return s.runAdmitted(k, n, sc, plan, ent)
 }
 
 // deviceMaskFor estimates which devices an invocation will drive,
@@ -665,7 +718,7 @@ func (s *Scheduler) parallelForSharded(ctx context.Context, k engine.Kernel, n i
 // small-N CPU-only run, or a replayed α pinned at exactly 0 or 1;
 // anything that will (or might) profile claims both devices. The mask
 // is conservative, not a contract: see DeviceGates.
-func (s *Scheduler) deviceMaskFor(k engine.Kernel, n int, plan invPlan) DeviceMask {
+func (s *Scheduler) deviceMaskFor(k engine.Kernel, n int, plan invPlan, ent *kernelEntry) DeviceMask {
 	var alpha float64
 	switch {
 	case plan.flight != nil:
@@ -676,8 +729,8 @@ func (s *Scheduler) deviceMaskFor(k engine.Kernel, n int, plan invPlan) DeviceMa
 		if float64(n) < float64(s.eng.Platform().GPUProfileSize()) {
 			return DeviceCPU
 		}
-		rec, ok := s.table.lookup(k.Name)
-		if !ok || !rec.profiled || s.wouldProfile(k.Name) {
+		var rec record
+		if !ent.snapshot(&rec) || !rec.profiled || s.wouldProfile(ent) {
 			return DeviceAll
 		}
 		alpha = rec.alpha
@@ -698,7 +751,7 @@ func (s *Scheduler) deviceMaskFor(k engine.Kernel, n int, plan invPlan) DeviceMa
 // supervision — a force-released invocation returns
 // ErrAdmissionRevoked instead of its report, because a revoked gate
 // means another tenant may have driven the engine concurrently.
-func (s *Scheduler) parallelForTiered(ctx context.Context, k engine.Kernel, n int, sc obs.Scope, plan invPlan) (Report, error) {
+func (s *Scheduler) parallelForTiered(ctx context.Context, k engine.Kernel, n int, sc obs.Scope, plan invPlan, ent *kernelEntry) (Report, error) {
 	req := RequestFromContext(ctx)
 	runCtx := ctx
 	var cancel context.CancelFunc
@@ -742,7 +795,7 @@ func (s *Scheduler) parallelForTiered(ctx context.Context, k engine.Kernel, n in
 	if s.adm.Revoked(ticket) {
 		return Report{}, ErrAdmissionRevoked
 	}
-	rep, err := s.runAdmitted(k, n, sc, plan)
+	rep, err := s.runAdmitted(k, n, sc, plan, ent)
 	if err != nil {
 		return Report{}, err
 	}
@@ -755,7 +808,7 @@ func (s *Scheduler) parallelForTiered(ctx context.Context, k engine.Kernel, n in
 // runAdmitted is the admission critical section shared by the legacy
 // and tiered gates: the caller holds the gate; energy meters span the
 // whole invocation so the deltas belong to this tenant alone.
-func (s *Scheduler) runAdmitted(k engine.Kernel, n int, sc obs.Scope, plan invPlan) (Report, error) {
+func (s *Scheduler) runAdmitted(k engine.Kernel, n int, sc obs.Scope, plan invPlan, ent *kernelEntry) (Report, error) {
 	// The per-domain RAPL meters span the whole invocation; they live
 	// inside the critical section so the deltas belong to this tenant
 	// alone.
@@ -771,7 +824,7 @@ func (s *Scheduler) runAdmitted(k engine.Kernel, n int, sc obs.Scope, plan invPl
 		pre = s.rmeter.Stats()
 		s.invPredW = 0
 	}
-	rep, err := s.parallelFor(k, n, sc, plan)
+	rep, err := s.parallelFor(k, n, sc, plan, ent)
 	if err != nil {
 		return Report{}, err
 	}
@@ -799,26 +852,9 @@ func (s *Scheduler) runAdmitted(k engine.Kernel, n int, sc obs.Scope, plan invPl
 
 // parallelFor is the EAS algorithm proper; the caller holds the
 // admission gate.
-func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPlan) (Report, error) {
-	if plan.flight != nil {
-		// This invocation leads a coalesced flight and must resolve it
-		// exactly once. Publishing happens inline at the decision points
-		// below; every other exit — error, fallback, quarantine,
-		// injected leader failure — reaches this deferred abort, which
-		// sends the flight's followers to solo decisions. The flight
-		// only leaves the map here, after the table is updated, so a
-		// late same-kernel arrival shares the decision instead of
-		// profiling again.
-		defer func() {
-			if plan.flight.abort() {
-				s.coal.recordAbort()
-				if o := s.opts.Observer; o.Enabled() {
-					o.RecordCoalesceAbort()
-				}
-			}
-			s.coal.finish(k.Name, plan.flight)
-		}()
-	}
+func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPlan, ent *kernelEntry) (Report, error) {
+	// A flight-leading plan is resolved by ParallelForScoped's deferred
+	// abort/finish, which also covers exits that never reach this body.
 	// GPU owned by another application (the A26 check): CPU-only run,
 	// nothing recorded. The breaker counts it like any other
 	// GPU-unavailable fallback.
@@ -833,7 +869,8 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 	}
 
 	profileSize := float64(s.eng.Platform().GPUProfileSize())
-	rec, ok := s.table.lookup(k.Name)
+	var rec record
+	ok := ent.snapshot(&rec)
 	known := ok && rec.profiled
 
 	// Too little parallelism to fill the GPU: multi-core CPU alone
@@ -896,7 +933,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 		rep.PredictedPower = dec.PredictedPower
 		rep.PredictedTime = dec.PredictedTime
 		if s.rmeter != nil {
-			if curve, ok := s.model.Curve(dec.Category); ok {
+			if curve, ok := s.curve(dec.Category); ok {
 				s.invPredW = curve.Power(dec.Alpha)
 			}
 		}
@@ -905,7 +942,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 		alpha = rec.alpha
 		rep.Category = rec.category
 		if s.rmeter != nil {
-			if curve, ok := s.model.Curve(rec.category); ok {
+			if curve, ok := s.curve(rec.category); ok {
 				s.invPredW = curve.Power(rec.alpha)
 			}
 		}
@@ -1000,7 +1037,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 				if sc.Enabled() {
 					sc.Event("profile-quarantined", obs.Str("cause", qerr.Error()))
 				}
-				s.table.markReprofile(k.Name)
+				ent.markReprofile()
 				if known {
 					alpha = rec.alpha
 					rep.Category = rec.category
@@ -1012,7 +1049,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 		}
 		if !quarantined {
 			rep.Category = acc.ClassifyWith(nrem, s.opts.ShortLongThreshold, s.opts.MemoryBoundThreshold)
-			curve, ok := s.model.Curve(rep.Category)
+			curve, ok := s.curve(rep.Category)
 			if !ok {
 				return Report{}, fmt.Errorf("core: characterization has no curve for %s", rep.Category)
 			}
@@ -1028,7 +1065,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 			if searchN < float64(n)/2 {
 				searchN = float64(n) / 2
 				rep.Category = acc.ClassifyWith(searchN, s.opts.ShortLongThreshold, s.opts.MemoryBoundThreshold)
-				curve, ok = s.model.Curve(rep.Category)
+				curve, ok = s.curve(rep.Category)
 				if !ok {
 					return Report{}, fmt.Errorf("core: characterization has no curve for %s", rep.Category)
 				}
@@ -1113,7 +1150,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 	// Fig. 7 step 26: sample-weighted α accumulation across
 	// invocations. A quarantined profile never reaches the table.
 	if !quarantined {
-		s.table.accumulate(k.Name, alpha, float64(n), rep.Category, s.opts.CategoryHysteresis)
+		ent.accumulate(alpha, float64(n), rep.Category, s.opts.CategoryHysteresis)
 	}
 	return rep, nil
 }
@@ -1185,23 +1222,24 @@ func (s *Scheduler) explain(curve powerchar.Curve, tm TimeModel, searchN, alpha 
 	if steps < 1 {
 		steps = 1
 	}
-	grid := make([]obs.GridPoint, 0, steps+1)
+	// The grid buffer comes from the reuse pool when Options.Reuse is
+	// on (recycled by the observer's ring sink at span eviction);
+	// otherwise it is a fresh allocation, as it always was.
+	ex := s.reuse.getExplain(steps + 1)
 	for i := 0; i <= steps; i++ {
 		a := float64(i) / float64(steps)
-		grid = append(grid, obs.GridPoint{Alpha: a, Objective: obj(a)})
+		ex.Grid = append(ex.Grid, obs.GridPoint{Alpha: a, Objective: obj(a)})
 	}
-	return &obs.Explain{
-		RC:       tm.RC,
-		RG:       tm.RG,
-		Category: cat.Key(),
-		CurveID: fmt.Sprintf("%s~deg%d(r2=%.3f)",
-			curve.Category.Key(), len(curve.Coeffs)-1, curve.R2),
-		AlphaStep: s.opts.AlphaStep,
-		Grid:      grid,
-		Alpha:     alpha,
-		Objective: obj(alpha),
-		Refined:   s.opts.RefineAlpha,
-	}
+	ex.RC = tm.RC
+	ex.RG = tm.RG
+	ex.Category = cat.Key()
+	ex.CurveID = fmt.Sprintf("%s~deg%d(r2=%.3f)",
+		curve.Category.Key(), len(curve.Coeffs)-1, curve.R2)
+	ex.AlphaStep = s.opts.AlphaStep
+	ex.Alpha = alpha
+	ex.Objective = obj(alpha)
+	ex.Refined = s.opts.RefineAlpha
+	return ex
 }
 
 // within reports whether a and b agree within relative tolerance tol.

@@ -16,23 +16,38 @@ const tableShards = 16
 // alphaTable is the concurrency-safe global table G: the per-kernel
 // state the runtime remembers across invocations. It is sharded by
 // kernel name so concurrent invocations of distinct kernels never
-// contend on one lock, and records are stored by value so a lookup
-// returns an immutable snapshot (copy-on-read) — readers never observe
-// a record mid-update, and -race stays silent however many goroutines
-// consult the table while an invocation accumulates into it.
+// contend on one lock. Entries are interned: an invocation resolves
+// its kernel's *kernelEntry once (one map probe, one string hash) and
+// every subsequent table touch — the would-profile pre-check, the
+// decision lookup, the accumulate — is a pointer dereference under the
+// entry's own lock. Reads copy the record into caller-owned scratch
+// (copy-on-read), so readers never observe a record mid-update and
+// -race stays silent however many goroutines consult the table while
+// an invocation accumulates into it.
 type alphaTable struct {
 	shards [tableShards]tableShard
 }
 
 type tableShard struct {
 	mu sync.RWMutex
-	m  map[string]record
+	m  map[string]*kernelEntry
+}
+
+// kernelEntry is one interned slot of the table. present distinguishes
+// a slot that has accumulated at least one recorded invocation from one
+// that was merely interned by an invocation that never recorded
+// (small-N runs, fallbacks) — the latter reads as "never seen", exactly
+// like a missing map key did before interning.
+type kernelEntry struct {
+	mu      sync.RWMutex
+	present bool
+	rec     record
 }
 
 func newAlphaTable() *alphaTable {
 	t := &alphaTable{}
 	for i := range t.shards {
-		t.shards[i].m = make(map[string]record)
+		t.shards[i].m = make(map[string]*kernelEntry)
 	}
 	return t
 }
@@ -48,26 +63,62 @@ func (t *alphaTable) shard(name string) *tableShard {
 	return &t.shards[h%tableShards]
 }
 
-// lookup returns a snapshot of the kernel's record. The snapshot is a
-// copy: mutating it does not touch the table.
+// intern resolves (creating if needed) the kernel's entry. Invocations
+// call it once up front and use the entry for every table access on
+// their hot path.
+func (t *alphaTable) intern(name string) *kernelEntry {
+	s := t.shard(name)
+	s.mu.RLock()
+	e := s.m[name]
+	s.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	s.mu.Lock()
+	if e = s.m[name]; e == nil {
+		e = &kernelEntry{}
+		s.m[name] = e
+	}
+	s.mu.Unlock()
+	return e
+}
+
+// lookup returns a snapshot of the kernel's record without creating an
+// entry. The snapshot is a copy: mutating it does not touch the table.
 func (t *alphaTable) lookup(name string) (record, bool) {
 	s := t.shard(name)
 	s.mu.RLock()
-	rec, ok := s.m[name]
+	e := s.m[name]
 	s.mu.RUnlock()
+	if e == nil {
+		return record{}, false
+	}
+	var rec record
+	ok := e.snapshot(&rec)
 	return rec, ok
+}
+
+// snapshot copies the entry's record into dst and reports whether a
+// recorded invocation has ever landed. dst is caller-owned scratch —
+// typically a stack variable — so steady-state reads allocate nothing.
+func (e *kernelEntry) snapshot(dst *record) bool {
+	e.mu.RLock()
+	*dst = e.rec
+	ok := e.present
+	e.mu.RUnlock()
+	return ok
 }
 
 // accumulate folds one recorded invocation into the kernel's record —
 // the paper's Fig. 7 step 26 sample-weighted α accumulation — atomically
-// with respect to concurrent lookups and accumulations.
+// with respect to concurrent snapshots and accumulations.
 //
 // hysteresis ≥ 2 enables classification hysteresis: the remembered
 // category flips only after that many consecutive recorded profiles
 // disagree with it the same way, so one noisy profile cannot whipsaw
 // the power curve future invocations replay. hysteresis ≤ 1 keeps the
 // historical last-writer-wins behaviour.
-func (t *alphaTable) accumulate(name string, alpha, items float64, cat wclass.Category, hysteresis int) {
+func (e *kernelEntry) accumulate(alpha, items float64, cat wclass.Category, hysteresis int) {
 	// A record backed by zero samples must never land: an items <= 0 (or
 	// NaN) observation carries no evidence, yet would still create or
 	// touch a record with profiled=true — and the fast path would then
@@ -76,14 +127,14 @@ func (t *alphaTable) accumulate(name string, alpha, items float64, cat wclass.Ca
 	if !(items > 0) || math.IsNaN(alpha) {
 		return
 	}
-	s := t.shard(name)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.m[name]
-	if !ok {
-		s.m[name] = record{alpha: alpha, weight: items, category: cat, invocations: 1, profiled: true, updatedAt: time.Now()}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.present {
+		e.rec = record{alpha: alpha, weight: items, category: cat, invocations: 1, profiled: true, updatedAt: time.Now()}
+		e.present = true
 		return
 	}
+	rec := &e.rec
 	total := rec.weight + items
 	if total > 0 {
 		rec.alpha = (rec.alpha*rec.weight + alpha*items) / total
@@ -111,33 +162,45 @@ func (t *alphaTable) accumulate(name string, alpha, items float64, cat wclass.Ca
 	rec.invocations++
 	rec.profiled = true
 	rec.reprofile = false
-	s.m[name] = rec
 }
 
 // markReprofile flags a kernel whose latest profile was quarantined:
 // the record's accumulated state stays untouched (the bad observation
 // never lands), but the next invocation profiles again instead of
-// replaying a possibly stale α. Unknown kernels need no flag — they
-// profile on first sight anyway.
-func (t *alphaTable) markReprofile(name string) {
-	s := t.shard(name)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.m[name]
-	if !ok {
-		return
+// replaying a possibly stale α. Never-recorded kernels need no flag —
+// they profile on first sight anyway.
+func (e *kernelEntry) markReprofile() {
+	e.mu.Lock()
+	if e.present {
+		e.rec.reprofile = true
 	}
-	rec.reprofile = true
-	s.m[name] = rec
+	e.mu.Unlock()
 }
 
-// Len returns the number of kernels the table remembers.
+// accumulate folds one recorded invocation into the named kernel's
+// record, interning the entry if needed — the by-name entry point for
+// cold callers and tests; the invocation hot path uses the interned
+// entry's method directly.
+func (t *alphaTable) accumulate(name string, alpha, items float64, cat wclass.Category, hysteresis int) {
+	t.intern(name).accumulate(alpha, items, cat, hysteresis)
+}
+
+// Len returns the number of kernels the table remembers — entries with
+// at least one recorded invocation; interned-but-never-recorded slots
+// do not count.
 func (t *alphaTable) Len() int {
 	n := 0
 	for i := range t.shards {
-		t.shards[i].mu.RLock()
-		n += len(t.shards[i].m)
-		t.shards[i].mu.RUnlock()
+		s := &t.shards[i]
+		s.mu.RLock()
+		for _, e := range s.m {
+			e.mu.RLock()
+			if e.present {
+				n++
+			}
+			e.mu.RUnlock()
+		}
+		s.mu.RUnlock()
 	}
 	return n
 }

@@ -109,7 +109,83 @@ func BestAlpha(curve powerchar.Curve, tm TimeModel, n float64, metric metrics.Me
 		step = 0.1
 	}
 	steps := int(math.Round(1 / step))
-	return vmath.GridMin(Objective(curve, tm, n, metric), 0, 1, steps)
+	return gridMinAlpha(curve, tm, n, metric, steps)
+}
+
+// gridMinAlpha is vmath.GridMin over Objective(curve, tm, n, metric) on
+// [0, 1] with the per-point invariants hoisted out of the loop: the
+// throughput sum, αPERF, the curve's coefficient slice, and the
+// metric's standard-form exponent. Every floating-point operation that
+// remains matches the closure-based evaluation in order and operand, so
+// the returned (argmin, minval) pair is bit-identical to
+// vmath.GridMin(Objective(...), 0, 1, steps) — pinned by
+// TestGridMinAlphaMatchesObjective. This is the scheduler's per-decision
+// search; the hoisting roughly halves its cost at fine grids.
+func gridMinAlpha(curve powerchar.Curve, tm TimeModel, n float64, metric metrics.Metric, steps int) (argmin, minval float64) {
+	if steps < 1 {
+		steps = 1
+	}
+	rc, rg := tm.RC, tm.RG
+	sum := rc + rg
+	alphaPerf := tm.AlphaPerf()
+	coeffs := curve.Coeffs
+	kind := metric.TimeExponent()
+	inf := math.Inf(1)
+	argmin = 0
+	minval = inf
+	for i := 0; i <= steps; i++ {
+		// GridMin's abscissa: lo + (hi-lo)·i/steps with lo=0, hi=1.
+		// Adding 0 and scaling by 1 are exact, so plain i/steps is the
+		// identical float64, and x ∈ [0,1] makes Time's and Power's
+		// clamps the identity.
+		x := float64(i) / float64(steps)
+		var t float64
+		switch {
+		case n <= 0:
+			t = 0
+		case x > 0 && rg <= 0:
+			t = inf
+		case x < 1 && rc <= 0:
+			t = inf
+		default:
+			tcg := math.Min(safeDiv((1-x)*n, rc), safeDiv(x*n, rg))
+			rem := n - tcg*sum
+			switch {
+			case rem <= 0:
+				t = tcg
+			case x >= alphaPerf && rg > 0:
+				t = tcg + rem/rg
+			case rc > 0:
+				t = tcg + rem/rc
+			default:
+				t = tcg + safeDiv(rem, rg)
+			}
+		}
+		var v float64
+		if math.IsInf(t, 1) {
+			v = inf
+		} else {
+			p := 0.0
+			for j := len(coeffs) - 1; j >= 0; j-- {
+				p = p*x + coeffs[j]
+			}
+			switch kind {
+			case 1:
+				v = p * t
+			case 2:
+				v = p * t * t
+			case 3:
+				v = p * t * t * t
+			default:
+				v = metric.Eval(p, t)
+			}
+		}
+		if v < minval {
+			minval = v
+			argmin = x
+		}
+	}
+	return argmin, minval
 }
 
 // BestAlphaRefined is BestAlpha followed by a golden-section refinement
@@ -127,5 +203,16 @@ func BestAlphaRefined(curve powerchar.Curve, tm TimeModel, n float64, metric met
 		tol = 1e-3
 	}
 	steps := int(math.Round(1 / step))
-	return vmath.GridMinRefined(Objective(curve, tm, n, metric), 0, 1, steps, tol)
+	// vmath.GridMinRefined, with the coarse stage routed through the
+	// hoisted grid loop; the golden-section refinement is a handful of
+	// evaluations and keeps the closure.
+	coarse, cval := gridMinAlpha(curve, tm, n, metric, steps)
+	h := 1.0 / float64(steps)
+	a := math.Max(0, coarse-h)
+	b := math.Min(1, coarse+h)
+	rx, rv := vmath.GoldenMin(Objective(curve, tm, n, metric), a, b, tol)
+	if rv < cval {
+		return rx, rv
+	}
+	return coarse, cval
 }

@@ -365,6 +365,12 @@ func (e *Engine) RunIdle(d time.Duration, tr *trace.Set) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	tick := e.p.Spec().Tick
+	if tr != nil && tick > 0 {
+		// The recording grid is fixed (one sample per tick), so reserve
+		// the whole run's samples up front instead of growing ~log n
+		// times mid-loop.
+		tr.Grow(int((d + tick - 1) / tick))
+	}
 	for elapsed := time.Duration(0); elapsed < d; elapsed += tick {
 		step := tick
 		if rem := d - elapsed; rem < step {

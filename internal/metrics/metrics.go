@@ -11,6 +11,11 @@ import "fmt"
 type Metric struct {
 	name string
 	eval func(powerW, timeS float64) float64
+	// kind is the time exponent for the standard P·T^k metrics
+	// (1/2/3 for energy/EDP/ED²P), 0 for custom metrics. It lets the
+	// scheduler's α-search inline the standard objectives instead of
+	// calling through the eval pointer on every grid point.
+	kind uint8
 }
 
 // New builds a custom metric from a name and an evaluation function of
@@ -45,14 +50,22 @@ func (m Metric) String() string { return m.name }
 // Valid reports whether the metric is usable (constructed, not zero).
 func (m Metric) Valid() bool { return m.eval != nil }
 
+// TimeExponent reports the metric's time exponent k when the metric is
+// one of the standard P·T^k instances — 1 for Energy, 2 for EDP, 3 for
+// ED2P — and 0 for custom metrics. Fast evaluation paths may inline
+// P·T^k for nonzero exponents; the result is arithmetically identical
+// to Eval because the standard eval closures compute exactly p·t,
+// p·t·t, and p·t·t·t.
+func (m Metric) TimeExponent() int { return int(m.kind) }
+
 // Standard metrics.
 var (
 	// Energy is total energy use: E = P·T.
-	Energy = New("energy", func(p, t float64) float64 { return p * t })
+	Energy = Metric{name: "energy", eval: func(p, t float64) float64 { return p * t }, kind: 1}
 	// EDP is the energy-delay product: P·T².
-	EDP = New("edp", func(p, t float64) float64 { return p * t * t })
+	EDP = Metric{name: "edp", eval: func(p, t float64) float64 { return p * t * t }, kind: 2}
 	// ED2P is the energy-delay-squared product: P·T³.
-	ED2P = New("ed2p", func(p, t float64) float64 { return p * t * t * t })
+	ED2P = Metric{name: "ed2p", eval: func(p, t float64) float64 { return p * t * t * t }, kind: 3}
 )
 
 // ByName resolves a standard metric by name.

@@ -29,6 +29,7 @@
 package obs
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -140,6 +141,7 @@ type Observer struct {
 	coalesced     *Counter
 	fastPath      *Counter
 	coalesceAbort *Counter
+	poolReuse     *Counter
 }
 
 // Fallback reason keys the runtime reports (mirrors the public
@@ -202,13 +204,57 @@ func New(sink Sink, reg *Registry) *Observer {
 			"Invocations whose fresh, high-confidence α skipped a periodic re-profile."),
 		coalesceAbort: reg.Counter("eas_coalesce_aborts_total",
 			"Coalesced decision flights aborted by their leader (followers fell back to solo)."),
+		poolReuse: reg.Counter("eas_pool_reuse_total",
+			"Per-invocation state objects served from a reuse pool instead of the heap (Options.Reuse)."),
 	}
 	o.fallbacks = make(map[string]*Counter, len(fallbackReasons))
 	for _, r := range fallbackReasons {
 		o.fallbacks[r] = reg.Counter(`eas_fallbacks_total{reason="`+r+`"}`,
 			"Invocations that deviated from the planned split.")
 	}
+	// Runtime GC/memory health, read at scrape time only (ReadMemStats
+	// briefly stops the world, so it must never sit on the hot path).
+	gcPause := reg.Gauge("eas_gc_pause_ns",
+		"Cumulative GC stop-the-world pause time (runtime.MemStats.PauseTotalNs).")
+	heapAlloc := reg.Gauge("eas_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+	reg.RegisterCollector(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		gcPause.Set(float64(ms.PauseTotalNs))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+	})
 	return o
+}
+
+// RecordPoolReuse counts one per-invocation state object served from a
+// reuse pool instead of a fresh allocation (Options.Reuse).
+func (o *Observer) RecordPoolReuse() {
+	if o == nil {
+		return
+	}
+	o.poolReuse.Inc()
+}
+
+// explainRecycler is implemented by sinks that can return evicted
+// Explain records to a producer-owned pool (RingSink).
+type explainRecycler interface {
+	setExplainRecycler(func(*Explain))
+}
+
+// SetExplainRecycler asks the observer's sink to hand evicted spans'
+// Explain records to f instead of leaving them to the GC. Only sinks
+// that own their spans' lifetime (RingSink) support it; on any other
+// sink this is a no-op and the pool simply never gets refills, which is
+// safe — Get falls back to allocating. Callers (the scheduler's reuse
+// pool) must treat a recycled Explain and its Grid as owned scratch.
+func (o *Observer) SetExplainRecycler(f func(*Explain)) {
+	if o == nil || o.sink == nil {
+		return
+	}
+	if rs, ok := o.sink.(explainRecycler); ok {
+		rs.setExplainRecycler(f)
+	}
 }
 
 // Registry returns the observer's metrics registry (nil for a nil

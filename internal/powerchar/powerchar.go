@@ -76,6 +76,20 @@ func (m *Model) Curve(cat wclass.Category) (Curve, bool) {
 	return c, ok
 }
 
+// CurveTable returns the model's curves as a dense array indexed by
+// wclass.Category.Index, with a parallel presence mask. The scheduler
+// resolves this once at construction so hot-path curve lookups become
+// an array load instead of a map probe on a built key string.
+func (m *Model) CurveTable() (curves [wclass.NumCategories]Curve, ok [wclass.NumCategories]bool) {
+	for _, cat := range wclass.All() {
+		if c, have := m.Curves[cat.Key()]; have {
+			curves[cat.Index()] = c
+			ok[cat.Index()] = true
+		}
+	}
+	return curves, ok
+}
+
 // Power predicts average package power for a workload of the given
 // category at offload ratio alpha. It returns an error for categories
 // the model lacks (a malformed or truncated model file).
@@ -194,7 +208,7 @@ func CharacterizeCtx(ctx context.Context, spec platform.Spec, opts Options) (*Mo
 // accumulating loop the serial sweep always used, so the grid (and with
 // it every fitted coefficient) is bit-identical to historical models.
 func alphaGrid(step float64) []float64 {
-	var alphas []float64
+	alphas := make([]float64, 0, int(1/step)+2)
 	for alpha := 0.0; alpha <= 1.0+1e-9; alpha += step {
 		alphas = append(alphas, vmath.Clamp(alpha, 0, 1))
 	}

@@ -53,6 +53,22 @@ func (s *Series) TryAppend(t time.Duration, v float64) error {
 	return nil
 }
 
+// Grow pre-sizes the series for n additional samples, so a producer
+// that knows its sample count up front (a fixed recording grid, a sweep
+// with a known point count) appends without intermediate reallocation.
+// Appending past the reserved capacity stays correct — it just
+// reallocates as usual.
+func (s *Series) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(s.Samples) - len(s.Samples); free < n {
+		grown := make([]Sample, len(s.Samples), len(s.Samples)+n)
+		copy(grown, s.Samples)
+		s.Samples = grown
+	}
+}
+
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Samples) }
 
@@ -277,6 +293,20 @@ type Set struct {
 	CPUFreq      *Series // Hz
 	GPUFreq      *Series // Hz
 	Temperature  *Series // °C
+}
+
+// Grow pre-sizes every series of the set for n additional samples (see
+// Series.Grow). The engine calls it with the recording grid's sample
+// count before a run so the whole set appends reallocation-free.
+func (ts *Set) Grow(n int) {
+	for _, s := range []*Series{
+		ts.PackagePower, ts.CPUPower, ts.GPUPower, ts.DRAMPower, ts.IdlePower,
+		ts.CPUUtil, ts.GPUUtil, ts.CPUFreq, ts.GPUFreq, ts.Temperature,
+	} {
+		if s != nil {
+			s.Grow(n)
+		}
+	}
 }
 
 // NewSet returns a Set with all series allocated.

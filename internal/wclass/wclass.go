@@ -26,22 +26,45 @@ type Category struct {
 	CPUShort, GPUShort bool
 }
 
-// Key returns a stable identifier like "mem-cpuS-gpuL", used to index
-// characterization curves.
-func (c Category) Key() string {
-	b := "comp"
+// NumCategories is the size of the classification space: 2³ = 8.
+const NumCategories = 8
+
+// keyTable holds the eight category keys, indexed by Category.Index().
+// The strings are exactly what the historical fmt.Sprintf produced, so
+// persisted characterizations and goldens keep loading; interning them
+// makes Key allocation-free on the scheduler's hot path.
+var keyTable = [NumCategories]string{
+	"comp-cpuL-gpuL",
+	"comp-cpuL-gpuS",
+	"comp-cpuS-gpuL",
+	"comp-cpuS-gpuS",
+	"mem-cpuL-gpuL",
+	"mem-cpuL-gpuS",
+	"mem-cpuS-gpuL",
+	"mem-cpuS-gpuS",
+}
+
+// Index returns the category's dense index in [0, NumCategories):
+// Memory is the high bit, then CPUShort, then GPUShort — the same
+// order All() enumerates.
+func (c Category) Index() int {
+	i := 0
 	if c.Memory {
-		b = "mem"
+		i |= 4
 	}
-	cpu, gpu := "L", "L"
 	if c.CPUShort {
-		cpu = "S"
+		i |= 2
 	}
 	if c.GPUShort {
-		gpu = "S"
+		i |= 1
 	}
-	return fmt.Sprintf("%s-cpu%s-gpu%s", b, cpu, gpu)
+	return i
 }
+
+// Key returns a stable identifier like "mem-cpuS-gpuL", used to index
+// characterization curves. The returned string is interned: repeated
+// calls never allocate.
+func (c Category) Key() string { return keyTable[c.Index()] }
 
 // String implements fmt.Stringer.
 func (c Category) String() string { return c.Key() }

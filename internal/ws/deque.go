@@ -110,6 +110,51 @@ func (d *Deque) Steal() (Range, bool) {
 	return v, true
 }
 
+// maxStealBatch caps how many chunks one StealHalf call transfers. The
+// cap bounds the thief's time inside the steal loop (each chunk is its
+// own CAS) and keeps a single steal from emptying a large victim into
+// one thief, which would defeat the distribution the batch exists for.
+const maxStealBatch = 16
+
+// StealHalf claims up to half of the victim's queued chunks in one
+// call: the first claimed chunk is returned for immediate execution and
+// the remainder are pushed onto into, which MUST be the calling
+// thief's own deque (PushBottom is owner-only). extra is the number of
+// chunks transferred to into beyond the returned one.
+//
+// Chase-Lev has no safe multi-item claim: a single CAS moving top by k
+// can race a concurrent PopBottom, which takes non-last items without
+// any CAS, double-executing work. StealHalf therefore loops the
+// single-item Steal CAS — each claim individually linearizable — and
+// stops early the moment a claim fails, so it is exactly as correct as
+// k sequential Steals while amortizing the victim-selection and
+// wake-propagation overhead across the batch.
+func (d *Deque) StealHalf(into *Deque) (first Range, extra int, ok bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	size := b - t
+	if size <= 0 {
+		return Range{}, 0, false
+	}
+	want := (size + 1) / 2
+	if want > maxStealBatch {
+		want = maxStealBatch
+	}
+	first, ok = d.Steal()
+	if !ok {
+		return Range{}, 0, false
+	}
+	for int64(extra)+1 < want {
+		r, more := d.Steal()
+		if !more {
+			break
+		}
+		into.PushBottom(r)
+		extra++
+	}
+	return first, extra, true
+}
+
 // Size returns a linearizable-enough estimate of the number of queued
 // ranges (for monitoring; exactness is not guaranteed under races).
 func (d *Deque) Size() int {

@@ -45,19 +45,36 @@ type Pool struct {
 	workers int
 	idle    parker
 
-	// Observability counters (lifetime, monotonic). They sit off the
-	// per-item hot loop — steals are per-chunk, parks per idle episode —
-	// so keeping them always-on costs a few uncontended atomic adds per
-	// loop, not per iteration.
-	steals atomic.Uint64 // chunks claimed from another worker's deque
-	parks  atomic.Uint64 // times a worker blocked on the idle semaphore
-	wakes  atomic.Uint64 // wakeups delivered to parked workers
+	// stealsBy holds one cache-line-padded steal counter per worker
+	// slot. Steals are the hottest counter — every successful claim from
+	// a foreign deque bumps one — so sharing a single atomic across
+	// workers would put every thief on the same cache line. Each worker
+	// updates only its own padded slot and Stats sums them on demand.
+	// (Concurrent loops on one pool share slots by worker index; that
+	// cross-loop overlap is rare and still one writer per line at a
+	// time in the common case.)
+	stealsBy []paddedUint64
+
+	// Observability counters (lifetime, monotonic). Parks and wakes sit
+	// behind the parker's mutex anyway — an extra shared atomic add per
+	// idle episode is noise, so they stay unsharded.
+	parks atomic.Uint64 // times a worker blocked on the idle semaphore
+	wakes atomic.Uint64 // wakeups delivered to parked workers
+}
+
+// paddedUint64 is an atomic counter padded out to a cache line so
+// adjacent slots in a slice never false-share.
+type paddedUint64 struct {
+	n atomic.Uint64
+	_ [56]byte
 }
 
 // PoolStats is a snapshot of the pool's lifetime activity counters.
 type PoolStats struct {
-	// Steals counts chunks executed by a worker other than the one
-	// whose deque they were seeded into.
+	// Steals counts chunks claimed from another worker's deque,
+	// including the extras a batched StealHalf transfers into the
+	// thief's own deque (counted at transfer time, whichever worker
+	// ultimately executes them).
 	Steals uint64
 	// Parks counts idle episodes that exhausted the spin budget and
 	// blocked on the pool semaphore.
@@ -69,8 +86,12 @@ type PoolStats struct {
 // Stats returns a snapshot of the pool's activity counters. It is safe
 // to call from any goroutine, including while loops are in flight.
 func (p *Pool) Stats() PoolStats {
+	var steals uint64
+	for i := range p.stealsBy {
+		steals += p.stealsBy[i].n.Load()
+	}
 	return PoolStats{
-		Steals: p.steals.Load(),
+		Steals: steals,
 		Parks:  p.parks.Load(),
 		Wakes:  p.wakes.Load(),
 	}
@@ -81,7 +102,7 @@ func NewPool(n int) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: n}
+	return &Pool{workers: n, stealsBy: make([]paddedUint64, n)}
 }
 
 // parker is the pool's idle-worker semaphore. A worker that finds no
@@ -307,19 +328,31 @@ func (p *Pool) run(ctx context.Context, n int, grain int, exec func(r Range) err
 			for remaining.Load() > 0 && !stop.Load() {
 				r, ok := deques[self].PopBottom()
 				src := self
+				extra := 0
 				if !ok {
-					// Steal from a pseudo-random victim.
+					// Steal sweep: start at a pseudo-random victim and walk
+					// the workers with a per-sweep stride coprime to the
+					// worker count, so concurrent thieves fan out across
+					// distinct victims instead of converging on the same
+					// deque in the same order. A hit batch-steals half the
+					// victim's queue: the first chunk runs immediately and
+					// the extras land in this worker's own deque, where
+					// further thieves can redistribute them.
 					rng ^= rng << 13
 					rng ^= rng >> 7
 					rng ^= rng << 17
 					victim := int(rng % uint64(p.workers))
+					stride := coprimeStride(rng>>32, p.workers)
 					for i := 0; i < p.workers && !ok; i++ {
 						if victim != self {
-							r, ok = deques[victim].Steal()
+							r, extra, ok = deques[victim].StealHalf(deques[self])
 							src = victim
 						}
 						if !ok {
-							victim = (victim + 1) % p.workers
+							victim += stride
+							if victim >= p.workers {
+								victim -= p.workers
+							}
 						}
 					}
 				}
@@ -345,11 +378,12 @@ func (p *Pool) run(ctx context.Context, n int, grain int, exec func(r Range) err
 				}
 				idle = 0
 				if src != self {
-					p.steals.Add(1)
+					p.stealsBy[self].n.Add(uint64(1 + extra))
 				}
-				// Work propagation: the deque we claimed from still has
-				// chunks, so a parked peer could be helping.
-				if deques[src].Size() > 0 {
+				// Work propagation: the batch left stealable chunks in
+				// this worker's deque, or the victim still has more —
+				// either way a parked peer could be helping.
+				if extra > 0 || deques[src].Size() > 0 {
 					p.wakeOne()
 				}
 				if err := exec(r); err != nil {
@@ -404,6 +438,31 @@ func (p *Pool) run(ctx context.Context, n int, grain int, exec func(r Range) err
 		return nil
 	}
 	return ctx.Err()
+}
+
+// coprimeStride derives a victim-sweep stride in [1, n) coprime to n
+// from the seed bits, so a sweep of n probes visits every worker
+// exactly once while different thieves (different seeds) walk the
+// workers in different orders.
+func coprimeStride(seed uint64, n int) int {
+	if n <= 2 {
+		return 1
+	}
+	s := 1 + int(seed%uint64(n-1))
+	for gcd(s, n) != 1 {
+		s++
+		if s >= n {
+			s = 1
+		}
+	}
+	return s
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }
 
 // SharedCounter is the atomically drained work pool the paper's online

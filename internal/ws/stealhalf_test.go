@@ -1,0 +1,154 @@
+package ws
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStealHalfSemantics pins the transfer arithmetic: half the queue
+// rounded up, capped at maxStealBatch, first chunk returned and the
+// rest landing in the thief's own deque in FIFO-stealable order.
+func TestStealHalfSemantics(t *testing.T) {
+	victim := NewDeque()
+	thief := NewDeque()
+	for i := 0; i < 10; i++ {
+		victim.PushBottom(Range{Start: i, End: i + 1})
+	}
+	first, extra, ok := victim.StealHalf(thief)
+	if !ok {
+		t.Fatal("StealHalf failed on a populated deque")
+	}
+	if first.Start != 0 {
+		t.Fatalf("first stolen chunk = %+v, want the oldest (start 0)", first)
+	}
+	if extra != 4 {
+		t.Fatalf("extra = %d, want 4 (half of 10 minus the returned chunk)", extra)
+	}
+	if victim.Size() != 5 {
+		t.Fatalf("victim retains %d chunks, want 5", victim.Size())
+	}
+	if thief.Size() != 4 {
+		t.Fatalf("thief holds %d chunks, want 4", thief.Size())
+	}
+	// The extras preserve age order: the thief's oldest is chunk 1.
+	if r, ok := thief.Steal(); !ok || r.Start != 1 {
+		t.Fatalf("thief's oldest chunk = %+v ok=%v, want start 1", r, ok)
+	}
+
+	// Batch cap: a huge victim yields at most maxStealBatch chunks.
+	big := NewDeque()
+	for i := 0; i < 100; i++ {
+		big.PushBottom(Range{Start: i, End: i + 1})
+	}
+	thief2 := NewDeque()
+	_, extra, ok = big.StealHalf(thief2)
+	if !ok || extra != maxStealBatch-1 {
+		t.Fatalf("extra = %d ok=%v, want %d (cap)", extra, ok, maxStealBatch-1)
+	}
+
+	// Empty victim.
+	empty := NewDeque()
+	if _, _, ok := empty.StealHalf(thief); ok {
+		t.Fatal("StealHalf succeeded on an empty deque")
+	}
+}
+
+// TestCoprimeStride checks every derived stride makes a sweep of n
+// probes visit each worker exactly once.
+func TestCoprimeStride(t *testing.T) {
+	for n := 1; n <= 17; n++ {
+		for seed := uint64(0); seed < 50; seed++ {
+			s := coprimeStride(seed, n)
+			if s < 1 || (n > 1 && s >= n) {
+				t.Fatalf("n=%d seed=%d: stride %d out of range", n, seed, s)
+			}
+			seen := make([]bool, n)
+			v := int(seed) % n
+			for i := 0; i < n; i++ {
+				seen[v] = true
+				v += s
+				if v >= n {
+					v -= n
+				}
+			}
+			for w, b := range seen {
+				if !b {
+					t.Fatalf("n=%d seed=%d stride=%d: sweep never visits worker %d", n, seed, s, w)
+				}
+			}
+		}
+	}
+}
+
+// TestStealHalfConcurrentExactlyOnce is the -race stress for batched
+// stealing during ring growth: an owner pushes thousands of chunks
+// (growing the ring far past its initial 64 slots) while interleaving
+// PopBottom, and several thieves StealHalf into their own deques and
+// drain them. Every iteration index must execute exactly once —
+// batched claims must neither duplicate work against a racing
+// PopBottom nor drop chunks mid-transfer.
+func TestStealHalfConcurrentExactlyOnce(t *testing.T) {
+	const n = 1 << 14
+	const thieves = 4
+	victim := NewDeque()
+	hits := make([]atomic.Int32, n)
+	var done atomic.Int64
+
+	mark := func(r Range) {
+		for i := r.Start; i < r.End; i++ {
+			hits[i].Add(1)
+			done.Add(1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i += 4 {
+			victim.PushBottom(Range{Start: i, End: i + 4})
+			if i%64 == 0 {
+				if r, ok := victim.PopBottom(); ok {
+					mark(r)
+				}
+			}
+		}
+		for {
+			r, ok := victim.PopBottom()
+			if !ok {
+				break
+			}
+			mark(r)
+		}
+	}()
+	for k := 0; k < thieves; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			own := NewDeque()
+			for done.Load() < n {
+				if r, _, ok := victim.StealHalf(own); ok {
+					mark(r)
+				}
+				// Drain everything the batch moved into our deque before
+				// probing the victim again, so no chunk is left stranded
+				// when we exit.
+				for {
+					r, ok := own.PopBottom()
+					if !ok {
+						break
+					}
+					mark(r)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range hits {
+		if c := hits[i].Load(); c != 1 {
+			t.Fatalf("index %d executed %d times, want exactly once", i, c)
+		}
+	}
+}
