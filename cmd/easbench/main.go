@@ -56,6 +56,12 @@ func main() {
 	sensorFaults := flag.String("sensor-faults", "", "fault spec for -chaos, e.g. \"stuck=6,noise=0.5,lie=0.1x2\" (empty = seeded random storm)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the scheduling decisions to this file (observed runs: -concurrent, -chaos)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/trace on this HOST:PORT while the run executes")
+	statePath := flag.String("state", "", "persist the learned α table to FILE (WAL at FILE.wal); applies to -concurrent and -warmstart")
+	warmstart := flag.Bool("warmstart", false, "run the kill-restart warm-start soak (needs -state): soak, hard-stop with a torn WAL, restart warm, restart stale")
+	warmstartTenants := flag.Int("warmstart-tenants", 4, "tenant identities for -warmstart")
+	warmstartRuns := flag.Int("warmstart-runs", 6, "invocations per tenant in the -warmstart cold phase")
+	stateReport := flag.String("state-report", "", "write the -warmstart recovery stats as JSON to this file")
+	warmstartAssert := flag.Bool("warmstart-assert", false, "fail unless -warmstart recovers the torn WAL, skips re-profiling fresh records, and re-profiles stale ones")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -145,6 +151,20 @@ func main() {
 		return
 	}
 
+	if *warmstart {
+		err := runWarmstart(warmstartConfig{
+			StatePath: *statePath,
+			Tenants:   *warmstartTenants,
+			Runs:      *warmstartRuns,
+			Out:       *stateReport,
+			Assert:    *warmstartAssert,
+		}, observer)
+		if err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if *concurrent > 0 {
 		decision := eas.DecisionPolicy{
 			Coalesce:       *coalesce,
@@ -152,7 +172,7 @@ func main() {
 			MinConfidence:  *minConfidence,
 			ShardPerDevice: *shardDevices,
 		}
-		if err := runConcurrent(*concurrent, decision, observer); err != nil {
+		if err := runConcurrent(*concurrent, decision, *statePath, observer); err != nil {
 			fail(err)
 		}
 		return
@@ -317,13 +337,14 @@ func runAblations() {
 // The admission gate serializes the scheduling decisions FIFO while the
 // functional work runs on the shared pool, so per-tenant α and energy
 // stay honest however many tenants contend.
-func runConcurrent(tenants int, decision eas.DecisionPolicy, observer *eas.Observer) error {
+func runConcurrent(tenants int, decision eas.DecisionPolicy, statePath string, observer *eas.Observer) error {
 	model, err := eas.Characterize(eas.DesktopPlatform())
 	if err != nil {
 		return err
 	}
 	rt, err := eas.NewRuntime(eas.DesktopPlatform(), eas.Config{
 		Metric: eas.EDP, Model: model, Decision: decision, Observer: observer,
+		State: eas.StatePolicy{Path: statePath},
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/hetsched/eas"
+)
+
+// warmstartConfig drives the kill-restart warm-start soak: a
+// multi-tenant workload persists its learned α table, the process is
+// "killed" mid-stream (the runtime is abandoned without Close and the
+// WAL gets a torn tail appended, exactly what a SIGKILL mid-append
+// leaves), and two restarts prove the recovery contract — a warm
+// start replays fresh records without re-profiling, and a TTL-stale
+// table re-profiles instead of replaying blindly.
+type warmstartConfig struct {
+	StatePath string
+	Tenants   int
+	Runs      int
+	Out       string // recovery-stats JSON artifact ("" = none)
+	Assert    bool
+}
+
+// warmstartReport is the JSON artifact CI archives.
+type warmstartReport struct {
+	Recovery      eas.RecoveryStats `json:"recovery"`
+	ColdProfiled  int               `json:"cold_profiled"`
+	WarmInvoked   int               `json:"warm_invoked"`
+	WarmProfiled  int               `json:"warm_profiled"`
+	StaleInvoked  int               `json:"stale_invoked"`
+	StaleProfiled int               `json:"stale_profiled"`
+}
+
+func warmstartKernel(g int) eas.Kernel {
+	k := eas.Kernel{
+		Name:         fmt.Sprintf("tenant-%d", g),
+		FLOPsPerItem: 20000, MemOpsPerItem: 20, L3MissRatio: 0.02, InstructionsPerItem: 3000,
+	}
+	if g%2 == 1 {
+		k.FLOPsPerItem, k.MemOpsPerItem, k.L3MissRatio, k.InstructionsPerItem = 10, 100, 0.6, 500
+	}
+	return k
+}
+
+func runWarmstart(cfg warmstartConfig, observer *eas.Observer) error {
+	if cfg.StatePath == "" {
+		return fmt.Errorf("-warmstart needs -state FILE")
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 4
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 6
+	}
+	if dir := filepath.Dir(cfg.StatePath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	const n = 100000
+	platform := eas.DesktopPlatform()
+	model, err := eas.Characterize(platform)
+	if err != nil {
+		return err
+	}
+
+	// Phase 1 — cold start: every kernel profiles once, the table
+	// accumulates, every accepted observation lands in the WAL
+	// (SyncAlways: durable per append, like a crash-conscious deploy).
+	cold, err := eas.NewRuntime(platform, eas.Config{
+		Metric: eas.EDP, Model: model, Observer: observer,
+		State: eas.StatePolicy{Path: cfg.StatePath, Sync: eas.SyncAlways},
+	})
+	if err != nil {
+		return err
+	}
+	var coldProfiled int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Tenants; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := warmstartKernel(g)
+			for r := 0; r < cfg.Runs; r++ {
+				rep, err := cold.ParallelFor(k, n)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "easbench: warmstart tenant %d: %v\n", g, err)
+					return
+				}
+				if rep.Profiled {
+					mu.Lock()
+					coldProfiled++
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Hard stop: no Close, no flush — the runtime is simply abandoned,
+	// and the WAL is left with a torn record (a frame marker plus a
+	// partial payload), the exact shape a kill mid-append produces.
+	if err := tearWALTail(cfg.StatePath + ".wal"); err != nil {
+		return err
+	}
+
+	// Phase 2 — warm restart: recovery must truncate the torn tail,
+	// load every record, and (with a generous TTL) let every known
+	// kernel replay its α without re-profiling.
+	warm, err := eas.NewRuntime(platform, eas.Config{
+		Metric: eas.EDP, Model: model, Observer: observer,
+		State:    eas.StatePolicy{Path: cfg.StatePath, Sync: eas.SyncAlways},
+		Decision: eas.DecisionPolicy{TableTTL: time.Hour, MinConfidence: 1},
+	})
+	if err != nil {
+		return err
+	}
+	rec := warm.StateRecovery()
+	var report warmstartReport
+	report.Recovery = rec
+	report.ColdProfiled = coldProfiled
+	for g := 0; g < cfg.Tenants; g++ {
+		rep, err := warm.ParallelFor(warmstartKernel(g), n)
+		if err != nil {
+			return err
+		}
+		report.WarmInvoked++
+		if rep.Profiled {
+			report.WarmProfiled++
+		}
+	}
+	if err := warm.Close(); err != nil {
+		return err
+	}
+
+	// Phase 3 — stale restart: with a TTL shorter than the pause, the
+	// recovered records are too old to trust and every kernel must
+	// re-profile rather than replay blindly.
+	time.Sleep(60 * time.Millisecond)
+	stale, err := eas.NewRuntime(platform, eas.Config{
+		Metric: eas.EDP, Model: model, Observer: observer,
+		State:    eas.StatePolicy{Path: cfg.StatePath, Sync: eas.SyncAlways},
+		Decision: eas.DecisionPolicy{TableTTL: 20 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	for g := 0; g < cfg.Tenants; g++ {
+		rep, err := stale.ParallelFor(warmstartKernel(g), n)
+		if err != nil {
+			return err
+		}
+		report.StaleInvoked++
+		if rep.Profiled {
+			report.StaleProfiled++
+		}
+	}
+	if err := stale.Close(); err != nil {
+		return err
+	}
+
+	fmt.Printf("kill-restart warm-start soak: %d tenants x %d runs, state at %s\n\n",
+		cfg.Tenants, cfg.Runs, cfg.StatePath)
+	fmt.Printf("recovery   : %d snapshot + %d WAL records, %d corrupt skipped, torn tail=%v (%d bytes), %d loaded, %d rejected\n",
+		rec.SnapshotRecords, rec.WALRecords, rec.CorruptRecords, rec.TornTail, rec.TornTailBytes, rec.Loaded, rec.Rejected)
+	fmt.Printf("cold phase : %d invocations profiled\n", coldProfiled)
+	fmt.Printf("warm phase : %d/%d invocations profiled (want 0: fresh records replay)\n",
+		report.WarmProfiled, report.WarmInvoked)
+	fmt.Printf("stale phase: %d/%d invocations profiled (want all: stale records re-profile)\n",
+		report.StaleProfiled, report.StaleInvoked)
+
+	if cfg.Out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.Out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "easbench: wrote recovery stats to %s\n", cfg.Out)
+	}
+
+	if cfg.Assert {
+		switch {
+		case rec.Loaded == 0:
+			return fmt.Errorf("warmstart assert: recovery loaded no records")
+		case !rec.TornTail:
+			return fmt.Errorf("warmstart assert: torn WAL tail was not detected")
+		case report.WarmProfiled != 0:
+			return fmt.Errorf("warmstart assert: %d/%d warm invocations re-profiled despite fresh recovered records",
+				report.WarmProfiled, report.WarmInvoked)
+		case report.StaleProfiled != report.StaleInvoked:
+			return fmt.Errorf("warmstart assert: only %d/%d stale invocations re-profiled",
+				report.StaleProfiled, report.StaleInvoked)
+		}
+		fmt.Println("\nwarmstart assertions passed")
+	}
+	return nil
+}
+
+// tearWALTail appends a torn record — a valid frame marker declaring a
+// payload that never fully arrives — to the WAL, simulating a kill
+// mid-append. Recovery must detect and truncate it.
+func tearWALTail(walPath string) error {
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("tearing WAL tail: %w", err)
+	}
+	frame := make([]byte, 0, 16)
+	frame = binary.LittleEndian.AppendUint32(frame, 0xEA5C0DE5)
+	frame = binary.LittleEndian.AppendUint32(frame, 64) // declares 64 payload bytes...
+	frame = binary.LittleEndian.AppendUint32(frame, 0)  // bogus CRC
+	frame = append(frame, 0xDE, 0xAD)                   // ...delivers two
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("tearing WAL tail: %w", err)
+	}
+	return f.Close()
+}

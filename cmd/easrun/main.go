@@ -42,6 +42,7 @@ func main() {
 	modelCache := flag.String("model-cache", "", "JSON file persisting characterization models across invocations (loaded at start, saved on exit)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the run's scheduling decisions to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/trace on this HOST:PORT while the run executes")
+	statePath := flag.String("state", "", "persist the learned α table to FILE (WAL at FILE.wal): recovered at start so repeat runs skip re-profiling, flushed at exit")
 	flag.Parse()
 
 	var observer *obs.Observer
@@ -129,7 +130,7 @@ func main() {
 		fail(err)
 	}
 
-	opts := core.Options{GrowProfileChunk: true, ConvergeTol: 0.08, Observer: observer}
+	opts := core.Options{GrowProfileChunk: true, ConvergeTol: 0.08, Observer: observer, StatePath: *statePath}
 	var strat sched.Strategy
 	switch strings.ToUpper(*strategy) {
 	case "CPU":

@@ -153,6 +153,12 @@ type Config struct {
 	// sharding. The zero value keeps the decision path byte-identical
 	// to earlier releases.
 	Decision DecisionPolicy
+	// State configures durable scheduler state: the α-table WAL +
+	// snapshot that lets learned per-kernel offload ratios survive a
+	// crash or restart instead of forcing full re-profiling. The zero
+	// value (no path) keeps state purely in memory, byte-identical to
+	// earlier releases.
+	State StatePolicy
 	// Observer, when non-nil, receives a span trace, a decision-audit
 	// record, and runtime metrics for every invocation (see NewObserver).
 	// One Observer may be shared by several Runtimes. Nil — the default —
@@ -299,7 +305,35 @@ type Runtime struct {
 	closeOnce sync.Once
 	reuse     bool      // Config.Reuse: pool Reports across invocations
 	reports   sync.Pool // holds *Report when reuse is on
+
+	// Graceful-drain state. closeMu + closed implement the admission
+	// side (new invocations after Close observe ErrClosed); inflight
+	// counts invocations between admission and completion so Close can
+	// wait them out — bounded by drainTimeout — before releasing the
+	// shared context under them.
+	closeMu      sync.RWMutex
+	closed       bool
+	inflight     sync.WaitGroup
+	drainTimeout time.Duration
 }
+
+// beginInvocation admits one invocation against the runtime's
+// lifecycle: after Close has started draining, it refuses with
+// ErrClosed. The RLock-guarded Add keeps the counter race-free against
+// Close's Wait (an Add can only happen while closed is still false,
+// which Close flips under the write lock before waiting).
+func (r *Runtime) beginInvocation() error {
+	r.closeMu.RLock()
+	if r.closed {
+		r.closeMu.RUnlock()
+		return ErrClosed
+	}
+	r.inflight.Add(1)
+	r.closeMu.RUnlock()
+	return nil
+}
+
+func (r *Runtime) endInvocation() { r.inflight.Done() }
 
 // getReport returns the Report an invocation will fill in: recycled
 // from the pool under Config.Reuse (the caller overwrites every field),
@@ -388,6 +422,9 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 		},
 		ValidateProfiles:     cfg.Robustness.ValidateProfiles,
 		CategoryHysteresis:   cfg.Robustness.CategoryHysteresis,
+		StatePath:            cfg.State.Path,
+		StateSync:            int(cfg.State.Sync),
+		StateCompactEvery:    cfg.State.CompactEvery,
 		BreakerThreshold:     cfg.BreakerThreshold,
 		BreakerProbeAfter:    cfg.BreakerProbeAfter,
 		Observer:             cfg.Observer.internal(),
@@ -428,6 +465,10 @@ func NewRuntime(p *Platform, cfg Config) (*Runtime, error) {
 		breakerOn: cfg.BreakerThreshold > 0,
 		obsv:      cfg.Observer.internal(),
 		reuse:     cfg.Reuse,
+	}
+	rt.drainTimeout = cfg.State.DrainTimeout
+	if rt.drainTimeout <= 0 {
+		rt.drainTimeout = 5 * time.Second
 	}
 	cfg.Observer.registerRuntimeCollectors(rt)
 	return rt, nil
@@ -478,6 +519,10 @@ func (r *Runtime) ParallelForCtx(ctx context.Context, k Kernel, n int) (*Report,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if err := r.beginInvocation(); err != nil {
+		return nil, err
+	}
+	defer r.endInvocation()
 	started := time.Now()
 	inv := r.nextInvocation()
 	var sc obs.Scope
@@ -707,12 +752,42 @@ func (r *Runtime) CreateBuffer(name string, bytes int64) (*cl.Buffer, error) {
 	return r.ctx.CreateBuffer(name, bytes)
 }
 
-// Close drains the GPU queue and releases the runtime's shared-memory
-// context. The runtime must not be used afterwards. Close is
-// idempotent: calling it again returns immediately.
-func (r *Runtime) Close() {
+// Close gracefully shuts the runtime down: it stops admitting new
+// invocations (concurrent and later ParallelFor calls return
+// ErrClosed), waits — bounded by Config.State.DrainTimeout, default
+// 5s — for in-flight invocations to finish, then drains the GPU
+// queue, releases the shared-memory context, and flushes + fsyncs the
+// durable state store if one is configured. Close is idempotent;
+// repeat calls return nil immediately.
+//
+// A non-nil error means the drain timed out (the runtime closed
+// anyway — stragglers may observe a released context) or the final
+// state flush failed; learned state already on disk is unaffected.
+func (r *Runtime) Close() error {
+	var err error
 	r.closeOnce.Do(func() {
+		start := time.Now()
+		r.closeMu.Lock()
+		r.closed = true
+		r.closeMu.Unlock()
+		done := make(chan struct{})
+		go func() {
+			r.inflight.Wait()
+			close(done)
+		}()
+		timer := time.NewTimer(r.drainTimeout)
+		select {
+		case <-done:
+			timer.Stop()
+		case <-timer.C:
+			err = fmt.Errorf("eas: close: drain timed out after %v with invocations still in flight", r.drainTimeout)
+		}
 		r.queue.Finish()
 		r.ctx.Release()
+		if cerr := r.sched.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("eas: close: flushing state: %w", cerr)
+		}
+		r.obsv.RecordDrain(time.Since(start).Seconds())
 	})
+	return err
 }

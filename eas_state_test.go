@@ -1,0 +1,282 @@
+package eas
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hetsched/eas/internal/statestore"
+)
+
+func stateRuntime(t *testing.T, path string, decision DecisionPolicy) *Runtime {
+	t.Helper()
+	rt, err := NewRuntime(DesktopPlatform(), Config{
+		Metric:   EDP,
+		Model:    sharedModel(t),
+		Decision: decision,
+		State:    StatePolicy{Path: path, Sync: SyncAlways},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func stateKernel(g int) Kernel {
+	k := Kernel{
+		Name:         fmt.Sprintf("state-tenant-%d", g),
+		FLOPsPerItem: 20000, MemOpsPerItem: 20, L3MissRatio: 0.02, InstructionsPerItem: 3000,
+	}
+	if g%2 == 1 {
+		k.FLOPsPerItem, k.MemOpsPerItem, k.L3MissRatio, k.InstructionsPerItem = 10, 100, 0.6, 500
+	}
+	return k
+}
+
+// TestCloseUnderLoad closes the runtime while tenant goroutines hammer
+// it. The drain contract: every in-flight invocation either completes
+// normally or reports the typed ErrClosed — never a partial report, a
+// hang, or (under -race) a data race — and once Close returns, new
+// invocations are refused.
+func TestCloseUnderLoad(t *testing.T) {
+	rt := newRuntime(t, EDP)
+	const tenants = 8
+	var wg sync.WaitGroup
+	var completed, refused, unexpected int64
+	var mu sync.Mutex
+	for g := 0; g < tenants; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				rep, err := rt.ParallelFor(stateKernel(g), 100000)
+				mu.Lock()
+				switch {
+				case err == nil:
+					completed++
+					if rep.Alpha < 0 || rep.Alpha > 1 || math.IsNaN(rep.Alpha) {
+						unexpected++
+					}
+				case errors.Is(err, ErrClosed):
+					refused++
+				default:
+					unexpected++
+					t.Errorf("tenant %d: unexpected error: %v", g, err)
+				}
+				done := err != nil
+				mu.Unlock()
+				if done {
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := rt.Close(); err != nil {
+		t.Errorf("close under load: %v", err)
+	}
+	wg.Wait()
+	if completed == 0 {
+		t.Error("no invocation completed before the drain")
+	}
+	if unexpected != 0 {
+		t.Errorf("%d invocations failed with something other than ErrClosed", unexpected)
+	}
+	if _, err := rt.ParallelFor(stateKernel(0), 100000); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close invocation returned %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	if err := rt.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestKillRestartChaos is the in-process kill-restart soak: a
+// multi-tenant workload persists its α table, the process "dies"
+// without Close (leaving unsynced buffers, a torn WAL tail, a
+// bit-flipped record, and a planted snapshot of checksummed-but-insane
+// records), and the restarts must uphold the full recovery contract:
+//
+//   - recovery never panics and never fails the runtime,
+//   - the torn tail is detected and truncated, the flipped record is
+//     skipped and counted, the insane records are sanitized away,
+//   - a warm start (fresh TTL) replays every surviving kernel without
+//     re-profiling,
+//   - a stale start (tiny TTL) re-profiles instead of trusting old α.
+func TestKillRestartChaos(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alpha.state")
+	const tenants, runs = 4, 4
+	const n = 100000
+
+	// Plant a snapshot of records that decode cleanly but violate the
+	// evidence gates; recovery must reject all three. (The cold-start
+	// WAL below is created at the same generation the snapshot carries,
+	// so both files replay.)
+	insane := []statestore.Record{
+		{Op: statestore.OpFull, Kernel: "poison-nan", Alpha: math.NaN(), Items: 10, Invocations: 1, Category: 0, At: time.Now()},
+		{Op: statestore.OpFull, Kernel: "poison-range", Alpha: 40, Items: 10, Invocations: 1, Category: 0, At: time.Now()},
+		{Op: statestore.OpFull, Kernel: "poison-category", Alpha: 0.5, Items: 10, Invocations: 1, Category: 200, At: time.Now()},
+	}
+	if err := statestore.WriteSnapshotFile(path, insane); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1 — cold, multi-tenant, SyncAlways; then hard-stop: the
+	// runtime is abandoned without Close.
+	cold := stateRuntime(t, path, DecisionPolicy{})
+	var wg sync.WaitGroup
+	for g := 0; g < tenants; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < runs; r++ {
+				if _, err := cold.ParallelFor(stateKernel(g), n); err != nil {
+					t.Errorf("cold tenant %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Simulated crash damage on top of the abandoned WAL: one
+	// bit-flipped record mid-file and a torn frame at the tail.
+	walPath := statestore.WALPath(path)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const walHeaderLen = 17
+	if len(data) < walHeaderLen+40 {
+		t.Fatalf("WAL implausibly small: %d bytes", len(data))
+	}
+	data[walHeaderLen+20] ^= 0xFF // corrupt one record's bytes
+	torn := binary.LittleEndian.AppendUint32(nil, 0xEA5C0DE5)
+	torn = binary.LittleEndian.AppendUint32(torn, 64) // declares 64 payload bytes...
+	torn = binary.LittleEndian.AppendUint32(torn, 0)
+	torn = append(torn, 0xDE, 0xAD) // ...delivers two
+	data = append(data, torn...)
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2 — warm restart: generous TTL, so every surviving kernel
+	// must replay its α without re-profiling.
+	warm := stateRuntime(t, path, DecisionPolicy{TableTTL: time.Hour, MinConfidence: 1})
+	rs := warm.StateRecovery()
+	if !rs.TornTail {
+		t.Error("torn WAL tail not detected")
+	}
+	if rs.CorruptRecords == 0 {
+		t.Error("bit-flipped record not counted as corrupt")
+	}
+	if rs.Rejected < len(insane) {
+		t.Errorf("only %d records rejected, want at least the %d planted insane ones", rs.Rejected, len(insane))
+	}
+	if rs.Loaded < tenants {
+		t.Errorf("recovery loaded %d records, want at least one per tenant", rs.Loaded)
+	}
+	for _, r := range insane {
+		if a, ok := warm.Alpha(r.Kernel); ok {
+			t.Errorf("sanitization-rejected record %q reached the table (α=%v)", r.Kernel, a)
+		}
+	}
+	for g := 0; g < tenants; g++ {
+		rep, err := warm.ParallelFor(stateKernel(g), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Profiled {
+			t.Errorf("warm start re-profiled tenant %d despite fresh recovered records", g)
+		}
+	}
+	if err := warm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3 — stale restart: a TTL shorter than the pause means the
+	// recovered records are too old to trust; every kernel re-profiles.
+	time.Sleep(60 * time.Millisecond)
+	stale := stateRuntime(t, path, DecisionPolicy{TableTTL: 20 * time.Millisecond})
+	for g := 0; g < tenants; g++ {
+		rep, err := stale.ParallelFor(stateKernel(g), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Profiled {
+			t.Errorf("stale start replayed tenant %d's outdated α instead of re-profiling", g)
+		}
+	}
+	if err := stale.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateWriteFaultDegrades scripts a WAL write fault through the
+// public fault plan: persistence turns itself off (visible via
+// StateDisabled and the fault counters) while invocations keep
+// succeeding from memory.
+func TestStateWriteFaultDegrades(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alpha.state")
+	plan := NewFaultPlan(1)
+	if err := plan.Script("walerr=1"); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(DesktopPlatform(), Config{
+		Metric: EDP, Model: sharedModel(t), Faults: plan,
+		State: StatePolicy{Path: path},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := rt.ParallelFor(stateKernel(0), 200000); err != nil {
+		t.Fatalf("scheduling must survive a persistence fault: %v", err)
+	}
+	if !rt.StateDisabled() {
+		t.Error("write fault did not disable persistence")
+	}
+	if plan.Stats().WALWriteErrors != 1 {
+		t.Errorf("fault stats = %+v, want one WAL write error", plan.Stats())
+	}
+	if _, err := rt.ParallelFor(stateKernel(0), 200000); err != nil {
+		t.Fatalf("post-degradation invocation failed: %v", err)
+	}
+}
+
+// TestSaveLoadStatePublic round-trips the manual snapshot escape hatch
+// through the public API with persistence off.
+func TestSaveLoadStatePublic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "backup.state")
+	rt := newRuntime(t, EDP)
+	defer rt.Close()
+	if _, err := rt.ParallelFor(stateKernel(0), 200000); err != nil {
+		t.Fatal(err)
+	}
+	want, ok := rt.Alpha(stateKernel(0).Name)
+	if !ok {
+		t.Fatal("no α learned")
+	}
+	if err := rt.SaveState(path); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2 := newRuntime(t, EDP)
+	defer rt2.Close()
+	rs, err := rt2.LoadState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Loaded != 1 || rs.Rejected != 0 {
+		t.Errorf("LoadState = %+v", rs)
+	}
+	if got, ok := rt2.Alpha(stateKernel(0).Name); !ok || got != want {
+		t.Errorf("restored α = %v (ok=%v), want %v", got, ok, want)
+	}
+}

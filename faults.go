@@ -158,6 +158,21 @@ func (f *FaultPlan) HoldAdmission(d time.Duration, k int) { f.inner.HoldAdmissio
 // publishes, and the flight's followers fall back to solo decisions.
 func (f *FaultPlan) FailCoalesceLeader(k int) { f.inner.FailCoalesceLeaders(k) }
 
+// FailWALWrites scripts the next k durable-state WAL appends
+// (Config.State) to fail with an I/O error before writing anything.
+// The first delivered persistence fault permanently disables the
+// store for the run — scheduling continues from memory.
+func (f *FaultPlan) FailWALWrites(k int) { f.inner.FailWALWrites(k) }
+
+// ShortWALWrites scripts the next k durable-state WAL appends to land
+// only a prefix of their record frame before failing — the torn-record
+// shape recovery must truncate on the next open.
+func (f *FaultPlan) ShortWALWrites(k int) { f.inner.ShortWALWrites(k) }
+
+// FillWALDisk scripts the next k durable-state WAL appends to fail as
+// if the disk were full.
+func (f *FaultPlan) FillWALDisk(k int) { f.inner.FillWALDisk(k) }
+
 // Sensor faults degrade what the runtime *observes* — the package
 // energy MSR, the hardware counters, the online profile — never the
 // simulated machine itself. They compose freely with the GPU faults
@@ -209,6 +224,8 @@ type FaultStats struct {
 	// Scheduling faults.
 	AdmissionHolds      int
 	CoalesceLeaderFails int
+	// Persistence faults (Config.State).
+	WALWriteErrors, WALShortWrites, WALNoSpaceWrites int
 }
 
 // Stats returns a snapshot of delivered faults.
@@ -227,6 +244,9 @@ func (f *FaultPlan) Stats() FaultStats {
 		ProfileLies:         s.ProfileLies,
 		AdmissionHolds:      s.AdmissionHolds,
 		CoalesceLeaderFails: s.CoalesceLeaderFails,
+		WALWriteErrors:      s.WALWriteErrors,
+		WALShortWrites:      s.WALShortWrites,
+		WALNoSpaceWrites:    s.WALNoSpaceWrites,
 	}
 }
 
@@ -247,6 +267,9 @@ func (f *FaultPlan) Stats() FaultStats {
 //	              holding the admission gate (e.g. hold=250x3)
 //	leaderfail=K  next K coalesced decision flights lose their leader
 //	              before publishing (followers decide solo)
+//	walerr=K      next K durable-state WAL appends fail outright
+//	walshort=K    next K WAL appends tear mid-record, then fail
+//	walfull=K     next K WAL appends fail as if the disk were full
 //
 // Example: "stuck=6,noise=0.5,lie=0.1x2". An empty spec returns an
 // empty (fault-free) plan; seed drives the probabilistic modes.
@@ -371,6 +394,24 @@ func (f *FaultPlan) Script(spec string) error {
 				return err
 			}
 			plan.FailCoalesceLeader(k)
+		case "walerr":
+			k, err := parseCount()
+			if err != nil {
+				return err
+			}
+			plan.FailWALWrites(k)
+		case "walshort":
+			k, err := parseCount()
+			if err != nil {
+				return err
+			}
+			plan.ShortWALWrites(k)
+		case "walfull":
+			k, err := parseCount()
+			if err != nil {
+				return err
+			}
+			plan.FillWALDisk(k)
 		default:
 			return fmt.Errorf("eas: unknown fault %q", key)
 		}

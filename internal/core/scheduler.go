@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/hetsched/eas/internal/engine"
@@ -15,6 +16,7 @@ import (
 	"github.com/hetsched/eas/internal/powerchar"
 	"github.com/hetsched/eas/internal/profile"
 	"github.com/hetsched/eas/internal/robust"
+	"github.com/hetsched/eas/internal/statestore"
 	"github.com/hetsched/eas/internal/wclass"
 )
 
@@ -188,6 +190,25 @@ type Options struct {
 	// needs before the fast path may skip a periodic re-profile. 0
 	// disables the confidence gate (the fast path then needs TableTTL).
 	MinConfidence int
+	// Durable-state knobs (state.go). With StatePath empty — the zero
+	// value — persistence is completely off: no store is opened, the
+	// mutation hooks degrade to one nil check, and the scheduling path
+	// is byte-identical to the in-memory-only behaviour.
+
+	// StatePath names the α-table snapshot file; the WAL lives beside
+	// it at StatePath+".wal". Opening recovers whatever state the files
+	// hold (tolerating torn tails and corrupt records) and routes every
+	// loaded record through the same evidence sanitization as live
+	// accumulation.
+	StatePath string
+	// StateSync selects WAL durability: 0 flushes+fsyncs at compaction
+	// and Close only (buffered appends; a hard kill loses the records
+	// since the last sync, never file integrity); 1 fsyncs every
+	// append (a hard kill loses at most the torn record being written).
+	StateSync int
+	// StateCompactEvery is how many WAL records trigger compaction into
+	// a fresh atomic snapshot (0 picks the statestore default, 1024).
+	StateCompactEvery int
 	// ShardGatePerDevice shards the admission gate per device (CPU,
 	// GPU) instead of per runtime: invocations whose conservative
 	// pre-admission device masks are disjoint — an α=0 CPU-only replay
@@ -355,6 +376,17 @@ type Scheduler struct {
 	// Batched decision-path state (nil when the knobs are off).
 	coal  *coalescer   // decision singleflight (CoalesceDecisions)
 	gates *DeviceGates // per-device sharded gate (ShardGatePerDevice)
+
+	// Durable-state layer (nil when Options.StatePath is empty).
+	// stateMu serializes {table mutation + WAL append} against
+	// {table export + compaction}, so a snapshot never absorbs a
+	// mutation whose WAL record would then land in the fresh WAL and
+	// replay twice on recovery. store is immutable after New: a write
+	// failure disables the store internally instead of nil-ing the
+	// field, keeping the hot-path check an unsynchronized pointer test.
+	stateMu  sync.Mutex
+	store    *statestore.Store
+	recovery RecoveryStats
 }
 
 // New builds an EAS scheduler over an engine, a platform power
@@ -438,6 +470,11 @@ func New(eng *engine.Engine, model *powerchar.Model, metric metrics.Metric, opts
 			}
 		}
 		s.adm.Configure(topts)
+	}
+	if s.opts.StatePath != "" {
+		if err := s.openState(); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -1038,6 +1075,9 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 					sc.Event("profile-quarantined", obs.Str("cause", qerr.Error()))
 				}
 				ent.markReprofile()
+				if s.store != nil {
+					s.persistReprofile(k.Name)
+				}
 				if known {
 					alpha = rec.alpha
 					rep.Category = rec.category
@@ -1150,7 +1190,11 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 	// Fig. 7 step 26: sample-weighted α accumulation across
 	// invocations. A quarantined profile never reaches the table.
 	if !quarantined {
-		ent.accumulate(alpha, float64(n), rep.Category, s.opts.CategoryHysteresis)
+		if s.store == nil {
+			ent.accumulate(alpha, float64(n), rep.Category, s.opts.CategoryHysteresis)
+		} else {
+			s.accumulatePersist(ent, k.Name, alpha, float64(n), rep.Category)
+		}
 	}
 	return rep, nil
 }

@@ -119,20 +119,33 @@ func (e *kernelEntry) snapshot(dst *record) bool {
 // the power curve future invocations replay. hysteresis ≤ 1 keeps the
 // historical last-writer-wins behaviour.
 func (e *kernelEntry) accumulate(alpha, items float64, cat wclass.Category, hysteresis int) {
+	e.accumulateAt(alpha, items, cat, hysteresis, time.Now())
+}
+
+// accumulateAt is accumulate with an explicit evidence timestamp. Live
+// accumulation always stamps time.Now(); state recovery replays WAL
+// records with their original timestamps so the TTL/staleness checks
+// keep honoring the evidence's true age across a restart. It reports
+// whether the sample was accepted — the signal the persistence hook
+// uses so a rejected observation is never written to the WAL.
+func (e *kernelEntry) accumulateAt(alpha, items float64, cat wclass.Category, hysteresis int, at time.Time) bool {
 	// A record backed by zero samples must never land: an items <= 0 (or
 	// NaN) observation carries no evidence, yet would still create or
 	// touch a record with profiled=true — and the fast path would then
-	// happily replay an α that nothing supports. Likewise a NaN α would
-	// poison the sample-weighted mean forever. Reject both up front.
-	if !(items > 0) || math.IsNaN(alpha) {
-		return
+	// happily replay an α that nothing supports. Likewise a non-finite α
+	// would poison the sample-weighted mean forever. Reject both up
+	// front. Recovery routes every loaded record through this same gate,
+	// so a corrupt-but-checksummed WAL entry cannot plant evidence live
+	// accumulation would have refused.
+	if !(items > 0) || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return false
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.present {
-		e.rec = record{alpha: alpha, weight: items, category: cat, invocations: 1, profiled: true, updatedAt: time.Now()}
+		e.rec = record{alpha: alpha, weight: items, category: cat, invocations: 1, profiled: true, updatedAt: at}
 		e.present = true
-		return
+		return true
 	}
 	rec := &e.rec
 	total := rec.weight + items
@@ -140,7 +153,7 @@ func (e *kernelEntry) accumulate(alpha, items float64, cat wclass.Category, hyst
 		rec.alpha = (rec.alpha*rec.weight + alpha*items) / total
 	}
 	rec.weight = total
-	rec.updatedAt = time.Now()
+	rec.updatedAt = at
 	if hysteresis >= 2 && rec.profiled {
 		if cat == rec.category {
 			rec.pendingN = 0
@@ -162,6 +175,18 @@ func (e *kernelEntry) accumulate(alpha, items float64, cat wclass.Category, hyst
 	rec.invocations++
 	rec.profiled = true
 	rec.reprofile = false
+	return true
+}
+
+// restore installs a fully-formed record — a recovered snapshot row.
+// Unlike accumulate it overwrites whatever the slot holds; recovery
+// replays snapshot rows before any traffic runs, and later WAL deltas
+// fold on top via accumulateAt.
+func (e *kernelEntry) restore(rec record) {
+	e.mu.Lock()
+	e.rec = rec
+	e.present = true
+	e.mu.Unlock()
 }
 
 // markReprofile flags a kernel whose latest profile was quarantined:
@@ -183,6 +208,24 @@ func (e *kernelEntry) markReprofile() {
 // entry's method directly.
 func (t *alphaTable) accumulate(name string, alpha, items float64, cat wclass.Category, hysteresis int) {
 	t.intern(name).accumulate(alpha, items, cat, hysteresis)
+}
+
+// export walks every recorded kernel, handing fn a copy of each
+// record. It is the compaction/SaveState source: fn must not call back
+// into the table. Iteration order is unspecified (map order within
+// FNV-sharded buckets).
+func (t *alphaTable) export(fn func(name string, rec record)) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for name, e := range s.m {
+			var rec record
+			if e.snapshot(&rec) {
+				fn(name, rec)
+			}
+		}
+		s.mu.RUnlock()
+	}
 }
 
 // Len returns the number of kernels the table remembers — entries with

@@ -86,6 +86,15 @@ type Stats struct {
 	// whose leader was scripted to fail before publishing, sending its
 	// followers to solo decisions.
 	CoalesceLeaderFails int
+	// WALWriteErrors is the number of state-store appends that failed
+	// outright with an injected I/O error.
+	WALWriteErrors int
+	// WALShortWrites is the number of appends that wrote only a prefix
+	// of the record frame before failing — the torn-record shape.
+	WALShortWrites int
+	// WALNoSpaceWrites is the number of appends that failed with an
+	// injected out-of-disk condition.
+	WALNoSpaceWrites int
 }
 
 // Plan is a scripted set of device faults. It is safe for concurrent
@@ -118,6 +127,11 @@ type Plan struct {
 	admissionHold      knob
 	admissionHoldDur   time.Duration
 	coalesceLeaderFail knob
+
+	// Persistence faults.
+	walErr   knob
+	walShort knob
+	walFull  knob
 }
 
 // New returns an empty plan whose probabilistic faults draw from a
@@ -483,6 +497,69 @@ func (p *Plan) TakeCoalesceLeaderFail() bool {
 		return true
 	}
 	return false
+}
+
+// WALFault classifies an injected state-store write failure.
+type WALFault int
+
+const (
+	// WALNone means the write proceeds normally.
+	WALNone WALFault = iota
+	// WALWriteError fails the write before any byte lands.
+	WALWriteError
+	// WALShortWrite writes a prefix of the record frame, then fails —
+	// the torn-record shape recovery must truncate.
+	WALShortWrite
+	// WALNoSpace fails the write with an out-of-disk condition.
+	WALNoSpace
+)
+
+// FailWALWrites scripts the next k state-store appends to fail with an
+// I/O error before writing anything.
+func (p *Plan) FailWALWrites(k int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.walErr.remaining += k
+}
+
+// ShortWALWrites scripts the next k state-store appends to land only a
+// prefix of their record frame before failing.
+func (p *Plan) ShortWALWrites(k int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.walShort.remaining += k
+}
+
+// FillWALDisk scripts the next k state-store appends to fail as if the
+// disk were full.
+func (p *Plan) FillWALDisk(k int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.walFull.remaining += k
+}
+
+// TakeWALFault reports (and consumes) the fault the current
+// state-store append should suffer, WALNone when healthy. Scripted
+// write errors take precedence over short writes, then disk-full.
+func (p *Plan) TakeWALFault() WALFault {
+	if p == nil {
+		return WALNone
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.walErr.take(p.rng) {
+		p.stats.WALWriteErrors++
+		return WALWriteError
+	}
+	if p.walShort.take(p.rng) {
+		p.stats.WALShortWrites++
+		return WALShortWrite
+	}
+	if p.walFull.take(p.rng) {
+		p.stats.WALNoSpaceWrites++
+		return WALNoSpace
+	}
+	return WALNone
 }
 
 // Stats returns a snapshot of the faults delivered so far.

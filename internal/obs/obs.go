@@ -142,6 +142,16 @@ type Observer struct {
 	fastPath      *Counter
 	coalesceAbort *Counter
 	poolReuse     *Counter
+
+	// Durable-state instruments (internal/statestore).
+	stateRecords   *Counter
+	stateBytes     *Counter
+	stateErrors    *Counter
+	stateSnapshots *Counter
+	stateLoaded    *Counter
+	stateCorrupt   *Counter
+	stateRejected  *Counter
+	drainSeconds   *Histogram
 }
 
 // Fallback reason keys the runtime reports (mirrors the public
@@ -206,6 +216,22 @@ func New(sink Sink, reg *Registry) *Observer {
 			"Coalesced decision flights aborted by their leader (followers fell back to solo)."),
 		poolReuse: reg.Counter("eas_pool_reuse_total",
 			"Per-invocation state objects served from a reuse pool instead of the heap (Options.Reuse)."),
+		stateRecords: reg.Counter("eas_state_wal_records_total",
+			"Mutation records appended to the durable-state WAL."),
+		stateBytes: reg.Counter("eas_state_wal_bytes_total",
+			"Bytes appended to the durable-state WAL."),
+		stateErrors: reg.Counter("eas_state_wal_errors_total",
+			"Durable-state write failures (each permanently disables persistence for the run)."),
+		stateSnapshots: reg.Counter("eas_state_snapshots_total",
+			"Durable-state compactions into an atomic snapshot."),
+		stateLoaded: reg.Counter("eas_state_recovered_records_total",
+			"Records recovered and admitted into the α table at startup."),
+		stateCorrupt: reg.Counter("eas_state_corrupt_records_total",
+			"Persisted records skipped at recovery for framing/CRC corruption (torn tails count once)."),
+		stateRejected: reg.Counter("eas_state_rejected_records_total",
+			"Recovered records refused by evidence sanitization (non-finite α, zero items, bad category)."),
+		drainSeconds: reg.Histogram("eas_drain_seconds",
+			"Graceful-drain duration of Runtime.Close: waiting out in-flight invocations plus the state flush.", DefBuckets),
 	}
 	o.fallbacks = make(map[string]*Counter, len(fallbackReasons))
 	for _, r := range fallbackReasons {
@@ -379,6 +405,61 @@ func (o *Observer) RecordInvocation(st InvocationStats) {
 	if st.FastPath {
 		o.fastPath.Inc()
 	}
+}
+
+// RecordStateAppend counts one mutation record (of the given framed
+// size) appended to the durable-state WAL.
+func (o *Observer) RecordStateAppend(bytes int) {
+	if o == nil {
+		return
+	}
+	o.stateRecords.Inc()
+	if bytes > 0 {
+		o.stateBytes.Add(uint64(bytes))
+	}
+}
+
+// RecordStateError counts one durable-state write failure — the event
+// that permanently disables persistence for the run.
+func (o *Observer) RecordStateError() {
+	if o == nil {
+		return
+	}
+	o.stateErrors.Inc()
+}
+
+// RecordStateSnapshot counts one compaction into an atomic snapshot.
+func (o *Observer) RecordStateSnapshot() {
+	if o == nil {
+		return
+	}
+	o.stateSnapshots.Inc()
+}
+
+// RecordStateRecovery folds one startup recovery into the registry:
+// records admitted into the table, frames skipped as corrupt, and
+// records refused by evidence sanitization.
+func (o *Observer) RecordStateRecovery(loaded, corrupt, rejected int) {
+	if o == nil {
+		return
+	}
+	if loaded > 0 {
+		o.stateLoaded.Add(uint64(loaded))
+	}
+	if corrupt > 0 {
+		o.stateCorrupt.Add(uint64(corrupt))
+	}
+	if rejected > 0 {
+		o.stateRejected.Add(uint64(rejected))
+	}
+}
+
+// RecordDrain observes one graceful-drain duration from Runtime.Close.
+func (o *Observer) RecordDrain(seconds float64) {
+	if o == nil {
+		return
+	}
+	o.drainSeconds.Observe(seconds)
 }
 
 // RecordCoalesceAbort notes one coalesced decision flight whose leader

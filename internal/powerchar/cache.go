@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"github.com/hetsched/eas/internal/platform"
+	"github.com/hetsched/eas/internal/statestore"
 )
 
 // Cache memoizes characterization models by (spec fingerprint, Options).
@@ -209,11 +210,23 @@ func (c *Cache) SaveFile(path string) error {
 		tmp.Close()
 		return fmt.Errorf("powerchar: setting cache permissions: %w", err)
 	}
+	// fsync before the rename: without it the rename can land while the
+	// data is still only in the page cache, and a power loss would
+	// commit an empty or truncated file under the final name.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("powerchar: syncing temp cache file: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("powerchar: closing temp cache file: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("powerchar: committing model cache: %w", err)
+	}
+	// fsync the parent directory so the rename itself — the directory
+	// entry — survives a crash, completing the atomic-save contract.
+	if err := statestore.SyncDir(dir); err != nil {
+		return fmt.Errorf("powerchar: syncing cache directory: %w", err)
 	}
 	return nil
 }

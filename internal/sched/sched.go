@@ -284,6 +284,10 @@ func (a adaptive) Run(ctx context.Context, w workloads.Workload, spec platform.S
 	if err != nil {
 		return Result{}, err
 	}
+	// Flush durable state (Options.StatePath) at the end of the run so
+	// a later process warm-starts from this run's learned α table; a
+	// no-op without a configured state store.
+	defer s.Close()
 	var total time.Duration
 	var energy, gpuItems, allItems float64
 	for _, inv := range invs {

@@ -1,0 +1,85 @@
+package statestore
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzLoadState throws arbitrary bytes at the recovery parser — the
+// code every restart trusts with whatever a crash left on disk. The
+// contract under fuzzing: never panic, never read out of bounds, keep
+// lastGood (the truncation offset) inside the file, and never return a
+// record that violates the wire format's own caps. Semantic garbage
+// that survives the CRC is fine here — evidence sanitization above the
+// store (internal/core) handles meaning; this layer only owes memory
+// safety and bounded damage.
+func FuzzLoadState(f *testing.F) {
+	// Seed corpus: valid images of both kinds, their corrupted and
+	// truncated variants, and adversarial frames.
+	recs := []Record{
+		{Op: OpFull, Kernel: "matmul", Alpha: 0.7, Items: 4e6, Invocations: 12, Category: 3, At: time.Unix(1700000000, 0)},
+		{Op: OpAccum, Kernel: "bfs", Alpha: 0.25, Items: 1e5, Category: 6, At: time.Unix(1700000001, 0)},
+		{Op: OpReprofile, Kernel: "matmul"},
+	}
+	wal := encodeHeader(kindWAL, 3)
+	for _, r := range recs {
+		wal = encodeRecord(wal, r)
+	}
+	snap := encodeHeader(kindSnapshot, 1)
+	snap = encodeRecord(snap, recs[0])
+	f.Add(wal)
+	f.Add(snap)
+	f.Add(wal[:len(wal)-5])     // torn tail
+	f.Add(wal[:headerLen])      // header only
+	f.Add([]byte{})             // empty file
+	f.Add([]byte("EASSTAT1"))   // magic, nothing else
+	f.Add(bytes.Repeat(wal, 3)) // repeated headers mid-stream
+	flipped := bytes.Clone(wal)
+	flipped[headerLen+6] ^= 0xFF // corrupt first record's CRC field
+	f.Add(flipped)
+	// A frame that declares far more payload than follows.
+	lie := encodeHeader(kindWAL, 1)
+	lie = append(lie, 0xE5, 0x0D, 0x5C, 0xEA, 0xFF, 0xFF, 0x00, 0x00, 0, 0, 0, 0, 1, 2, 3)
+	f.Add(lie)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, got, lastGood, stats, headerOK := decodeFile(data)
+		if lastGood < 0 || lastGood > int64(len(data)) {
+			t.Fatalf("lastGood=%d outside [0,%d]", lastGood, len(data))
+		}
+		if !headerOK {
+			if len(got) != 0 {
+				t.Fatalf("records decoded despite bad header")
+			}
+			return
+		}
+		if hdr.kind != kindSnapshot && hdr.kind != kindWAL {
+			t.Fatalf("headerOK with kind=%d", hdr.kind)
+		}
+		if lastGood < int64(headerLen) {
+			t.Fatalf("lastGood=%d before header end", lastGood)
+		}
+		for _, r := range got {
+			if r.Kernel == "" || len(r.Kernel) > maxNameLen {
+				t.Fatalf("record with out-of-cap name length %d", len(r.Kernel))
+			}
+			if r.Op != OpFull && r.Op != OpAccum && r.Op != OpReprofile {
+				t.Fatalf("record with unknown op %d", r.Op)
+			}
+		}
+		if stats.TornTail && stats.TornTailBytes <= 0 {
+			t.Fatalf("torn tail with %d bytes", stats.TornTailBytes)
+		}
+		// Re-encoding what was recovered must itself recover cleanly —
+		// the parser and encoder agree on the format.
+		out := encodeHeader(kindWAL, 1)
+		for _, r := range got {
+			out = encodeRecord(out, r)
+		}
+		_, got2, _, st2, ok2 := decodeFile(out)
+		if !ok2 || len(got2) != len(got) || st2.CorruptRecords != 0 || st2.TornTail {
+			t.Fatalf("re-encode of recovered records does not round-trip: %d -> %d (%+v)", len(got), len(got2), st2)
+		}
+	})
+}

@@ -61,6 +61,16 @@ func (c Category) Index() int {
 	return i
 }
 
+// FromIndex inverts Index. It reports ok=false for indices outside
+// [0, NumCategories) — the validation recovery paths rely on when a
+// category byte arrives from disk.
+func FromIndex(i int) (Category, bool) {
+	if i < 0 || i >= NumCategories {
+		return Category{}, false
+	}
+	return Category{Memory: i&4 != 0, CPUShort: i&2 != 0, GPUShort: i&1 != 0}, true
+}
+
 // Key returns a stable identifier like "mem-cpuS-gpuL", used to index
 // characterization curves. The returned string is interned: repeated
 // calls never allocate.
