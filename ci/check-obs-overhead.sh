@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # check-obs-overhead.sh — fail the build if disabled observability ever
-# costs anything on the scheduling hot path.
+# costs anything on the scheduling hot path, or if the armed flight
+# recorder exceeds its per-event allocation budget.
 #
-# Two layers of defence:
+# Three layers of defence:
 #   1. TestNilObserverZeroAlloc pins the nil-observer steady-state path
 #      to zero heap allocations per invocation.
 #   2. BenchmarkParallelForObserverNil's allocs/op is compared against
 #      the committed baseline (ci/obs-overhead-baseline.txt); any
 #      regression past the baseline fails. Allocation counts are exact
 #      and machine-independent, unlike ns/op, so this is CI-stable.
+#   3. BenchmarkFlightRecord pins the enabled flight recorder to the
+#      flight_allocs_per_event budget: recording must stay ring-writes
+#      only, never allocation per event.
 #
 # The enabled-observer benchmark runs too and its overhead is printed
-# for the log, but only the *disabled* path is gated — observability is
-# opt-in, its cost is allowed to evolve.
+# for the log, but only the *disabled* path and the recorder's event
+# budget are gated — observability is opt-in, its cost is allowed to
+# evolve.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +25,11 @@ baseline_file=ci/obs-overhead-baseline.txt
 baseline=$(awk '/^nil_allocs_per_op/ {print $2}' "$baseline_file")
 if [[ -z "$baseline" ]]; then
     echo "error: no nil_allocs_per_op entry in $baseline_file" >&2
+    exit 1
+fi
+flight_budget=$(awk '/^flight_allocs_per_event/ {print $2}' "$baseline_file")
+if [[ -z "$flight_budget" ]]; then
+    echo "error: no flight_allocs_per_event entry in $baseline_file" >&2
     exit 1
 fi
 
@@ -43,3 +53,20 @@ if (( nil_allocs > baseline )); then
     exit 1
 fi
 echo "OK: nil-observer path at $nil_allocs allocs/op (baseline $baseline)"
+
+echo "== flight recorder event budget =="
+flight_out=$(go test ./internal/obs -run '^$' -bench 'BenchmarkFlightRecord' \
+    -benchtime=10000x -benchmem -count=1)
+echo "$flight_out"
+
+flight_allocs=$(echo "$flight_out" | awk '/^BenchmarkFlightRecord/ {print $(NF-1)}')
+if [[ -z "$flight_allocs" ]]; then
+    echo "error: BenchmarkFlightRecord produced no allocs/op figure" >&2
+    exit 1
+fi
+if (( flight_allocs > flight_budget )); then
+    echo "FAIL: armed flight recorder allocates $flight_allocs allocs/event, budget is $flight_budget" >&2
+    echo "(event recording must stay preallocated-ring writes; see internal/obs/flight.go)" >&2
+    exit 1
+fi
+echo "OK: flight recorder at $flight_allocs allocs/event (budget $flight_budget)"

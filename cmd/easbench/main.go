@@ -56,6 +56,8 @@ func main() {
 	sensorFaults := flag.String("sensor-faults", "", "fault spec for -chaos, e.g. \"stuck=6,noise=0.5,lie=0.1x2\" (empty = seeded random storm)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the scheduling decisions to this file (observed runs: -concurrent, -chaos)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/trace on this HOST:PORT while the run executes")
+	flightDir := flag.String("flight-dir", "", "arm the flight recorder and write incident dumps (JSON) into this directory on anomaly triggers")
+	pprofOn := flag.Bool("pprof", false, "with -metrics-addr: also mount Go pprof profiling endpoints under /debug/pprof/")
 	statePath := flag.String("state", "", "persist the learned α table to FILE (WAL at FILE.wal); applies to -concurrent and -warmstart")
 	warmstart := flag.Bool("warmstart", false, "run the kill-restart warm-start soak (needs -state): soak, hard-stop with a torn WAL, restart warm, restart stale")
 	warmstartTenants := flag.Int("warmstart-tenants", 4, "tenant identities for -warmstart")
@@ -99,15 +101,26 @@ func main() {
 	}
 
 	var observer *eas.Observer
-	if *traceOut != "" || *metricsAddr != "" {
-		observer = eas.NewObserver(eas.ObserverOptions{})
+	if *traceOut != "" || *metricsAddr != "" || *flightDir != "" {
+		opts := eas.ObserverOptions{EnablePprof: *pprofOn}
+		if *flightDir != "" {
+			opts.Flight = eas.FlightPolicy{Dir: *flightDir}
+		}
+		observer = eas.NewObserver(opts)
+		if *flightDir != "" {
+			defer func() {
+				if n := observer.FlightDumps(); n > 0 {
+					fmt.Fprintf(os.Stderr, "easbench: flight recorder wrote %d incident dump(s) to %s\n", n, *flightDir)
+				}
+			}()
+		}
 		if *metricsAddr != "" {
 			srv, err := observer.Serve(*metricsAddr)
 			if err != nil {
 				fail(err)
 			}
 			defer srv.Close()
-			fmt.Fprintf(os.Stderr, "easbench: serving metrics at http://%s/metrics (trace at /debug/trace)\n", srv.Addr)
+			fmt.Fprintf(os.Stderr, "easbench: serving metrics at http://%s/metrics (trace at /debug/trace)\n", srv.Addr())
 		}
 		if *traceOut != "" {
 			path := *traceOut

@@ -42,20 +42,35 @@ func main() {
 	modelCache := flag.String("model-cache", "", "JSON file persisting characterization models across invocations (loaded at start, saved on exit)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the run's scheduling decisions to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/trace on this HOST:PORT while the run executes")
+	flightDir := flag.String("flight-dir", "", "arm the flight recorder and write incident dumps (JSON) into this directory on anomaly triggers")
+	pprofOn := flag.Bool("pprof", false, "with -metrics-addr: also mount Go pprof profiling endpoints under /debug/pprof/")
 	statePath := flag.String("state", "", "persist the learned α table to FILE (WAL at FILE.wal): recovered at start so repeat runs skip re-profiling, flushed at exit")
 	flag.Parse()
 
 	var observer *obs.Observer
 	var ring *obs.RingSink
-	if *traceOut != "" || *metricsAddr != "" {
+	if *traceOut != "" || *metricsAddr != "" || *flightDir != "" {
 		ring = obs.NewRingSink(obs.DefaultRingCapacity)
 		observer = obs.New(ring, nil)
+		if *flightDir != "" {
+			flight := observer.AttachFlight(obs.FlightPolicy{Dir: *flightDir})
+			defer func() {
+				if n := flight.Dumps(); n > 0 {
+					fmt.Fprintf(os.Stderr, "easrun: flight recorder wrote %d incident dump(s) to %s\n", n, *flightDir)
+				}
+			}()
+		}
 		if *metricsAddr != "" {
 			ln, err := net.Listen("tcp", *metricsAddr)
 			if err != nil {
 				fail(err)
 			}
-			srv := &http.Server{Handler: obs.NewHTTPHandler(observer.Registry(), ring)}
+			srv := &http.Server{Handler: obs.NewHTTPHandlerOpts(obs.HTTPOptions{
+				Registry:    observer.Registry(),
+				Ring:        ring,
+				Observer:    observer,
+				EnablePprof: *pprofOn,
+			})}
 			defer srv.Close()
 			go func() { _ = srv.Serve(ln) }()
 			fmt.Fprintf(os.Stderr, "easrun: serving metrics at http://%s/metrics (trace at /debug/trace)\n", ln.Addr())

@@ -81,7 +81,7 @@ func main() {
 				fail(err)
 			}
 			defer srv.Close()
-			fmt.Fprintf(os.Stderr, "powertrace: serving metrics at http://%s/metrics (trace at /debug/trace)\n", srv.Addr)
+			fmt.Fprintf(os.Stderr, "powertrace: serving metrics at http://%s/metrics (trace at /debug/trace)\n", srv.Addr())
 		}
 		if *traceOut != "" {
 			path := *traceOut

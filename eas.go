@@ -597,7 +597,7 @@ func (r *Runtime) ParallelForCtx(ctx context.Context, k Kernel, n int) (*Report,
 		}
 	}
 	out.Finished = time.Now()
-	r.finishScope(sc, core.StatsFor(rep), out, started)
+	r.finishScope(ctx, sc, core.StatsFor(rep), k.Name, out, started)
 	return out, nil
 }
 

@@ -52,7 +52,14 @@ func TestChaosSoak(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(seed))
 	plan := NewFaultPlan(seed)
-	observer := NewObserver(ObserverOptions{})
+	// $EAS_CHAOS_FLIGHT arms the flight recorder and lands incident
+	// dumps (breaker-open triggers fire under the fault storm) in that
+	// directory, uploaded by CI as a debugging artifact.
+	obsOpts := ObserverOptions{}
+	if dir := os.Getenv("EAS_CHAOS_FLIGHT"); dir != "" {
+		obsOpts.Flight = FlightPolicy{Dir: dir, Debounce: 10 * time.Millisecond}
+	}
+	observer := NewObserver(obsOpts)
 	rt, err := NewRuntime(DesktopPlatform(), Config{
 		Metric:             EDP,
 		Model:              sharedModel(t),
@@ -96,6 +103,9 @@ func TestChaosSoak(t *testing.T) {
 			if err := writeChaosArtifact(path, observer.WriteMetrics); err != nil {
 				t.Logf("chaos metrics not written: %v", err)
 			}
+		}
+		if os.Getenv("EAS_CHAOS_FLIGHT") != "" {
+			t.Logf("flight recorder: %d incident dump(s)", observer.FlightDumps())
 		}
 	}()
 

@@ -283,6 +283,12 @@ type Report struct {
 	// Category is the workload class used to pick the power curve
 	// (meaningful only when Profiled).
 	Category wclass.Category
+	// CatKnown is true when Category was actually resolved this
+	// invocation — profiled, replayed from the table, or inherited from
+	// a coalesced leader. Small-N, GPU-busy, and breaker-suppressed
+	// runs decide nothing and leave it false, so per-category metrics
+	// never count the zero category as a decision.
+	CatKnown bool
 	// GPUBusyFallback is true when the invocation ran CPU-only because
 	// another application owned the GPU — either observed upfront (the
 	// paper's A26 check) or after transient busy dispatches exhausted
@@ -543,6 +549,10 @@ func (s *Scheduler) ParallelForCtx(ctx context.Context, k engine.Kernel, n int) 
 			sc.End(obs.Str("error", err.Error()))
 		} else {
 			st := StatsFor(rep)
+			st.Kernel = k.Name
+			req := RequestFromContext(ctx)
+			st.Tenant = req.Tenant
+			st.Class = req.Class.String()
 			st.Seconds = sc.Elapsed().Seconds()
 			sc.End(obs.Num("alpha", rep.Alpha), obs.Num("energy_j", rep.EnergyJ))
 			o.RecordInvocation(st)
@@ -571,6 +581,13 @@ func StatsFor(rep Report) obs.InvocationStats {
 		BreakerState:   int(rep.BreakerState),
 		Coalesced:      rep.Coalesced,
 		FastPath:       rep.FastPath,
+		CPUEnergyJ:     rep.CPUEnergyJ,
+		GPUEnergyJ:     rep.GPUEnergyJ,
+		DRAMEnergyJ:    rep.DRAMEnergyJ,
+	}
+	if rep.CatKnown {
+		// Category.Key() is interned — no allocation on the hot path.
+		st.Category = rep.Category.Key()
 	}
 	switch {
 	case rep.BreakerOpen:
@@ -805,10 +822,12 @@ func (s *Scheduler) parallelForTiered(ctx context.Context, k engine.Kernel, n in
 		ticket, err = s.adm.AcquireTiered(ctx, req, cancel)
 		if err != nil {
 			wait.End(obs.Str("error", err.Error()))
+			s.recordShed(err)
 			return Report{}, err
 		}
 		wait.End(obs.Str("class", req.Class.String()))
 	} else if ticket, err = s.adm.AcquireTiered(ctx, req, cancel); err != nil {
+		s.recordShed(err)
 		return Report{}, err
 	}
 	defer s.adm.ReleaseTiered(ticket)
@@ -840,6 +859,21 @@ func (s *Scheduler) parallelForTiered(ctx context.Context, k engine.Kernel, n in
 		return Report{}, ErrAdmissionRevoked
 	}
 	return rep, nil
+}
+
+// recordShed attributes one tiered-gate load-shedding rejection to its
+// tenant and reason in the observer (metrics and flight ring). Only
+// typed ErrOverloaded rejections count — a cancelled admission wait is
+// the caller's doing, not the gate's.
+func (s *Scheduler) recordShed(err error) {
+	o := s.opts.Observer
+	if !o.Enabled() {
+		return
+	}
+	var ov *ErrOverloaded
+	if errors.As(err, &ov) {
+		o.RecordShed(ov.Tenant, ov.Class.String(), ov.Reason)
+	}
 }
 
 // runAdmitted is the admission critical section shared by the legacy
@@ -966,6 +1000,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 		dec := *plan.forced
 		alpha = dec.Alpha
 		rep.Category = dec.Category
+		rep.CatKnown = true
 		rep.Coalesced = true
 		rep.PredictedPower = dec.PredictedPower
 		rep.PredictedTime = dec.PredictedTime
@@ -978,6 +1013,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 		// Fig. 7 steps 2-4: reuse the accumulated α.
 		alpha = rec.alpha
 		rep.Category = rec.category
+		rep.CatKnown = true
 		if s.rmeter != nil {
 			if curve, ok := s.curve(rec.category); ok {
 				s.invPredW = curve.Power(rec.alpha)
@@ -1081,6 +1117,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 				if known {
 					alpha = rec.alpha
 					rep.Category = rec.category
+					rep.CatKnown = true
 				}
 			} else {
 				acc = san
@@ -1089,6 +1126,7 @@ func (s *Scheduler) parallelFor(k engine.Kernel, n int, sc obs.Scope, plan invPl
 		}
 		if !quarantined {
 			rep.Category = acc.ClassifyWith(nrem, s.opts.ShortLongThreshold, s.opts.MemoryBoundThreshold)
+			rep.CatKnown = true
 			curve, ok := s.curve(rep.Category)
 			if !ok {
 				return Report{}, fmt.Errorf("core: characterization has no curve for %s", rep.Category)

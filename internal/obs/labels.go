@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labeled metric families. A family is one registered metric name that
+// fans out into per-label-tuple children ("eas_tenant_invocations_total
+// {tenant,class}"): the family owns an interned map from label tuple to
+// child instrument, so the hot path resolves a child with one RLock and
+// one map probe on a stack-allocated comparable key — no string
+// concatenation, no allocation. Tenant identifiers are user-supplied,
+// so every family enforces a hard cardinality cap: tuple #cap+1 and
+// beyond all share one pre-created overflow child whose label values
+// are the literal "overflow", bounding both memory and exposition size
+// no matter how many tenants a caller invents.
+
+// maxFamilyLabels is the widest label tuple a family supports. Two
+// covers every family the runtime emits ({tenant,class},
+// {tenant,domain}, {tenant,reason}, {reason}, {category}, {trigger});
+// a [2]string key stays comparable and stack-allocated.
+const maxFamilyLabels = 2
+
+// DefaultVecCardinality caps a family's distinct label tuples when the
+// constructor is given no explicit cap.
+const DefaultVecCardinality = 64
+
+// OverflowLabel is the label value absorbing tuples beyond the cap.
+const OverflowLabel = "overflow"
+
+// labelKey is one interned label tuple; unused trailing slots are "".
+type labelKey [maxFamilyLabels]string
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote, and line feed. Tenant
+// ids are user-supplied strings, so this runs on everything that lands
+// between the braces.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// vec is the shared family core: the interned tuple → child map, the
+// cardinality cap, and the overflow child. Child construction is
+// injected so one implementation serves all four instrument kinds.
+type vec[T any] struct {
+	helpText string
+	kindName string
+	keys     []string
+	cap      int
+	newChild func() *T
+
+	mu       sync.RWMutex
+	children map[labelKey]*T
+	overflow *T // lazily created on first overflow; emitted like any child
+}
+
+func newVec[T any](help, kind string, labels []string, cardinality int, newChild func() *T) *vec[T] {
+	if len(labels) == 0 || len(labels) > maxFamilyLabels {
+		panic(fmt.Sprintf("obs: family wants %d labels, supported range is 1..%d", len(labels), maxFamilyLabels))
+	}
+	if cardinality <= 0 {
+		cardinality = DefaultVecCardinality
+	}
+	return &vec[T]{
+		helpText: help,
+		kindName: kind,
+		keys:     append([]string(nil), labels...),
+		cap:      cardinality,
+		newChild: newChild,
+		children: make(map[labelKey]*T),
+	}
+}
+
+func (v *vec[T]) help() string { return v.helpText }
+func (v *vec[T]) kind() string { return v.kindName }
+
+// child resolves the instrument for a tuple, interning it on first
+// use. Steady state is an RLock and one map probe; a tuple beyond the
+// cardinality cap resolves to the shared overflow child.
+func (v *vec[T]) child(key labelKey) *T {
+	v.mu.RLock()
+	c := v.children[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	return v.intern(key)
+}
+
+func (v *vec[T]) intern(key labelKey) *T {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.children[key]; c != nil {
+		return c
+	}
+	if len(v.children) >= v.cap {
+		if v.overflow == nil {
+			v.overflow = v.newChild()
+		}
+		return v.overflow
+	}
+	c := v.newChild()
+	v.children[key] = c
+	return c
+}
+
+// arity panics unless the call-site arity matches the declared labels;
+// the families are internal plumbing, so a mismatch is a programming
+// error, not input.
+func (v *vec[T]) arity(n int) {
+	if len(v.keys) != n {
+		panic(fmt.Sprintf("obs: family has labels %v, called with %d values", v.keys, n))
+	}
+}
+
+// snapshot returns the current tuples and children in sorted tuple
+// order, the overflow child (if materialized) last.
+func (v *vec[T]) snapshot() (keys []labelKey, children []*T) {
+	v.mu.RLock()
+	keys = make([]labelKey, 0, len(v.children)+1)
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	children = make([]*T, 0, len(keys)+1)
+	for _, k := range keys {
+		children = append(children, v.children[k])
+	}
+	if v.overflow != nil {
+		var of labelKey
+		for i := range v.keys {
+			of[i] = OverflowLabel
+		}
+		keys = append(keys, of)
+		children = append(children, v.overflow)
+	}
+	v.mu.RUnlock()
+	return keys, children
+}
+
+// labelBlock renders `k1="v1",k2="v2"` for one tuple (scrape path
+// only; values are escaped here).
+func (v *vec[T]) labelBlock(key labelKey) string {
+	var b strings.Builder
+	for i, k := range v.keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(key[i]))
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+// Len reports how many distinct tuples the family has interned
+// (excluding the overflow child).
+func (v *vec[T]) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.children)
+}
+
+// CounterVec is a labeled family of monotonic counters.
+type CounterVec struct {
+	*vec[Counter]
+}
+
+// CounterVec registers (or returns the existing) labeled counter
+// family. cardinality <= 0 selects DefaultVecCardinality.
+func (r *Registry) CounterVec(name, help string, labels []string, cardinality int) *CounterVec {
+	cv := &CounterVec{newVec(help, "counter", labels, cardinality, func() *Counter { return &Counter{} })}
+	return r.register(name, cv).(*CounterVec)
+}
+
+// With1 resolves the child of a 1-label family.
+func (c *CounterVec) With1(v0 string) *Counter {
+	c.arity(1)
+	return c.child(labelKey{v0})
+}
+
+// With2 resolves the child of a 2-label family.
+func (c *CounterVec) With2(v0, v1 string) *Counter {
+	c.arity(2)
+	return c.child(labelKey{v0, v1})
+}
+
+func (c *CounterVec) write(w io.Writer, name string) error {
+	keys, children := c.snapshot()
+	for i, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", name, c.labelBlock(k), children[i].Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FloatCounter is a monotonically increasing float64 counter (CAS on
+// the value's bits) for quantities that are natively fractional —
+// attributed energy joules.
+type FloatCounter struct {
+	helpText string
+	bits     atomic.Uint64
+}
+
+// Add increases the counter by v (negative adds are dropped: the
+// counter is monotonic by contract).
+func (c *FloatCounter) Add(v float64) {
+	if v <= 0 || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the counter's current total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *FloatCounter) help() string { return c.helpText }
+func (c *FloatCounter) kind() string { return "counter" }
+func (c *FloatCounter) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(c.Value()))
+	return err
+}
+
+// FloatCounterVec is a labeled family of float counters.
+type FloatCounterVec struct {
+	*vec[FloatCounter]
+}
+
+// FloatCounterVec registers (or returns the existing) labeled float
+// counter family.
+func (r *Registry) FloatCounterVec(name, help string, labels []string, cardinality int) *FloatCounterVec {
+	fv := &FloatCounterVec{newVec(help, "counter", labels, cardinality, func() *FloatCounter { return &FloatCounter{} })}
+	return r.register(name, fv).(*FloatCounterVec)
+}
+
+// With1 resolves the child of a 1-label family.
+func (c *FloatCounterVec) With1(v0 string) *FloatCounter {
+	c.arity(1)
+	return c.child(labelKey{v0})
+}
+
+// With2 resolves the child of a 2-label family.
+func (c *FloatCounterVec) With2(v0, v1 string) *FloatCounter {
+	c.arity(2)
+	return c.child(labelKey{v0, v1})
+}
+
+func (c *FloatCounterVec) write(w io.Writer, name string) error {
+	keys, children := c.snapshot()
+	for i, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s} %s\n", name, c.labelBlock(k), formatFloat(children[i].Value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GaugeVec is a labeled family of gauges.
+type GaugeVec struct {
+	*vec[Gauge]
+}
+
+// GaugeVec registers (or returns the existing) labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels []string, cardinality int) *GaugeVec {
+	gv := &GaugeVec{newVec(help, "gauge", labels, cardinality, func() *Gauge { return &Gauge{} })}
+	return r.register(name, gv).(*GaugeVec)
+}
+
+// With1 resolves the child of a 1-label family.
+func (g *GaugeVec) With1(v0 string) *Gauge {
+	g.arity(1)
+	return g.child(labelKey{v0})
+}
+
+// With2 resolves the child of a 2-label family.
+func (g *GaugeVec) With2(v0, v1 string) *Gauge {
+	g.arity(2)
+	return g.child(labelKey{v0, v1})
+}
+
+func (g *GaugeVec) write(w io.Writer, name string) error {
+	keys, children := g.snapshot()
+	for i, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s} %s\n", name, g.labelBlock(k), formatFloat(children[i].Value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HistogramVec is a labeled family of fixed-bucket histograms sharing
+// one bound set.
+type HistogramVec struct {
+	*vec[Histogram]
+}
+
+// HistogramVec registers (or returns the existing) labeled histogram
+// family over the given ascending bucket bounds (+Inf implicit).
+func (r *Registry) HistogramVec(name, help string, labels []string, bounds []float64, cardinality int) *HistogramVec {
+	shared := append([]float64(nil), bounds...)
+	hv := &HistogramVec{newVec(help, "histogram", labels, cardinality, func() *Histogram {
+		return &Histogram{bounds: shared, buckets: make([]padUint64, len(shared)+1)}
+	})}
+	return r.register(name, hv).(*HistogramVec)
+}
+
+// With1 resolves the child of a 1-label family.
+func (h *HistogramVec) With1(v0 string) *Histogram {
+	h.arity(1)
+	return h.child(labelKey{v0})
+}
+
+// With2 resolves the child of a 2-label family.
+func (h *HistogramVec) With2(v0, v1 string) *Histogram {
+	h.arity(2)
+	return h.child(labelKey{v0, v1})
+}
+
+func (h *HistogramVec) write(w io.Writer, name string) error {
+	keys, children := h.snapshot()
+	for i, k := range keys {
+		lb := h.labelBlock(k)
+		child := children[i]
+		var cum uint64
+		for bi, bound := range child.bounds {
+			cum += child.buckets[bi].n.Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, lb, formatFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += child.buckets[len(child.bounds)].n.Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, lb, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{%s} %s\n", name, lb, formatFloat(child.Sum())); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count{%s} %d\n", name, lb, child.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"all\\\"\n", `all\\\"\n`},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := escapeLabelValue(c.in); got != c.want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCounterVecCardinalityCap(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("eas_test_total", "Test counter.", []string{"tenant"}, 3)
+	for i := 0; i < 6; i++ {
+		cv.With1(fmt.Sprintf("tenant-%d", i)).Inc()
+	}
+	if got := cv.Len(); got != 3 {
+		t.Fatalf("Len() = %d, want 3 (cap)", got)
+	}
+	// Tenants beyond the cap share one overflow child.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`eas_test_total{tenant="tenant-0"} 1`,
+		`eas_test_total{tenant="tenant-2"} 1`,
+		`eas_test_total{tenant="overflow"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "tenant-4") {
+		t.Errorf("over-cap tenant leaked into exposition:\n%s", out)
+	}
+	// The same over-cap tuple keeps resolving to the overflow child;
+	// established tuples keep their own.
+	cv.With1("tenant-5").Add(10)
+	cv.With1("tenant-0").Inc()
+	if v := cv.With1("tenant-0").Value(); v != 2 {
+		t.Errorf("tenant-0 = %d, want 2", v)
+	}
+	if v := cv.With1("tenant-4").Value(); v != 13 {
+		t.Errorf("overflow child = %d, want 13", v)
+	}
+}
+
+// TestVecConcurrentChurn hammers one family from 16 goroutines with
+// far more distinct tenants than the cap allows; under -race this
+// verifies the intern path, and the conserved total verifies no
+// increment is lost to the overflow transition.
+func TestVecConcurrentChurn(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 500
+		cap        = 8
+	)
+	reg := NewRegistry()
+	cv := reg.CounterVec("eas_churn_total", "Churn counter.", []string{"tenant", "class"}, cap)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				cv.With2(fmt.Sprintf("tenant-%d", (g*perG+i)%100), "batch").Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := cv.Len(); got != cap {
+		t.Fatalf("Len() = %d, want %d", got, cap)
+	}
+	var total uint64
+	_, children := cv.snapshot()
+	for _, c := range children {
+		total += c.Value()
+	}
+	if want := uint64(goroutines * perG); total != want {
+		t.Fatalf("conserved total = %d, want %d", total, want)
+	}
+}
+
+func TestHistogramVecExposition(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("eas_test_seconds", "Test histogram.", []string{"tenant"}, []float64{0.1, 1}, 4)
+	hv.With1("a").Observe(0.05)
+	hv.With1("a").Observe(0.5)
+	hv.With1("b").Observe(2)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE eas_test_seconds histogram",
+		`eas_test_seconds_bucket{tenant="a",le="0.1"} 1`,
+		`eas_test_seconds_bucket{tenant="a",le="1"} 2`,
+		`eas_test_seconds_bucket{tenant="a",le="+Inf"} 2`,
+		`eas_test_seconds_sum{tenant="a"} 0.55`,
+		`eas_test_seconds_count{tenant="a"} 2`,
+		`eas_test_seconds_bucket{tenant="b",le="+Inf"} 1`,
+		`eas_test_seconds_count{tenant="b"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFloatCounterVec(t *testing.T) {
+	reg := NewRegistry()
+	fv := reg.FloatCounterVec("eas_test_joules_total", "Test energy.", []string{"tenant", "domain"}, 4)
+	fv.With2("a", "cpu").Add(1.5)
+	fv.With2("a", "cpu").Add(2.25)
+	fv.With2("a", "gpu").Add(0.5)
+	fv.With2("a", "cpu").Add(-3) // monotonic: dropped
+	if v := fv.With2("a", "cpu").Value(); v != 3.75 {
+		t.Errorf("cpu = %v, want 3.75", v)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`eas_test_joules_total{tenant="a",domain="cpu"} 3.75`,
+		`eas_test_joules_total{tenant="a",domain="gpu"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelValueEscapedInExposition(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("eas_test_total", "Test counter.", []string{"tenant"}, 4)
+	cv.With1("evil\"tenant\nwith\\stuff").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `eas_test_total{tenant="evil\"tenant\nwith\\stuff"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing %q in:\n%s", want, b.String())
+	}
+}
+
+func TestVecArityPanics(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("eas_test_total", "Test counter.", []string{"tenant", "class"}, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("With1 on a 2-label family did not panic")
+		}
+	}()
+	cv.With1("oops")
+}

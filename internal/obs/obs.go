@@ -30,6 +30,7 @@ package obs
 
 import (
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -133,8 +134,7 @@ type Observer struct {
 	quarantined   *Counter
 	sanitized     *Counter
 	meterRejected *Counter
-	fallbacks     map[string]*Counter
-	fallbackOther *Counter
+	fallbacks     *CounterVec
 	breakerState  *Gauge
 	breakerTrans  *Counter
 	watchdogStall *Counter
@@ -152,11 +152,29 @@ type Observer struct {
 	stateCorrupt   *Counter
 	stateRejected  *Counter
 	drainSeconds   *Histogram
+
+	// Per-tenant attribution families (labels.go): interned label
+	// tuples behind a hard cardinality cap, so user-supplied tenant ids
+	// cannot blow up the exposition.
+	tenantInv       *CounterVec      // {tenant,class}
+	tenantLatency   *HistogramVec    // {tenant}
+	tenantShed      *CounterVec      // {tenant,reason}
+	tenantCoalesced *CounterVec      // {tenant}
+	tenantFastPath  *CounterVec      // {tenant}
+	tenantEnergy    *FloatCounterVec // {tenant,domain}
+	catDecisions    *CounterVec      // {category}
+
+	// flight is the black-box incident recorder (nil unless attached).
+	flight *FlightRecorder
 }
 
-// Fallback reason keys the runtime reports (mirrors the public
-// FallbackReason values; "" means the invocation ran as scheduled).
-var fallbackReasons = []string{"gpu-busy", "enqueue-error", "gpu-timeout", "breaker-open"}
+// DefaultTenantCardinality caps the distinct tenants the attribution
+// families track before folding newcomers into the overflow bucket.
+const DefaultTenantCardinality = 64
+
+// AnonTenant is the attribution label for invocations that carried no
+// tenant identity (the empty tenant is valid at the admission gate).
+const AnonTenant = "anon"
 
 // DefBuckets are the invocation-latency histogram bounds in seconds:
 // three decades around the sub-millisecond scheduling decisions and the
@@ -200,8 +218,9 @@ func New(sink Sink, reg *Registry) *Observer {
 			"Online profiles clamped to the platform envelope."),
 		meterRejected: reg.Counter("eas_meter_samples_rejected_total",
 			"MSR energy samples the robust meter rejected and substituted."),
-		fallbackOther: reg.Counter(`eas_fallbacks_total{reason="other"}`,
-			"Invocations that deviated from the planned split."),
+		fallbacks: reg.CounterVec("eas_fallbacks_total",
+			"Invocations that deviated from the planned split, by reason.",
+			[]string{"reason"}, 8),
 		breakerState: reg.Gauge("eas_breaker_state",
 			"GPU circuit breaker position (0=closed, 1=open, 2=half-open)."),
 		breakerTrans: reg.Counter("eas_breaker_transitions_total",
@@ -232,11 +251,27 @@ func New(sink Sink, reg *Registry) *Observer {
 			"Recovered records refused by evidence sanitization (non-finite α, zero items, bad category)."),
 		drainSeconds: reg.Histogram("eas_drain_seconds",
 			"Graceful-drain duration of Runtime.Close: waiting out in-flight invocations plus the state flush.", DefBuckets),
-	}
-	o.fallbacks = make(map[string]*Counter, len(fallbackReasons))
-	for _, r := range fallbackReasons {
-		o.fallbacks[r] = reg.Counter(`eas_fallbacks_total{reason="`+r+`"}`,
-			"Invocations that deviated from the planned split.")
+		tenantInv: reg.CounterVec("eas_tenant_invocations_total",
+			"ParallelFor invocations completed, by tenant and priority class.",
+			[]string{"tenant", "class"}, 3*DefaultTenantCardinality),
+		tenantLatency: reg.HistogramVec("eas_tenant_invocation_seconds",
+			"Wall-clock invocation latency by tenant.",
+			[]string{"tenant"}, DefBuckets, DefaultTenantCardinality),
+		tenantShed: reg.CounterVec("eas_tenant_shed_total",
+			"Invocations shed at the admission gate, by tenant and reason.",
+			[]string{"tenant", "reason"}, 3*DefaultTenantCardinality),
+		tenantCoalesced: reg.CounterVec("eas_tenant_coalesced_total",
+			"Invocations that executed a leader's coalesced decision, by tenant.",
+			[]string{"tenant"}, DefaultTenantCardinality),
+		tenantFastPath: reg.CounterVec("eas_tenant_fastpath_total",
+			"Invocations whose fresh table record skipped a re-profile, by tenant.",
+			[]string{"tenant"}, DefaultTenantCardinality),
+		tenantEnergy: reg.FloatCounterVec("eas_tenant_energy_joules_total",
+			"Attributed package energy by tenant and RAPL domain (cpu/gpu/dram), measured inside the admission critical section.",
+			[]string{"tenant", "domain"}, 3*DefaultTenantCardinality),
+		catDecisions: reg.CounterVec("eas_decisions_by_category_total",
+			"Scheduling decisions by resolved workload category.",
+			[]string{"category"}, 16),
 	}
 	// Runtime GC/memory health, read at scrape time only (ReadMemStats
 	// briefly stops the world, so it must never sit on the hot path).
@@ -334,6 +369,19 @@ func (o *Observer) BeginInvocation(inv uint64, kernel string) Scope {
 // InvocationStats is the per-invocation summary the scope owner feeds
 // the metrics registry once, when the invocation completes.
 type InvocationStats struct {
+	// Kernel names the invoked kernel (flight-recorder context only).
+	Kernel string
+	// Tenant and Class are the invocation's admission attributes for
+	// per-tenant attribution; an empty Tenant accounts as AnonTenant,
+	// an empty Class as "interactive" (the zero admission class).
+	Tenant, Class string
+	// Category is the resolved workload class key ("" when the
+	// invocation never resolved one — small-N, breaker-suppressed, and
+	// GPU-busy runs decide nothing).
+	Category string
+	// CPUEnergyJ, GPUEnergyJ and DRAMEnergyJ split the invocation's
+	// package energy by RAPL domain for tenant energy attribution.
+	CPUEnergyJ, GPUEnergyJ, DRAMEnergyJ float64
 	// Seconds is the invocation's wall-clock latency.
 	Seconds float64
 	// ProfileSeconds is the wall-clock profiling overhead (0 when the
@@ -381,11 +429,7 @@ func (o *Observer) RecordInvocation(st InvocationStats) {
 		o.profileLat.Observe(st.ProfileSeconds)
 	}
 	if st.Fallback != "" {
-		c, ok := o.fallbacks[st.Fallback]
-		if !ok {
-			c = o.fallbackOther
-		}
-		c.Inc()
+		o.fallbacks.With1(st.Fallback).Inc()
 	}
 	if st.MeterRejected > 0 {
 		o.meterRejected.Add(uint64(st.MeterRejected))
@@ -405,6 +449,83 @@ func (o *Observer) RecordInvocation(st InvocationStats) {
 	if st.FastPath {
 		o.fastPath.Inc()
 	}
+
+	// Per-tenant attribution. Tenant ids are user-supplied; the families
+	// intern them behind a hard cardinality cap, so the hot path here is
+	// an RLock and a map probe per family, allocation-free.
+	tenant := st.Tenant
+	if tenant == "" {
+		tenant = AnonTenant
+	}
+	class := st.Class
+	if class == "" {
+		class = "interactive"
+	}
+	o.tenantInv.With2(tenant, class).Inc()
+	o.tenantLatency.With1(tenant).Observe(st.Seconds)
+	if st.Coalesced {
+		o.tenantCoalesced.With1(tenant).Inc()
+	}
+	if st.FastPath {
+		o.tenantFastPath.With1(tenant).Inc()
+	}
+	if st.CPUEnergyJ > 0 {
+		o.tenantEnergy.With2(tenant, "cpu").Add(st.CPUEnergyJ)
+	}
+	if st.GPUEnergyJ > 0 {
+		o.tenantEnergy.With2(tenant, "gpu").Add(st.GPUEnergyJ)
+	}
+	if st.DRAMEnergyJ > 0 {
+		o.tenantEnergy.With2(tenant, "dram").Add(st.DRAMEnergyJ)
+	}
+	if st.Category != "" {
+		o.catDecisions.With1(st.Category).Inc()
+	}
+	if o.flight != nil {
+		o.flight.RecordDecision(st.Kernel, tenant, st.Category,
+			st.Alpha, st.Seconds, st.FastPath, st.Coalesced)
+		if st.Fallback != "" {
+			o.flight.RecordDegradation(st.Kernel, tenant, st.Fallback)
+		}
+	}
+}
+
+// RecordShed counts one admission-gate load-shedding rejection against
+// its tenant and reason, and lands a shed event in the flight ring.
+func (o *Observer) RecordShed(tenant, class, reason string) {
+	if o == nil {
+		return
+	}
+	if tenant == "" {
+		tenant = AnonTenant
+	}
+	o.tenantShed.With2(tenant, reason).Inc()
+	if o.flight != nil {
+		o.flight.RecordShed(tenant, class, reason)
+	}
+}
+
+// AttachFlight arms the black-box flight recorder: every subsequent
+// decision, shed, breaker transition, watchdog stall, and WAL error
+// lands in its ring, and the policy's trigger conditions freeze the
+// ring into incident dumps. Attach before the runtime starts serving;
+// the recorder itself is concurrency-safe, but the o.flight pointer is
+// written without synchronization. Returns the recorder (nil for a
+// nil observer).
+func (o *Observer) AttachFlight(p FlightPolicy) *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	o.flight = NewFlightRecorder(p, o.reg)
+	return o.flight
+}
+
+// Flight returns the attached flight recorder (nil when none).
+func (o *Observer) Flight() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.flight
 }
 
 // RecordStateAppend counts one mutation record (of the given framed
@@ -426,6 +547,7 @@ func (o *Observer) RecordStateError() {
 		return
 	}
 	o.stateErrors.Inc()
+	o.flight.RecordWALError()
 }
 
 // RecordStateSnapshot counts one compaction into an atomic snapshot.
@@ -492,6 +614,7 @@ func (o *Observer) RecordWatchdogStall(tenant string, held time.Duration) {
 		End:    now,
 		Attrs:  []Attr{Str("tenant", tenant), Num("held_ms", float64(held.Milliseconds()))},
 	})
+	o.flight.RecordWatchdogStall(tenant, held)
 }
 
 // RecordBreakerTransition notes one circuit-breaker state change
@@ -502,6 +625,96 @@ func (o *Observer) RecordBreakerTransition(to int) {
 	}
 	o.breakerTrans.Inc()
 	o.breakerState.Set(float64(to))
+	o.flight.RecordBreaker(to, breakerStateName(to))
+}
+
+// breakerStateName maps the runtime's breaker-state encoding to its
+// label (mirrors robust.BreakerState without importing it).
+func breakerStateName(state int) string {
+	switch state {
+	case 0:
+		return "closed"
+	case 1:
+		return "open"
+	case 2:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// TenantAccount is one tenant's accounting snapshot, the unit of the
+// /debug/tenants endpoint.
+type TenantAccount struct {
+	Tenant            string             `json:"tenant"`
+	Invocations       map[string]uint64  `json:"invocations_by_class,omitempty"`
+	Shed              map[string]uint64  `json:"shed_by_reason,omitempty"`
+	Coalesced         uint64             `json:"coalesced,omitempty"`
+	FastPath          uint64             `json:"fastpath,omitempty"`
+	LatencyCount      uint64             `json:"latency_count,omitempty"`
+	LatencySumSeconds float64            `json:"latency_sum_seconds,omitempty"`
+	EnergyJ           map[string]float64 `json:"energy_joules_by_domain,omitempty"`
+}
+
+// TenantAccounting snapshots the per-tenant attribution families as a
+// tenant-sorted accounting report (the overflow bucket, when
+// populated, appears as the "overflow" tenant).
+func (o *Observer) TenantAccounting() []TenantAccount {
+	if o == nil {
+		return nil
+	}
+	byTenant := make(map[string]*TenantAccount)
+	acct := func(tenant string) *TenantAccount {
+		a := byTenant[tenant]
+		if a == nil {
+			a = &TenantAccount{Tenant: tenant}
+			byTenant[tenant] = a
+		}
+		return a
+	}
+	keys, invs := o.tenantInv.snapshot()
+	for i, k := range keys {
+		a := acct(k[0])
+		if a.Invocations == nil {
+			a.Invocations = make(map[string]uint64)
+		}
+		a.Invocations[k[1]] += invs[i].Value()
+	}
+	keys, sheds := o.tenantShed.snapshot()
+	for i, k := range keys {
+		a := acct(k[0])
+		if a.Shed == nil {
+			a.Shed = make(map[string]uint64)
+		}
+		a.Shed[k[1]] += sheds[i].Value()
+	}
+	keys, coal := o.tenantCoalesced.snapshot()
+	for i, k := range keys {
+		acct(k[0]).Coalesced += coal[i].Value()
+	}
+	keys, fast := o.tenantFastPath.snapshot()
+	for i, k := range keys {
+		acct(k[0]).FastPath += fast[i].Value()
+	}
+	keys, lat := o.tenantLatency.snapshot()
+	for i, k := range keys {
+		a := acct(k[0])
+		a.LatencyCount += lat[i].Count()
+		a.LatencySumSeconds += lat[i].Sum()
+	}
+	keys, energy := o.tenantEnergy.snapshot()
+	for i, k := range keys {
+		a := acct(k[0])
+		if a.EnergyJ == nil {
+			a.EnergyJ = make(map[string]float64)
+		}
+		a.EnergyJ[k[1]] += energy[i].Value()
+	}
+	out := make([]TenantAccount, 0, len(byTenant))
+	for _, a := range byTenant {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // Scope is one invocation's trace context: the root span plus the ids

@@ -121,7 +121,7 @@ func TestRecordInvocationMetrics(t *testing.T) {
 		"eas_profile_steps_total 3",
 		"eas_profile_seconds_count 1",
 		`eas_fallbacks_total{reason="gpu-busy"} 1`,
-		`eas_fallbacks_total{reason="other"} 1`,
+		`eas_fallbacks_total{reason="weird"} 1`,
 		"eas_meter_samples_rejected_total 4",
 		"eas_profiles_quarantined_total 1",
 		"eas_profiles_sanitized_total 1",

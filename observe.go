@@ -1,6 +1,7 @@
 package eas
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -28,6 +29,7 @@ type Observer struct {
 	inner *obs.Observer
 	ring  *obs.RingSink
 	reg   *obs.Registry
+	pprof bool
 }
 
 // ObserverOptions tunes a new Observer. The zero value is a good
@@ -36,6 +38,63 @@ type ObserverOptions struct {
 	// RingCapacity bounds the span ring buffer (default 8192 spans ≈
 	// the last ~1500 invocations); older spans are overwritten.
 	RingCapacity int
+	// Flight arms the black-box flight recorder: an always-on ring of
+	// compact scheduler events (decisions, sheds, breaker transitions,
+	// watchdog stalls, WAL errors) that anomaly triggers freeze into
+	// JSON incident dumps. The zero value keeps the recorder off.
+	Flight FlightPolicy
+	// EnablePprof mounts Go's net/http/pprof profiling endpoints under
+	// /debug/pprof/ on Handler and Serve. Off by default — the profile
+	// endpoints expose process internals and cost CPU while sampled, so
+	// they are strictly opt-in.
+	EnablePprof bool
+}
+
+// FlightPolicy configures the flight recorder (see ObserverOptions.
+// Flight). Any non-zero field arms the recorder; zero sub-fields pick
+// defaults. The watchdog-stall and breaker-open triggers are always
+// armed once recording; the rate triggers need their thresholds set.
+type FlightPolicy struct {
+	// Enable arms the recorder even with every other field zero.
+	Enable bool
+	// Events bounds the event ring (default 4096).
+	Events int
+	// Dir receives incident dump files named
+	// incident-<n>-<trigger>.json ("" keeps dumps in memory only,
+	// served at /debug/flight).
+	Dir string
+	// Debounce is the minimum spacing between dumps — an anomaly storm
+	// inside the window produces one dump, with the rest counted in the
+	// artifact's "suppressed" field (default 30s).
+	Debounce time.Duration
+	// ShedSpike triggers a dump when this many admission sheds land
+	// inside ShedWindow (default window 1s). 0 disables the trigger.
+	ShedSpike int
+	// ShedWindow is the shed-spike sliding window (default 1s).
+	ShedWindow time.Duration
+	// P99Latency triggers a dump when the sliding-window p99 of
+	// invocation latencies exceeds it. 0 disables the trigger.
+	P99Latency time.Duration
+	// LatencyWindow is how many recent invocations the p99 estimate
+	// spans (default 256).
+	LatencyWindow int
+}
+
+// enabled reports whether any field arms the recorder.
+func (p FlightPolicy) enabled() bool {
+	return p != FlightPolicy{}
+}
+
+func (p FlightPolicy) internal() obs.FlightPolicy {
+	return obs.FlightPolicy{
+		Events:        p.Events,
+		Dir:           p.Dir,
+		Debounce:      p.Debounce,
+		ShedSpike:     p.ShedSpike,
+		ShedWindow:    p.ShedWindow,
+		P99Latency:    p.P99Latency,
+		LatencyWindow: p.LatencyWindow,
+	}
 }
 
 // NewObserver builds an observer with a bounded span ring and a fresh
@@ -47,7 +106,11 @@ func NewObserver(opts ObserverOptions) *Observer {
 	}
 	ring := obs.NewRingSink(capacity)
 	reg := obs.NewRegistry()
-	return &Observer{inner: obs.New(ring, reg), ring: ring, reg: reg}
+	o := &Observer{inner: obs.New(ring, reg), ring: ring, reg: reg, pprof: opts.EnablePprof}
+	if opts.Flight.enabled() {
+		o.inner.AttachFlight(opts.Flight.internal())
+	}
+	return o
 }
 
 // internal returns the wrapped observer (nil for a nil Observer), the
@@ -81,13 +144,30 @@ func (o *Observer) WriteMetrics(w io.Writer) error {
 	return o.reg.WritePrometheus(w)
 }
 
-// Handler returns an http.Handler serving /metrics (Prometheus text)
-// and /debug/trace (Chrome trace JSON of the current ring snapshot).
+// Handler returns an http.Handler serving /metrics (Prometheus text),
+// /debug/trace (Chrome trace JSON of the current ring snapshot),
+// /debug/tenants (per-tenant accounting JSON), /debug/flight (the
+// flight recorder's latest incident, when one is armed), and — with
+// ObserverOptions.EnablePprof — Go's /debug/pprof/ endpoints.
 func (o *Observer) Handler() http.Handler {
 	if o == nil {
 		return http.NotFoundHandler()
 	}
-	return obs.NewHTTPHandler(o.reg, o.ring)
+	return obs.NewHTTPHandlerOpts(obs.HTTPOptions{
+		Registry:    o.reg,
+		Ring:        o.ring,
+		Observer:    o.inner,
+		EnablePprof: o.pprof,
+	})
+}
+
+// FlightDumps reports how many incident dumps the flight recorder has
+// produced (0 when the recorder is not armed).
+func (o *Observer) FlightDumps() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.inner.Flight().Dumps()
 }
 
 // Serve starts an HTTP server for Handler on addr (e.g.
@@ -103,20 +183,22 @@ func (o *Observer) Serve(addr string) (*ObserverServer, error) {
 		return nil, fmt.Errorf("eas: observer listen: %w", err)
 	}
 	srv := &http.Server{Handler: o.Handler()}
-	s := &ObserverServer{Addr: ln.Addr().String(), srv: srv}
+	s := &ObserverServer{addr: ln.Addr().String(), srv: srv}
 	go func() { _ = srv.Serve(ln) }()
 	return s, nil
 }
 
 // ObserverServer is a running metrics/trace HTTP endpoint.
 type ObserverServer struct {
-	// Addr is the bound listen address (host:port).
-	Addr string
-
+	addr      string
 	srv       *http.Server
 	closeOnce sync.Once
 	closeErr  error
 }
+
+// Addr returns the bound listen address (host:port) — the way to learn
+// the actual port after Serve(":0").
+func (s *ObserverServer) Addr() string { return s.addr }
 
 // Close shuts the endpoint down. Idempotent.
 func (s *ObserverServer) Close() error {
@@ -235,10 +317,14 @@ func invocationAttrs(out *Report) []obs.Attr {
 // amending the core's fallback reason with the functional layer's more
 // specific one (enqueue-error, gpu-timeout) when the degradation
 // happened there.
-func (r *Runtime) finishScope(sc obs.Scope, st obs.InvocationStats, out *Report, started time.Time) {
+func (r *Runtime) finishScope(ctx context.Context, sc obs.Scope, st obs.InvocationStats, kernel string, out *Report, started time.Time) {
 	if !sc.Enabled() {
 		return
 	}
+	st.Kernel = kernel
+	req := core.RequestFromContext(ctx)
+	st.Tenant = req.Tenant
+	st.Class = req.Class.String()
 	st.Seconds = time.Since(started).Seconds()
 	st.Alpha = out.Alpha
 	st.Retries = out.Retries

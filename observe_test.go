@@ -166,7 +166,7 @@ func TestObserverServeLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body := httpGet(t, "http://"+srv.Addr+"/metrics")
+	body := httpGet(t, "http://"+srv.Addr()+"/metrics")
 	if !strings.Contains(body, "eas_invocation_seconds") {
 		t.Errorf("served metrics missing histogram header:\n%s", body)
 	}
